@@ -1,0 +1,9 @@
+// Figure 8: average TDMA slot counts on random unit disk graphs placed in a
+// 15x15 plan (radius 0.5), n in {50, 100, 200, 300}; distMIS vs DFS vs D-MGC
+// with the Theorem-1 lower bound and the 2Δ² upper bound.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  return fdlsp::bench::run_udg_slots_figure(
+      "Figure 8: time slots, UDG plan 15x15", 15.0, argc, argv);
+}

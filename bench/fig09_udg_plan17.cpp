@@ -1,0 +1,7 @@
+// Figure 9: as Figure 8 with a 17x17 plan.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  return fdlsp::bench::run_udg_slots_figure(
+      "Figure 9: time slots, UDG plan 17x17", 17.0, argc, argv);
+}

@@ -1,0 +1,7 @@
+// Figure 10: as Figure 8 with a 20x20 plan.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  return fdlsp::bench::run_udg_slots_figure(
+      "Figure 10: time slots, UDG plan 20x20", 20.0, argc, argv);
+}

@@ -1,0 +1,8 @@
+// Figure 11: average TDMA slot counts on general random graphs with 200
+// nodes and a swept edge count; distMIS (general variant) vs DFS vs D-MGC.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  return fdlsp::bench::run_general_slots_figure(
+      "Figure 11: time slots, general graphs, 200 nodes", 200, argc, argv);
+}

@@ -1,0 +1,7 @@
+// Figure 12: as Figure 11 with 500 nodes.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  return fdlsp::bench::run_general_slots_figure(
+      "Figure 12: time slots, general graphs, 500 nodes", 500, argc, argv);
+}

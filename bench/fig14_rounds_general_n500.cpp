@@ -1,0 +1,9 @@
+// Figure 14: DistMIS (general variant) communication rounds on general
+// random graphs with 500 nodes as the edge count grows.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  return fdlsp::bench::run_general_rounds_figure(
+      "Figure 14: distMIS rounds, general graphs, 500 nodes", 500, argc,
+      argv);
+}

@@ -1,0 +1,9 @@
+// Figure 15: DistMIS (general variant) communication rounds on general
+// random graphs with 200 nodes as the edge count grows.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  return fdlsp::bench::run_general_rounds_figure(
+      "Figure 15: distMIS rounds, general graphs, 200 nodes", 200, argc,
+      argv);
+}

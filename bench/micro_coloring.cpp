@@ -1,0 +1,74 @@
+// Microbenchmarks for the coloring core: conflict enumeration, greedy
+// coloring, conflict-graph construction, feasibility checking.
+#include <benchmark/benchmark.h>
+
+#include "coloring/checker.h"
+#include "coloring/conflict.h"
+#include "coloring/conflict_graph.h"
+#include "coloring/bounds.h"
+#include "coloring/greedy.h"
+#include "graph/arcs.h"
+#include "graph/generators.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace fdlsp;
+
+Graph make_udg(std::size_t n, double side) {
+  Rng rng(42);
+  return generate_udg(n, side, 0.5, rng).graph;
+}
+
+void BM_GreedyColoring(benchmark::State& state) {
+  const Graph graph = make_udg(static_cast<std::size_t>(state.range(0)), 8.0);
+  const ArcView view(graph);
+  for (auto _ : state) {
+    ArcColoring coloring = greedy_coloring(view);
+    benchmark::DoNotOptimize(coloring.num_colors_used());
+  }
+  state.counters["edges"] = static_cast<double>(graph.num_edges());
+}
+BENCHMARK(BM_GreedyColoring)->Arg(100)->Arg(300)->Arg(1000);
+
+void BM_ConflictEnumeration(benchmark::State& state) {
+  const Graph graph = make_udg(static_cast<std::size_t>(state.range(0)), 8.0);
+  const ArcView view(graph);
+  for (auto _ : state) {
+    std::size_t total = 0;
+    for (ArcId a = 0; a < view.num_arcs(); ++a)
+      total += conflicting_arcs(view, a).size();
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_ConflictEnumeration)->Arg(100)->Arg(300);
+
+void BM_ConflictGraphBuild(benchmark::State& state) {
+  const Graph graph = make_udg(static_cast<std::size_t>(state.range(0)), 8.0);
+  const ArcView view(graph);
+  for (auto _ : state) {
+    Graph conflict = build_conflict_graph(view);
+    benchmark::DoNotOptimize(conflict.num_edges());
+  }
+}
+BENCHMARK(BM_ConflictGraphBuild)->Arg(100)->Arg(300);
+
+void BM_FeasibilityCheck(benchmark::State& state) {
+  const Graph graph = make_udg(static_cast<std::size_t>(state.range(0)), 8.0);
+  const ArcView view(graph);
+  const ArcColoring coloring = greedy_coloring(view);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(is_feasible_schedule(view, coloring));
+}
+BENCHMARK(BM_FeasibilityCheck)->Arg(100)->Arg(300)->Arg(1000);
+
+void BM_LowerBoundTheorem1(benchmark::State& state) {
+  const Graph graph = make_udg(static_cast<std::size_t>(state.range(0)), 8.0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(lower_bound_theorem1(graph));
+}
+BENCHMARK(BM_LowerBoundTheorem1)->Arg(100)->Arg(300)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Microbenchmarks for the simulation engines themselves: round dispatch
+// overhead, message throughput, and event-queue cost.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "graph/generators.h"
+#include "sim/async_engine.h"
+#include "sim/sync_engine.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace fdlsp;
+
+/// Gossip for a fixed number of rounds: every node rebroadcasts each round.
+class GossipProgram final : public SyncProgram {
+ public:
+  explicit GossipProgram(std::size_t rounds) : rounds_(rounds) {}
+  void on_round(SyncContext& ctx, std::span<const Message>) override {
+    ++executed_;
+    Message message;
+    message.tag = 1;
+    message.data = {static_cast<std::int64_t>(executed_)};
+    ctx.broadcast(std::move(message));
+  }
+  bool ready_for_phase_advance() const override { return false; }
+  void on_phase(std::size_t) override {}
+  bool finished() const override { return executed_ >= rounds_; }
+
+ private:
+  std::size_t rounds_;
+  std::size_t executed_ = 0;
+};
+
+void BM_SyncEngineGossip(benchmark::State& state) {
+  Rng rng(5);
+  const Graph graph =
+      generate_gnm(static_cast<std::size_t>(state.range(0)),
+                   static_cast<std::size_t>(state.range(0)) * 4, rng);
+  for (auto _ : state) {
+    std::vector<std::unique_ptr<SyncProgram>> programs;
+    for (NodeId v = 0; v < graph.num_nodes(); ++v)
+      programs.push_back(std::make_unique<GossipProgram>(20));
+    SyncEngine engine(graph, std::move(programs));
+    const SyncMetrics metrics = engine.run();
+    benchmark::DoNotOptimize(metrics.messages);
+    state.counters["msgs"] = static_cast<double>(metrics.messages);
+  }
+}
+BENCHMARK(BM_SyncEngineGossip)->Arg(100)->Arg(500);
+
+/// Ping-pong along a random ring for a fixed hop count.
+class HopProgram final : public AsyncProgram {
+ public:
+  HopProgram(NodeId self, std::size_t n, std::size_t hops)
+      : self_(self), n_(n), hops_(hops) {}
+  void on_start(AsyncContext& ctx) override {
+    if (self_ != 0) return;
+    Message message;
+    message.tag = 1;
+    message.data = {0};
+    ctx.send(1 % static_cast<NodeId>(n_), std::move(message));
+  }
+  void on_message(AsyncContext& ctx, const Message& message) override {
+    if (static_cast<std::size_t>(message.data[0]) >= hops_) return;
+    Message next;
+    next.tag = 1;
+    next.data = {message.data[0] + 1};
+    ctx.send((self_ + 1) % static_cast<NodeId>(n_), std::move(next));
+  }
+  bool finished() const override { return true; }
+
+ private:
+  NodeId self_;
+  std::size_t n_;
+  std::size_t hops_;
+};
+
+void BM_AsyncEngineRingHops(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph ring = generate_cycle(n);
+  for (auto _ : state) {
+    std::vector<std::unique_ptr<AsyncProgram>> programs;
+    for (NodeId v = 0; v < n; ++v)
+      programs.push_back(std::make_unique<HopProgram>(v, n, 10'000));
+    AsyncEngine engine(ring, std::move(programs), DelayModel::kUnit);
+    benchmark::DoNotOptimize(engine.run().messages);
+  }
+}
+BENCHMARK(BM_AsyncEngineRingHops)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

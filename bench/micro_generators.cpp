@@ -1,0 +1,51 @@
+// Microbenchmarks for topology generators and graph utilities.
+#include <benchmark/benchmark.h>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace fdlsp;
+
+void BM_GenerateUdg(benchmark::State& state) {
+  Rng rng(7);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    GeometricGraph geo = generate_udg(n, 15.0, 0.5, rng);
+    benchmark::DoNotOptimize(geo.graph.num_edges());
+  }
+}
+BENCHMARK(BM_GenerateUdg)->Arg(100)->Arg(300)->Arg(1000)->Arg(10000);
+
+void BM_GenerateGnm(benchmark::State& state) {
+  Rng rng(7);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Graph graph = generate_gnm(n, 4 * n, rng);
+    benchmark::DoNotOptimize(graph.num_edges());
+  }
+}
+BENCHMARK(BM_GenerateGnm)->Arg(200)->Arg(500)->Arg(2000);
+
+void BM_ConnectedComponents(benchmark::State& state) {
+  Rng rng(7);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph graph = generate_gnm(n, 2 * n, rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(connected_components(graph).size());
+}
+BENCHMARK(BM_ConnectedComponents)->Arg(200)->Arg(2000);
+
+void BM_CountTriangles(benchmark::State& state) {
+  Rng rng(7);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph graph = generate_gnm(n, 8 * n, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(count_triangles(graph));
+}
+BENCHMARK(BM_CountTriangles)->Arg(200)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Dynamic network (the paper's future work): sensors join, fail and move;
+// the incremental repair keeps the TDMA schedule feasible by touching only
+// the neighborhood of each change, compared against full recomputation.
+//
+//   ./dynamic_network [--nodes=N] [--steps=T] [--side=S] [--seed=K]
+#include <iostream>
+
+#include "algos/repair.h"
+#include "coloring/checker.h"
+#include "coloring/greedy.h"
+#include "graph/arcs.h"
+#include "graph/generators.h"
+#include "support/cli.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+int main(int argc, char** argv) {
+  using namespace fdlsp;
+  const CliArgs args(argc, argv);
+  const auto nodes = static_cast<std::size_t>(args.get_int("nodes", 80));
+  const auto steps = static_cast<std::size_t>(args.get_int("steps", 40));
+  const double side = args.get_double("side", 6.0);
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 5)));
+
+  auto positions = generate_udg(nodes, side, 1.0, rng).positions;
+  Graph graph = udg_from_positions(positions, 1.0);
+  ArcColoring coloring = greedy_coloring(ArcView(graph));
+  std::cout << "initial field: " << graph.num_edges() << " links, "
+            << coloring.num_colors_used() << " slots\n\n";
+
+  Summary repair_cost, full_cost, repair_slots, full_slots;
+  for (std::size_t step = 0; step < steps; ++step) {
+    // Churn event: a node moves (join/fail are the degenerate cases where
+    // it moves in from / out to the far distance).
+    const std::size_t mover = rng.next_index(positions.size());
+    positions[mover] = Point{rng.next_double() * side,
+                             rng.next_double() * side};
+    const Graph new_graph = udg_from_positions(positions, 1.0);
+    const ArcView new_view(new_graph);
+
+    ArcColoring transferred =
+        transfer_coloring(ArcView(graph), coloring, new_view);
+    RepairResult repaired = repair_schedule(new_view, std::move(transferred));
+    FDLSP_REQUIRE(is_feasible_schedule(new_view, repaired.coloring),
+                  "repair must stay feasible");
+
+    const ArcColoring recomputed = greedy_coloring(new_view);
+    repair_cost.add(static_cast<double>(repaired.recolored_arcs));
+    full_cost.add(static_cast<double>(new_view.num_arcs()));
+    repair_slots.add(static_cast<double>(repaired.num_slots));
+    full_slots.add(static_cast<double>(recomputed.num_colors_used()));
+
+    graph = new_graph;
+    coloring = std::move(repaired.coloring);
+  }
+
+  TextTable table({"strategy", "arcs recolored/step", "slots (mean)"});
+  table.add_row({"incremental repair", fmt_double(repair_cost.mean(), 1),
+                 fmt_double(repair_slots.mean(), 2)});
+  table.add_row({"full recompute", fmt_double(full_cost.mean(), 1),
+                 fmt_double(full_slots.mean(), 2)});
+  table.print(std::cout);
+  std::cout << "\nafter " << steps
+            << " churn events the schedule stayed feasible throughout; "
+               "repair touched "
+            << fmt_double(100.0 * repair_cost.mean() / full_cost.mean(), 1)
+            << "% of the arcs a recompute would.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Sensor-field data gathering: schedule a 200-node field with DistMIS, then
+// replay a convergecast epoch (every sensor reports once to the sink) over
+// the TDMA frame, reporting latency, slot utilization, duty cycle and
+// energy — the application-level payoff the paper's introduction motivates.
+//
+//   ./sensor_field [--nodes=N] [--side=S] [--radius=R] [--seed=K]
+#include <iostream>
+
+#include "algos/dist_mis.h"
+#include "graph/algorithms.h"
+#include "graph/arcs.h"
+#include "graph/generators.h"
+#include "support/cli.h"
+#include "support/rng.h"
+#include "support/table.h"
+#include "tdma/convergecast.h"
+#include "tdma/energy.h"
+#include "tdma/radio_sim.h"
+#include "tdma/schedule.h"
+
+int main(int argc, char** argv) {
+  using namespace fdlsp;
+  const CliArgs args(argc, argv);
+  const auto nodes = static_cast<std::size_t>(args.get_int("nodes", 200));
+  const double side = args.get_double("side", 7.0);
+  const double radius = args.get_double("radius", 1.0);
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 3)));
+
+  const GeometricGraph field = generate_udg(nodes, side, radius, rng);
+  const Graph graph =
+      induced_subgraph(field.graph, largest_component(field.graph)).graph;
+  std::cout << "field: " << graph.num_nodes() << " sensors, "
+            << graph.num_edges() << " links, avg degree "
+            << fmt_double(graph.average_degree(), 2) << "\n";
+
+  // Distributed scheduling with the synchronous DistMIS algorithm.
+  DistMisOptions options;
+  options.variant = DistMisVariant::kGbg;
+  options.seed = 17;
+  const ScheduleResult result = run_dist_mis(graph, options);
+  std::cout << "distMIS: " << result.num_slots << " slots/frame, computed in "
+            << result.rounds << " communication rounds ("
+            << result.messages << " messages)\n\n";
+
+  const ArcView view(graph);
+  const TdmaSchedule schedule(view, result.coloring);
+  if (!replay_frame(schedule).collision_free()) {
+    std::cout << "radio replay found collisions — schedule invalid!\n";
+    return 1;
+  }
+
+  // Convergecast epoch to the sink (node 0 of the component).
+  const ConvergecastReport traffic = run_convergecast(schedule, 0);
+  std::cout << "convergecast epoch: " << traffic.packets_delivered
+            << " reports delivered in " << traffic.frames << " frames ("
+            << traffic.slots_elapsed << " slots, utilization "
+            << fmt_double(100.0 * traffic.slot_utilization, 1) << "%)\n";
+
+  // Energy and duty cycle.
+  const EnergyReport energy = account_energy(schedule);
+  std::cout << "duty cycle: mean "
+            << fmt_double(100.0 * energy.mean_duty_cycle, 1) << "%, max "
+            << fmt_double(100.0 * energy.max_duty_cycle, 1)
+            << "%; frame energy " << fmt_double(energy.total_energy, 1)
+            << " units across the field\n";
+  std::cout << "(idle radios sleep: that asymmetry is why short frames "
+               "translate to battery life)\n";
+  return 0;
+}

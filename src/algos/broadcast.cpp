@@ -1,0 +1,75 @@
+#include "algos/broadcast.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/algorithms.h"
+#include "support/check.h"
+
+namespace fdlsp {
+
+BroadcastSchedule broadcast_schedule_greedy(const Graph& graph) {
+  const std::size_t n = graph.num_nodes();
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return graph.degree(a) > graph.degree(b);
+  });
+
+  BroadcastSchedule schedule;
+  schedule.node_colors.assign(n, kNoColor);
+  std::vector<bool> used;
+  for (NodeId v : order) {
+    used.assign(graph.max_degree() * graph.max_degree() + 1, false);
+    for (NodeId w : k_hop_neighborhood(graph, v, 2)) {
+      const Color c = schedule.node_colors[w];
+      if (c != kNoColor) used[static_cast<std::size_t>(c)] = true;
+    }
+    Color c = 0;
+    while (used[static_cast<std::size_t>(c)]) ++c;
+    schedule.node_colors[v] = c;
+    schedule.num_slots =
+        std::max(schedule.num_slots, static_cast<std::size_t>(c) + 1);
+  }
+  return schedule;
+}
+
+bool is_valid_broadcast_schedule(const Graph& graph,
+                                 const std::vector<Color>& colors) {
+  if (colors.size() != graph.num_nodes()) return false;
+  for (Color c : colors)
+    if (c == kNoColor) return false;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v)
+    for (NodeId w : k_hop_neighborhood(graph, v, 2))
+      if (w != v && colors[w] == colors[v]) return false;
+  return true;
+}
+
+BroadcastMetrics broadcast_metrics(const Graph& graph,
+                                   const BroadcastSchedule& schedule) {
+  BroadcastMetrics metrics;
+  metrics.frame_length = schedule.num_slots;
+  const std::size_t n = graph.num_nodes();
+  if (n == 0 || schedule.num_slots == 0) return metrics;
+
+  metrics.concurrency =
+      static_cast<double>(n) / static_cast<double>(schedule.num_slots);
+
+  for (NodeId v = 0; v < n; ++v) {
+    // Radio-on slots: own transmit slot plus every distinct neighbor slot.
+    std::vector<bool> listening(schedule.num_slots, false);
+    for (const NeighborEntry& entry : graph.neighbors(v))
+      listening[static_cast<std::size_t>(
+          schedule.node_colors[entry.to])] = true;
+    std::size_t on_slots = 1;  // own slot
+    for (bool on : listening) on_slots += on ? 1 : 0;
+    const double duty = static_cast<double>(on_slots) /
+                        static_cast<double>(schedule.num_slots);
+    metrics.mean_duty_cycle += duty;
+    metrics.max_duty_cycle = std::max(metrics.max_duty_cycle, duty);
+  }
+  metrics.mean_duty_cycle /= static_cast<double>(n);
+  return metrics;
+}
+
+}  // namespace fdlsp

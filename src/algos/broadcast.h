@@ -1,0 +1,53 @@
+// Broadcast (node) scheduling — the alternative the paper's introduction
+// argues against.
+//
+// A broadcast schedule assigns slots to *nodes* such that no two nodes
+// within distance 2 share a slot (distance-2 vertex coloring): a node's
+// transmission then reaches all neighbors interference-free. The paper's
+// Section 1 claims link scheduling beats broadcast scheduling on
+// concurrency (distance-2 neighbors may transmit simultaneously in the
+// right direction pattern) and on energy (receivers only wake for intended
+// traffic). This module makes those claims measurable.
+#pragma once
+
+#include <vector>
+
+#include "coloring/coloring.h"
+#include "graph/graph.h"
+
+namespace fdlsp {
+
+/// A broadcast TDMA schedule: one slot per node.
+struct BroadcastSchedule {
+  std::vector<Color> node_colors;  ///< slot of each node, dense 0-based
+  std::size_t num_slots = 0;       ///< frame length
+};
+
+/// Greedy distance-2 vertex coloring, highest-degree-first order.
+/// Uses at most Δ² + 1 slots.
+BroadcastSchedule broadcast_schedule_greedy(const Graph& graph);
+
+/// True iff no two distinct nodes within distance <= 2 share a color and
+/// all nodes are colored.
+bool is_valid_broadcast_schedule(const Graph& graph,
+                                 const std::vector<Color>& colors);
+
+/// Side-by-side efficiency metrics of a broadcast schedule, comparable to
+/// the link-schedule numbers from tdma/energy.h and tdma/schedule.h.
+struct BroadcastMetrics {
+  std::size_t frame_length = 0;
+  /// Mean concurrent transmissions per slot.
+  double concurrency = 0.0;
+  /// Mean fraction of the frame a node's radio is on. In broadcast
+  /// scheduling a node must listen in *every* slot where any neighbor
+  /// transmits (it cannot know which messages concern it) and transmits in
+  /// its own slot.
+  double mean_duty_cycle = 0.0;
+  double max_duty_cycle = 0.0;
+};
+
+/// Computes the metrics above.
+BroadcastMetrics broadcast_metrics(const Graph& graph,
+                                   const BroadcastSchedule& schedule);
+
+}  // namespace fdlsp

@@ -1,0 +1,48 @@
+// Distributed schedule repair — the message-passing realization of the
+// paper's future work (Section 9), complementing the centralized
+// repair_schedule() in repair.h.
+//
+// Setting: the topology changed (nodes joined/failed/moved) and every node
+// still holds the slots of its own outgoing arcs, some of which are now
+// stale (new links uncolored, new proximities conflicting). The protocol:
+//
+//   Phase 0 (5 rounds): every node floods its out-arc colors to distance 2;
+//     each tail deterministically identifies its *losing* arcs (a colored
+//     arc loses if it conflicts with an equally-colored arc of smaller
+//     ArcId under the initial snapshot), clears them, and floods the
+//     clear-set so distance-2 knowledge stays consistent.
+//   Phase 1: nodes with uncolored out-arcs run DistMIS-style distance-2
+//     competitions (blocks of 5 rounds); block winners greedily color their
+//     dirty out-arcs against their knowledge and flood the assignment.
+//
+// The repair cost a deployment pays is localized: only nodes within
+// distance ~2 of a change send competition traffic; everyone else just
+// relays during the initial exchange.
+#pragma once
+
+#include <cstdint>
+
+#include "algos/scheduler.h"
+#include "coloring/coloring.h"
+#include "graph/graph.h"
+
+namespace fdlsp {
+
+/// Result of a distributed repair run.
+struct DistRepairResult {
+  ArcColoring coloring;            ///< complete, feasible
+  std::size_t recolored_arcs = 0;  ///< arcs that changed or gained a color
+  std::size_t num_slots = 0;
+  std::size_t rounds = 0;
+  std::size_t messages = 0;
+};
+
+/// Repairs `stale` (a possibly conflicting, possibly partial coloring of
+/// `graph`'s arcs — e.g. the output of transfer_coloring after churn) into
+/// a feasible complete schedule, distributedly.
+DistRepairResult run_distributed_repair(const Graph& graph,
+                                        const ArcColoring& stale,
+                                        std::uint64_t seed = 1,
+                                        std::size_t max_rounds = 1'000'000);
+
+}  // namespace fdlsp

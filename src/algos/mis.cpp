@@ -1,0 +1,82 @@
+#include "algos/mis.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/check.h"
+
+namespace fdlsp {
+
+std::vector<NodeId> greedy_mis(const Graph& graph,
+                               const std::vector<NodeId>& order) {
+  std::vector<bool> blocked(graph.num_nodes(), false);
+  std::vector<NodeId> set;
+  for (NodeId v : order) {
+    FDLSP_REQUIRE(v < graph.num_nodes(), "node out of range");
+    if (blocked[v]) continue;
+    set.push_back(v);
+    blocked[v] = true;
+    for (const NeighborEntry& entry : graph.neighbors(v))
+      blocked[entry.to] = true;
+  }
+  std::sort(set.begin(), set.end());
+  return set;
+}
+
+std::vector<NodeId> greedy_mis(const Graph& graph) {
+  std::vector<NodeId> order(graph.num_nodes());
+  std::iota(order.begin(), order.end(), 0u);
+  return greedy_mis(graph, order);
+}
+
+std::vector<NodeId> random_mis(const Graph& graph, Rng& rng) {
+  std::vector<NodeId> order(graph.num_nodes());
+  std::iota(order.begin(), order.end(), 0u);
+  rng.shuffle(order);
+  return greedy_mis(graph, order);
+}
+
+bool is_independent_set(const Graph& graph, const std::vector<NodeId>& set) {
+  std::vector<bool> member(graph.num_nodes(), false);
+  for (NodeId v : set) {
+    FDLSP_REQUIRE(v < graph.num_nodes(), "node out of range");
+    member[v] = true;
+  }
+  for (NodeId v : set)
+    for (const NeighborEntry& entry : graph.neighbors(v))
+      if (member[entry.to]) return false;
+  return true;
+}
+
+bool is_maximal_independent_set(const Graph& graph,
+                                const std::vector<NodeId>& set,
+                                const std::vector<NodeId>& universe) {
+  if (!is_independent_set(graph, set)) return false;
+  std::vector<bool> member(graph.num_nodes(), false);
+  for (NodeId v : set) member[v] = true;
+  std::vector<bool> in_universe(graph.num_nodes(), false);
+  for (NodeId v : universe) in_universe[v] = true;
+  for (NodeId v : set)
+    if (!in_universe[v]) return false;  // set must live inside the universe
+  for (NodeId v : universe) {
+    if (member[v]) continue;
+    bool dominated = false;
+    for (const NeighborEntry& entry : graph.neighbors(v)) {
+      if (member[entry.to] && in_universe[entry.to]) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) return false;
+  }
+  return true;
+}
+
+bool is_maximal_independent_set(const Graph& graph,
+                                const std::vector<NodeId>& set) {
+  std::vector<NodeId> universe(graph.num_nodes());
+  std::iota(universe.begin(), universe.end(), 0u);
+  return is_maximal_independent_set(graph, set, universe);
+}
+
+}  // namespace fdlsp

@@ -1,0 +1,40 @@
+// Sequential maximal-independent-set helpers.
+//
+// The distributed DistMIS algorithm embeds Luby's MIS in its node programs;
+// these sequential counterparts back tests (independence/maximality oracles)
+// and centralized tooling.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "support/rng.h"
+
+namespace fdlsp {
+
+/// Greedy MIS scanning nodes in the given order; restricted to `eligible`
+/// nodes if non-empty masks are provided (others are treated as absent).
+std::vector<NodeId> greedy_mis(const Graph& graph,
+                               const std::vector<NodeId>& order);
+
+/// Greedy MIS in ascending node order.
+std::vector<NodeId> greedy_mis(const Graph& graph);
+
+/// Greedy MIS in uniformly random order.
+std::vector<NodeId> random_mis(const Graph& graph, Rng& rng);
+
+/// True iff `set` is independent in `graph`.
+bool is_independent_set(const Graph& graph, const std::vector<NodeId>& set);
+
+/// True iff `set` is a *maximal* independent set of the subgraph induced on
+/// `universe` (every universe node is in the set or adjacent to a member).
+bool is_maximal_independent_set(const Graph& graph,
+                                const std::vector<NodeId>& set,
+                                const std::vector<NodeId>& universe);
+
+/// True iff `set` is a maximal independent set of the whole graph.
+bool is_maximal_independent_set(const Graph& graph,
+                                const std::vector<NodeId>& set);
+
+}  // namespace fdlsp

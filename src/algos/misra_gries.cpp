@@ -1,0 +1,191 @@
+#include "algos/misra_gries.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace fdlsp {
+
+namespace {
+
+/// Mutable coloring state with per-(node, color) edge lookup.
+class EdgeColorState {
+ public:
+  explicit EdgeColorState(const Graph& graph)
+      : graph_(graph),
+        palette_(graph.max_degree() + 1),
+        colors_(graph.num_edges(), kNoColor),
+        slot_(graph.num_nodes() * palette_, kNoEdge) {}
+
+  Color color(EdgeId e) const { return colors_[e]; }
+  const std::vector<Color>& colors() const { return colors_; }
+  std::size_t palette() const { return palette_; }
+
+  /// Edge at `v` colored `c`, or kNoEdge.
+  EdgeId edge_at(NodeId v, Color c) const {
+    return slot_[v * palette_ + static_cast<std::size_t>(c)];
+  }
+
+  bool is_free(NodeId v, Color c) const { return edge_at(v, c) == kNoEdge; }
+
+  /// Smallest color free at v; always exists (degree <= Δ < palette).
+  Color smallest_free(NodeId v) const {
+    for (Color c = 0; static_cast<std::size_t>(c) < palette_; ++c)
+      if (is_free(v, c)) return c;
+    FDLSP_REQUIRE(false, "no free color: degree exceeds palette");
+    return kNoColor;
+  }
+
+  void assign(EdgeId e, Color c) {
+    FDLSP_ASSERT(colors_[e] == kNoColor, "edge already colored");
+    const Edge& edge = graph_.edge(e);
+    FDLSP_ASSERT(is_free(edge.u, c) && is_free(edge.v, c),
+                 "color not free at an endpoint");
+    colors_[e] = c;
+    slot_[edge.u * palette_ + static_cast<std::size_t>(c)] = e;
+    slot_[edge.v * palette_ + static_cast<std::size_t>(c)] = e;
+  }
+
+  void unassign(EdgeId e) {
+    const Color c = colors_[e];
+    FDLSP_ASSERT(c != kNoColor, "edge not colored");
+    const Edge& edge = graph_.edge(e);
+    slot_[edge.u * palette_ + static_cast<std::size_t>(c)] = kNoEdge;
+    slot_[edge.v * palette_ + static_cast<std::size_t>(c)] = kNoEdge;
+    colors_[e] = kNoColor;
+  }
+
+ private:
+  const Graph& graph_;
+  std::size_t palette_;
+  std::vector<Color> colors_;
+  std::vector<EdgeId> slot_;  // n * palette lookup
+};
+
+}  // namespace
+
+std::vector<Color> misra_gries_edge_coloring(const Graph& graph,
+                                             MisraGriesStats* stats) {
+  EdgeColorState state(graph);
+  MisraGriesStats local_stats;
+
+  for (EdgeId start = 0; start < graph.num_edges(); ++start) {
+    if (state.color(start) != kNoColor) continue;
+    const NodeId u = graph.edge(start).u;
+    const NodeId v = graph.edge(start).v;
+
+    // Maximal fan of u starting at v: each next fan edge's color is free on
+    // the previous fan vertex.
+    std::vector<NodeId> fan{v};
+    std::vector<bool> in_fan(graph.num_nodes(), false);
+    in_fan[v] = true;
+    for (;;) {
+      bool extended = false;
+      for (const NeighborEntry& entry : graph.neighbors(u)) {
+        if (in_fan[entry.to]) continue;
+        const Color ce = state.color(entry.edge);
+        if (ce == kNoColor) continue;
+        if (state.is_free(fan.back(), ce)) {
+          fan.push_back(entry.to);
+          in_fan[entry.to] = true;
+          extended = true;
+          break;
+        }
+      }
+      if (!extended) break;
+    }
+
+    const Color c = state.smallest_free(u);
+    const Color d = state.smallest_free(fan.back());
+
+    if (c != d && !state.is_free(u, d)) {
+      // Invert the cd-path from u: the maximal path starting at u whose
+      // edges alternate d, c, d, ... (c is free at u so it starts with d).
+      std::vector<EdgeId> path;
+      NodeId x = u;
+      Color want = d;
+      for (;;) {
+        const EdgeId e = state.edge_at(x, want);
+        if (e == kNoEdge) break;
+        path.push_back(e);
+        const Edge& edge = graph.edge(e);
+        x = edge.u == x ? edge.v : edge.u;
+        want = want == d ? c : d;
+      }
+      // Flip atomically: clear the whole path first, then reassign, so the
+      // per-assignment freeness invariant holds at every step.
+      std::vector<Color> flipped(path.size());
+      for (std::size_t i = 0; i < path.size(); ++i) {
+        flipped[i] = state.color(path[i]) == c ? d : c;
+        state.unassign(path[i]);
+      }
+      for (std::size_t i = 0; i < path.size(); ++i)
+        state.assign(path[i], flipped[i]);
+      ++local_stats.inversions;
+      local_stats.total_path_length += path.size();
+    }
+    FDLSP_ASSERT(state.is_free(u, d), "d must be free at u after inversion");
+
+    // Find the first fan prefix [f0..fj] that is still a fan under the
+    // current coloring and whose tip has d free; rotate it and color the
+    // tip edge with d. The Misra–Gries invariants guarantee existence.
+    std::size_t chosen = fan.size();
+    for (std::size_t j = 0; j < fan.size(); ++j) {
+      if (!state.is_free(fan[j], d)) continue;
+      bool valid = true;
+      for (std::size_t i = 1; i <= j; ++i) {
+        const EdgeId e = graph.find_edge(u, fan[i]);
+        const Color ce = state.color(e);
+        if (ce == kNoColor || !state.is_free(fan[i - 1], ce)) {
+          valid = false;
+          break;
+        }
+      }
+      if (valid) {
+        chosen = j;
+        break;
+      }
+    }
+    FDLSP_REQUIRE(chosen < fan.size(), "Misra-Gries: no rotatable prefix");
+
+    // Rotate: edge (u, f_i) takes the color of (u, f_{i+1}); tip gets d.
+    std::vector<EdgeId> prefix_edges(chosen + 1);
+    std::vector<Color> prefix_colors(chosen + 1);
+    for (std::size_t i = 0; i <= chosen; ++i) {
+      prefix_edges[i] = graph.find_edge(u, fan[i]);
+      prefix_colors[i] = state.color(prefix_edges[i]);
+    }
+    for (std::size_t i = 0; i <= chosen; ++i)
+      if (prefix_colors[i] != kNoColor) state.unassign(prefix_edges[i]);
+    for (std::size_t i = 0; i < chosen; ++i)
+      state.assign(prefix_edges[i], prefix_colors[i + 1]);
+    state.assign(prefix_edges[chosen], d);
+  }
+
+  // Count distinct colors actually used.
+  std::vector<bool> used(state.palette(), false);
+  for (Color ce : state.colors())
+    used[static_cast<std::size_t>(ce)] = true;
+  local_stats.colors_used = static_cast<std::size_t>(
+      std::count(used.begin(), used.end(), true));
+  if (stats) *stats = local_stats;
+  return state.colors();
+}
+
+bool is_proper_edge_coloring(const Graph& graph,
+                             const std::vector<Color>& colors) {
+  if (colors.size() != graph.num_edges()) return false;
+  for (Color c : colors)
+    if (c == kNoColor) return false;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    std::vector<Color> seen;
+    for (const NeighborEntry& entry : graph.neighbors(v))
+      seen.push_back(colors[entry.edge]);
+    std::sort(seen.begin(), seen.end());
+    if (std::adjacent_find(seen.begin(), seen.end()) != seen.end())
+      return false;
+  }
+  return true;
+}
+
+}  // namespace fdlsp

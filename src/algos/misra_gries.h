@@ -1,0 +1,34 @@
+// Misra & Gries (Δ+1) edge coloring.
+//
+// This is phase 1 of the D-MGC baseline [Gandham et al.]: color the
+// *undirected* graph's edges with at most Δ+1 colors using fans and cd-path
+// inversions. We run the textbook sequential algorithm and account its
+// distributed cost with the paper's analytic model (see dmgc.h); the slot
+// counts the evaluation compares are unaffected by sequentialization.
+#pragma once
+
+#include <vector>
+
+#include "coloring/coloring.h"
+#include "graph/graph.h"
+
+namespace fdlsp {
+
+/// Statistics of a Misra–Gries run (inputs to the D-MGC round estimate).
+struct MisraGriesStats {
+  std::size_t inversions = 0;         ///< cd-path inversions performed
+  std::size_t total_path_length = 0;  ///< sum of inverted path lengths
+  std::size_t colors_used = 0;        ///< number of distinct edge colors
+};
+
+/// Proper edge coloring of `graph` with at most Δ+1 colors, indexed by
+/// EdgeId. `stats`, if non-null, receives run statistics.
+std::vector<Color> misra_gries_edge_coloring(const Graph& graph,
+                                             MisraGriesStats* stats = nullptr);
+
+/// True iff `colors` is a proper edge coloring (adjacent edges differ, all
+/// edges colored).
+bool is_proper_edge_coloring(const Graph& graph,
+                             const std::vector<Color>& colors);
+
+}  // namespace fdlsp

@@ -1,0 +1,237 @@
+#include "algos/randomized.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/arcs.h"
+#include "sim/sync_engine.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace fdlsp {
+
+namespace {
+
+constexpr std::int32_t kTagState = 1;  // data: [arc, color, final, ...]
+constexpr std::int32_t kTagVeto = 2;   // data: [arc, ...]
+
+/// One tentative out-arc assignment.
+struct OutArc {
+  ArcId arc;
+  Color color = kNoColor;
+  bool final = false;
+  std::size_t retries = 0;
+};
+
+/// A neighbor arc as seen by this node during detection.
+struct SeenArc {
+  ArcId arc;
+  Color color;
+  bool final;
+  NodeId owner;    ///< tail — where a veto goes
+  bool toward_me;  ///< head == self (an in-arc of this node)
+};
+
+class RandomizedProgram final : public SyncProgram {
+ public:
+  RandomizedProgram(const ArcView& view, NodeId self, std::uint64_t seed)
+      : self_(self), rng_(seed) {
+    for (ArcId a : view.out_arcs(self)) {
+      out_arcs_.push_back(OutArc{a});
+      reverse_of_mine_.push_back(ArcView::reverse(a));
+    }
+    base_range_ = 2 * view.graph().degree(self) + 2;
+    done_ = out_arcs_.empty();
+    announced_ = done_;
+  }
+
+  /// A node is finished once everything is final AND the final state has
+  /// been broadcast — neighbors remember it for their later detections.
+  bool finished() const override { return done_ && announced_; }
+  bool ready_for_phase_advance() const override { return true; }
+  void on_phase(std::size_t) override {}
+
+  void on_round(SyncContext& ctx, std::span<const Message> inbox) override {
+    // Steps are aligned by the *global* round counter so relays and
+    // late-finishing nodes never desynchronize.
+    switch (ctx.round() % 3) {
+      case 0:
+        draw_and_broadcast(ctx);
+        break;
+      case 1:
+        detect_and_veto(ctx, inbox);
+        break;
+      case 2:
+        finalize(inbox);
+        break;
+    }
+  }
+
+  const std::vector<OutArc>& out_arcs() const { return out_arcs_; }
+
+ private:
+  /// Round 0: redraw vetoed colors, broadcast the out-arc state. After the
+  /// node is done it broadcasts exactly once more (the final announcement)
+  /// and then goes quiet.
+  void draw_and_broadcast(SyncContext& ctx) {
+    if (done_ && announced_) return;
+    for (OutArc& out : out_arcs_) {
+      if (out.final || out.color != kNoColor) continue;
+      const std::size_t range = base_range_ + 2 * out.retries;
+      out.color = static_cast<Color>(rng_.next_below(range));
+    }
+    Message state;
+    state.tag = kTagState;
+    for (const OutArc& out : out_arcs_) {
+      state.data.push_back(static_cast<std::int64_t>(out.arc));
+      state.data.push_back(out.color);
+      state.data.push_back(out.final ? 1 : 0);
+    }
+    ctx.broadcast(std::move(state));
+    if (done_) announced_ = true;
+  }
+
+  bool arc_points_at_me(ArcId arc) const {
+    return std::find(reverse_of_mine_.begin(), reverse_of_mine_.end(), arc) !=
+           reverse_of_mine_.end();
+  }
+
+  /// Round 1: apply the four distance-1 witness rules and veto losers.
+  ///
+  ///   (1) shared tail            — both owned by one node
+  ///   (2) tx while rx            — my out-arc vs an arc toward me
+  ///   (3) shared head            — two arcs toward me
+  ///   (4) hidden terminal at me  — an arc toward me vs another neighbor's
+  ///                                outgoing arc
+  ///
+  /// Every Definition-2 conflict pair has some node for which one of these
+  /// rules fires, so pairwise distance-1 observation is complete.
+  void detect_and_veto(SyncContext& ctx, std::span<const Message> inbox) {
+    std::vector<SeenArc> seen;
+    for (const OutArc& out : out_arcs_)
+      seen.push_back(SeenArc{out.arc, out.color, out.final, self_, false});
+    for (const auto& [arc, remembered] : remembered_finals_)
+      seen.push_back(remembered);
+    for (const Message& message : inbox) {
+      if (message.tag != kTagState) continue;
+      for (std::size_t i = 0; i + 2 < message.data.size(); i += 3) {
+        const auto arc = static_cast<ArcId>(message.data[i]);
+        if (remembered_finals_.count(arc)) continue;  // already listed
+        const bool is_final = message.data[i + 2] != 0;
+        const SeenArc entry{arc, static_cast<Color>(message.data[i + 1]),
+                            is_final, message.from, arc_points_at_me(arc)};
+        if (is_final) remembered_finals_[arc] = entry;
+        seen.push_back(entry);
+      }
+    }
+
+    std::unordered_map<NodeId, std::vector<std::int64_t>> vetoes;
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+      for (std::size_t j = i + 1; j < seen.size(); ++j) {
+        const SeenArc& a = seen[i];
+        const SeenArc& b = seen[j];
+        if (a.color != b.color || a.arc == b.arc || a.color == kNoColor)
+          continue;
+        const bool shared_tail = a.owner == b.owner;
+        const bool tx_while_rx = (a.owner == self_ && b.toward_me) ||
+                                 (b.owner == self_ && a.toward_me);
+        const bool shared_head = a.toward_me && b.toward_me;
+        const bool hidden =
+            (a.toward_me && b.owner != self_ && b.owner != a.owner) ||
+            (b.toward_me && a.owner != self_ && a.owner != b.owner);
+        if (!(shared_tail || tx_while_rx || shared_head || hidden)) continue;
+        FDLSP_REQUIRE(!(a.final && b.final),
+                      "two finalized arcs conflict — protocol bug");
+        const SeenArc& loser = a.final          ? b
+                               : b.final        ? a
+                               : a.arc > b.arc  ? a
+                                                : b;
+        if (loser.owner == self_) {
+          local_veto(loser.arc);
+        } else {
+          vetoes[loser.owner].push_back(static_cast<std::int64_t>(loser.arc));
+        }
+      }
+    }
+
+    for (auto& [target, arcs] : vetoes) {
+      Message message;
+      message.tag = kTagVeto;
+      message.data = std::move(arcs);
+      ctx.send(target, std::move(message));
+    }
+  }
+
+  /// Round 2: finalize arcs that drew no veto; vetoed arcs redraw next step.
+  void finalize(std::span<const Message> inbox) {
+    if (done_) return;
+    for (const Message& message : inbox) {
+      if (message.tag != kTagVeto) continue;
+      for (std::int64_t raw : message.data)
+        local_veto(static_cast<ArcId>(raw));
+    }
+    bool all_final = true;
+    for (OutArc& out : out_arcs_) {
+      if (out.final) continue;
+      if (out.color == kNoColor) {
+        all_final = false;
+        continue;
+      }
+      out.final = true;
+    }
+    done_ = all_final;
+  }
+
+  void local_veto(ArcId arc) {
+    for (OutArc& out : out_arcs_) {
+      if (out.arc == arc && !out.final && out.color != kNoColor) {
+        out.color = kNoColor;
+        ++out.retries;
+      }
+    }
+  }
+
+  NodeId self_;
+  Rng rng_;
+  std::vector<OutArc> out_arcs_;
+  std::vector<ArcId> reverse_of_mine_;
+  std::unordered_map<ArcId, SeenArc> remembered_finals_;
+  std::size_t base_range_ = 2;
+  bool done_ = false;
+  bool announced_ = false;
+};
+
+}  // namespace
+
+ScheduleResult run_randomized(const Graph& graph,
+                              const RandomizedOptions& options) {
+  const ArcView view(graph);
+  std::vector<std::unique_ptr<SyncProgram>> programs;
+  programs.reserve(graph.num_nodes());
+  Rng seeder(options.seed);
+  for (NodeId v = 0; v < graph.num_nodes(); ++v)
+    programs.push_back(std::make_unique<RandomizedProgram>(view, v, seeder()));
+  SyncEngine engine(graph, std::move(programs));
+  const SyncMetrics metrics = engine.run(options.max_rounds);
+  FDLSP_REQUIRE(metrics.completed,
+                "randomized algorithm did not converge in round budget");
+
+  ScheduleResult result;
+  result.coloring = ArcColoring(view.num_arcs());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const auto& program = static_cast<RandomizedProgram&>(engine.program(v));
+    for (const OutArc& out : program.out_arcs()) {
+      FDLSP_REQUIRE(out.final, "unfinalized arc after completion");
+      result.coloring.set(out.arc, out.color);
+    }
+  }
+  FDLSP_REQUIRE(result.coloring.complete(), "randomized left arcs uncolored");
+  result.num_slots = result.coloring.num_colors_used();
+  result.rounds = metrics.rounds;
+  result.messages = metrics.messages;
+  return result;
+}
+
+}  // namespace fdlsp

@@ -1,0 +1,56 @@
+#include "algos/repair.h"
+
+#include <vector>
+
+#include "coloring/checker.h"
+#include "coloring/conflict.h"
+#include "support/check.h"
+
+namespace fdlsp {
+
+ArcColoring transfer_coloring(const ArcView& old_view,
+                              const ArcColoring& old_coloring,
+                              const ArcView& new_view) {
+  ArcColoring transferred(new_view.num_arcs());
+  for (ArcId a = 0; a < new_view.num_arcs(); ++a) {
+    const ArcId old_arc =
+        old_view.find_arc(new_view.tail(a), new_view.head(a));
+    if (old_arc != kNoArc && old_coloring.is_colored(old_arc))
+      transferred.set(a, old_coloring.color(old_arc));
+  }
+  return transferred;
+}
+
+RepairResult repair_schedule(const ArcView& view, ArcColoring partial) {
+  FDLSP_REQUIRE(partial.num_arcs() == view.num_arcs(),
+                "partial coloring does not match graph");
+
+  // Phase 1: clear conflicts introduced by topology changes. Iterate until
+  // clean — clearing only removes colors, so this terminates.
+  for (ArcId a = 0; a < view.num_arcs(); ++a) {
+    if (!partial.is_colored(a)) continue;
+    const Color c = partial.color(a);
+    bool clash = false;
+    for_each_conflicting_arc(view, a, [&](ArcId b) {
+      // The lower arc id keeps its slot; the higher one yields, so each
+      // conflicting pair clears exactly one arc.
+      if (!clash && b < a && partial.color(b) == c) clash = true;
+    });
+    if (clash) partial.clear(a);
+  }
+  FDLSP_ASSERT(!find_violation(view, partial).has_value(),
+               "phase 1 must clear all conflicts");
+
+  // Phase 2: greedily color everything still missing.
+  RepairResult result;
+  for (ArcId a = 0; a < view.num_arcs(); ++a) {
+    if (partial.is_colored(a)) continue;
+    partial.set(a, smallest_feasible_color(view, partial, a));
+    ++result.recolored_arcs;
+  }
+  result.num_slots = partial.num_colors_used();
+  result.coloring = std::move(partial);
+  return result;
+}
+
+}  // namespace fdlsp

@@ -1,0 +1,40 @@
+// Common result type and dispatcher for the FDLSP scheduling algorithms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "coloring/coloring.h"
+#include "graph/graph.h"
+
+namespace fdlsp {
+
+/// Outcome of one scheduling run: the schedule plus cost metrics. Metrics
+/// that do not apply to an algorithm are left at 0 (e.g. the asynchronous
+/// DFS run reports time, not synchronous rounds).
+struct ScheduleResult {
+  ArcColoring coloring;       ///< complete, feasible FDLSP coloring
+  std::size_t num_slots = 0;  ///< distinct colors used (TDMA frame length)
+  std::size_t rounds = 0;     ///< synchronous communication rounds
+  std::size_t messages = 0;   ///< total messages exchanged
+  double async_time = 0.0;    ///< asynchronous completion time (time units)
+};
+
+/// The scheduling algorithms the experiment harness can run.
+enum class SchedulerKind {
+  kDistMisGbg,      ///< DistMIS, growth-bounded-graph variant (distance-3)
+  kDistMisGeneral,  ///< DistMIS, general-graph variant (distance-2, out-arcs)
+  kDfs,             ///< asynchronous DFS token algorithm
+  kDmgc,            ///< D-MGC baseline [Gandham et al.]
+  kGreedy,          ///< sequential greedy (centralized reference)
+  kRandomized,      ///< randomized distance-1 algorithm (Section 5 remark)
+};
+
+/// Human-readable algorithm name (for tables).
+std::string scheduler_name(SchedulerKind kind);
+
+/// Runs the given algorithm on `graph` with deterministic seed.
+ScheduleResult run_scheduler(SchedulerKind kind, const Graph& graph,
+                             std::uint64_t seed);
+
+}  // namespace fdlsp

@@ -1,0 +1,97 @@
+#include "algos/two_sat.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace fdlsp {
+
+TwoSat::TwoSat(std::size_t num_variables)
+    : n_(num_variables), implications_(2 * num_variables) {}
+
+void TwoSat::add_clause(std::size_t a, bool value_a, std::size_t b,
+                        bool value_b) {
+  FDLSP_REQUIRE(a < n_ && b < n_, "variable out of range");
+  const std::size_t la = literal(a, value_a);
+  const std::size_t lb = literal(b, value_b);
+  // (la OR lb)  ==  (¬la -> lb) AND (¬lb -> la)
+  implications_[negation(la)].push_back(lb);
+  implications_[negation(lb)].push_back(la);
+}
+
+void TwoSat::add_unit(std::size_t a, bool value_a) {
+  add_clause(a, value_a, a, value_a);
+}
+
+std::optional<std::vector<bool>> TwoSat::solve() const {
+  // Iterative Tarjan SCC over the implication graph.
+  const std::size_t size = 2 * n_;
+  constexpr std::size_t kUnset = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> index(size, kUnset);
+  std::vector<std::size_t> lowlink(size, 0);
+  std::vector<std::size_t> component(size, kUnset);
+  std::vector<bool> on_stack(size, false);
+  std::vector<std::size_t> stack;
+  std::size_t next_index = 0;
+  std::size_t next_component = 0;
+
+  struct Frame {
+    std::size_t vertex;
+    std::size_t edge;  // next out-edge to explore
+  };
+  std::vector<Frame> call_stack;
+
+  for (std::size_t root = 0; root < size; ++root) {
+    if (index[root] != kUnset) continue;
+    call_stack.push_back(Frame{root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const std::size_t v = frame.vertex;
+      if (frame.edge < implications_[v].size()) {
+        const std::size_t w = implications_[v][frame.edge++];
+        if (index[w] == kUnset) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          call_stack.push_back(Frame{w, 0});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      } else {
+        if (lowlink[v] == index[v]) {
+          for (;;) {
+            const std::size_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            component[w] = next_component;
+            if (w == v) break;
+          }
+          ++next_component;
+        }
+        call_stack.pop_back();
+        if (!call_stack.empty()) {
+          const std::size_t parent = call_stack.back().vertex;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+        }
+      }
+    }
+  }
+
+  std::vector<bool> assignment(n_);
+  for (std::size_t v = 0; v < n_; ++v) {
+    const std::size_t pos = component[literal(v, true)];
+    const std::size_t neg = component[literal(v, false)];
+    if (pos == neg) return std::nullopt;
+    // Tarjan numbers components in reverse topological order, so the literal
+    // whose component comes *earlier* (smaller id) is implied-by more things
+    // and should be chosen.
+    assignment[v] = pos < neg;
+  }
+  return assignment;
+}
+
+}  // namespace fdlsp

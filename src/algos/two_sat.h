@@ -1,0 +1,41 @@
+// 2-SAT solver (implication graph + Tarjan SCC).
+//
+// Used by the D-MGC baseline's direction-assignment phase: orienting the
+// edges of one color class without hidden-terminal conflicts is a 2-SAT
+// instance (one boolean per edge = its orientation).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace fdlsp {
+
+/// Incremental 2-SAT instance over variables 0..n-1.
+class TwoSat {
+ public:
+  explicit TwoSat(std::size_t num_variables);
+
+  std::size_t num_variables() const noexcept { return n_; }
+
+  /// Adds the clause (x_a = value_a) OR (x_b = value_b).
+  void add_clause(std::size_t a, bool value_a, std::size_t b, bool value_b);
+
+  /// Forces x_a = value_a.
+  void add_unit(std::size_t a, bool value_a);
+
+  /// Solves; returns an assignment, or nullopt if unsatisfiable.
+  std::optional<std::vector<bool>> solve() const;
+
+ private:
+  // Literal encoding: variable v true -> 2v, false -> 2v+1.
+  static std::size_t literal(std::size_t v, bool value) {
+    return 2 * v + (value ? 0 : 1);
+  }
+  static std::size_t negation(std::size_t lit) { return lit ^ 1; }
+
+  std::size_t n_;
+  std::vector<std::vector<std::size_t>> implications_;  // 2n adjacency lists
+};
+
+}  // namespace fdlsp

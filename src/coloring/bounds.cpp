@@ -1,0 +1,41 @@
+#include "coloring/bounds.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+#include "graph/cliques.h"
+
+namespace fdlsp {
+
+std::size_t lower_bound_trivial(const Graph& graph) {
+  return 2 * graph.max_degree();
+}
+
+std::size_t lower_bound_theorem1(const Graph& graph) {
+  std::size_t best = lower_bound_trivial(graph);
+  for (const Edge& common : graph.edges()) {
+    // The cluster with common edge (v, w): one size-3 clique per common
+    // neighbor. Both endpoints act as cluster center; only the center's
+    // degree enters the bound, so evaluate both.
+    const std::vector<NodeId> outer =
+        common_neighbors(graph, common.u, common.v);
+    if (outer.empty()) continue;
+    const std::size_t cluster_size = outer.size();
+    // Joint edges connect outer nodes (their clique with the center is not
+    // part of the cluster); the largest joint clique is the largest clique
+    // among the outer nodes.
+    const std::size_t joint = max_clique_size_within(graph, outer);
+    const std::size_t joint_edges = joint * (joint - 1) / 2;
+    const std::size_t center_degree =
+        std::max(graph.degree(common.u), graph.degree(common.v));
+    best = std::max(best, 2 * (center_degree + cluster_size + joint_edges));
+  }
+  return best;
+}
+
+std::size_t upper_bound_colors(const Graph& graph) {
+  const std::size_t delta = graph.max_degree();
+  return 2 * delta * delta;
+}
+
+}  // namespace fdlsp

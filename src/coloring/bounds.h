@@ -1,0 +1,25 @@
+// Theorem 1 lower bound and Lemma 6 upper bound on FDLSP slot counts.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.h"
+
+namespace fdlsp {
+
+/// The trivial lower bound 2Δ (every arc incident on a max-degree node needs
+/// its own slot).
+std::size_t lower_bound_trivial(const Graph& graph);
+
+/// Theorem 1: max over cluster centers v and common edges (v, w) of
+///   2 * (deg(v) + cluster_size(v, w) + edges_in_largest_joint_clique(v, w)),
+/// where cluster_size is the number of size-3 cliques through the common
+/// edge and joint cliques live among the cluster's outer nodes.
+/// Always >= lower_bound_trivial.
+std::size_t lower_bound_theorem1(const Graph& graph);
+
+/// Lemma 6 upper bound 2Δ² (any greedy coloring of the conflict graph fits).
+/// For an edgeless graph this is 0; for Δ = 1 it is 2 (one edge, two slots).
+std::size_t upper_bound_colors(const Graph& graph);
+
+}  // namespace fdlsp

@@ -1,0 +1,30 @@
+#include "coloring/checker.h"
+
+#include "coloring/conflict.h"
+
+namespace fdlsp {
+
+std::optional<ConflictWitness> find_violation(const ArcView& view,
+                                              const ArcColoring& coloring) {
+  FDLSP_REQUIRE(coloring.num_arcs() == view.num_arcs(),
+                "coloring size does not match graph");
+  for (ArcId a = 0; a < view.num_arcs(); ++a) {
+    const Color c = coloring.color(a);
+    if (c == kNoColor) continue;
+    std::optional<ConflictWitness> witness;
+    for_each_conflicting_arc(view, a, [&](ArcId b) {
+      if (witness) return;
+      if (b > a && coloring.color(b) == c)  // each unordered pair once
+        witness = ConflictWitness{a, b};
+    });
+    if (witness) return witness;
+  }
+  return std::nullopt;
+}
+
+bool is_feasible_schedule(const ArcView& view, const ArcColoring& coloring) {
+  return coloring.num_arcs() == view.num_arcs() && coloring.complete() &&
+         !find_violation(view, coloring);
+}
+
+}  // namespace fdlsp

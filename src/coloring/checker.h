@@ -1,0 +1,28 @@
+// Feasibility checking for FDLSP colorings.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "coloring/coloring.h"
+#include "graph/arcs.h"
+
+namespace fdlsp {
+
+/// A pair of same-colored conflicting arcs (evidence of infeasibility).
+struct ConflictWitness {
+  ArcId a;
+  ArcId b;
+};
+
+/// Returns the first distance-2 coloring violation among *colored* arcs, or
+/// nullopt if none. Uncolored arcs are ignored, so partial colorings can be
+/// checked incrementally.
+std::optional<ConflictWitness> find_violation(const ArcView& view,
+                                              const ArcColoring& coloring);
+
+/// True iff every arc is colored and no two same-colored arcs conflict —
+/// i.e. the coloring is a valid full-duplex TDMA link schedule.
+bool is_feasible_schedule(const ArcView& view, const ArcColoring& coloring);
+
+}  // namespace fdlsp

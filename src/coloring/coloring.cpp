@@ -1,0 +1,24 @@
+#include "coloring/coloring.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace fdlsp {
+
+std::size_t ArcColoring::num_colors_used() const {
+  Color max_color = kNoColor;
+  for (Color c : colors_) max_color = std::max(max_color, c);
+  if (max_color == kNoColor) return 0;
+  std::vector<bool> used(static_cast<std::size_t>(max_color) + 1, false);
+  for (Color c : colors_)
+    if (c != kNoColor) used[static_cast<std::size_t>(c)] = true;
+  return static_cast<std::size_t>(std::count(used.begin(), used.end(), true));
+}
+
+std::size_t ArcColoring::color_span() const {
+  Color max_color = kNoColor;
+  for (Color c : colors_) max_color = std::max(max_color, c);
+  return max_color == kNoColor ? 0 : static_cast<std::size_t>(max_color) + 1;
+}
+
+}  // namespace fdlsp

@@ -1,0 +1,76 @@
+// Arc colorings: the output object of every FDLSP algorithm.
+//
+// A color is a TDMA time slot: arc (u -> v) colored c means u transmits to v
+// in slot c of every frame. kNoColor marks a not-yet-scheduled arc.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+#include "support/check.h"
+
+namespace fdlsp {
+
+/// A TDMA time slot index. Non-negative when assigned.
+using Color = std::int32_t;
+
+/// Sentinel for "not colored yet".
+inline constexpr Color kNoColor = -1;
+
+/// Dense color assignment over the arcs of a bi-directed graph.
+class ArcColoring {
+ public:
+  ArcColoring() = default;
+
+  /// All arcs start uncolored.
+  explicit ArcColoring(std::size_t num_arcs)
+      : colors_(num_arcs, kNoColor) {}
+
+  std::size_t num_arcs() const noexcept { return colors_.size(); }
+
+  /// Color of arc a (kNoColor if unassigned).
+  Color color(ArcId a) const {
+    FDLSP_ASSERT(a < colors_.size(), "arc out of range");
+    return colors_[a];
+  }
+
+  /// True iff arc a has a color.
+  bool is_colored(ArcId a) const { return color(a) != kNoColor; }
+
+  /// Assigns color c (>= 0) to arc a.
+  void set(ArcId a, Color c) {
+    FDLSP_ASSERT(a < colors_.size(), "arc out of range");
+    FDLSP_REQUIRE(c >= 0, "colors must be non-negative");
+    if (colors_[a] == kNoColor) ++colored_;
+    colors_[a] = c;
+  }
+
+  /// Removes the color of arc a (used by repair algorithms).
+  void clear(ArcId a) {
+    FDLSP_ASSERT(a < colors_.size(), "arc out of range");
+    if (colors_[a] != kNoColor) --colored_;
+    colors_[a] = kNoColor;
+  }
+
+  /// Number of arcs that currently have a color.
+  std::size_t num_colored() const noexcept { return colored_; }
+
+  /// True iff every arc is colored.
+  bool complete() const noexcept { return colored_ == colors_.size(); }
+
+  /// Number of distinct colors in use — the TDMA frame length.
+  std::size_t num_colors_used() const;
+
+  /// Largest color in use plus one; 0 if nothing is colored.
+  std::size_t color_span() const;
+
+  /// Raw color vector (read-only), indexed by ArcId.
+  const std::vector<Color>& raw() const noexcept { return colors_; }
+
+ private:
+  std::vector<Color> colors_;
+  std::size_t colored_ = 0;
+};
+
+}  // namespace fdlsp

@@ -1,0 +1,44 @@
+#include "coloring/conflict.h"
+
+#include <algorithm>
+
+namespace fdlsp {
+
+bool arcs_conflict(const ArcView& view, ArcId a, ArcId b) {
+  FDLSP_REQUIRE(a != b, "conflict is defined on distinct arcs");
+  const NodeId t1 = view.tail(a);
+  const NodeId h1 = view.head(a);
+  const NodeId t2 = view.tail(b);
+  const NodeId h2 = view.head(b);
+  if (t1 == t2 || h1 == h2 || t1 == h2 || h1 == t2) return true;
+  const Graph& g = view.graph();
+  return g.has_edge(h1, t2) || g.has_edge(h2, t1);
+}
+
+std::vector<ArcId> conflicting_arcs(const ArcView& view, ArcId a) {
+  std::vector<ArcId> arcs;
+  for_each_conflicting_arc(view, a, [&](ArcId b) { arcs.push_back(b); });
+  std::sort(arcs.begin(), arcs.end());
+  arcs.erase(std::unique(arcs.begin(), arcs.end()), arcs.end());
+  return arcs;
+}
+
+Color smallest_feasible_color(const ArcView& view, const ArcColoring& coloring,
+                              ArcId a) {
+  // Collect colors of conflicting arcs, then scan for the first gap.
+  std::vector<Color> used;
+  for_each_conflicting_arc(view, a, [&](ArcId b) {
+    const Color c = coloring.color(b);
+    if (c != kNoColor) used.push_back(c);
+  });
+  std::sort(used.begin(), used.end());
+  used.erase(std::unique(used.begin(), used.end()), used.end());
+  Color candidate = 0;
+  for (Color c : used) {
+    if (c > candidate) break;
+    if (c == candidate) ++candidate;
+  }
+  return candidate;
+}
+
+}  // namespace fdlsp

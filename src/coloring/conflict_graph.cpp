@@ -1,0 +1,15 @@
+#include "coloring/conflict_graph.h"
+
+#include "coloring/conflict.h"
+
+namespace fdlsp {
+
+Graph build_conflict_graph(const ArcView& view) {
+  GraphBuilder builder(view.num_arcs());
+  for (ArcId a = 0; a < view.num_arcs(); ++a)
+    for (ArcId b : conflicting_arcs(view, a))
+      if (b > a) builder.add_edge(a, b);
+  return builder.build();
+}
+
+}  // namespace fdlsp

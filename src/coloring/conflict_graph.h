@@ -1,0 +1,15 @@
+// Explicit conflict graph G' of Lemma 6: one vertex per arc of the
+// bi-directed graph, one edge per conflicting arc pair. Distance-2 edge
+// coloring of G is exactly vertex coloring of G', which is how the exact
+// solver and the ILP reach the same optimum.
+#pragma once
+
+#include "graph/arcs.h"
+#include "graph/graph.h"
+
+namespace fdlsp {
+
+/// Builds the conflict graph; vertex i of the result corresponds to ArcId i.
+Graph build_conflict_graph(const ArcView& view);
+
+}  // namespace fdlsp

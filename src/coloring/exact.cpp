@@ -1,0 +1,237 @@
+#include "coloring/exact.h"
+
+#include <algorithm>
+
+#include "coloring/conflict_graph.h"
+#include "support/check.h"
+
+namespace fdlsp {
+
+namespace {
+
+/// Picks the uncolored vertex with maximum saturation (distinct neighbor
+/// colors), breaking ties by degree. Returns kNoNode when all are colored.
+NodeId pick_most_saturated(const Graph& graph, const std::vector<Color>& colors,
+                           const std::vector<std::size_t>& saturation) {
+  NodeId best = kNoNode;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (colors[v] != kNoColor) continue;
+    if (best == kNoNode || saturation[v] > saturation[best] ||
+        (saturation[v] == saturation[best] &&
+         graph.degree(v) > graph.degree(best)))
+      best = v;
+  }
+  return best;
+}
+
+class BranchAndBound {
+ public:
+  BranchAndBound(const Graph& graph, const ExactOptions& options)
+      : graph_(graph), options_(options) {}
+
+  VertexColoringResult solve() {
+    const std::size_t n = graph_.num_nodes();
+    VertexColoringResult result;
+    if (n == 0) {
+      result.optimal = true;
+      return result;
+    }
+
+    // Initial incumbent from DSATUR greedy.
+    best_colors_ = dsatur_coloring(graph_);
+    best_count_ = used_count(best_colors_);
+
+    // Anchor: a greedily grown maximal clique is pre-colored 0..k-1. Any
+    // optimal coloring can be relabelled to match, so this loses no
+    // solutions but kills the color-permutation symmetry.
+    const std::vector<NodeId> clique = greedy_clique();
+    lower_bound_ = clique.size();
+
+    if (lower_bound_ == best_count_) {
+      result.colors = best_colors_;
+      result.num_colors = best_count_;
+      result.optimal = true;
+      result.nodes_explored = 0;
+      return result;
+    }
+
+    colors_.assign(n, kNoColor);
+    saturation_.assign(n, 0);
+    neighbor_color_use_.assign(n, {});
+    for (NodeId v = 0; v < n; ++v)
+      neighbor_color_use_[v].assign(best_count_ + 1, 0);
+    uncolored_ = n;
+    Color next = 0;
+    for (NodeId v : clique) assign(v, next++);
+
+    aborted_ = false;
+    branch(static_cast<std::size_t>(next));
+
+    result.colors = best_colors_;
+    result.num_colors = best_count_;
+    result.optimal = !aborted_;
+    result.nodes_explored = explored_;
+    return result;
+  }
+
+ private:
+  static std::size_t used_count(const std::vector<Color>& colors) {
+    Color max_color = kNoColor;
+    for (Color c : colors) max_color = std::max(max_color, c);
+    return max_color == kNoColor ? 0 : static_cast<std::size_t>(max_color) + 1;
+  }
+
+  std::vector<NodeId> greedy_clique() const {
+    // Grow from the max-degree vertex, always adding the candidate with the
+    // most remaining candidates adjacent.
+    NodeId seed = 0;
+    for (NodeId v = 1; v < graph_.num_nodes(); ++v)
+      if (graph_.degree(v) > graph_.degree(seed)) seed = v;
+    std::vector<NodeId> clique{seed};
+    std::vector<NodeId> candidates;
+    for (const NeighborEntry& entry : graph_.neighbors(seed))
+      candidates.push_back(entry.to);
+    while (!candidates.empty()) {
+      NodeId pick = candidates[0];
+      std::size_t pick_score = 0;
+      for (NodeId c : candidates) {
+        std::size_t score = 0;
+        for (NodeId other : candidates)
+          if (other != c && graph_.has_edge(c, other)) ++score;
+        if (score > pick_score) {
+          pick = c;
+          pick_score = score;
+        }
+      }
+      clique.push_back(pick);
+      std::vector<NodeId> next;
+      for (NodeId c : candidates)
+        if (c != pick && graph_.has_edge(c, pick)) next.push_back(c);
+      candidates = std::move(next);
+    }
+    return clique;
+  }
+
+  void assign(NodeId v, Color c) {
+    FDLSP_ASSERT(colors_[v] == kNoColor, "vertex already colored");
+    colors_[v] = c;
+    --uncolored_;
+    const auto slot = static_cast<std::size_t>(c);
+    for (const NeighborEntry& entry : graph_.neighbors(v)) {
+      auto& use = neighbor_color_use_[entry.to];
+      if (slot >= use.size()) use.resize(slot + 1, 0);
+      if (use[slot]++ == 0) ++saturation_[entry.to];
+    }
+  }
+
+  void unassign(NodeId v) {
+    const auto slot = static_cast<std::size_t>(colors_[v]);
+    colors_[v] = kNoColor;
+    ++uncolored_;
+    for (const NeighborEntry& entry : graph_.neighbors(v)) {
+      auto& use = neighbor_color_use_[entry.to];
+      if (--use[slot] == 0) --saturation_[entry.to];
+    }
+  }
+
+  bool color_feasible(NodeId v, Color c) const {
+    const auto& use = neighbor_color_use_[v];
+    const auto slot = static_cast<std::size_t>(c);
+    return slot >= use.size() || use[slot] == 0;
+  }
+
+  // `used` = number of colors currently in use (colors 0..used-1).
+  void branch(std::size_t used) {
+    if (aborted_) return;
+    if (++explored_ > options_.max_nodes) {
+      aborted_ = true;
+      return;
+    }
+    if (uncolored_ == 0) {
+      if (used < best_count_) {
+        best_count_ = used;
+        best_colors_ = colors_;
+      }
+      return;
+    }
+    if (used >= best_count_) return;  // cannot improve
+    const NodeId v = pick_most_saturated(graph_, colors_, saturation_);
+    // Try existing colors first, then (at most) one fresh color.
+    for (Color c = 0; static_cast<std::size_t>(c) < used; ++c) {
+      if (!color_feasible(v, c)) continue;
+      assign(v, c);
+      branch(used);
+      unassign(v);
+      if (aborted_) return;
+      if (best_count_ <= std::max(lower_bound_, used)) return;
+    }
+    if (used + 1 < best_count_) {
+      assign(v, static_cast<Color>(used));
+      branch(used + 1);
+      unassign(v);
+    }
+  }
+
+  const Graph& graph_;
+  const ExactOptions& options_;
+  std::vector<Color> colors_;
+  std::vector<std::size_t> saturation_;
+  // Per vertex: how many neighbors use each color (for O(1) feasibility).
+  std::vector<std::vector<std::uint32_t>> neighbor_color_use_;
+  std::vector<Color> best_colors_;
+  std::size_t best_count_ = 0;
+  std::size_t lower_bound_ = 0;
+  std::size_t uncolored_ = 0;
+  std::size_t explored_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+std::vector<Color> dsatur_coloring(const Graph& graph) {
+  const std::size_t n = graph.num_nodes();
+  std::vector<Color> colors(n, kNoColor);
+  std::vector<std::size_t> saturation(n, 0);
+  std::vector<std::vector<bool>> neighbor_has(n);
+  for (std::size_t remaining = n; remaining > 0; --remaining) {
+    const NodeId v = pick_most_saturated(graph, colors, saturation);
+    // Smallest color absent from v's neighborhood.
+    Color c = 0;
+    const auto& has = neighbor_has[v];
+    while (static_cast<std::size_t>(c) < has.size() &&
+           has[static_cast<std::size_t>(c)])
+      ++c;
+    colors[v] = c;
+    for (const NeighborEntry& entry : graph.neighbors(v)) {
+      auto& mask = neighbor_has[entry.to];
+      const auto slot = static_cast<std::size_t>(c);
+      if (slot >= mask.size()) mask.resize(slot + 1, false);
+      if (!mask[slot]) {
+        mask[slot] = true;
+        ++saturation[entry.to];
+      }
+    }
+  }
+  return colors;
+}
+
+VertexColoringResult exact_vertex_coloring(const Graph& graph,
+                                           const ExactOptions& options) {
+  BranchAndBound solver(graph, options);
+  return solver.solve();
+}
+
+ExactFdlspResult optimal_fdlsp(const ArcView& view,
+                               const ExactOptions& options) {
+  const Graph conflict_graph = build_conflict_graph(view);
+  VertexColoringResult solved = exact_vertex_coloring(conflict_graph, options);
+  ExactFdlspResult result;
+  result.coloring = ArcColoring(view.num_arcs());
+  for (ArcId a = 0; a < view.num_arcs(); ++a)
+    result.coloring.set(a, solved.colors[a]);
+  result.num_colors = solved.num_colors;
+  result.optimal = solved.optimal;
+  return result;
+}
+
+}  // namespace fdlsp

@@ -1,0 +1,54 @@
+// Exact minimum coloring via DSATUR branch-and-bound.
+//
+// This is the library's "optimal" reference: distance-2 edge coloring a
+// bi-directed graph G optimally == vertex coloring its conflict graph
+// optimally == solving the Section 4 ILP. The B&B pre-colors a maximal
+// clique (lower bound anchor), branches on the most saturated vertex, and
+// prunes on the incumbent. Intended for the small instances of Table 1.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "coloring/coloring.h"
+#include "graph/arcs.h"
+#include "graph/graph.h"
+
+namespace fdlsp {
+
+/// Search budget / tunables for the exact solver.
+struct ExactOptions {
+  /// Abort the proof after this many branch-and-bound expansions; the best
+  /// incumbent is returned with optimal = false.
+  std::size_t max_nodes = 20'000'000;
+};
+
+/// Result of an exact vertex-coloring search.
+struct VertexColoringResult {
+  std::vector<Color> colors;    ///< per-vertex colors, 0-based, complete
+  std::size_t num_colors = 0;   ///< colors used by `colors`
+  bool optimal = false;         ///< true iff optimality was proven in budget
+  std::size_t nodes_explored = 0;
+};
+
+/// Minimum vertex coloring of `graph` (exact unless the budget runs out).
+VertexColoringResult exact_vertex_coloring(const Graph& graph,
+                                           const ExactOptions& options = {});
+
+/// Result of the exact FDLSP solve.
+struct ExactFdlspResult {
+  ArcColoring coloring;
+  std::size_t num_colors = 0;
+  bool optimal = false;
+};
+
+/// Optimal FDLSP schedule for the bi-directed view of a graph (the paper's
+/// "ILP" reference column).
+ExactFdlspResult optimal_fdlsp(const ArcView& view,
+                               const ExactOptions& options = {});
+
+/// DSATUR greedy coloring of a plain graph (also used standalone as the
+/// initial incumbent). Returns per-vertex colors.
+std::vector<Color> dsatur_coloring(const Graph& graph);
+
+}  // namespace fdlsp

@@ -1,0 +1,48 @@
+#include "coloring/greedy.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "coloring/conflict.h"
+#include "support/check.h"
+
+namespace fdlsp {
+
+ArcColoring greedy_coloring_in_order(const ArcView& view,
+                                     const std::vector<ArcId>& order) {
+  FDLSP_REQUIRE(order.size() == view.num_arcs(),
+                "order must cover every arc exactly once");
+  ArcColoring coloring(view.num_arcs());
+  for (ArcId a : order) {
+    FDLSP_REQUIRE(!coloring.is_colored(a), "arc repeated in order");
+    coloring.set(a, smallest_feasible_color(view, coloring, a));
+  }
+  return coloring;
+}
+
+ArcColoring greedy_coloring(const ArcView& view, GreedyOrder order, Rng* rng) {
+  std::vector<ArcId> arcs(view.num_arcs());
+  std::iota(arcs.begin(), arcs.end(), 0u);
+  switch (order) {
+    case GreedyOrder::kArcId:
+      break;
+    case GreedyOrder::kByDegreeDesc: {
+      const Graph& g = view.graph();
+      std::stable_sort(arcs.begin(), arcs.end(), [&](ArcId a, ArcId b) {
+        const auto score = [&](ArcId arc) {
+          return g.degree(view.tail(arc)) + g.degree(view.head(arc));
+        };
+        return score(a) > score(b);
+      });
+      break;
+    }
+    case GreedyOrder::kRandom: {
+      FDLSP_REQUIRE(rng != nullptr, "random order needs an Rng");
+      rng->shuffle(arcs);
+      break;
+    }
+  }
+  return greedy_coloring_in_order(view, arcs);
+}
+
+}  // namespace fdlsp

@@ -1,0 +1,34 @@
+// Sequential greedy distance-2 edge coloring (the Lemma 6 / Theorem 2
+// algorithm): color arcs one at a time with the smallest feasible color.
+// Never uses more than 2Δ² colors, hence is the Δ-approximation the
+// distributed algorithms imitate.
+#pragma once
+
+#include <vector>
+
+#include "coloring/coloring.h"
+#include "graph/arcs.h"
+#include "support/rng.h"
+
+namespace fdlsp {
+
+/// Order in which arcs are greedily colored.
+enum class GreedyOrder {
+  kArcId,         // arcs in id order (deterministic baseline)
+  kByDegreeDesc,  // arcs on high-degree nodes first (usually fewer colors)
+  kRandom,        // uniformly random permutation (needs an Rng)
+};
+
+/// Greedily colors every arc of the bi-directed view. Returns a complete,
+/// feasible coloring. rng is only consulted for GreedyOrder::kRandom.
+ArcColoring greedy_coloring(const ArcView& view,
+                            GreedyOrder order = GreedyOrder::kArcId,
+                            Rng* rng = nullptr);
+
+/// Greedily colors arcs in exactly the given order (each arc once; must be a
+/// permutation of all arcs). Exposed for tests and for algorithms that
+/// sequentialize a distributed coloring order.
+ArcColoring greedy_coloring_in_order(const ArcView& view,
+                                     const std::vector<ArcId>& order);
+
+}  // namespace fdlsp

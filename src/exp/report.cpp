@@ -1,0 +1,59 @@
+#include "exp/report.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "support/check.h"
+
+namespace fdlsp {
+
+TextTable slots_table(const std::vector<PointResult>& points,
+                      const std::vector<SchedulerKind>& kinds) {
+  std::vector<std::string> headers{"point", "avg-degree"};
+  for (SchedulerKind kind : kinds) headers.push_back(scheduler_name(kind));
+  headers.push_back("lower-bound");
+  headers.push_back("upper-bound");
+
+  TextTable table(std::move(headers));
+  for (const PointResult& point : points) {
+    std::vector<std::string> row{point.label,
+                                 fmt_double(point.avg_degree.mean(), 2)};
+    for (SchedulerKind kind : kinds) {
+      const auto it = point.algorithms.find(kind);
+      FDLSP_REQUIRE(it != point.algorithms.end(), "missing algorithm result");
+      row.push_back(fmt_double(it->second.slots.mean(), 2));
+    }
+    row.push_back(fmt_double(point.lower_bound.mean(), 2));
+    row.push_back(fmt_double(point.upper_bound.mean(), 2));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+TextTable rounds_table(const std::vector<PointResult>& points,
+                       SchedulerKind kind) {
+  TextTable table({"point", "avg-degree", "rounds", "messages"});
+  for (const PointResult& point : points) {
+    const auto it = point.algorithms.find(kind);
+    FDLSP_REQUIRE(it != point.algorithms.end(), "missing algorithm result");
+    table.add_row({point.label, fmt_double(point.avg_degree.mean(), 2),
+                   fmt_double(it->second.rounds.mean(), 1),
+                   fmt_double(it->second.messages.mean(), 0)});
+  }
+  return table;
+}
+
+void print_report(std::ostream& os, const std::string& title,
+                  const TextTable& table) {
+  os << "== " << title << " ==\n";
+  table.print(os);
+  os << '\n';
+}
+
+void write_csv(const std::string& path, const TextTable& table) {
+  std::ofstream file(path);
+  FDLSP_REQUIRE(file.good(), "cannot open CSV output file");
+  table.print_csv(file);
+}
+
+}  // namespace fdlsp

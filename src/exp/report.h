@@ -1,0 +1,30 @@
+// Rendering of experiment results as the paper's figure series.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "exp/runner.h"
+#include "support/table.h"
+
+namespace fdlsp {
+
+/// Builds the slot-count comparison table for one figure: one row per
+/// workload point, columns = avg degree, per-algorithm mean slots, bounds.
+TextTable slots_table(const std::vector<PointResult>& points,
+                      const std::vector<SchedulerKind>& kinds);
+
+/// Builds the communication-rounds table (Figures 13-15): one row per point,
+/// columns = avg degree, mean rounds, mean messages.
+TextTable rounds_table(const std::vector<PointResult>& points,
+                       SchedulerKind kind);
+
+/// Prints a titled table to `os`, followed by a blank line.
+void print_report(std::ostream& os, const std::string& title,
+                  const TextTable& table);
+
+/// Writes the table as CSV to `path` (overwrites).
+void write_csv(const std::string& path, const TextTable& table);
+
+}  // namespace fdlsp

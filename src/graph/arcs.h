@@ -1,0 +1,94 @@
+// Bi-directed view of an undirected graph (Definition 1 of the paper).
+//
+// Every undirected edge e = {u, v} (stored with u < v) induces two arcs:
+//   arc 2e   : u -> v   (u transmits, v receives)
+//   arc 2e+1 : v -> u
+// Arc ids are dense in [0, 2m), which lets colorings be plain vectors.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace fdlsp {
+
+/// Read-only arc (bi-directed) view over a Graph. Holds a reference; the
+/// graph must outlive the view.
+class ArcView {
+ public:
+  explicit ArcView(const Graph& graph) : graph_(&graph) {}
+
+  const Graph& graph() const noexcept { return *graph_; }
+
+  /// Number of arcs: 2m.
+  std::size_t num_arcs() const noexcept { return 2 * graph_->num_edges(); }
+
+  /// Transmitting endpoint of arc a.
+  NodeId tail(ArcId a) const {
+    const Edge& e = graph_->edge(a >> 1);
+    return (a & 1) == 0 ? e.u : e.v;
+  }
+
+  /// Receiving endpoint of arc a.
+  NodeId head(ArcId a) const {
+    const Edge& e = graph_->edge(a >> 1);
+    return (a & 1) == 0 ? e.v : e.u;
+  }
+
+  /// The opposite arc over the same edge.
+  static ArcId reverse(ArcId a) noexcept { return a ^ 1; }
+
+  /// Undirected edge carrying arc a.
+  static EdgeId edge_of(ArcId a) noexcept { return a >> 1; }
+
+  /// Arc u -> v over edge e; u must be an endpoint of e.
+  ArcId arc_from(EdgeId e, NodeId tail_node) const {
+    const Edge& edge = graph_->edge(e);
+    FDLSP_ASSERT(tail_node == edge.u || tail_node == edge.v,
+                 "tail not an endpoint");
+    return static_cast<ArcId>((e << 1) | (tail_node == edge.u ? 0u : 1u));
+  }
+
+  /// Arc u -> v, or kNoArc if {u, v} is not an edge.
+  ArcId find_arc(NodeId from, NodeId to) const {
+    const EdgeId e = graph_->find_edge(from, to);
+    return e == kNoEdge ? kNoArc : arc_from(e, from);
+  }
+
+  /// All arcs leaving v (v transmits). Order follows v's adjacency list.
+  std::vector<ArcId> out_arcs(NodeId v) const {
+    std::vector<ArcId> arcs;
+    arcs.reserve(graph_->degree(v));
+    for (const NeighborEntry& entry : graph_->neighbors(v))
+      arcs.push_back(arc_from(entry.edge, v));
+    return arcs;
+  }
+
+  /// All arcs entering v (v receives).
+  std::vector<ArcId> in_arcs(NodeId v) const {
+    std::vector<ArcId> arcs;
+    arcs.reserve(graph_->degree(v));
+    for (const NeighborEntry& entry : graph_->neighbors(v))
+      arcs.push_back(reverse(arc_from(entry.edge, v)));
+    return arcs;
+  }
+
+  /// All arcs incident on v, outgoing first then incoming.
+  std::vector<ArcId> incident_arcs(NodeId v) const {
+    std::vector<ArcId> arcs;
+    arcs.reserve(2 * graph_->degree(v));
+    for (const NeighborEntry& entry : graph_->neighbors(v)) {
+      const ArcId out = arc_from(entry.edge, v);
+      arcs.push_back(out);
+    }
+    for (const NeighborEntry& entry : graph_->neighbors(v))
+      arcs.push_back(reverse(arc_from(entry.edge, v)));
+    return arcs;
+  }
+
+ private:
+  const Graph* graph_;
+};
+
+}  // namespace fdlsp

@@ -1,0 +1,110 @@
+#include "graph/cliques.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+#include "support/check.h"
+
+namespace fdlsp {
+
+namespace {
+
+// Pivoted Bron–Kerbosch over adjacency bitsets (node count is small here, so
+// a vector<bool> matrix keeps the code simple and cache-friendly enough).
+class BronKerbosch {
+ public:
+  explicit BronKerbosch(const Graph& graph)
+      : n_(graph.num_nodes()), adjacent_(n_ * n_, false) {
+    for (const Edge& e : graph.edges()) {
+      adjacent_[e.u * n_ + e.v] = true;
+      adjacent_[e.v * n_ + e.u] = true;
+    }
+  }
+
+  std::size_t best_size() const noexcept { return best_; }
+  std::vector<std::vector<NodeId>>& cliques() noexcept { return cliques_; }
+
+  void run(bool collect) {
+    collect_ = collect;
+    std::vector<NodeId> r;
+    std::vector<NodeId> p(n_);
+    for (NodeId v = 0; v < n_; ++v) p[v] = v;
+    expand(r, p, {});
+  }
+
+ private:
+  bool adj(NodeId a, NodeId b) const { return adjacent_[a * n_ + b]; }
+
+  void expand(std::vector<NodeId>& r, std::vector<NodeId> p,
+              std::vector<NodeId> x) {
+    if (p.empty() && x.empty()) {
+      best_ = std::max(best_, r.size());
+      if (collect_) cliques_.push_back(r);
+      return;
+    }
+    if (!collect_ && r.size() + p.size() <= best_) return;  // bound
+    // Pivot: vertex of P ∪ X with most neighbors in P.
+    NodeId pivot = kNoNode;
+    std::size_t pivot_hits = 0;
+    auto consider = [&](NodeId u) {
+      std::size_t hits = 0;
+      for (NodeId w : p)
+        if (adj(u, w)) ++hits;
+      if (pivot == kNoNode || hits > pivot_hits) {
+        pivot = u;
+        pivot_hits = hits;
+      }
+    };
+    for (NodeId u : p) consider(u);
+    for (NodeId u : x) consider(u);
+
+    std::vector<NodeId> candidates;
+    for (NodeId v : p)
+      if (pivot == kNoNode || !adj(pivot, v)) candidates.push_back(v);
+
+    for (NodeId v : candidates) {
+      std::vector<NodeId> p_next;
+      std::vector<NodeId> x_next;
+      for (NodeId w : p)
+        if (adj(v, w)) p_next.push_back(w);
+      for (NodeId w : x)
+        if (adj(v, w)) x_next.push_back(w);
+      r.push_back(v);
+      expand(r, std::move(p_next), std::move(x_next));
+      r.pop_back();
+      p.erase(std::find(p.begin(), p.end(), v));
+      x.push_back(v);
+    }
+  }
+
+  std::size_t n_;
+  std::vector<bool> adjacent_;
+  std::size_t best_ = 0;
+  bool collect_ = false;
+  std::vector<std::vector<NodeId>> cliques_;
+};
+
+}  // namespace
+
+std::size_t max_clique_size(const Graph& graph) {
+  if (graph.num_nodes() == 0) return 0;
+  BronKerbosch search(graph);
+  search.run(/*collect=*/false);
+  return search.best_size();
+}
+
+std::size_t max_clique_size_within(const Graph& graph,
+                                   const std::vector<NodeId>& nodes) {
+  if (nodes.empty()) return 0;
+  return max_clique_size(induced_subgraph(graph, nodes).graph);
+}
+
+std::vector<std::vector<NodeId>> maximal_cliques(const Graph& graph) {
+  BronKerbosch search(graph);
+  search.run(/*collect=*/true);
+  auto cliques = std::move(search.cliques());
+  for (auto& clique : cliques) std::sort(clique.begin(), clique.end());
+  return cliques;
+}
+
+}  // namespace fdlsp

@@ -1,0 +1,28 @@
+// Clique machinery for the Theorem-1 lower bound.
+//
+// Joint cliques (Definition 6) live inside a single 1-hop neighborhood, so
+// even though maximum clique is NP-hard, the instances here are tiny; a
+// pivoted Bron–Kerbosch search is exact and fast.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace fdlsp {
+
+/// Size of the maximum clique of `graph`. Exact (pivoted Bron–Kerbosch with
+/// greedy-coloring pruning); intended for small graphs such as induced
+/// neighborhoods.
+std::size_t max_clique_size(const Graph& graph);
+
+/// Size of the maximum clique of the subgraph induced on `nodes`.
+std::size_t max_clique_size_within(const Graph& graph,
+                                   const std::vector<NodeId>& nodes);
+
+/// All maximal cliques of `graph` (each as a sorted node list). Exponential
+/// in the worst case; use only on small graphs.
+std::vector<std::vector<NodeId>> maximal_cliques(const Graph& graph);
+
+}  // namespace fdlsp

@@ -1,0 +1,176 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_set>
+
+#include "support/check.h"
+
+namespace fdlsp {
+
+Graph udg_from_positions(const std::vector<Point>& positions, double radius) {
+  FDLSP_REQUIRE(radius > 0.0, "radius must be positive");
+  const std::size_t n = positions.size();
+  GraphBuilder builder(n);
+  if (n == 0) return builder.build();
+
+  // Bucket points into a grid of cell size = radius; only neighboring cells
+  // can contain linked points.
+  double min_x = positions[0].x, min_y = positions[0].y;
+  double max_x = min_x, max_y = min_y;
+  for (const Point& p : positions) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+  const auto cells_x =
+      static_cast<std::size_t>((max_x - min_x) / radius) + 1;
+  const auto cells_y =
+      static_cast<std::size_t>((max_y - min_y) / radius) + 1;
+  auto cell_of = [&](const Point& p) {
+    auto cx = static_cast<std::size_t>((p.x - min_x) / radius);
+    auto cy = static_cast<std::size_t>((p.y - min_y) / radius);
+    if (cx >= cells_x) cx = cells_x - 1;
+    if (cy >= cells_y) cy = cells_y - 1;
+    return cy * cells_x + cx;
+  };
+
+  std::vector<std::vector<NodeId>> buckets(cells_x * cells_y);
+  for (NodeId v = 0; v < n; ++v) buckets[cell_of(positions[v])].push_back(v);
+
+  const double radius_sq = radius * radius;
+  for (NodeId v = 0; v < n; ++v) {
+    const auto cx = static_cast<std::ptrdiff_t>(
+        std::min(static_cast<std::size_t>((positions[v].x - min_x) / radius),
+                 cells_x - 1));
+    const auto cy = static_cast<std::ptrdiff_t>(
+        std::min(static_cast<std::size_t>((positions[v].y - min_y) / radius),
+                 cells_y - 1));
+    for (std::ptrdiff_t dy = -1; dy <= 1; ++dy) {
+      for (std::ptrdiff_t dx = -1; dx <= 1; ++dx) {
+        const std::ptrdiff_t nx = cx + dx;
+        const std::ptrdiff_t ny = cy + dy;
+        if (nx < 0 || ny < 0 || nx >= static_cast<std::ptrdiff_t>(cells_x) ||
+            ny >= static_cast<std::ptrdiff_t>(cells_y))
+          continue;
+        for (NodeId w : buckets[static_cast<std::size_t>(ny) * cells_x +
+                                static_cast<std::size_t>(nx)]) {
+          if (w <= v) continue;  // each unordered pair once
+          if (distance_sq(positions[v], positions[w]) <= radius_sq)
+            builder.add_edge(v, w);
+        }
+      }
+    }
+  }
+  return builder.build();
+}
+
+GeometricGraph generate_udg(std::size_t n, double side, double radius,
+                            Rng& rng) {
+  FDLSP_REQUIRE(side > 0.0, "side must be positive");
+  std::vector<Point> positions(n);
+  for (Point& p : positions) {
+    p.x = rng.next_double() * side;
+    p.y = rng.next_double() * side;
+  }
+  Graph graph = udg_from_positions(positions, radius);
+  return GeometricGraph{std::move(graph), std::move(positions)};
+}
+
+GeometricGraph generate_quasi_udg(std::size_t n, double side, double radius,
+                                  double alpha, double p, Rng& rng) {
+  FDLSP_REQUIRE(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+  FDLSP_REQUIRE(p >= 0.0 && p <= 1.0, "p must be a probability");
+  std::vector<Point> positions(n);
+  for (Point& point : positions) {
+    point.x = rng.next_double() * side;
+    point.y = rng.next_double() * side;
+  }
+  // Candidate pairs come from the full-radius UDG; the gray zone
+  // [alpha*radius, radius] keeps each link with probability p.
+  const Graph candidates = udg_from_positions(positions, radius);
+  const double certain_sq = alpha * radius * alpha * radius;
+  GraphBuilder builder(n);
+  for (const Edge& e : candidates.edges()) {
+    const double d_sq = distance_sq(positions[e.u], positions[e.v]);
+    if (d_sq <= certain_sq || rng.next_bool(p)) builder.add_edge(e.u, e.v);
+  }
+  return GeometricGraph{builder.build(), std::move(positions)};
+}
+
+Graph generate_gnm(std::size_t n, std::size_t m, Rng& rng) {
+  const std::size_t max_edges = n * (n - 1) / 2;
+  FDLSP_REQUIRE(m <= max_edges, "too many edges requested");
+  GraphBuilder builder(n);
+  std::unordered_set<std::uint64_t> chosen;
+  chosen.reserve(m * 2);
+  while (chosen.size() < m) {
+    auto u = static_cast<NodeId>(rng.next_index(n));
+    auto v = static_cast<NodeId>(rng.next_index(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
+    if (chosen.insert(key).second) builder.add_edge(u, v);
+  }
+  return builder.build();
+}
+
+Graph generate_random_tree(std::size_t n, Rng& rng) {
+  GraphBuilder builder(n);
+  for (NodeId v = 1; v < n; ++v)
+    builder.add_edge(static_cast<NodeId>(rng.next_index(v)), v);
+  return builder.build();
+}
+
+Graph generate_path(std::size_t n) {
+  GraphBuilder builder(n);
+  for (NodeId v = 0; v + 1 < n; ++v) builder.add_edge(v, v + 1);
+  return builder.build();
+}
+
+Graph generate_cycle(std::size_t n) {
+  FDLSP_REQUIRE(n >= 3, "a cycle needs at least 3 nodes");
+  GraphBuilder builder(n);
+  for (NodeId v = 0; v + 1 < n; ++v) builder.add_edge(v, v + 1);
+  builder.add_edge(static_cast<NodeId>(n - 1), 0);
+  return builder.build();
+}
+
+Graph generate_complete(std::size_t n) {
+  GraphBuilder builder(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) builder.add_edge(u, v);
+  return builder.build();
+}
+
+Graph generate_complete_bipartite(std::size_t a, std::size_t b) {
+  GraphBuilder builder(a + b);
+  for (NodeId u = 0; u < a; ++u)
+    for (std::size_t v = 0; v < b; ++v)
+      builder.add_edge(u, static_cast<NodeId>(a + v));
+  return builder.build();
+}
+
+Graph generate_star(std::size_t n) {
+  FDLSP_REQUIRE(n >= 1, "a star needs a center");
+  GraphBuilder builder(n);
+  for (NodeId v = 1; v < n; ++v) builder.add_edge(0, v);
+  return builder.build();
+}
+
+Graph generate_grid(std::size_t rows, std::size_t cols) {
+  GraphBuilder builder(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) builder.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) builder.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace fdlsp

@@ -1,0 +1,67 @@
+// Topology generators for the Section 8 workloads and for tests.
+//
+// The paper's simulation uses (a) random unit disk graphs on a square plan
+// with transmission radius 0.5 and side lengths 15/17/20, and (b) general
+// random graphs G(n, m) with a swept edge count. The deterministic families
+// (trees, cycles, complete, complete bipartite) back Table 1 and the
+// closed-form results quoted in Section 3.
+#pragma once
+
+#include <vector>
+
+#include "graph/geometry.h"
+#include "graph/graph.h"
+#include "support/rng.h"
+
+namespace fdlsp {
+
+/// A graph together with node positions (only geometric generators fill it).
+struct GeometricGraph {
+  Graph graph;
+  std::vector<Point> positions;
+};
+
+/// Random unit disk graph: n nodes placed uniformly in a side×side square;
+/// nodes at Euclidean distance <= radius are linked. Uses a uniform grid
+/// bucketing so generation is O(n + m) in expectation.
+GeometricGraph generate_udg(std::size_t n, double side, double radius,
+                            Rng& rng);
+
+/// Builds the UDG induced by explicit positions (used by tests and by the
+/// dynamic-network example when nodes move).
+Graph udg_from_positions(const std::vector<Point>& positions, double radius);
+
+/// Random quasi unit disk graph (Kuhn et al.), the other growth-bounded
+/// family the paper cites: nodes closer than alpha*radius are always
+/// linked, nodes farther than radius never are, and pairs in between are
+/// linked independently with probability p. alpha in (0, 1].
+GeometricGraph generate_quasi_udg(std::size_t n, double side, double radius,
+                                  double alpha, double p, Rng& rng);
+
+/// Uniform random simple graph with exactly m edges (Erdős–Rényi G(n, m)).
+/// Requires m <= n(n-1)/2.
+Graph generate_gnm(std::size_t n, std::size_t m, Rng& rng);
+
+/// Random labelled tree on n nodes: node i >= 1 attaches to a uniform random
+/// predecessor. Every node degree distribution reachable this way is a tree.
+Graph generate_random_tree(std::size_t n, Rng& rng);
+
+/// Simple path 0-1-...-(n-1).
+Graph generate_path(std::size_t n);
+
+/// Cycle 0-1-...-(n-1)-0. Requires n >= 3.
+Graph generate_cycle(std::size_t n);
+
+/// Complete graph K_n.
+Graph generate_complete(std::size_t n);
+
+/// Complete bipartite graph K_{a,b}: parts {0..a-1} and {a..a+b-1}.
+Graph generate_complete_bipartite(std::size_t a, std::size_t b);
+
+/// Star K_{1,n-1} centered at node 0.
+Graph generate_star(std::size_t n);
+
+/// rows×cols grid graph (4-neighborhood).
+Graph generate_grid(std::size_t rows, std::size_t cols);
+
+}  // namespace fdlsp

@@ -1,0 +1,29 @@
+// Plane geometry helpers for the unit-disk-graph generator.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+namespace fdlsp {
+
+/// A point in the Euclidean plane.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Squared Euclidean distance (avoids the sqrt on the hot comparison path).
+inline double distance_sq(const Point& a, const Point& b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Euclidean distance.
+inline double distance(const Point& a, const Point& b) noexcept {
+  return std::sqrt(distance_sq(a, b));
+}
+
+}  // namespace fdlsp

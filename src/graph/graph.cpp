@@ -1,0 +1,85 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace fdlsp {
+
+Graph::Graph(std::size_t n) : offsets_(n + 1, 0) {}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  return find_edge(u, v) != kNoEdge;
+}
+
+EdgeId Graph::find_edge(NodeId u, NodeId v) const {
+  FDLSP_ASSERT(u < num_nodes() && v < num_nodes(), "node out of range");
+  // Search the smaller adjacency list.
+  if (degree(u) > degree(v)) std::swap(u, v);
+  const auto adj = neighbors(u);
+  const auto it = std::lower_bound(
+      adj.begin(), adj.end(), v,
+      [](const NeighborEntry& entry, NodeId target) { return entry.to < target; });
+  if (it != adj.end() && it->to == v) return it->edge;
+  return kNoEdge;
+}
+
+GraphBuilder::GraphBuilder(std::size_t n) : n_(n), pending_(n) {}
+
+EdgeId GraphBuilder::add_edge(NodeId u, NodeId v) {
+  FDLSP_REQUIRE(u < n_ && v < n_, "endpoint out of range");
+  FDLSP_REQUIRE(u != v, "self-loops are not allowed");
+  FDLSP_REQUIRE(!has_edge(u, v), "duplicate edge");
+  if (u > v) std::swap(u, v);
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{u, v});
+  pending_[u].push_back(v);
+  pending_[v].push_back(u);
+  return id;
+}
+
+bool GraphBuilder::has_edge(NodeId u, NodeId v) const {
+  FDLSP_REQUIRE(u < n_ && v < n_, "endpoint out of range");
+  const auto& smaller =
+      pending_[u].size() <= pending_[v].size() ? pending_[u] : pending_[v];
+  const NodeId target = pending_[u].size() <= pending_[v].size() ? v : u;
+  return std::find(smaller.begin(), smaller.end(), target) != smaller.end();
+}
+
+Graph GraphBuilder::build() {
+  Graph graph(n_);
+  graph.edges_ = std::move(edges_);
+  edges_.clear();
+
+  graph.offsets_.assign(n_ + 1, 0);
+  for (const Edge& e : graph.edges_) {
+    ++graph.offsets_[e.u + 1];
+    ++graph.offsets_[e.v + 1];
+  }
+  for (std::size_t v = 0; v < n_; ++v)
+    graph.offsets_[v + 1] += graph.offsets_[v];
+
+  graph.adjacency_.resize(2 * graph.edges_.size());
+  std::vector<std::size_t> cursor(graph.offsets_.begin(),
+                                  graph.offsets_.end() - 1);
+  for (EdgeId e = 0; e < graph.edges_.size(); ++e) {
+    const Edge& edge = graph.edges_[e];
+    graph.adjacency_[cursor[edge.u]++] = NeighborEntry{edge.v, e};
+    graph.adjacency_[cursor[edge.v]++] = NeighborEntry{edge.u, e};
+  }
+  for (std::size_t v = 0; v < n_; ++v) {
+    auto begin = graph.adjacency_.begin() +
+                 static_cast<std::ptrdiff_t>(graph.offsets_[v]);
+    auto end = graph.adjacency_.begin() +
+               static_cast<std::ptrdiff_t>(graph.offsets_[v + 1]);
+    std::sort(begin, end, [](const NeighborEntry& a, const NeighborEntry& b) {
+      return a.to < b.to;
+    });
+    graph.max_degree_ = std::max(
+        graph.max_degree_, static_cast<std::size_t>(end - begin));
+  }
+
+  for (auto& adj : pending_) adj.clear();
+  return graph;
+}
+
+}  // namespace fdlsp

@@ -1,0 +1,27 @@
+// Fundamental identifier types shared across the library.
+#pragma once
+
+#include <cstdint>
+
+namespace fdlsp {
+
+/// Index of a node (sensor / processor) in a graph; dense in [0, n).
+using NodeId = std::uint32_t;
+
+/// Index of an undirected edge (communication link); dense in [0, m).
+using EdgeId = std::uint32_t;
+
+/// Index of a directed arc of the bi-directed view; dense in [0, 2m).
+/// Arc 2e is the stored orientation of edge e, arc 2e+1 its reverse.
+using ArcId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+/// Sentinel for "no edge".
+inline constexpr EdgeId kNoEdge = static_cast<EdgeId>(-1);
+
+/// Sentinel for "no arc".
+inline constexpr ArcId kNoArc = static_cast<ArcId>(-1);
+
+}  // namespace fdlsp

@@ -1,0 +1,111 @@
+#include "ilp/branch_bound.h"
+
+#include <cmath>
+#include <limits>
+
+#include "ilp/simplex.h"
+#include "support/check.h"
+
+namespace fdlsp {
+
+namespace {
+
+constexpr double kIntTolerance = 1e-6;
+
+class BranchAndBoundIlp {
+ public:
+  BranchAndBoundIlp(const IlpModel& model, const IlpOptions& options)
+      : model_(model), options_(options), working_(model) {}
+
+  IlpResult solve() {
+    best_objective_ = std::numeric_limits<double>::infinity();
+    // Internally minimize; flip at the end for maximization models.
+    sign_ = model_.objective_direction() == Objective::kMinimize ? 1.0 : -1.0;
+    if (!options_.warm_start.empty()) {
+      FDLSP_REQUIRE(model_.is_feasible_point(options_.warm_start),
+                    "warm start must be feasible and integral");
+      best_x_ = options_.warm_start;
+      best_objective_ = sign_ * model_.objective_value(best_x_);
+    }
+    branch();
+    IlpResult result;
+    result.nodes_explored = explored_;
+    if (best_x_.empty()) {
+      // No incumbent: infeasible if the proof finished; with an exhausted
+      // budget the caller sees kInfeasible too (no point to report).
+      result.status = IlpStatus::kInfeasible;
+      return result;
+    }
+    result.status = aborted_ ? IlpStatus::kFeasible : IlpStatus::kOptimal;
+    result.objective = model_.objective_value(best_x_);
+    result.x = best_x_;
+    return result;
+  }
+
+ private:
+  /// Solves the relaxation of the working model (with current branch bounds)
+  /// and recurses on the most fractional integral variable.
+  void branch() {
+    if (aborted_) return;
+    if (++explored_ > options_.max_nodes) {
+      aborted_ = true;
+      return;
+    }
+    const LpResult lp = solve_lp_relaxation(working_);
+    if (lp.status != LpStatus::kOptimal) return;  // infeasible / unbounded cut
+    if (sign_ * lp.objective >= best_objective_ - 1e-9) return;  // bound
+
+    // Most fractional integral variable.
+    std::size_t branch_var = working_.num_variables();
+    double best_frac = kIntTolerance;
+    for (std::size_t v = 0; v < working_.num_variables(); ++v) {
+      if (!working_.is_integral(v)) continue;
+      const double frac = std::abs(lp.x[v] - std::round(lp.x[v]));
+      if (frac > best_frac) {
+        best_frac = frac;
+        branch_var = v;
+      }
+    }
+    if (branch_var == working_.num_variables()) {
+      // Integral: new incumbent.
+      std::vector<double> x = lp.x;
+      for (std::size_t v = 0; v < x.size(); ++v)
+        if (working_.is_integral(v)) x[v] = std::round(x[v]);
+      const double value = sign_ * model_.objective_value(x);
+      if (value < best_objective_) {
+        best_objective_ = value;
+        best_x_ = std::move(x);
+      }
+      return;
+    }
+
+    const double saved_lower = working_.lower_bound(branch_var);
+    const double saved_upper = working_.upper_bound(branch_var);
+    const double floor_value = std::floor(lp.x[branch_var]);
+    // Down branch: x <= floor.
+    working_.set_bounds(branch_var, saved_lower, floor_value);
+    branch();
+    // Up branch: x >= floor + 1.
+    working_.set_bounds(branch_var, floor_value + 1.0, saved_upper);
+    branch();
+    working_.set_bounds(branch_var, saved_lower, saved_upper);
+  }
+
+  const IlpModel& model_;
+  const IlpOptions& options_;
+  IlpModel working_;
+  double sign_ = 1.0;
+  double best_objective_ = 0.0;
+  std::vector<double> best_x_;
+  std::size_t explored_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+IlpResult solve_ilp(const IlpModel& model, const IlpOptions& options) {
+  BranchAndBoundIlp solver(model, options);
+  return solver.solve();
+}
+
+}  // namespace fdlsp

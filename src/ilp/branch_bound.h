@@ -1,0 +1,43 @@
+// Branch-and-bound 0/1 ILP solver on top of the simplex relaxation.
+//
+// Depth-first, branching on the most fractional integral variable, bounding
+// with the LP relaxation and an incumbent. Suited to the small Section 4
+// instances; the conflict-graph DSATUR solver remains the production path
+// for optima (tests cross-validate the two).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ilp/model.h"
+
+namespace fdlsp {
+
+/// Outcome of an ILP solve.
+enum class IlpStatus {
+  kOptimal,     ///< proven optimal within budget
+  kFeasible,    ///< best incumbent returned, proof incomplete (budget)
+  kInfeasible,  ///< no integral point exists
+};
+
+/// ILP solution.
+struct IlpResult {
+  IlpStatus status = IlpStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> x;
+  std::size_t nodes_explored = 0;
+};
+
+/// Branch-and-bound budget and warm start.
+struct IlpOptions {
+  std::size_t max_nodes = 200'000;
+  /// Optional feasible integral point used as the initial incumbent; must
+  /// satisfy the model if non-empty (checked). Dramatically improves pruning
+  /// on coloring models where the LP bound is weak.
+  std::vector<double> warm_start;
+};
+
+/// Solves the 0/1 (mixed) ILP.
+IlpResult solve_ilp(const IlpModel& model, const IlpOptions& options = {});
+
+}  // namespace fdlsp

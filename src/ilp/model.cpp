@@ -1,0 +1,73 @@
+#include "ilp/model.h"
+
+#include <cmath>
+
+namespace fdlsp {
+
+std::size_t IlpModel::add_variable(double lower, double upper,
+                                   std::string name) {
+  FDLSP_REQUIRE(lower <= upper, "inverted variable bounds");
+  lower_.push_back(lower);
+  upper_.push_back(upper);
+  integral_.push_back(false);
+  names_.push_back(std::move(name));
+  return lower_.size() - 1;
+}
+
+std::size_t IlpModel::add_binary(std::string name) {
+  const std::size_t var = add_variable(0.0, 1.0, std::move(name));
+  integral_[var] = true;
+  return var;
+}
+
+void IlpModel::set_objective(Objective direction,
+                             std::vector<LinearTerm> terms) {
+  for (const LinearTerm& term : terms)
+    FDLSP_REQUIRE(term.var < num_variables(), "objective variable unknown");
+  direction_ = direction;
+  objective_ = std::move(terms);
+}
+
+std::size_t IlpModel::add_constraint(LinearConstraint constraint) {
+  for (const LinearTerm& term : constraint.terms)
+    FDLSP_REQUIRE(term.var < num_variables(), "constraint variable unknown");
+  constraints_.push_back(std::move(constraint));
+  return constraints_.size() - 1;
+}
+
+double IlpModel::objective_value(const std::vector<double>& x) const {
+  double value = 0.0;
+  for (const LinearTerm& term : objective_)
+    value += term.coefficient * x[term.var];
+  return value;
+}
+
+bool IlpModel::is_feasible_point(const std::vector<double>& x,
+                                 double tolerance) const {
+  if (x.size() != num_variables()) return false;
+  for (std::size_t v = 0; v < num_variables(); ++v) {
+    if (x[v] < lower_[v] - tolerance || x[v] > upper_[v] + tolerance)
+      return false;
+    if (integral_[v] && std::abs(x[v] - std::round(x[v])) > tolerance)
+      return false;
+  }
+  for (const LinearConstraint& constraint : constraints_) {
+    double lhs = 0.0;
+    for (const LinearTerm& term : constraint.terms)
+      lhs += term.coefficient * x[term.var];
+    switch (constraint.sense) {
+      case Sense::kLessEqual:
+        if (lhs > constraint.rhs + tolerance) return false;
+        break;
+      case Sense::kGreaterEqual:
+        if (lhs < constraint.rhs - tolerance) return false;
+        break;
+      case Sense::kEqual:
+        if (std::abs(lhs - constraint.rhs) > tolerance) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace fdlsp

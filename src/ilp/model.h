@@ -1,0 +1,96 @@
+// Mixed 0/1 linear program model (the Section 4 formulation's container).
+//
+// Variables are continuous in [lower, upper] or binary {0, 1}; constraints
+// are linear with a relational sense. The model is solver-agnostic: the
+// simplex solves its LP relaxation, the branch-and-bound layers integrality
+// on top.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "support/check.h"
+
+namespace fdlsp {
+
+/// One coefficient of a linear expression.
+struct LinearTerm {
+  std::size_t var;
+  double coefficient;
+};
+
+/// Relational sense of a constraint.
+enum class Sense { kLessEqual, kGreaterEqual, kEqual };
+
+/// A linear constraint: sum(terms) <sense> rhs.
+struct LinearConstraint {
+  std::vector<LinearTerm> terms;
+  Sense sense = Sense::kLessEqual;
+  double rhs = 0.0;
+};
+
+/// Direction of optimization.
+enum class Objective { kMinimize, kMaximize };
+
+/// A small dense-friendly ILP/LP model.
+class IlpModel {
+ public:
+  /// Adds a continuous variable with bounds; returns its index.
+  std::size_t add_variable(double lower, double upper, std::string name = "");
+
+  /// Adds a binary (0/1, integral) variable; returns its index.
+  std::size_t add_binary(std::string name = "");
+
+  /// Tightens (or restores) a variable's bounds — used by branch-and-bound.
+  void set_bounds(std::size_t var, double lower, double upper) {
+    FDLSP_REQUIRE(var < num_variables(), "variable unknown");
+    FDLSP_REQUIRE(lower <= upper, "inverted variable bounds");
+    lower_[var] = lower;
+    upper_[var] = upper;
+  }
+
+  std::size_t num_variables() const noexcept { return lower_.size(); }
+  std::size_t num_constraints() const noexcept { return constraints_.size(); }
+
+  bool is_integral(std::size_t var) const { return integral_.at(var); }
+  double lower_bound(std::size_t var) const { return lower_.at(var); }
+  double upper_bound(std::size_t var) const { return upper_.at(var); }
+  const std::string& name(std::size_t var) const { return names_.at(var); }
+
+  /// Sets the objective; terms may mention each variable at most once.
+  void set_objective(Objective direction, std::vector<LinearTerm> terms);
+
+  Objective objective_direction() const noexcept { return direction_; }
+  const std::vector<LinearTerm>& objective_terms() const noexcept {
+    return objective_;
+  }
+
+  /// Adds a constraint; returns its index.
+  std::size_t add_constraint(LinearConstraint constraint);
+
+  const LinearConstraint& constraint(std::size_t i) const {
+    return constraints_.at(i);
+  }
+
+  /// Evaluates the objective at a point.
+  double objective_value(const std::vector<double>& x) const;
+
+  /// True iff x satisfies all constraints and bounds within tolerance.
+  bool is_feasible_point(const std::vector<double>& x,
+                         double tolerance = 1e-6) const;
+
+ private:
+  std::vector<double> lower_;
+  std::vector<double> upper_;
+  std::vector<bool> integral_;
+  std::vector<std::string> names_;
+  std::vector<LinearConstraint> constraints_;
+  Objective direction_ = Objective::kMinimize;
+  std::vector<LinearTerm> objective_;
+};
+
+/// Positive infinity shorthand for unbounded variables.
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace fdlsp

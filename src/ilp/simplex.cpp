@@ -1,0 +1,251 @@
+#include "ilp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.h"
+
+namespace fdlsp {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Dense two-phase simplex over rows of (coeffs | rhs), all structural
+/// variables >= 0 and rhs >= 0.
+class Tableau {
+ public:
+  Tableau(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * (cols + 1), 0.0),
+        basis_(rows, 0) {}
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * (cols_ + 1) + c]; }
+  double& rhs(std::size_t r) { return data_[r * (cols_ + 1) + cols_]; }
+  std::size_t& basis(std::size_t r) { return basis_[r]; }
+
+  void pivot(std::size_t pivot_row, std::size_t pivot_col,
+             std::vector<double>& objective, double& objective_value) {
+    const double p = at(pivot_row, pivot_col);
+    FDLSP_ASSERT(std::abs(p) > kEps, "degenerate pivot");
+    for (std::size_t c = 0; c <= cols_; ++c)
+      data_[pivot_row * (cols_ + 1) + c] /= p;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == pivot_row) continue;
+      const double factor = at(r, pivot_col);
+      if (std::abs(factor) < kEps) continue;
+      for (std::size_t c = 0; c <= cols_; ++c)
+        data_[r * (cols_ + 1) + c] -= factor * data_[pivot_row * (cols_ + 1) + c];
+    }
+    const double obj_factor = objective[pivot_col];
+    if (std::abs(obj_factor) > kEps) {
+      for (std::size_t c = 0; c < cols_; ++c)
+        objective[c] -= obj_factor * at(pivot_row, c);
+      objective_value -= obj_factor * rhs(pivot_row);
+    }
+    basis_[pivot_row] = pivot_col;
+  }
+
+  /// Marks columns that may never enter the basis (retired artificials).
+  void block_columns(std::vector<bool> blocked) { blocked_ = std::move(blocked); }
+
+  /// Minimizes `objective` (reduced-cost row) via Bland's rule.
+  /// Returns false if unbounded.
+  bool optimize(std::vector<double>& objective, double& objective_value) {
+    for (;;) {
+      // Entering: smallest index with negative reduced cost (Bland).
+      std::size_t enter = cols_;
+      for (std::size_t c = 0; c < cols_; ++c) {
+        if (!blocked_.empty() && blocked_[c]) continue;
+        if (objective[c] < -kEps) {
+          enter = c;
+          break;
+        }
+      }
+      if (enter == cols_) return true;  // optimal
+      // Leaving: min ratio, ties by smallest basis variable (Bland).
+      std::size_t leave = rows_;
+      double best_ratio = 0.0;
+      for (std::size_t r = 0; r < rows_; ++r) {
+        const double a = at(r, enter);
+        if (a <= kEps) continue;
+        const double ratio = rhs(r) / a;
+        if (leave == rows_ || ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps && basis_[r] < basis_[leave])) {
+          leave = r;
+          best_ratio = ratio;
+        }
+      }
+      if (leave == rows_) return false;  // unbounded
+      pivot(leave, enter, objective, objective_value);
+    }
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+  std::vector<std::size_t> basis_;
+  std::vector<bool> blocked_;
+};
+
+}  // namespace
+
+LpResult solve_lp_relaxation(const IlpModel& model) {
+  const std::size_t n = model.num_variables();
+  for (std::size_t v = 0; v < n; ++v)
+    FDLSP_REQUIRE(std::isfinite(model.lower_bound(v)),
+                  "simplex requires finite lower bounds");
+
+  // Row set: model constraints plus upper-bound rows for shifted variables.
+  struct Row {
+    std::vector<LinearTerm> terms;
+    Sense sense;
+    double rhs;
+  };
+  std::vector<Row> rows;
+  rows.reserve(model.num_constraints() + n);
+  for (std::size_t i = 0; i < model.num_constraints(); ++i) {
+    const LinearConstraint& c = model.constraint(i);
+    Row row{c.terms, c.sense, c.rhs};
+    // Shift: x = x' + lower  =>  subtract sum(coef * lower) from rhs.
+    for (const LinearTerm& term : c.terms)
+      row.rhs -= term.coefficient * model.lower_bound(term.var);
+    rows.push_back(std::move(row));
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    const double span = model.upper_bound(v) - model.lower_bound(v);
+    if (std::isfinite(span))
+      rows.push_back(Row{{{v, 1.0}}, Sense::kLessEqual, span});
+  }
+
+  // Count extra columns: one slack/surplus per inequality, one artificial
+  // per >=-or-== row (after rhs normalization to >= 0).
+  for (Row& row : rows) {
+    if (row.rhs < 0) {
+      for (LinearTerm& term : row.terms) term.coefficient = -term.coefficient;
+      row.rhs = -row.rhs;
+      if (row.sense == Sense::kLessEqual)
+        row.sense = Sense::kGreaterEqual;
+      else if (row.sense == Sense::kGreaterEqual)
+        row.sense = Sense::kLessEqual;
+    }
+  }
+  std::size_t slack_count = 0;
+  std::size_t artificial_count = 0;
+  for (const Row& row : rows) {
+    if (row.sense != Sense::kEqual) ++slack_count;
+    if (row.sense != Sense::kLessEqual) ++artificial_count;
+  }
+
+  const std::size_t cols = n + slack_count + artificial_count;
+  Tableau tableau(rows.size(), cols);
+  std::size_t next_slack = n;
+  std::size_t next_artificial = n + slack_count;
+  std::vector<bool> is_artificial(cols, false);
+
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (const LinearTerm& term : rows[r].terms)
+      tableau.at(r, term.var) += term.coefficient;
+    tableau.rhs(r) = rows[r].rhs;
+    switch (rows[r].sense) {
+      case Sense::kLessEqual:
+        tableau.at(r, next_slack) = 1.0;
+        tableau.basis(r) = next_slack++;
+        break;
+      case Sense::kGreaterEqual:
+        tableau.at(r, next_slack) = -1.0;
+        ++next_slack;
+        tableau.at(r, next_artificial) = 1.0;
+        is_artificial[next_artificial] = true;
+        tableau.basis(r) = next_artificial++;
+        break;
+      case Sense::kEqual:
+        tableau.at(r, next_artificial) = 1.0;
+        is_artificial[next_artificial] = true;
+        tableau.basis(r) = next_artificial++;
+        break;
+    }
+  }
+
+  LpResult result;
+
+  // Phase 1: minimize the sum of artificials.
+  if (artificial_count > 0) {
+    std::vector<double> phase1(cols, 0.0);
+    double phase1_value = 0.0;
+    for (std::size_t c = 0; c < cols; ++c)
+      if (is_artificial[c]) phase1[c] = 1.0;
+    // Make reduced costs consistent with the starting basis.
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      if (!is_artificial[tableau.basis(r)]) continue;
+      for (std::size_t c = 0; c < cols; ++c) phase1[c] -= tableau.at(r, c);
+      phase1_value -= tableau.rhs(r);
+    }
+    if (!tableau.optimize(phase1, phase1_value)) {
+      result.status = LpStatus::kInfeasible;  // phase 1 cannot be unbounded
+      return result;
+    }
+    if (-phase1_value > 1e-7) {  // objective_value accumulates as negative
+      result.status = LpStatus::kInfeasible;
+      return result;
+    }
+    // Drive leftover artificials out of the basis where possible.
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      if (!is_artificial[tableau.basis(r)]) continue;
+      std::size_t enter = cols;
+      for (std::size_t c = 0; c < n + slack_count; ++c) {
+        if (std::abs(tableau.at(r, c)) > kEps) {
+          enter = c;
+          break;
+        }
+      }
+      if (enter != cols) {
+        double dummy_value = 0.0;
+        std::vector<double> dummy(cols, 0.0);
+        tableau.pivot(r, enter, dummy, dummy_value);
+      }
+      // Otherwise the row is redundant; the artificial stays at value 0.
+    }
+    tableau.block_columns(is_artificial);
+  }
+
+  // Phase 2: original objective (shifted constant folded in afterwards).
+  const double sign =
+      model.objective_direction() == Objective::kMinimize ? 1.0 : -1.0;
+  std::vector<double> objective(cols, 0.0);
+  double objective_value = 0.0;
+  double shift_constant = 0.0;
+  for (const LinearTerm& term : model.objective_terms()) {
+    objective[term.var] += sign * term.coefficient;
+    shift_constant += term.coefficient * model.lower_bound(term.var);
+  }
+  // Price out the current basis.
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const double coef = objective[tableau.basis(r)];
+    if (std::abs(coef) < kEps) continue;
+    for (std::size_t c = 0; c < cols; ++c)
+      objective[c] -= coef * tableau.at(r, c);
+    objective_value -= coef * tableau.rhs(r);
+  }
+  if (!tableau.optimize(objective, objective_value)) {
+    result.status = LpStatus::kUnbounded;
+    return result;
+  }
+
+  // Extract solution (shift back).
+  std::vector<double> x(n, 0.0);
+  for (std::size_t r = 0; r < rows.size(); ++r)
+    if (tableau.basis(r) < n) x[tableau.basis(r)] = tableau.rhs(r);
+  for (std::size_t v = 0; v < n; ++v) x[v] += model.lower_bound(v);
+
+  result.status = LpStatus::kOptimal;
+  result.x = std::move(x);
+  // objective_value tracks -(z of the sign-adjusted shifted problem).
+  result.objective = sign * (-objective_value) + shift_constant;
+  return result;
+}
+
+}  // namespace fdlsp

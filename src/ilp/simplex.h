@@ -1,0 +1,29 @@
+// Two-phase primal simplex for the LP relaxation of an IlpModel.
+//
+// Dense tableau with Bland's anti-cycling rule: simple, deterministic, and
+// fast enough for the small FDLSP instances the ILP path targets (Table 1).
+// Variable bounds are handled by shifting to x >= 0 and adding explicit
+// upper-bound rows.
+#pragma once
+
+#include <vector>
+
+#include "ilp/model.h"
+
+namespace fdlsp {
+
+/// Outcome of an LP solve.
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded };
+
+/// LP solution.
+struct LpResult {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> x;  ///< values of the model's variables (empty unless optimal)
+};
+
+/// Solves the LP relaxation of `model` (integrality dropped). Requires every
+/// variable to have a finite lower bound.
+LpResult solve_lp_relaxation(const IlpModel& model);
+
+}  // namespace fdlsp

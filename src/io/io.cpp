@@ -1,0 +1,156 @@
+#include "io/io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "graph/arcs.h"
+#include "support/check.h"
+
+namespace fdlsp {
+
+namespace {
+
+/// Reads the next meaningful line (skipping blanks and '#' comments).
+bool next_line(std::istream& is, std::string& line) {
+  while (std::getline(is, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void write_graph(std::ostream& os, const Graph& graph,
+                 const std::vector<Point>* positions) {
+  os << "graph " << graph.num_nodes() << ' ' << graph.num_edges() << '\n';
+  for (const Edge& e : graph.edges()) os << "e " << e.u << ' ' << e.v << '\n';
+  if (positions) {
+    FDLSP_REQUIRE(positions->size() == graph.num_nodes(),
+                  "positions must cover every node");
+    // Round-trip exactly: max_digits10 preserves the double bit pattern.
+    const auto saved_precision = os.precision();
+    os << std::setprecision(std::numeric_limits<double>::max_digits10);
+    for (NodeId v = 0; v < graph.num_nodes(); ++v)
+      os << "pos " << v << ' ' << (*positions)[v].x << ' '
+         << (*positions)[v].y << '\n';
+    os << std::setprecision(static_cast<int>(saved_precision));
+  }
+}
+
+GeometricGraph read_graph(std::istream& is) {
+  std::string line;
+  FDLSP_REQUIRE(next_line(is, line), "missing graph header");
+  std::istringstream header(line);
+  std::string keyword;
+  std::size_t n = 0, m = 0;
+  header >> keyword >> n >> m;
+  FDLSP_REQUIRE(keyword == "graph" && !header.fail(),
+                "malformed graph header");
+
+  GraphBuilder builder(n);
+  std::vector<Point> positions;
+  for (std::size_t i = 0; i < m; ++i) {
+    FDLSP_REQUIRE(next_line(is, line), "missing edge line");
+    std::istringstream edge_line(line);
+    NodeId u = 0, v = 0;
+    edge_line >> keyword >> u >> v;
+    FDLSP_REQUIRE(keyword == "e" && !edge_line.fail(), "malformed edge line");
+    builder.add_edge(u, v);
+  }
+  while (next_line(is, line)) {
+    std::istringstream pos_line(line);
+    NodeId v = 0;
+    Point p;
+    pos_line >> keyword >> v >> p.x >> p.y;
+    FDLSP_REQUIRE(keyword == "pos" && !pos_line.fail() && v < n,
+                  "malformed position line");
+    if (positions.empty()) positions.resize(n);
+    positions[v] = p;
+  }
+  return GeometricGraph{builder.build(), std::move(positions)};
+}
+
+void write_schedule(std::ostream& os, const ArcColoring& coloring) {
+  os << "schedule " << coloring.num_arcs() << '\n';
+  for (ArcId a = 0; a < coloring.num_arcs(); ++a)
+    os << "a " << a << ' ' << coloring.color(a) << '\n';
+}
+
+ArcColoring read_schedule(std::istream& is) {
+  std::string line;
+  FDLSP_REQUIRE(next_line(is, line), "missing schedule header");
+  std::istringstream header(line);
+  std::string keyword;
+  std::size_t num_arcs = 0;
+  header >> keyword >> num_arcs;
+  FDLSP_REQUIRE(keyword == "schedule" && !header.fail(),
+                "malformed schedule header");
+  ArcColoring coloring(num_arcs);
+  for (std::size_t i = 0; i < num_arcs; ++i) {
+    FDLSP_REQUIRE(next_line(is, line), "missing arc line");
+    std::istringstream arc_line(line);
+    ArcId a = 0;
+    Color c = kNoColor;
+    arc_line >> keyword >> a >> c;
+    FDLSP_REQUIRE(keyword == "a" && !arc_line.fail() && a < num_arcs,
+                  "malformed arc line");
+    if (c != kNoColor) coloring.set(a, c);
+  }
+  return coloring;
+}
+
+void write_dot(std::ostream& os, const Graph& graph,
+               const ArcColoring* coloring) {
+  if (!coloring) {
+    os << "graph fdlsp {\n";
+    for (const Edge& e : graph.edges())
+      os << "  " << e.u << " -- " << e.v << ";\n";
+    os << "}\n";
+    return;
+  }
+  const ArcView view(graph);
+  os << "digraph fdlsp {\n";
+  for (ArcId a = 0; a < view.num_arcs(); ++a) {
+    os << "  " << view.tail(a) << " -> " << view.head(a);
+    if (coloring->is_colored(a))
+      os << " [label=\"" << coloring->color(a) << "\"]";
+    os << ";\n";
+  }
+  os << "}\n";
+}
+
+void save_graph_file(const std::string& path, const Graph& graph,
+                     const std::vector<Point>* positions) {
+  std::ofstream file(path);
+  FDLSP_REQUIRE(file.good(), "cannot open file for writing");
+  write_graph(file, graph, positions);
+  FDLSP_REQUIRE(file.good(), "graph write failed");
+}
+
+GeometricGraph load_graph_file(const std::string& path) {
+  std::ifstream file(path);
+  FDLSP_REQUIRE(file.good(), "cannot open file for reading");
+  return read_graph(file);
+}
+
+void save_schedule_file(const std::string& path, const ArcColoring& coloring) {
+  std::ofstream file(path);
+  FDLSP_REQUIRE(file.good(), "cannot open file for writing");
+  write_schedule(file, coloring);
+  FDLSP_REQUIRE(file.good(), "schedule write failed");
+}
+
+ArcColoring load_schedule_file(const std::string& path) {
+  std::ifstream file(path);
+  FDLSP_REQUIRE(file.good(), "cannot open file for reading");
+  return read_schedule(file);
+}
+
+}  // namespace fdlsp

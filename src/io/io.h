@@ -1,0 +1,52 @@
+// (include as "io/io.h")
+// Text serialization for graphs, positions and schedules, plus Graphviz
+// export — the glue a deployed toolchain needs to move topologies and
+// frames between the scheduler and the sensors' configuration images.
+//
+// Graph format (line-oriented, '#' comments):
+//   graph <num_nodes> <num_edges>
+//   e <u> <v>                # one line per edge, in EdgeId order
+//   pos <node> <x> <y>       # optional, geometric graphs only
+//
+// Schedule format:
+//   schedule <num_arcs>
+//   a <arc> <color>          # one line per arc
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "coloring/coloring.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+
+namespace fdlsp {
+
+/// Writes a graph (and positions, if given) in the text format above.
+void write_graph(std::ostream& os, const Graph& graph,
+                 const std::vector<Point>* positions = nullptr);
+
+/// Parses the text format; throws contract_error on malformed input.
+GeometricGraph read_graph(std::istream& is);
+
+/// Writes an arc coloring.
+void write_schedule(std::ostream& os, const ArcColoring& coloring);
+
+/// Parses an arc coloring; throws contract_error on malformed input.
+ArcColoring read_schedule(std::istream& is);
+
+/// Graphviz dot export; arcs are labelled with their slot when a coloring
+/// is supplied, otherwise plain undirected edges are emitted.
+void write_dot(std::ostream& os, const Graph& graph,
+               const ArcColoring* coloring = nullptr);
+
+/// Convenience file wrappers (throw contract_error on I/O failure).
+void save_graph_file(const std::string& path, const Graph& graph,
+                     const std::vector<Point>* positions = nullptr);
+GeometricGraph load_graph_file(const std::string& path);
+void save_schedule_file(const std::string& path, const ArcColoring& coloring);
+ArcColoring load_schedule_file(const std::string& path);
+
+}  // namespace fdlsp

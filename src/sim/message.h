@@ -1,0 +1,22 @@
+// Message type exchanged by simulated sensor nodes.
+//
+// Payloads are small integer vectors: every quantity the paper's algorithms
+// exchange (ids, random draws, arc colors, TTLs) fits, and a single concrete
+// type keeps both engines simple. Tags namespace the protocol per algorithm.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace fdlsp {
+
+/// One network message. `from` is filled in by the engine on send.
+struct Message {
+  NodeId from = kNoNode;
+  std::int32_t tag = 0;
+  std::vector<std::int64_t> data;
+};
+
+}  // namespace fdlsp

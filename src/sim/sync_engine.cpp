@@ -1,0 +1,85 @@
+#include "sim/sync_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/check.h"
+
+namespace fdlsp {
+
+void SyncContext::send(NodeId to, Message message) {
+  message.from = self_;
+  engine_->deliver(self_, to, std::move(message));
+}
+
+void SyncContext::broadcast(Message message) {
+  for (const NeighborEntry& entry : neighbors_) send(entry.to, message);
+}
+
+SyncEngine::SyncEngine(const Graph& graph,
+                       std::vector<std::unique_ptr<SyncProgram>> programs)
+    : graph_(graph), programs_(std::move(programs)) {
+  FDLSP_REQUIRE(programs_.size() == graph_.num_nodes(),
+                "one program per node required");
+  inbox_.resize(programs_.size());
+  next_inbox_.resize(programs_.size());
+}
+
+void SyncEngine::deliver(NodeId from, NodeId to, Message message) {
+  FDLSP_REQUIRE(graph_.has_edge(from, to),
+                "nodes may only message direct neighbors");
+  next_inbox_[to].push_back(std::move(message));
+  ++pending_messages_;
+  ++total_messages_;
+}
+
+SyncMetrics SyncEngine::run(std::size_t max_rounds) {
+  SyncMetrics metrics;
+  std::size_t phase = 0;
+  const std::size_t n = graph_.num_nodes();
+
+  auto all_finished = [&] {
+    return std::all_of(programs_.begin(), programs_.end(),
+                       [](const auto& p) { return p->finished(); });
+  };
+
+  while (metrics.rounds < max_rounds) {
+    if (all_finished()) {
+      metrics.completed = true;
+      break;
+    }
+
+    // Barrier: when nothing is in flight and everyone votes ready, advance
+    // the phase counter instead of burning an idle round.
+    if (pending_messages_ == 0 &&
+        std::all_of(programs_.begin(), programs_.end(), [](const auto& p) {
+          return p->finished() || p->ready_for_phase_advance();
+        })) {
+      ++phase;
+      ++metrics.phases;
+      for (auto& program : programs_) program->on_phase(phase);
+      if (all_finished()) {
+        metrics.completed = true;
+        break;
+      }
+    }
+
+    // Swap buffers: messages sent last round become this round's inboxes.
+    inbox_.swap(next_inbox_);
+    for (auto& box : next_inbox_) box.clear();
+    pending_messages_ = 0;
+
+    for (NodeId v = 0; v < n; ++v) {
+      if (programs_[v]->finished() && inbox_[v].empty()) continue;
+      SyncContext ctx(*this, v, graph_.neighbors(v), metrics.rounds, phase);
+      programs_[v]->on_round(ctx, inbox_[v]);
+    }
+    ++metrics.rounds;
+  }
+
+  metrics.messages = total_messages_;
+  if (!metrics.completed) metrics.completed = all_finished();
+  return metrics;
+}
+
+}  // namespace fdlsp

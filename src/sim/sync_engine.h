@@ -1,0 +1,126 @@
+// Synchronous message-passing engine (the paper's synchronous LOCAL model).
+//
+// Execution proceeds in lock-step rounds. In round r every node reads the
+// messages its neighbors sent in round r-1, computes, and sends messages to
+// neighbors. Nodes only ever address direct neighbors — multi-hop knowledge
+// must be relayed, which is exactly what makes round counts meaningful.
+//
+// Phase barriers: distributed algorithms built from subroutines with
+// data-dependent length (e.g. Luby's MIS inside DistMIS) need to agree
+// globally that a subroutine has converged. Real deployments do this with a
+// convergecast or a known round bound; the engine models it as a *barrier*:
+// when every node votes ready, the engine advances the global phase counter
+// without consuming a communication round. DESIGN.md discusses this
+// substitution; round counts reported by the engine are the communication
+// rounds actually consumed.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/message.h"
+
+namespace fdlsp {
+
+class SyncEngine;
+
+/// Per-round context handed to a node program; valid only during on_round.
+class SyncContext {
+ public:
+  /// This node's id.
+  NodeId self() const noexcept { return self_; }
+
+  /// Current round number (0-based).
+  std::size_t round() const noexcept { return round_; }
+
+  /// Current phase counter (incremented by barriers).
+  std::size_t phase() const noexcept { return phase_; }
+
+  /// Direct neighbors of this node (local topology knowledge).
+  std::span<const NeighborEntry> neighbors() const noexcept {
+    return neighbors_;
+  }
+
+  /// Sends a message to a direct neighbor, delivered next round.
+  void send(NodeId to, Message message);
+
+  /// Sends a copy of the message to every neighbor.
+  void broadcast(Message message);
+
+ private:
+  friend class SyncEngine;
+  SyncContext(SyncEngine& engine, NodeId self,
+              std::span<const NeighborEntry> neighbors, std::size_t round,
+              std::size_t phase)
+      : engine_(&engine),
+        self_(self),
+        neighbors_(neighbors),
+        round_(round),
+        phase_(phase) {}
+
+  SyncEngine* engine_;
+  NodeId self_;
+  std::span<const NeighborEntry> neighbors_;
+  std::size_t round_;
+  std::size_t phase_;
+};
+
+/// A node program for the synchronous engine.
+class SyncProgram {
+ public:
+  virtual ~SyncProgram() = default;
+
+  /// Executes one round: consume this round's inbox, send next round's
+  /// messages. Called once per round for every node, in unspecified order
+  /// (sends are buffered, so order cannot be observed).
+  virtual void on_round(SyncContext& ctx, std::span<const Message> inbox) = 0;
+
+  /// True when this node is ready for the current phase to end. The engine
+  /// advances the phase (calling on_phase on everyone) once all nodes vote
+  /// ready *and* no messages are in flight.
+  virtual bool ready_for_phase_advance() const = 0;
+
+  /// Notification that the global phase counter advanced.
+  virtual void on_phase(std::size_t new_phase) = 0;
+
+  /// True when this node has terminated. The run ends when all nodes have.
+  virtual bool finished() const = 0;
+};
+
+/// Metrics of a synchronous run.
+struct SyncMetrics {
+  std::size_t rounds = 0;    ///< communication rounds consumed
+  std::size_t messages = 0;  ///< total point-to-point messages sent
+  std::size_t phases = 0;    ///< barrier advances performed
+  bool completed = false;    ///< all nodes finished within the round cap
+};
+
+/// Drives a set of SyncPrograms over a communication graph.
+class SyncEngine {
+ public:
+  /// The graph must outlive the engine. One program per node, same order.
+  SyncEngine(const Graph& graph,
+             std::vector<std::unique_ptr<SyncProgram>> programs);
+
+  /// Runs until every program reports finished() or the round cap is hit.
+  SyncMetrics run(std::size_t max_rounds = 1'000'000);
+
+  /// Program of node v (for extracting results after the run).
+  SyncProgram& program(NodeId v) { return *programs_[v]; }
+  const SyncProgram& program(NodeId v) const { return *programs_[v]; }
+
+ private:
+  friend class SyncContext;
+  void deliver(NodeId from, NodeId to, Message message);
+
+  const Graph& graph_;
+  std::vector<std::unique_ptr<SyncProgram>> programs_;
+  std::vector<std::vector<Message>> inbox_;       // delivered this round
+  std::vector<std::vector<Message>> next_inbox_;  // sent this round
+  std::size_t pending_messages_ = 0;
+  std::size_t total_messages_ = 0;
+};
+
+}  // namespace fdlsp

@@ -1,0 +1,51 @@
+// Lightweight precondition / invariant checking.
+//
+// FDLSP_REQUIRE is always on (argument validation at public API boundaries);
+// FDLSP_ASSERT compiles out in NDEBUG builds (internal invariants on hot
+// paths). Both throw rather than abort so tests can assert on violations.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fdlsp {
+
+/// Thrown when a precondition or invariant is violated.
+class contract_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw contract_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace fdlsp
+
+#define FDLSP_REQUIRE(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::fdlsp::detail::contract_fail("precondition", #cond, __FILE__,       \
+                                     __LINE__, (msg));                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define FDLSP_ASSERT(cond, msg) \
+  do {                          \
+  } while (0)
+#else
+#define FDLSP_ASSERT(cond, msg)                                           \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::fdlsp::detail::contract_fail("assertion", #cond, __FILE__,        \
+                                     __LINE__, (msg));                    \
+  } while (0)
+#endif

@@ -1,0 +1,43 @@
+// parallel_for: block-partitioned parallel loop over an index range.
+//
+// The body receives (index, worker_rng&) so stochastic workloads stay
+// deterministic: each index gets an Rng derived from (seed, index), making the
+// result independent of the thread schedule.
+#pragma once
+
+#include <cstddef>
+
+#include "support/rng.h"
+#include "support/thread_pool.h"
+
+namespace fdlsp {
+
+/// Runs body(i) for i in [0, count) across the pool. Blocks until done and
+/// propagates the first exception.
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::size_t count, Body body) {
+  if (count == 0) return;
+  const std::size_t chunks = pool.size() * 4;
+  const std::size_t chunk = (count + chunks - 1) / chunks;
+  for (std::size_t begin = 0; begin < count; begin += chunk) {
+    const std::size_t end = begin + chunk < count ? begin + chunk : count;
+    pool.submit([begin, end, &body] {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    });
+  }
+  pool.wait_idle();
+}
+
+/// Deterministic stochastic variant: body(i, rng) where rng is seeded from
+/// (seed, i) only — results do not depend on thread interleaving.
+template <typename Body>
+void parallel_for_seeded(ThreadPool& pool, std::size_t count,
+                         std::uint64_t seed, Body body) {
+  parallel_for(pool, count, [seed, &body](std::size_t i) {
+    std::uint64_t mix = seed ^ (0xa0761d6478bd642fULL * (i + 1));
+    Rng rng(splitmix64(mix));
+    body(i, rng);
+  });
+}
+
+}  // namespace fdlsp

@@ -1,0 +1,112 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the library (graph generators, Luby's MIS,
+// asynchronous delay models, experiment sweeps) draw from fdlsp::Rng so that
+// every run is reproducible from a single 64-bit seed. The generator is
+// xoshiro256**, seeded via SplitMix64 per the reference recommendation.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "support/check.h"
+
+namespace fdlsp {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** deterministic PRNG. Satisfies UniformRandomBitGenerator so it
+/// can be plugged into <random> distributions, but the member helpers below
+/// are preferred: they are portable across standard libraries.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from one 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound); unbiased via rejection sampling.
+  /// bound must be positive.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    // Reject draws from the final partial block; expected iterations < 2.
+    const std::uint64_t limit = max() - max() % bound;
+    for (;;) {
+      const std::uint64_t x = (*this)();
+      if (x < limit) return x % bound;
+    }
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_below(span));
+  }
+
+  /// Uniform std::size_t index in [0, n).
+  std::size_t next_index(std::size_t n) noexcept {
+    return static_cast<std::size_t>(next_below(n));
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double next_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool next_bool(double p) noexcept { return next_double() < p; }
+
+  /// Fisher–Yates shuffle of a vector-like range, driven by this generator.
+  template <typename T>
+  void shuffle(std::vector<T>& values) noexcept {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const std::size_t j = next_index(i);
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Derives an independent child generator; used to hand each parallel task
+  /// its own stream without sharing mutable state across threads.
+  Rng split() noexcept {
+    return Rng((*this)() ^ 0x9e3779b97f4a7c15ULL);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace fdlsp

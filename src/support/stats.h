@@ -1,0 +1,77 @@
+// Streaming summary statistics (Welford) used when aggregating experiment
+// results over many random instances.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+#include "support/check.h"
+
+namespace fdlsp {
+
+/// Single-pass accumulator for count / mean / variance / min / max.
+class Summary {
+ public:
+  /// Folds one observation into the summary.
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  std::size_t count() const noexcept { return count_; }
+
+  /// Arithmetic mean; requires at least one observation.
+  double mean() const {
+    FDLSP_REQUIRE(count_ > 0, "mean of empty summary");
+    return mean_;
+  }
+
+  /// Unbiased sample variance; 0 for fewer than two observations.
+  double variance() const noexcept {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+
+  /// Sample standard deviation.
+  double stddev() const noexcept { return std::sqrt(variance()); }
+
+  double min() const {
+    FDLSP_REQUIRE(count_ > 0, "min of empty summary");
+    return min_;
+  }
+
+  double max() const {
+    FDLSP_REQUIRE(count_ > 0, "max of empty summary");
+    return max_;
+  }
+
+  /// Merges another summary into this one (parallel reduction step).
+  void merge(const Summary& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double total = static_cast<double>(count_ + other.count_);
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                           static_cast<double>(other.count_) / total;
+    mean_ += delta * static_cast<double>(other.count_) / total;
+    count_ += other.count_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace fdlsp

@@ -1,0 +1,43 @@
+// Plain-text table and CSV rendering for benchmark harness output.
+//
+// Every figure/table reproduction prints through TextTable so the console
+// output mirrors the paper's rows/series, and optionally dumps CSV for
+// external plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fdlsp {
+
+/// A rectangular table of strings with a header row.
+///
+/// Cells are left-aligned text; numeric formatting is the caller's job (see
+/// fmt_double below). Rendering pads every column to its widest cell.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders as an aligned, pipe-separated text table.
+  void print(std::ostream& os) const;
+
+  /// Renders as RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t columns() const noexcept { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision, trimming trailing zeros.
+std::string fmt_double(double value, int precision = 2);
+
+}  // namespace fdlsp

@@ -1,0 +1,30 @@
+// Wall-clock stopwatch for harness-level timing (not for benchmarks — those
+// use google-benchmark's own timing).
+#pragma once
+
+#include <chrono>
+
+namespace fdlsp {
+
+/// Monotonic stopwatch; starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace fdlsp

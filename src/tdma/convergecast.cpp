@@ -1,0 +1,72 @@
+#include "tdma/convergecast.h"
+
+#include "graph/algorithms.h"
+#include "support/check.h"
+
+namespace fdlsp {
+
+ConvergecastReport run_convergecast(const TdmaSchedule& schedule, NodeId sink,
+                                    std::size_t max_frames) {
+  const ArcView& view = schedule.view();
+  const Graph& graph = view.graph();
+  const std::size_t n = graph.num_nodes();
+  FDLSP_REQUIRE(sink < n, "sink out of range");
+
+  // BFS tree: parent pointers toward the sink.
+  const auto dist = bfs_distances(graph, sink);
+  for (std::size_t d : dist)
+    FDLSP_REQUIRE(d != kUnreachable, "convergecast needs a connected graph");
+  std::vector<NodeId> parent(n, kNoNode);
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == sink) continue;
+    for (const NeighborEntry& entry : graph.neighbors(v)) {
+      if (dist[entry.to] + 1 == dist[v]) {
+        parent[v] = entry.to;
+        break;
+      }
+    }
+    FDLSP_ASSERT(parent[v] != kNoNode, "BFS parent must exist");
+  }
+
+  // Which arcs are uplinks (child -> parent)?
+  std::vector<bool> uplink(view.num_arcs(), false);
+  for (NodeId v = 0; v < n; ++v)
+    if (v != sink) uplink[view.find_arc(v, parent[v])] = true;
+
+  ConvergecastReport report;
+  std::vector<std::size_t> queued(n, 1);  // pending packets per node
+  queued[sink] = 0;
+  std::size_t remaining = n - 1;          // packets not yet at the sink
+  std::size_t carrying_slots = 0;
+
+  while (remaining > 0 && report.frames < max_frames) {
+    ++report.frames;
+    for (std::size_t s = 0; s < schedule.frame_length(); ++s) {
+      for (ArcId a : schedule.arcs_in_slot(s)) {
+        if (!uplink[a]) continue;
+        const NodeId child = view.tail(a);
+        if (queued[child] == 0) continue;
+        --queued[child];
+        ++carrying_slots;
+        const NodeId up = view.head(a);
+        if (up == sink) {
+          ++report.packets_delivered;
+          --remaining;
+        } else {
+          ++queued[up];
+        }
+      }
+    }
+  }
+  FDLSP_REQUIRE(remaining == 0, "convergecast did not drain in frame budget");
+
+  report.slots_elapsed = report.frames * schedule.frame_length();
+  report.slot_utilization =
+      report.slots_elapsed == 0
+          ? 0.0
+          : static_cast<double>(carrying_slots) /
+                static_cast<double>(report.slots_elapsed);
+  return report;
+}
+
+}  // namespace fdlsp

@@ -1,0 +1,33 @@
+// Convergecast (data-gathering) replay over a TDMA schedule.
+//
+// The canonical sensor-network workload: every node produces one report per
+// epoch and the reports flow up a BFS tree to the sink, one packet per tree
+// arc per frame (in that arc's slot). The replay measures how many frames an
+// epoch takes and how full the frame's slots actually are — the application-
+// level payoff of a short schedule.
+#pragma once
+
+#include <vector>
+
+#include "graph/types.h"
+#include "tdma/schedule.h"
+
+namespace fdlsp {
+
+/// Result of a full convergecast epoch.
+struct ConvergecastReport {
+  std::size_t frames = 0;            ///< frames until all reports reached sink
+  std::size_t slots_elapsed = 0;     ///< frames * frame_length
+  std::size_t packets_delivered = 0; ///< packets that reached the sink
+  double slot_utilization = 0.0;     ///< fraction of elapsed slots carrying a packet
+};
+
+/// Replays one epoch: every node except the sink starts with one packet;
+/// each frame, every tree arc forwards at most one queued packet in its
+/// slot (a packet can ride several hops in one frame when the slot order
+/// happens to pipeline, exactly as a real TDMA frame would).
+/// The graph must be connected. `max_frames` caps runaway replays.
+ConvergecastReport run_convergecast(const TdmaSchedule& schedule, NodeId sink,
+                                    std::size_t max_frames = 100'000);
+
+}  // namespace fdlsp

@@ -1,0 +1,39 @@
+#include "tdma/energy.h"
+
+#include <algorithm>
+
+namespace fdlsp {
+
+EnergyReport account_energy(const TdmaSchedule& schedule,
+                            const EnergyModel& model) {
+  const std::size_t n = schedule.view().graph().num_nodes();
+  EnergyReport report;
+  report.per_node.resize(n);
+
+  for (NodeId v = 0; v < n; ++v) {
+    NodeEnergy& node = report.per_node[v];
+    for (std::size_t s = 0; s < schedule.frame_length(); ++s) {
+      switch (schedule.role(v, s)) {
+        case SlotRole::kTransmit:
+          ++node.transmit_slots;
+          node.energy += model.transmit_cost;
+          break;
+        case SlotRole::kReceive:
+          ++node.receive_slots;
+          node.energy += model.receive_cost;
+          break;
+        case SlotRole::kIdle:
+          ++node.sleep_slots;
+          node.energy += model.sleep_cost;
+          break;
+      }
+    }
+    report.total_energy += node.energy;
+    report.mean_duty_cycle += node.duty_cycle();
+    report.max_duty_cycle = std::max(report.max_duty_cycle, node.duty_cycle());
+  }
+  if (n > 0) report.mean_duty_cycle /= static_cast<double>(n);
+  return report;
+}
+
+}  // namespace fdlsp

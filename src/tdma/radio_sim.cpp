@@ -1,0 +1,34 @@
+#include "tdma/radio_sim.h"
+
+namespace fdlsp {
+
+RadioReport replay_frame(const TdmaSchedule& schedule) {
+  const ArcView& view = schedule.view();
+  const Graph& graph = view.graph();
+  RadioReport report;
+
+  std::vector<bool> transmitting(graph.num_nodes(), false);
+  for (std::size_t s = 0; s < schedule.frame_length(); ++s) {
+    const auto& arcs = schedule.arcs_in_slot(s);
+    for (ArcId a : arcs) transmitting[view.tail(a)] = true;
+
+    for (ArcId a : arcs) {
+      ++report.scheduled;
+      const NodeId receiver = view.head(a);
+      std::size_t heard = 0;
+      for (const NeighborEntry& entry : graph.neighbors(receiver))
+        if (transmitting[entry.to]) ++heard;
+      const bool self_busy = transmitting[receiver];
+      if (!self_busy && heard == 1) {
+        ++report.delivered;
+      } else {
+        report.failures.push_back(RadioFailure{a, s, heard, self_busy});
+      }
+    }
+
+    for (ArcId a : arcs) transmitting[view.tail(a)] = false;
+  }
+  return report;
+}
+
+}  // namespace fdlsp

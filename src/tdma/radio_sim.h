@@ -1,0 +1,37 @@
+// Physical-layer replay of a TDMA schedule.
+//
+// Plays every slot of a frame: all scheduled transmitters key their radios,
+// every receiver hears the superposition of its transmitting neighbors, and
+// a reception succeeds iff exactly one neighbor transmits (and the receiver
+// itself is silent). This checks the hidden-terminal property *physically*,
+// independent of the conflict predicate — the two must agree, which is what
+// makes the radio simulator a second oracle in tests.
+#pragma once
+
+#include <vector>
+
+#include "tdma/schedule.h"
+
+namespace fdlsp {
+
+/// One failed reception.
+struct RadioFailure {
+  ArcId arc;               ///< the intended transmission
+  std::size_t slot;        ///< slot in which it failed
+  std::size_t interferers; ///< transmitting neighbors heard by the receiver
+  bool receiver_was_transmitting = false;
+};
+
+/// Result of replaying one frame.
+struct RadioReport {
+  std::size_t scheduled = 0;  ///< arcs scheduled over the frame
+  std::size_t delivered = 0;  ///< receptions that succeeded
+  std::vector<RadioFailure> failures;
+
+  bool collision_free() const noexcept { return failures.empty(); }
+};
+
+/// Replays one frame of `schedule` and reports per-arc delivery.
+RadioReport replay_frame(const TdmaSchedule& schedule);
+
+}  // namespace fdlsp

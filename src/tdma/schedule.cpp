@@ -1,0 +1,70 @@
+#include "tdma/schedule.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace fdlsp {
+
+TdmaSchedule::TdmaSchedule(const ArcView& view, const ArcColoring& coloring)
+    : view_(view) {
+  FDLSP_REQUIRE(coloring.num_arcs() == view.num_arcs(),
+                "coloring does not match graph");
+  FDLSP_REQUIRE(coloring.complete(), "schedule needs a complete coloring");
+
+  // Compact used colors to dense slot ids, preserving order.
+  const std::size_t span = coloring.color_span();
+  std::vector<std::size_t> remap(span, static_cast<std::size_t>(-1));
+  std::size_t next_slot = 0;
+  for (std::size_t c = 0; c < span; ++c) {
+    for (ArcId a = 0; a < view.num_arcs(); ++a) {
+      if (static_cast<std::size_t>(coloring.color(a)) == c) {
+        remap[c] = next_slot++;
+        break;
+      }
+    }
+  }
+
+  slots_.resize(next_slot);
+  arc_slot_.resize(view.num_arcs());
+  for (ArcId a = 0; a < view.num_arcs(); ++a) {
+    const std::size_t slot = remap[static_cast<std::size_t>(coloring.color(a))];
+    slots_[slot].push_back(a);
+    arc_slot_[a] = slot;
+  }
+
+  const std::size_t n = view.graph().num_nodes();
+  roles_.assign(n * frame_length(), SlotRole::kIdle);
+  for (std::size_t s = 0; s < frame_length(); ++s) {
+    for (ArcId a : slots_[s]) {
+      auto& tx = roles_[view.tail(a) * frame_length() + s];
+      auto& rx = roles_[view.head(a) * frame_length() + s];
+      FDLSP_REQUIRE(tx != SlotRole::kReceive && rx != SlotRole::kTransmit,
+                    "node scheduled to transmit and receive in one slot");
+      tx = SlotRole::kTransmit;
+      rx = SlotRole::kReceive;
+    }
+  }
+}
+
+SlotRole TdmaSchedule::role(NodeId v, std::size_t s) const {
+  FDLSP_REQUIRE(v < view_.graph().num_nodes() && s < frame_length(),
+                "role query out of range");
+  return roles_[v * frame_length() + s];
+}
+
+std::vector<std::size_t> TdmaSchedule::transmit_slots(NodeId v) const {
+  std::vector<std::size_t> result;
+  for (std::size_t s = 0; s < frame_length(); ++s)
+    if (role(v, s) == SlotRole::kTransmit) result.push_back(s);
+  return result;
+}
+
+std::vector<std::size_t> TdmaSchedule::receive_slots(NodeId v) const {
+  std::vector<std::size_t> result;
+  for (std::size_t s = 0; s < frame_length(); ++s)
+    if (role(v, s) == SlotRole::kReceive) result.push_back(s);
+  return result;
+}
+
+}  // namespace fdlsp

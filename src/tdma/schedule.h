@@ -1,0 +1,57 @@
+// TDMA frame schedule derived from an FDLSP coloring.
+//
+// A color is a slot; the schedule compacts the used colors into a dense
+// 0..frame_length-1 slot range and indexes arcs by slot and nodes by role,
+// which is what the radio simulator, energy model and traffic replays
+// consume.
+#pragma once
+
+#include <vector>
+
+#include "coloring/coloring.h"
+#include "graph/arcs.h"
+#include "graph/types.h"
+
+namespace fdlsp {
+
+/// Role of a node within one slot.
+enum class SlotRole { kIdle, kTransmit, kReceive };
+
+/// Immutable TDMA schedule.
+class TdmaSchedule {
+ public:
+  /// Builds from a complete feasible coloring (feasibility is the caller's
+  /// responsibility; validate_over_radio() re-checks physically).
+  TdmaSchedule(const ArcView& view, const ArcColoring& coloring);
+
+  /// Number of slots per frame.
+  std::size_t frame_length() const noexcept { return slots_.size(); }
+
+  /// Arcs transmitting in slot s.
+  const std::vector<ArcId>& arcs_in_slot(std::size_t s) const {
+    return slots_.at(s);
+  }
+
+  /// Slot of arc a.
+  std::size_t slot_of(ArcId a) const { return arc_slot_.at(a); }
+
+  /// Role of node v in slot s. A feasible schedule never makes a node both.
+  SlotRole role(NodeId v, std::size_t s) const;
+
+  /// Slots in which v transmits (ascending).
+  std::vector<std::size_t> transmit_slots(NodeId v) const;
+
+  /// Slots in which v receives (ascending).
+  std::vector<std::size_t> receive_slots(NodeId v) const;
+
+  const ArcView& view() const noexcept { return view_; }
+
+ private:
+  ArcView view_;
+  std::vector<std::vector<ArcId>> slots_;  // slot -> arcs
+  std::vector<std::size_t> arc_slot_;      // arc -> slot
+  // Per (node, slot) role, row-major n x frame_length.
+  std::vector<SlotRole> roles_;
+};
+
+}  // namespace fdlsp

@@ -1,0 +1,161 @@
+// Tests for the asynchronous event-driven engine.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "graph/generators.h"
+#include "sim/async_engine.h"
+#include "support/check.h"
+
+namespace fdlsp {
+namespace {
+
+/// Relays a counter along a path: node 0 starts, each node forwards right.
+class RelayProgram final : public AsyncProgram {
+ public:
+  RelayProgram(NodeId self, std::size_t n) : self_(self), n_(n) {}
+
+  void on_start(AsyncContext& ctx) override {
+    if (self_ == 0) {
+      Message message;
+      message.tag = 1;
+      message.data = {1};
+      ctx.send(1, std::move(message));
+    }
+  }
+
+  void on_message(AsyncContext& ctx, const Message& message) override {
+    received_ = true;
+    hops_ = message.data[0];
+    if (self_ + 1 < n_) {
+      Message next;
+      next.tag = 1;
+      next.data = {message.data[0] + 1};
+      ctx.send(self_ + 1, std::move(next));
+    }
+  }
+
+  bool finished() const override { return self_ == 0 || received_; }
+  std::int64_t hops() const { return hops_; }
+
+ private:
+  NodeId self_;
+  std::size_t n_;
+  bool received_ = false;
+  std::int64_t hops_ = 0;
+};
+
+TEST(AsyncEngine, UnitDelayRelayTiming) {
+  constexpr std::size_t kNodes = 6;
+  const Graph path = generate_path(kNodes);
+  std::vector<std::unique_ptr<AsyncProgram>> programs;
+  for (NodeId v = 0; v < kNodes; ++v)
+    programs.push_back(std::make_unique<RelayProgram>(v, kNodes));
+  AsyncEngine engine(path, std::move(programs), DelayModel::kUnit);
+  const AsyncMetrics metrics = engine.run();
+  EXPECT_TRUE(metrics.completed);
+  EXPECT_EQ(metrics.messages, kNodes - 1);
+  EXPECT_DOUBLE_EQ(metrics.completion_time, static_cast<double>(kNodes - 1));
+  EXPECT_EQ(static_cast<RelayProgram&>(engine.program(kNodes - 1)).hops(),
+            static_cast<std::int64_t>(kNodes - 1));
+}
+
+TEST(AsyncEngine, RandomDelayStillCompletes) {
+  constexpr std::size_t kNodes = 6;
+  const Graph path = generate_path(kNodes);
+  std::vector<std::unique_ptr<AsyncProgram>> programs;
+  for (NodeId v = 0; v < kNodes; ++v)
+    programs.push_back(std::make_unique<RelayProgram>(v, kNodes));
+  AsyncEngine engine(path, std::move(programs), DelayModel::kUniformRandom, 7);
+  const AsyncMetrics metrics = engine.run();
+  EXPECT_TRUE(metrics.completed);
+  EXPECT_GT(metrics.completion_time, 0.0);
+  EXPECT_LE(metrics.completion_time, static_cast<double>(kNodes - 1) + 1e-6);
+}
+
+/// Sends a burst of sequence-numbered messages to one neighbor.
+class BurstSender final : public AsyncProgram {
+ public:
+  void on_start(AsyncContext& ctx) override {
+    for (std::int64_t i = 0; i < 50; ++i) {
+      Message message;
+      message.tag = 1;
+      message.data = {i};
+      ctx.send(1, std::move(message));
+    }
+  }
+  void on_message(AsyncContext&, const Message&) override {}
+  bool finished() const override { return true; }
+};
+
+class OrderChecker final : public AsyncProgram {
+ public:
+  void on_start(AsyncContext&) override {}
+  void on_message(AsyncContext&, const Message& message) override {
+    in_order_ &= (message.data[0] == expected_);
+    ++expected_;
+  }
+  bool finished() const override { return expected_ == 50; }
+  bool in_order() const { return in_order_; }
+
+ private:
+  std::int64_t expected_ = 0;
+  bool in_order_ = true;
+};
+
+TEST(AsyncEngine, ChannelsAreFifoUnderRandomDelays) {
+  const Graph path = generate_path(2);
+  std::vector<std::unique_ptr<AsyncProgram>> programs;
+  programs.push_back(std::make_unique<BurstSender>());
+  programs.push_back(std::make_unique<OrderChecker>());
+  AsyncEngine engine(path, std::move(programs), DelayModel::kUniformRandom,
+                     1234);
+  const AsyncMetrics metrics = engine.run();
+  EXPECT_TRUE(metrics.completed);
+  EXPECT_TRUE(static_cast<OrderChecker&>(engine.program(1)).in_order());
+}
+
+class IllegalAsyncSender final : public AsyncProgram {
+ public:
+  void on_start(AsyncContext& ctx) override {
+    Message message;
+    message.tag = 1;
+    ctx.send(2, std::move(message));  // not a neighbor on a path
+  }
+  void on_message(AsyncContext&, const Message&) override {}
+  bool finished() const override { return true; }
+};
+
+class SilentProgram final : public AsyncProgram {
+ public:
+  void on_start(AsyncContext&) override {}
+  void on_message(AsyncContext&, const Message&) override {}
+  bool finished() const override { return true; }
+};
+
+TEST(AsyncEngine, RejectsNonNeighborSend) {
+  const Graph path = generate_path(3);
+  std::vector<std::unique_ptr<AsyncProgram>> programs;
+  programs.push_back(std::make_unique<IllegalAsyncSender>());
+  programs.push_back(std::make_unique<SilentProgram>());
+  programs.push_back(std::make_unique<SilentProgram>());
+  AsyncEngine engine(path, std::move(programs));
+  EXPECT_THROW(engine.run(), contract_error);
+}
+
+TEST(AsyncEngine, DeterministicUnderSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    const Graph path = generate_path(6);
+    std::vector<std::unique_ptr<AsyncProgram>> programs;
+    for (NodeId v = 0; v < 6; ++v)
+      programs.push_back(std::make_unique<RelayProgram>(v, 6));
+    AsyncEngine engine(path, std::move(programs), DelayModel::kUniformRandom,
+                       seed);
+    return engine.run().completion_time;
+  };
+  EXPECT_DOUBLE_EQ(run_once(5), run_once(5));
+  EXPECT_NE(run_once(5), run_once(6));
+}
+
+}  // namespace
+}  // namespace fdlsp

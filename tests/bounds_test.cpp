@@ -1,0 +1,89 @@
+// Tests for the Theorem 1 lower bound and the 2Δ² upper bound.
+#include <gtest/gtest.h>
+
+#include "coloring/bounds.h"
+#include "coloring/checker.h"
+#include "coloring/greedy.h"
+#include "graph/arcs.h"
+#include "graph/generators.h"
+#include "support/rng.h"
+
+namespace fdlsp {
+namespace {
+
+TEST(LowerBound, TreeIsTwoDelta) {
+  const Graph star = generate_star(7);
+  EXPECT_EQ(lower_bound_trivial(star), 12u);
+  EXPECT_EQ(lower_bound_theorem1(star), 12u);  // no triangles: stays 2Δ
+}
+
+TEST(LowerBound, CompleteGraphsAreTight) {
+  // Theorem 1 is tight on complete graphs: Δ² + Δ slots needed, and
+  // 2(δ + cluster + joint) reaches it.
+  for (std::size_t n : {3u, 4u, 5u, 6u}) {
+    const Graph complete = generate_complete(n);
+    const std::size_t delta = n - 1;
+    EXPECT_EQ(lower_bound_theorem1(complete), delta * delta + delta)
+        << "K_" << n;
+  }
+}
+
+TEST(LowerBound, K4MatchesPaperTable) {
+  // Table 1: ILP(K4) = 12 and the bound reaches it: 2*(3 + 2 + 1).
+  EXPECT_EQ(lower_bound_theorem1(generate_complete(4)), 12u);
+  // Table 1: ILP(K5) = 20 = 2*(4 + 3 + 3).
+  EXPECT_EQ(lower_bound_theorem1(generate_complete(5)), 20u);
+}
+
+TEST(LowerBound, CyclesGiveFour) {
+  EXPECT_EQ(lower_bound_theorem1(generate_cycle(8)), 4u);
+  EXPECT_EQ(lower_bound_theorem1(generate_cycle(7)), 4u);  // odd: bound not tight (needs 6)
+}
+
+TEST(LowerBound, TriangleIsSix) {
+  // K3: 2*(2 + 1 + 0) = 6 = Δ² + Δ.
+  EXPECT_EQ(lower_bound_theorem1(generate_complete(3)), 6u);
+}
+
+TEST(LowerBound, AtLeastTrivialEverywhere) {
+  Rng rng(19);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph graph = generate_gnm(30, 70, rng);
+    EXPECT_GE(lower_bound_theorem1(graph), lower_bound_trivial(graph));
+  }
+}
+
+TEST(UpperBound, Formula) {
+  EXPECT_EQ(upper_bound_colors(generate_path(2)), 2u);    // Δ=1
+  EXPECT_EQ(upper_bound_colors(generate_cycle(5)), 8u);   // Δ=2
+  EXPECT_EQ(upper_bound_colors(generate_complete(5)), 32u);
+  EXPECT_EQ(upper_bound_colors(Graph(4)), 0u);
+}
+
+TEST(Bounds, SandwichGreedyOnRandomGraphs) {
+  Rng rng(29);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph graph = generate_gnm(25, 60, rng);
+    const ArcView view(graph);
+    const ArcColoring coloring = greedy_coloring(view);
+    ASSERT_TRUE(is_feasible_schedule(view, coloring));
+    EXPECT_GE(coloring.num_colors_used(), lower_bound_theorem1(graph));
+    EXPECT_LE(coloring.num_colors_used(), upper_bound_colors(graph));
+  }
+}
+
+TEST(Bounds, SandwichGreedyOnUdg) {
+  Rng rng(31);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto geo = generate_udg(80, 6.0, 0.7, rng);
+    if (geo.graph.num_edges() == 0) continue;
+    const ArcView view(geo.graph);
+    const ArcColoring coloring = greedy_coloring(view);
+    ASSERT_TRUE(is_feasible_schedule(view, coloring));
+    EXPECT_GE(coloring.num_colors_used(), lower_bound_theorem1(geo.graph));
+    EXPECT_LE(coloring.num_colors_used(), upper_bound_colors(geo.graph));
+  }
+}
+
+}  // namespace
+}  // namespace fdlsp

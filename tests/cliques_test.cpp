@@ -1,0 +1,79 @@
+// Tests for Bron–Kerbosch clique search.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/cliques.h"
+#include "graph/generators.h"
+#include "support/rng.h"
+
+namespace fdlsp {
+namespace {
+
+TEST(MaxClique, KnownGraphs) {
+  EXPECT_EQ(max_clique_size(generate_complete(6)), 6u);
+  EXPECT_EQ(max_clique_size(generate_cycle(5)), 2u);
+  EXPECT_EQ(max_clique_size(generate_complete_bipartite(3, 3)), 2u);
+  EXPECT_EQ(max_clique_size(generate_path(4)), 2u);
+  EXPECT_EQ(max_clique_size(Graph(3)), 1u);
+  EXPECT_EQ(max_clique_size(Graph(0)), 0u);
+}
+
+TEST(MaxClique, TriangleWithPendant) {
+  GraphBuilder builder(4);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 2);
+  builder.add_edge(0, 2);
+  builder.add_edge(2, 3);
+  EXPECT_EQ(max_clique_size(builder.build()), 3u);
+}
+
+TEST(MaxCliqueWithin, RestrictsToSubset) {
+  const Graph complete = generate_complete(6);
+  EXPECT_EQ(max_clique_size_within(complete, {0, 2, 4}), 3u);
+  EXPECT_EQ(max_clique_size_within(complete, {1}), 1u);
+  EXPECT_EQ(max_clique_size_within(complete, {}), 0u);
+}
+
+TEST(MaximalCliques, EnumeratesAll) {
+  // Two triangles sharing an edge: 0-1-2 and 1-2-3.
+  GraphBuilder builder(4);
+  builder.add_edge(0, 1);
+  builder.add_edge(0, 2);
+  builder.add_edge(1, 2);
+  builder.add_edge(1, 3);
+  builder.add_edge(2, 3);
+  auto cliques = maximal_cliques(builder.build());
+  std::sort(cliques.begin(), cliques.end());
+  ASSERT_EQ(cliques.size(), 2u);
+  EXPECT_EQ(cliques[0], (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(cliques[1], (std::vector<NodeId>{1, 2, 3}));
+}
+
+TEST(MaximalCliques, CoverAllEdgesOnRandomGraphs) {
+  Rng rng(3);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph graph = generate_gnm(18, 40, rng);
+    const auto cliques = maximal_cliques(graph);
+    // Every edge must be inside some maximal clique; every clique is a clique.
+    for (const auto& clique : cliques)
+      for (std::size_t i = 0; i < clique.size(); ++i)
+        for (std::size_t j = i + 1; j < clique.size(); ++j)
+          EXPECT_TRUE(graph.has_edge(clique[i], clique[j]));
+    for (const Edge& e : graph.edges()) {
+      const bool covered = std::any_of(
+          cliques.begin(), cliques.end(), [&](const auto& clique) {
+            return std::binary_search(clique.begin(), clique.end(), e.u) &&
+                   std::binary_search(clique.begin(), clique.end(), e.v);
+          });
+      EXPECT_TRUE(covered);
+    }
+    // Max clique size agrees with the enumeration.
+    std::size_t best = 0;
+    for (const auto& clique : cliques) best = std::max(best, clique.size());
+    EXPECT_EQ(max_clique_size(graph), best);
+  }
+}
+
+}  // namespace
+}  // namespace fdlsp

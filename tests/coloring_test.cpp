@@ -1,0 +1,135 @@
+// Tests for ArcColoring, the feasibility checker, and greedy coloring.
+#include <gtest/gtest.h>
+
+#include "coloring/checker.h"
+#include "coloring/conflict.h"
+#include "coloring/bounds.h"
+#include "coloring/greedy.h"
+#include "graph/arcs.h"
+#include "graph/generators.h"
+#include "support/rng.h"
+
+namespace fdlsp {
+namespace {
+
+TEST(ArcColoring, TracksAssignments) {
+  ArcColoring coloring(4);
+  EXPECT_EQ(coloring.num_arcs(), 4u);
+  EXPECT_FALSE(coloring.is_colored(0));
+  EXPECT_EQ(coloring.num_colored(), 0u);
+  coloring.set(0, 2);
+  coloring.set(1, 0);
+  EXPECT_TRUE(coloring.is_colored(0));
+  EXPECT_EQ(coloring.color(0), 2);
+  EXPECT_EQ(coloring.num_colored(), 2u);
+  EXPECT_FALSE(coloring.complete());
+  coloring.set(2, 2);
+  coloring.set(3, 1);
+  EXPECT_TRUE(coloring.complete());
+  EXPECT_EQ(coloring.num_colors_used(), 3u);
+  EXPECT_EQ(coloring.color_span(), 3u);
+}
+
+TEST(ArcColoring, ClearAndRecolor) {
+  ArcColoring coloring(2);
+  coloring.set(0, 5);
+  coloring.clear(0);
+  EXPECT_FALSE(coloring.is_colored(0));
+  EXPECT_EQ(coloring.num_colored(), 0u);
+  coloring.set(0, 1);
+  EXPECT_EQ(coloring.color(0), 1);
+}
+
+TEST(ArcColoring, CountsDistinctColorsWithGaps) {
+  ArcColoring coloring(3);
+  coloring.set(0, 0);
+  coloring.set(1, 5);
+  coloring.set(2, 5);
+  EXPECT_EQ(coloring.num_colors_used(), 2u);
+  EXPECT_EQ(coloring.color_span(), 6u);
+}
+
+TEST(Checker, DetectsHiddenTerminalViolation) {
+  const Graph path = generate_path(4);
+  const ArcView view(path);
+  ArcColoring coloring(view.num_arcs());
+  coloring.set(view.find_arc(0, 1), 0);
+  coloring.set(view.find_arc(2, 3), 0);  // conflicts: 2 adjacent to head 1
+  const auto witness = find_violation(view, coloring);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_FALSE(is_feasible_schedule(view, coloring));
+}
+
+TEST(Checker, AcceptsPartialNonConflicting) {
+  const Graph path = generate_path(4);
+  const ArcView view(path);
+  ArcColoring coloring(view.num_arcs());
+  coloring.set(view.find_arc(1, 0), 0);
+  coloring.set(view.find_arc(2, 3), 0);  // compatible (tested in conflict_test)
+  EXPECT_FALSE(find_violation(view, coloring).has_value());
+  EXPECT_FALSE(is_feasible_schedule(view, coloring));  // incomplete
+}
+
+TEST(Greedy, SingleEdgeUsesTwoSlots) {
+  const Graph graph = generate_path(2);
+  const ArcView view(graph);
+  const ArcColoring coloring = greedy_coloring(view);
+  EXPECT_TRUE(is_feasible_schedule(view, coloring));
+  EXPECT_EQ(coloring.num_colors_used(), 2u);
+}
+
+TEST(Greedy, TreeUsesExactly2Delta) {
+  // Both the ILP and DFS assign 2Δ on trees (Section 8); greedy matches the
+  // lower bound on stars.
+  const Graph star = generate_star(6);
+  const ArcView view(star);
+  const ArcColoring coloring = greedy_coloring(view);
+  EXPECT_TRUE(is_feasible_schedule(view, coloring));
+  EXPECT_EQ(coloring.num_colors_used(), 2 * star.max_degree());
+}
+
+TEST(Greedy, FeasibleOnAllOrdersAndGraphs) {
+  Rng rng(41);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Graph graph = generate_gnm(24, 50, rng);
+    const ArcView view(graph);
+    for (GreedyOrder order : {GreedyOrder::kArcId, GreedyOrder::kByDegreeDesc,
+                              GreedyOrder::kRandom}) {
+      Rng order_rng(7);
+      const ArcColoring coloring = greedy_coloring(view, order, &order_rng);
+      EXPECT_TRUE(is_feasible_schedule(view, coloring));
+      EXPECT_LE(coloring.num_colors_used(), upper_bound_colors(graph));
+      EXPECT_GE(coloring.num_colors_used(), lower_bound_trivial(graph));
+    }
+  }
+}
+
+TEST(Greedy, InOrderRejectsPartialOrders) {
+  const Graph graph = generate_path(3);
+  const ArcView view(graph);
+  EXPECT_THROW(greedy_coloring_in_order(view, {0, 1}), contract_error);
+  EXPECT_THROW(greedy_coloring_in_order(view, {0, 0, 1, 2}), contract_error);
+}
+
+TEST(Greedy, EvenCycleUsesFourColors) {
+  // Section 3 note: even cycles need exactly 4 colors.
+  const Graph cycle = generate_cycle(8);
+  const ArcView view(cycle);
+  const ArcColoring coloring = greedy_coloring(view);
+  EXPECT_TRUE(is_feasible_schedule(view, coloring));
+  EXPECT_GE(coloring.num_colors_used(), 4u);
+  EXPECT_LE(coloring.num_colors_used(), upper_bound_colors(cycle));
+}
+
+TEST(Greedy, CompleteGraphNeedsAllSlots) {
+  // Section 3 note: complete graphs need Δ² + Δ slots (one per arc).
+  const Graph complete = generate_complete(4);
+  const ArcView view(complete);
+  const ArcColoring coloring = greedy_coloring(view);
+  EXPECT_TRUE(is_feasible_schedule(view, coloring));
+  const std::size_t delta = complete.max_degree();
+  EXPECT_EQ(coloring.num_colors_used(), delta * delta + delta);
+}
+
+}  // namespace
+}  // namespace fdlsp

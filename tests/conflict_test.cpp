@@ -1,0 +1,116 @@
+// Tests for the distance-2 arc conflict relation — the correctness core.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "coloring/conflict.h"
+#include "graph/arcs.h"
+#include "graph/generators.h"
+#include "support/rng.h"
+
+namespace fdlsp {
+namespace {
+
+/// Brute-force reference for the Definition-2 conflict predicate.
+bool reference_conflict(const ArcView& view, ArcId a, ArcId b) {
+  const NodeId t1 = view.tail(a), h1 = view.head(a);
+  const NodeId t2 = view.tail(b), h2 = view.head(b);
+  if (t1 == t2 || t1 == h2 || h1 == t2 || h1 == h2) return true;
+  return view.graph().has_edge(h1, t2) || view.graph().has_edge(h2, t1);
+}
+
+TEST(Conflict, SharedEndpointsAlwaysConflict) {
+  // Path 0-1-2: arcs over edges {0,1} and {1,2} share node 1.
+  const Graph path = generate_path(3);
+  const ArcView view(path);
+  const ArcId a01 = view.find_arc(0, 1);
+  const ArcId a10 = view.find_arc(1, 0);
+  const ArcId a12 = view.find_arc(1, 2);
+  const ArcId a21 = view.find_arc(2, 1);
+  EXPECT_TRUE(arcs_conflict(view, a01, a10));  // same edge, opposite arcs
+  EXPECT_TRUE(arcs_conflict(view, a01, a12));  // head meets tail
+  EXPECT_TRUE(arcs_conflict(view, a01, a21));  // same head? 1 vs 1 tail/head
+  EXPECT_TRUE(arcs_conflict(view, a10, a12));  // same tail node 1
+}
+
+TEST(Conflict, HiddenTerminalOnPath4) {
+  // Path 0-1-2-3. Arc (0->1) and arc (2->3): tail 2 adjacent to head 1 ->
+  // node 1 would hear both 0 and 2. Conflict.
+  const Graph path = generate_path(4);
+  const ArcView view(path);
+  EXPECT_TRUE(arcs_conflict(view, view.find_arc(0, 1), view.find_arc(2, 3)));
+  // Arc (1->0) and (2->3): heads 0 and 3; 0 not adjacent 2, 3 not adjacent 1.
+  EXPECT_FALSE(arcs_conflict(view, view.find_arc(1, 0), view.find_arc(2, 3)));
+  // Figure 2 of the paper: (v->u) and (w->x) with u-v-w-x a path is fine;
+  // that is arcs (1->0) and (2->3) above. Both directions out is fine too.
+}
+
+TEST(Conflict, PaperFigure2Cases) {
+  // u-v-w-x path, ids 0-1-2-3. (u->v) and (x->w): both inward — the heads
+  // v and w are adjacent to the other's tail? tail(x->w)=3, head(u->v)=1:
+  // not adjacent; tail(u->v)=0, head(x->w)=2: not adjacent. Feasible.
+  const Graph path = generate_path(4);
+  const ArcView view(path);
+  EXPECT_FALSE(arcs_conflict(view, view.find_arc(0, 1), view.find_arc(3, 2)));
+  // (u->v) and (w->x): w transmits while v receives and v-w adjacent.
+  EXPECT_TRUE(arcs_conflict(view, view.find_arc(0, 1), view.find_arc(2, 3)));
+}
+
+TEST(Conflict, Distance3ArcsNeverConflict) {
+  const Graph path = generate_path(6);
+  const ArcView view(path);
+  // Edge {0,1} and edge {3,4}: all four orientations must be compatible.
+  for (ArcId a : {view.find_arc(0, 1), view.find_arc(1, 0)})
+    for (ArcId b : {view.find_arc(3, 4), view.find_arc(4, 3)})
+      EXPECT_FALSE(arcs_conflict(view, a, b));
+}
+
+TEST(Conflict, SymmetricPredicate) {
+  Rng rng(17);
+  const Graph graph = generate_gnm(25, 60, rng);
+  const ArcView view(graph);
+  for (ArcId a = 0; a < view.num_arcs(); ++a)
+    for (ArcId b = a + 1; b < view.num_arcs(); ++b)
+      EXPECT_EQ(arcs_conflict(view, a, b), arcs_conflict(view, b, a));
+}
+
+TEST(Conflict, EnumerationMatchesPredicate) {
+  Rng rng(23);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph graph = generate_gnm(20, 45, rng);
+    const ArcView view(graph);
+    for (ArcId a = 0; a < view.num_arcs(); ++a) {
+      const auto enumerated = conflicting_arcs(view, a);
+      std::vector<ArcId> reference;
+      for (ArcId b = 0; b < view.num_arcs(); ++b)
+        if (b != a && reference_conflict(view, a, b)) reference.push_back(b);
+      EXPECT_EQ(enumerated, reference) << "arc " << a;
+    }
+  }
+}
+
+TEST(Conflict, CompleteGraphAllArcsConflict) {
+  // In a complete graph every pair of arcs conflicts (paper Section 3 note).
+  const Graph complete = generate_complete(5);
+  const ArcView view(complete);
+  for (ArcId a = 0; a < view.num_arcs(); ++a)
+    for (ArcId b = a + 1; b < view.num_arcs(); ++b)
+      EXPECT_TRUE(arcs_conflict(view, a, b));
+}
+
+TEST(SmallestFeasibleColor, SkipsConflictingColors) {
+  const Graph path = generate_path(3);
+  const ArcView view(path);
+  ArcColoring coloring(view.num_arcs());
+  const ArcId a01 = view.find_arc(0, 1);
+  const ArcId a12 = view.find_arc(1, 2);
+  EXPECT_EQ(smallest_feasible_color(view, coloring, a01), 0);
+  coloring.set(a01, 0);
+  EXPECT_EQ(smallest_feasible_color(view, coloring, a12), 1);
+  coloring.set(a12, 1);
+  const ArcId a21 = view.find_arc(2, 1);
+  EXPECT_EQ(smallest_feasible_color(view, coloring, a21), 2);
+}
+
+}  // namespace
+}  // namespace fdlsp

@@ -1,0 +1,98 @@
+// Tests for the D-MGC baseline.
+#include <gtest/gtest.h>
+
+#include "algos/dmgc.h"
+#include "coloring/bounds.h"
+#include "coloring/checker.h"
+#include "graph/arcs.h"
+#include "graph/generators.h"
+#include "support/rng.h"
+
+namespace fdlsp {
+namespace {
+
+void expect_valid_schedule(const Graph& graph, const ScheduleResult& result) {
+  const ArcView view(graph);
+  EXPECT_TRUE(is_feasible_schedule(view, result.coloring));
+  EXPECT_EQ(result.num_slots, result.coloring.num_colors_used());
+  if (graph.num_edges() > 0)
+    EXPECT_GE(result.num_slots, lower_bound_trivial(graph));
+}
+
+TEST(Dmgc, SingleEdge) {
+  const Graph graph = generate_path(2);
+  const auto result = run_dmgc(graph);
+  expect_valid_schedule(graph, result);
+  EXPECT_EQ(result.num_slots, 2u);
+}
+
+TEST(Dmgc, EdgelessGraph) {
+  const auto result = run_dmgc(Graph(3));
+  EXPECT_EQ(result.num_slots, 0u);
+}
+
+TEST(Dmgc, FixedTopologies) {
+  for (const Graph& graph :
+       {generate_path(7), generate_cycle(8), generate_cycle(9),
+        generate_star(9), generate_grid(4, 4), generate_complete(5),
+        generate_complete_bipartite(3, 4)}) {
+    const auto result = run_dmgc(graph);
+    expect_valid_schedule(graph, result);
+  }
+}
+
+TEST(Dmgc, PhaseStatsReported) {
+  DmgcStats stats;
+  const Graph graph = generate_complete(6);
+  const auto result = run_dmgc(graph, &stats);
+  expect_valid_schedule(graph, result);
+  EXPECT_GE(stats.edge_colors, graph.max_degree());
+  EXPECT_LE(stats.edge_colors, graph.max_degree() + 1);
+  EXPECT_GT(stats.estimated_rounds, 0u);
+  EXPECT_EQ(result.rounds, stats.estimated_rounds);
+}
+
+TEST(Dmgc, SlotCountAtLeastDoubleEdgeColors) {
+  // The doubling construction cannot use fewer than 2 * (Δ+1)-ish slots.
+  Rng rng(301);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph graph = generate_gnm(25, 60, rng);
+    DmgcStats stats;
+    const auto result = run_dmgc(graph, &stats);
+    expect_valid_schedule(graph, result);
+    if (graph.num_edges() > 0)
+      EXPECT_GE(result.num_slots, 2 * graph.max_degree());
+  }
+}
+
+TEST(Dmgc, RandomGraphSweep) {
+  Rng rng(303);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t n = 6 + rng.next_index(35);
+    const std::size_t m = rng.next_index(3 * n);
+    const std::size_t max_m = n * (n - 1) / 2;
+    const Graph graph = generate_gnm(n, std::min(m, max_m), rng);
+    const auto result = run_dmgc(graph);
+    expect_valid_schedule(graph, result);
+  }
+}
+
+TEST(Dmgc, UdgSweep) {
+  Rng rng(307);
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto geo = generate_udg(70, 5.0, 0.6, rng);
+    const auto result = run_dmgc(geo.graph);
+    expect_valid_schedule(geo.graph, result);
+  }
+}
+
+TEST(Dmgc, DeterministicOutput) {
+  Rng rng(311);
+  const Graph graph = generate_gnm(20, 45, rng);
+  const auto a = run_dmgc(graph);
+  const auto b = run_dmgc(graph);
+  EXPECT_EQ(a.coloring.raw(), b.coloring.raw());
+}
+
+}  // namespace
+}  // namespace fdlsp

@@ -1,0 +1,156 @@
+// Cross-module edge cases and paper-figure constructions that don't fit the
+// per-module suites.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "coloring/bounds.h"
+#include "coloring/checker.h"
+#include "coloring/conflict.h"
+#include "coloring/greedy.h"
+#include "exp/report.h"
+#include "graph/arcs.h"
+#include "graph/generators.h"
+#include "support/cli.h"
+#include "support/rng.h"
+#include "tdma/schedule.h"
+
+namespace fdlsp {
+namespace {
+
+TEST(UdgFromPositions, HandlesNegativeCoordinates) {
+  // Churn can move nodes anywhere; the grid bucketing must not assume a
+  // positive quadrant.
+  const std::vector<Point> positions{{-3.0, -3.0}, {-2.6, -3.0}, {5.0, 5.0}};
+  const Graph graph = udg_from_positions(positions, 0.5);
+  EXPECT_TRUE(graph.has_edge(0, 1));
+  EXPECT_FALSE(graph.has_edge(0, 2));
+  EXPECT_FALSE(graph.has_edge(1, 2));
+}
+
+TEST(UdgFromPositions, CoincidentPointsAreLinked) {
+  const std::vector<Point> positions{{1.0, 1.0}, {1.0, 1.0}};
+  const Graph graph = udg_from_positions(positions, 0.5);
+  EXPECT_TRUE(graph.has_edge(0, 1));
+}
+
+TEST(UdgFromPositions, EmptyInput) {
+  const Graph graph = udg_from_positions({}, 0.5);
+  EXPECT_EQ(graph.num_nodes(), 0u);
+}
+
+TEST(ArcColoring, RejectsNegativeColor) {
+  ArcColoring coloring(1);
+  EXPECT_THROW(coloring.set(0, -2), contract_error);
+}
+
+TEST(Checker, WitnessIsRealConflict) {
+  Rng rng(41);
+  const Graph graph = generate_gnm(15, 35, rng);
+  const ArcView view(graph);
+  // Deliberately break a feasible coloring and check the witness quality.
+  ArcColoring coloring = greedy_coloring(view);
+  // Recolor some arc to collide with the first arc's color.
+  for (ArcId a = 1; a < view.num_arcs(); ++a) {
+    if (arcs_conflict(view, 0, a)) {
+      coloring.set(a, coloring.color(0));
+      break;
+    }
+  }
+  const auto witness = find_violation(view, coloring);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(arcs_conflict(view, witness->a, witness->b));
+  EXPECT_EQ(coloring.color(witness->a), coloring.color(witness->b));
+}
+
+TEST(Bounds, PaperFigure3ClusterConstruction) {
+  // Cluster center v with common edge (v, w): three size-3 cliques (vwx,
+  // vwr, vwz), one joint edge (x, r) forming a joint clique with 1 edge,
+  // plus an extra pendant u on v. Theorem 1 gives 2*(deg v + 3 + 1) = 18.
+  GraphBuilder builder(6);  // v=0 w=1 x=2 r=3 z=4 u=5
+  builder.add_edge(0, 1);
+  builder.add_edge(0, 2);
+  builder.add_edge(0, 3);
+  builder.add_edge(0, 4);
+  builder.add_edge(0, 5);
+  builder.add_edge(1, 2);
+  builder.add_edge(1, 3);
+  builder.add_edge(1, 4);
+  builder.add_edge(2, 3);  // joint edge
+  const Graph graph = builder.build();
+  EXPECT_EQ(graph.degree(0), 5u);
+  EXPECT_EQ(lower_bound_theorem1(graph), 18u);
+}
+
+TEST(Bounds, DisconnectedGraphTakesMaxOverComponents) {
+  GraphBuilder builder(7);
+  builder.add_edge(0, 1);            // component A: one edge, LB 2
+  builder.add_edge(2, 3);            // component B: triangle, LB 6
+  builder.add_edge(3, 4);
+  builder.add_edge(2, 4);
+  const Graph graph = builder.build();
+  EXPECT_EQ(lower_bound_theorem1(graph), 6u);
+}
+
+TEST(TdmaSchedule, RoleQueryOutOfRangeThrows) {
+  const Graph path = generate_path(2);
+  const ArcView view(path);
+  const TdmaSchedule schedule(view, greedy_coloring(view));
+  EXPECT_THROW(schedule.role(5, 0), contract_error);
+  EXPECT_THROW(schedule.role(0, 99), contract_error);
+}
+
+TEST(Report, WriteCsvRoundTrip) {
+  TextTable table({"a", "b"});
+  table.add_row({"1", "2"});
+  const std::string path = "/tmp/fdlsp_report_test.csv";
+  write_csv(path, table);
+  std::ifstream file(path);
+  std::stringstream content;
+  content << file.rdbuf();
+  EXPECT_EQ(content.str(), "a,b\n1,2\n");
+  std::remove(path.c_str());
+}
+
+TEST(CliArgs, LastDuplicateWins) {
+  const char* argv[] = {"prog", "--n=1", "--n=2"};
+  const CliArgs args(3, argv);
+  EXPECT_EQ(args.get_int("n", 0), 2);
+}
+
+TEST(Conflict, ReverseArcsAlwaysConflict) {
+  Rng rng(43);
+  const Graph graph = generate_gnm(20, 40, rng);
+  const ArcView view(graph);
+  for (EdgeId e = 0; e < graph.num_edges(); ++e)
+    EXPECT_TRUE(arcs_conflict(view, static_cast<ArcId>(2 * e),
+                              static_cast<ArcId>(2 * e + 1)));
+}
+
+TEST(Conflict, InvarianceUnderDoubleReversal) {
+  // The D-MGC doubling construction relies on conflict(a,b) ==
+  // conflict(rev a, rev b); verify exhaustively on a random graph.
+  Rng rng(47);
+  const Graph graph = generate_gnm(14, 30, rng);
+  const ArcView view(graph);
+  for (ArcId a = 0; a < view.num_arcs(); ++a)
+    for (ArcId b = a + 1; b < view.num_arcs(); ++b)
+      EXPECT_EQ(arcs_conflict(view, a, b),
+                arcs_conflict(view, ArcView::reverse(a), ArcView::reverse(b)))
+          << a << " " << b;
+}
+
+TEST(Greedy, ColorSpanEqualsColorCount) {
+  // Smallest-feasible greedy never leaves gaps in the color range.
+  Rng rng(53);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph graph = generate_gnm(20, 45, rng);
+    const ArcView view(graph);
+    const ArcColoring coloring = greedy_coloring(view);
+    EXPECT_EQ(coloring.num_colors_used(), coloring.color_span());
+  }
+}
+
+}  // namespace
+}  // namespace fdlsp

@@ -1,0 +1,178 @@
+// Tests for the conflict graph, DSATUR, and the exact branch-and-bound —
+// including the Table 1 reference optima.
+#include <gtest/gtest.h>
+
+#include "coloring/checker.h"
+#include "coloring/conflict_graph.h"
+#include "coloring/exact.h"
+#include "coloring/greedy.h"
+#include "graph/arcs.h"
+#include "graph/generators.h"
+#include "support/rng.h"
+
+namespace fdlsp {
+namespace {
+
+bool is_proper_vertex_coloring(const Graph& graph,
+                               const std::vector<Color>& colors) {
+  for (const Edge& e : graph.edges())
+    if (colors[e.u] == colors[e.v]) return false;
+  for (Color c : colors)
+    if (c == kNoColor) return false;
+  return true;
+}
+
+TEST(ConflictGraph, SizesMatchArcCount) {
+  const Graph path = generate_path(4);
+  const ArcView view(path);
+  const Graph conflict = build_conflict_graph(view);
+  EXPECT_EQ(conflict.num_nodes(), view.num_arcs());
+}
+
+TEST(ConflictGraph, CompleteGraphYieldsCompleteConflict) {
+  const Graph complete = generate_complete(4);
+  const ArcView view(complete);
+  const Graph conflict = build_conflict_graph(view);
+  const std::size_t a = view.num_arcs();
+  EXPECT_EQ(conflict.num_edges(), a * (a - 1) / 2);
+}
+
+TEST(Dsatur, ProperOnRandomGraphs) {
+  Rng rng(13);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph graph = generate_gnm(30, 100, rng);
+    const auto colors = dsatur_coloring(graph);
+    EXPECT_TRUE(is_proper_vertex_coloring(graph, colors));
+  }
+}
+
+TEST(ExactVertexColoring, KnownChromaticNumbers) {
+  EXPECT_EQ(exact_vertex_coloring(generate_complete(5)).num_colors, 5u);
+  EXPECT_EQ(exact_vertex_coloring(generate_cycle(6)).num_colors, 2u);
+  EXPECT_EQ(exact_vertex_coloring(generate_cycle(7)).num_colors, 3u);
+  EXPECT_EQ(exact_vertex_coloring(generate_complete_bipartite(4, 5)).num_colors,
+            2u);
+  EXPECT_EQ(exact_vertex_coloring(generate_path(6)).num_colors, 2u);
+  EXPECT_EQ(exact_vertex_coloring(Graph(3)).num_colors, 1u);
+}
+
+TEST(ExactVertexColoring, PetersenGraphNeedsThree) {
+  // Petersen graph: outer C5, inner pentagram, spokes. Chromatic number 3.
+  GraphBuilder builder(10);
+  for (NodeId i = 0; i < 5; ++i) {
+    builder.add_edge(i, (i + 1) % 5);              // outer cycle
+    builder.add_edge(5 + i, 5 + ((i + 2) % 5));    // pentagram
+    builder.add_edge(i, 5 + i);                    // spokes
+  }
+  const auto result = exact_vertex_coloring(builder.build());
+  EXPECT_TRUE(result.optimal);
+  EXPECT_EQ(result.num_colors, 3u);
+}
+
+TEST(ExactVertexColoring, NeverWorseThanDsatur) {
+  Rng rng(37);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Graph graph = generate_gnm(16, 40, rng);
+    const auto exact = exact_vertex_coloring(graph);
+    const auto greedy = dsatur_coloring(graph);
+    Color max_greedy = 0;
+    for (Color c : greedy) max_greedy = std::max(max_greedy, c);
+    EXPECT_TRUE(exact.optimal);
+    EXPECT_LE(exact.num_colors, static_cast<std::size_t>(max_greedy) + 1);
+    EXPECT_TRUE(is_proper_vertex_coloring(graph, exact.colors));
+  }
+}
+
+// --- Table 1 reference optima (the paper's ILP column) ---
+
+TEST(OptimalFdlsp, Table1CompleteBipartite22) {
+  const Graph graph = generate_complete_bipartite(2, 2);
+  const auto result = optimal_fdlsp(ArcView(graph));
+  EXPECT_TRUE(result.optimal);
+  EXPECT_EQ(result.num_colors, 4u);
+}
+
+TEST(OptimalFdlsp, Table1CompleteBipartite33) {
+  const Graph graph = generate_complete_bipartite(3, 3);
+  const auto result = optimal_fdlsp(ArcView(graph));
+  EXPECT_TRUE(result.optimal);
+  EXPECT_EQ(result.num_colors, 9u);
+}
+
+TEST(OptimalFdlsp, CompleteBipartite44Is16NotPapers15) {
+  // Table 1 reports ILP(K_{4,4}) = 15, but that is impossible under the
+  // paper's own constraint 2: the 16 arcs directed A -> B pairwise conflict
+  // (every receiver in B is adjacent to every transmitter in A), forming a
+  // 16-clique in the conflict graph, so 16 slots are necessary — and
+  // pairing each A->B arc with a disjoint B->A arc achieves 16. The same
+  // argument yields 9 for K_{3,3}, which Table 1 *does* report. See
+  // EXPERIMENTS.md.
+  const Graph graph = generate_complete_bipartite(4, 4);
+  const auto result = optimal_fdlsp(ArcView(graph));
+  EXPECT_TRUE(result.optimal);
+  EXPECT_EQ(result.num_colors, 16u);
+}
+
+TEST(OptimalFdlsp, Table1K4) {
+  const Graph graph = generate_complete(4);
+  const auto result = optimal_fdlsp(ArcView(graph));
+  EXPECT_TRUE(result.optimal);
+  EXPECT_EQ(result.num_colors, 12u);
+}
+
+TEST(OptimalFdlsp, Table1K5) {
+  const Graph graph = generate_complete(5);
+  const auto result = optimal_fdlsp(ArcView(graph));
+  EXPECT_TRUE(result.optimal);
+  EXPECT_EQ(result.num_colors, 20u);
+}
+
+TEST(OptimalFdlsp, SmallCycles) {
+  // The paper (citing [8]) states "even cycles require only 4 colors and odd
+  // cycles 6". Under the paper's own ILP constraints that only holds for
+  // C4: in C6 a slot can carry at most 2 arcs (any third arc hits the
+  // hidden-terminal rule), so 12 arcs need 6 slots, and C5 packs its 10 arcs
+  // into 5 slots of 2 (e.g. (i->i+1) with (i+3->i+2)). We assert the ILP
+  // optima; EXPERIMENTS.md records the divergence from the quoted remark.
+  const auto c4 = optimal_fdlsp(ArcView(generate_cycle(4)));
+  EXPECT_TRUE(c4.optimal);
+  EXPECT_EQ(c4.num_colors, 4u);
+  const auto c5 = optimal_fdlsp(ArcView(generate_cycle(5)));
+  EXPECT_TRUE(c5.optimal);
+  EXPECT_EQ(c5.num_colors, 5u);
+  const auto c6 = optimal_fdlsp(ArcView(generate_cycle(6)));
+  EXPECT_TRUE(c6.optimal);
+  EXPECT_EQ(c6.num_colors, 6u);
+}
+
+TEST(OptimalFdlsp, TreeIsTwoDelta) {
+  Rng rng(3);
+  const Graph tree = generate_random_tree(9, rng);
+  const auto result = optimal_fdlsp(ArcView(tree));
+  EXPECT_TRUE(result.optimal);
+  EXPECT_EQ(result.num_colors, 2 * tree.max_degree());
+}
+
+TEST(OptimalFdlsp, ColoringIsFeasibleAndNotBeatenByGreedy) {
+  Rng rng(43);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph graph = generate_gnm(10, 16, rng);
+    const ArcView view(graph);
+    const auto exact = optimal_fdlsp(view);
+    EXPECT_TRUE(is_feasible_schedule(view, exact.coloring));
+    const ArcColoring greedy = greedy_coloring(view);
+    EXPECT_LE(exact.num_colors, greedy.num_colors_used());
+  }
+}
+
+TEST(OptimalFdlsp, BudgetExhaustionStillFeasible) {
+  const Graph graph = generate_complete_bipartite(3, 3);
+  ExactOptions options;
+  options.max_nodes = 10;  // force early abort
+  const auto result = optimal_fdlsp(ArcView(graph), options);
+  EXPECT_TRUE(is_feasible_schedule(ArcView(graph), result.coloring));
+  EXPECT_GE(result.num_colors, 9u);  // incumbent can't beat the optimum
+}
+
+}  // namespace
+}  // namespace fdlsp

@@ -1,0 +1,178 @@
+// Tests for topology generators.
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "support/check.h"
+
+namespace fdlsp {
+namespace {
+
+TEST(Udg, LinksExactlyWithinRadius) {
+  const std::vector<Point> positions{{0, 0}, {0.4, 0}, {1.0, 0}, {0.4, 0.29}};
+  const Graph graph = udg_from_positions(positions, 0.5);
+  EXPECT_TRUE(graph.has_edge(0, 1));   // distance 0.4
+  EXPECT_FALSE(graph.has_edge(0, 2));  // distance 1.0
+  EXPECT_TRUE(graph.has_edge(1, 3));   // distance 0.29
+  EXPECT_TRUE(graph.has_edge(0, 3));   // distance ~0.494
+  EXPECT_FALSE(graph.has_edge(2, 3));  // distance ~0.667
+}
+
+TEST(Udg, BoundaryDistanceIsLinked) {
+  const std::vector<Point> positions{{0, 0}, {0.5, 0}};
+  const Graph graph = udg_from_positions(positions, 0.5);
+  EXPECT_TRUE(graph.has_edge(0, 1));
+}
+
+TEST(Udg, MatchesBruteForceOnRandomInstances) {
+  Rng rng(123);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto geo = generate_udg(60, 5.0, 0.5, rng);
+    // Brute force reference.
+    for (NodeId u = 0; u < 60; ++u) {
+      for (NodeId v = u + 1; v < 60; ++v) {
+        const bool close =
+            distance(geo.positions[u], geo.positions[v]) <= 0.5;
+        EXPECT_EQ(geo.graph.has_edge(u, v), close)
+            << "pair " << u << "," << v;
+      }
+    }
+  }
+}
+
+TEST(Udg, PositionsInsidePlan) {
+  Rng rng(7);
+  const auto geo = generate_udg(200, 15.0, 0.5, rng);
+  EXPECT_EQ(geo.positions.size(), 200u);
+  for (const Point& p : geo.positions) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, 15.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, 15.0);
+  }
+}
+
+TEST(QuasiUdg, CertainAndForbiddenZones) {
+  Rng rng(127);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto geo = generate_quasi_udg(60, 5.0, 1.0, 0.5, 0.5, rng);
+    for (NodeId u = 0; u < 60; ++u) {
+      for (NodeId v = u + 1; v < 60; ++v) {
+        const double d = distance(geo.positions[u], geo.positions[v]);
+        if (d <= 0.5) EXPECT_TRUE(geo.graph.has_edge(u, v));
+        if (d > 1.0) EXPECT_FALSE(geo.graph.has_edge(u, v));
+        // Gray zone links are probabilistic — no assertion.
+      }
+    }
+  }
+}
+
+TEST(QuasiUdg, ExtremeProbabilitiesMatchUdg) {
+  // p = 1 reproduces the full-radius UDG; p = 0 the alpha-radius UDG.
+  Rng rng(131);
+  const auto geo = generate_quasi_udg(80, 6.0, 1.0, 0.4, 1.0, rng);
+  const Graph reference = udg_from_positions(geo.positions, 1.0);
+  EXPECT_EQ(geo.graph.num_edges(), reference.num_edges());
+
+  Rng rng2(131);
+  const auto geo0 = generate_quasi_udg(80, 6.0, 1.0, 0.4, 0.0, rng2);
+  const Graph reference0 = udg_from_positions(geo0.positions, 0.4);
+  EXPECT_EQ(geo0.graph.num_edges(), reference0.num_edges());
+}
+
+TEST(QuasiUdg, RejectsBadParameters) {
+  Rng rng(1);
+  EXPECT_THROW(generate_quasi_udg(5, 1.0, 1.0, 0.0, 0.5, rng),
+               contract_error);
+  EXPECT_THROW(generate_quasi_udg(5, 1.0, 1.0, 1.5, 0.5, rng),
+               contract_error);
+  EXPECT_THROW(generate_quasi_udg(5, 1.0, 1.0, 0.5, 1.5, rng),
+               contract_error);
+}
+
+TEST(Gnm, ExactEdgeCount) {
+  Rng rng(5);
+  const Graph graph = generate_gnm(50, 200, rng);
+  EXPECT_EQ(graph.num_nodes(), 50u);
+  EXPECT_EQ(graph.num_edges(), 200u);
+}
+
+TEST(Gnm, FullDensityIsComplete) {
+  Rng rng(5);
+  const Graph graph = generate_gnm(8, 28, rng);
+  EXPECT_EQ(graph.num_edges(), 28u);
+  for (NodeId u = 0; u < 8; ++u)
+    for (NodeId v = u + 1; v < 8; ++v) EXPECT_TRUE(graph.has_edge(u, v));
+}
+
+TEST(Gnm, RejectsTooManyEdges) {
+  Rng rng(5);
+  EXPECT_THROW(generate_gnm(4, 7, rng), contract_error);
+}
+
+TEST(RandomTree, IsConnectedAcyclic) {
+  Rng rng(31);
+  for (std::size_t n : {1u, 2u, 10u, 100u}) {
+    const Graph tree = generate_random_tree(n, rng);
+    EXPECT_EQ(tree.num_edges(), n - (n > 0 ? 1 : 0));
+    EXPECT_TRUE(is_connected(tree));
+  }
+}
+
+TEST(Path, Structure) {
+  const Graph path = generate_path(5);
+  EXPECT_EQ(path.num_edges(), 4u);
+  EXPECT_EQ(path.degree(0), 1u);
+  EXPECT_EQ(path.degree(2), 2u);
+  EXPECT_EQ(diameter(path), 4u);
+}
+
+TEST(Cycle, Structure) {
+  const Graph cycle = generate_cycle(6);
+  EXPECT_EQ(cycle.num_edges(), 6u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(cycle.degree(v), 2u);
+  EXPECT_TRUE(is_connected(cycle));
+  EXPECT_THROW(generate_cycle(2), contract_error);
+}
+
+TEST(Complete, Structure) {
+  const Graph complete = generate_complete(6);
+  EXPECT_EQ(complete.num_edges(), 15u);
+  EXPECT_EQ(complete.max_degree(), 5u);
+}
+
+TEST(CompleteBipartite, Structure) {
+  const Graph graph = generate_complete_bipartite(3, 4);
+  EXPECT_EQ(graph.num_nodes(), 7u);
+  EXPECT_EQ(graph.num_edges(), 12u);
+  // No intra-part edges.
+  for (NodeId u = 0; u < 3; ++u)
+    for (NodeId v = u + 1; v < 3; ++v) EXPECT_FALSE(graph.has_edge(u, v));
+  EXPECT_EQ(count_triangles(graph), 0u);
+}
+
+TEST(Star, Structure) {
+  const Graph star = generate_star(7);
+  EXPECT_EQ(star.degree(0), 6u);
+  for (NodeId v = 1; v < 7; ++v) EXPECT_EQ(star.degree(v), 1u);
+}
+
+TEST(Grid, Structure) {
+  const Graph grid = generate_grid(3, 4);
+  EXPECT_EQ(grid.num_nodes(), 12u);
+  EXPECT_EQ(grid.num_edges(), 3u * 3 + 2u * 4);  // 17
+  EXPECT_EQ(grid.max_degree(), 4u);
+  EXPECT_TRUE(is_connected(grid));
+}
+
+TEST(Generators, DeterministicUnderSeed) {
+  Rng a(99), b(99);
+  const Graph ga = generate_gnm(30, 60, a);
+  const Graph gb = generate_gnm(30, 60, b);
+  ASSERT_EQ(ga.num_edges(), gb.num_edges());
+  for (EdgeId e = 0; e < ga.num_edges(); ++e)
+    EXPECT_EQ(ga.edge(e), gb.edge(e));
+}
+
+}  // namespace
+}  // namespace fdlsp

@@ -1,0 +1,111 @@
+// Tests for traversal / connectivity / neighborhood algorithms.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "support/rng.h"
+
+namespace fdlsp {
+namespace {
+
+TEST(Bfs, DistancesOnPath) {
+  const Graph path = generate_path(5);
+  const auto dist = bfs_distances(path, 0);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(Bfs, UnreachableMarked) {
+  Graph graph(3);  // no edges
+  const auto dist = bfs_distances(graph, 0);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], kUnreachable);
+  EXPECT_EQ(dist[2], kUnreachable);
+}
+
+TEST(Connectivity, DetectsDisconnection) {
+  GraphBuilder builder(4);
+  builder.add_edge(0, 1);
+  builder.add_edge(2, 3);
+  const Graph graph = builder.build();
+  EXPECT_FALSE(is_connected(graph));
+  EXPECT_EQ(count_components(graph), 2u);
+  const auto label = connected_components(graph);
+  EXPECT_EQ(label[0], label[1]);
+  EXPECT_EQ(label[2], label[3]);
+  EXPECT_NE(label[0], label[2]);
+}
+
+TEST(Connectivity, LargestComponent) {
+  GraphBuilder builder(6);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 2);
+  builder.add_edge(3, 4);
+  const Graph graph = builder.build();
+  const auto largest = largest_component(graph);
+  EXPECT_EQ(largest, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(InducedSubgraph, KeepsInternalEdgesOnly) {
+  const Graph complete = generate_complete(5);
+  const auto sub = induced_subgraph(complete, {1, 3, 4});
+  EXPECT_EQ(sub.graph.num_nodes(), 3u);
+  EXPECT_EQ(sub.graph.num_edges(), 3u);
+  EXPECT_EQ(sub.to_original.size(), 3u);
+  EXPECT_EQ(sub.to_sub[0], kNoNode);
+  EXPECT_EQ(sub.to_original[sub.to_sub[3]], 3u);
+}
+
+TEST(KHop, NeighborhoodsOnPath) {
+  const Graph path = generate_path(7);
+  EXPECT_EQ(k_hop_neighborhood(path, 3, 1), (std::vector<NodeId>{2, 4}));
+  EXPECT_EQ(k_hop_neighborhood(path, 3, 2), (std::vector<NodeId>{1, 2, 4, 5}));
+  EXPECT_EQ(k_hop_neighborhood(path, 0, 3), (std::vector<NodeId>{1, 2, 3}));
+}
+
+TEST(CommonNeighbors, TriangleSupport) {
+  const Graph complete = generate_complete(4);
+  EXPECT_EQ(common_neighbors(complete, 0, 1), (std::vector<NodeId>{2, 3}));
+  const Graph path = generate_path(3);
+  EXPECT_TRUE(common_neighbors(path, 0, 1).empty());
+}
+
+TEST(Triangles, CountsOnKnownGraphs) {
+  EXPECT_EQ(count_triangles(generate_complete(4)), 4u);
+  EXPECT_EQ(count_triangles(generate_complete(5)), 10u);
+  EXPECT_EQ(count_triangles(generate_cycle(5)), 0u);
+  EXPECT_EQ(count_triangles(generate_complete_bipartite(3, 3)), 0u);
+}
+
+TEST(Diameter, KnownValues) {
+  EXPECT_EQ(diameter(generate_path(6)), 5u);
+  EXPECT_EQ(diameter(generate_cycle(8)), 4u);
+  EXPECT_EQ(diameter(generate_complete(5)), 1u);
+}
+
+TEST(Diameter, DisconnectedIsUnreachable) {
+  Graph graph(2);
+  EXPECT_EQ(diameter(graph), kUnreachable);
+}
+
+TEST(KHop, MatchesBfsOnRandomGraphs) {
+  Rng rng(77);
+  const Graph graph = generate_gnm(40, 80, rng);
+  for (NodeId v = 0; v < 40; v += 7) {
+    const auto dist = bfs_distances(graph, v);
+    for (std::size_t radius = 1; radius <= 3; ++radius) {
+      const auto hood = k_hop_neighborhood(graph, v, radius);
+      for (NodeId w = 0; w < 40; ++w) {
+        const bool inside = w != v && dist[w] != kUnreachable &&
+                            dist[w] <= radius;
+        const bool listed =
+            std::binary_search(hood.begin(), hood.end(), w);
+        EXPECT_EQ(inside, listed) << "v=" << v << " w=" << w;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fdlsp

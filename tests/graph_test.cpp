@@ -1,0 +1,146 @@
+// Tests for the Graph / GraphBuilder / ArcView substrate.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/arcs.h"
+#include "graph/graph.h"
+#include "support/check.h"
+
+namespace fdlsp {
+namespace {
+
+Graph triangle_plus_tail() {
+  // 0-1, 1-2, 2-0, 2-3
+  GraphBuilder builder(4);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 2);
+  builder.add_edge(2, 0);
+  builder.add_edge(2, 3);
+  return builder.build();
+}
+
+TEST(Graph, EmptyGraph) {
+  Graph graph(5);
+  EXPECT_EQ(graph.num_nodes(), 5u);
+  EXPECT_EQ(graph.num_edges(), 0u);
+  EXPECT_EQ(graph.max_degree(), 0u);
+  EXPECT_EQ(graph.degree(0), 0u);
+  EXPECT_FALSE(graph.has_edge(0, 1));
+}
+
+TEST(Graph, DegreesAndAdjacency) {
+  const Graph graph = triangle_plus_tail();
+  EXPECT_EQ(graph.num_nodes(), 4u);
+  EXPECT_EQ(graph.num_edges(), 4u);
+  EXPECT_EQ(graph.degree(0), 2u);
+  EXPECT_EQ(graph.degree(2), 3u);
+  EXPECT_EQ(graph.degree(3), 1u);
+  EXPECT_EQ(graph.max_degree(), 3u);
+  EXPECT_DOUBLE_EQ(graph.average_degree(), 2.0);
+}
+
+TEST(Graph, NeighborsSortedWithEdgeIds) {
+  const Graph graph = triangle_plus_tail();
+  const auto adj = graph.neighbors(2);
+  ASSERT_EQ(adj.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(
+      adj.begin(), adj.end(),
+      [](const NeighborEntry& a, const NeighborEntry& b) { return a.to < b.to; }));
+  for (const NeighborEntry& entry : adj) {
+    const Edge& e = graph.edge(entry.edge);
+    EXPECT_TRUE(e.u == 2 || e.v == 2);
+  }
+}
+
+TEST(Graph, HasEdgeAndFindEdge) {
+  const Graph graph = triangle_plus_tail();
+  EXPECT_TRUE(graph.has_edge(0, 1));
+  EXPECT_TRUE(graph.has_edge(1, 0));
+  EXPECT_FALSE(graph.has_edge(0, 3));
+  const EdgeId e = graph.find_edge(2, 3);
+  ASSERT_NE(e, kNoEdge);
+  EXPECT_EQ(graph.edge(e).u, 2u);
+  EXPECT_EQ(graph.edge(e).v, 3u);
+  EXPECT_EQ(graph.find_edge(0, 3), kNoEdge);
+}
+
+TEST(Graph, EdgesStoredCanonically) {
+  GraphBuilder builder(3);
+  builder.add_edge(2, 0);
+  const Graph graph = builder.build();
+  EXPECT_EQ(graph.edge(0).u, 0u);
+  EXPECT_EQ(graph.edge(0).v, 2u);
+}
+
+TEST(GraphBuilder, RejectsSelfLoop) {
+  GraphBuilder builder(3);
+  EXPECT_THROW(builder.add_edge(1, 1), contract_error);
+}
+
+TEST(GraphBuilder, RejectsDuplicateEdge) {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1);
+  EXPECT_THROW(builder.add_edge(1, 0), contract_error);
+}
+
+TEST(GraphBuilder, RejectsOutOfRangeEndpoint) {
+  GraphBuilder builder(2);
+  EXPECT_THROW(builder.add_edge(0, 2), contract_error);
+}
+
+TEST(ArcView, TailHeadReverse) {
+  const Graph graph = triangle_plus_tail();
+  const ArcView view(graph);
+  EXPECT_EQ(view.num_arcs(), 8u);
+  for (ArcId a = 0; a < view.num_arcs(); ++a) {
+    const ArcId r = ArcView::reverse(a);
+    EXPECT_NE(a, r);
+    EXPECT_EQ(ArcView::reverse(r), a);
+    EXPECT_EQ(view.tail(a), view.head(r));
+    EXPECT_EQ(view.head(a), view.tail(r));
+    EXPECT_EQ(ArcView::edge_of(a), ArcView::edge_of(r));
+  }
+}
+
+TEST(ArcView, FindArcDirectional) {
+  const Graph graph = triangle_plus_tail();
+  const ArcView view(graph);
+  const ArcId a = view.find_arc(2, 3);
+  ASSERT_NE(a, kNoArc);
+  EXPECT_EQ(view.tail(a), 2u);
+  EXPECT_EQ(view.head(a), 3u);
+  const ArcId b = view.find_arc(3, 2);
+  EXPECT_EQ(b, ArcView::reverse(a));
+  EXPECT_EQ(view.find_arc(0, 3), kNoArc);
+}
+
+TEST(ArcView, OutInIncidentArcs) {
+  const Graph graph = triangle_plus_tail();
+  const ArcView view(graph);
+  const auto out = view.out_arcs(2);
+  ASSERT_EQ(out.size(), 3u);
+  for (ArcId a : out) EXPECT_EQ(view.tail(a), 2u);
+  const auto in = view.in_arcs(2);
+  ASSERT_EQ(in.size(), 3u);
+  for (ArcId a : in) EXPECT_EQ(view.head(a), 2u);
+  const auto incident = view.incident_arcs(2);
+  EXPECT_EQ(incident.size(), 6u);
+  for (ArcId a : incident)
+    EXPECT_TRUE(view.tail(a) == 2u || view.head(a) == 2u);
+}
+
+TEST(ArcView, ArcIdsAreDenseAndConsistent) {
+  const Graph graph = triangle_plus_tail();
+  const ArcView view(graph);
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const Edge& edge = graph.edge(e);
+    const ArcId forward = view.arc_from(e, edge.u);
+    const ArcId backward = view.arc_from(e, edge.v);
+    EXPECT_EQ(forward, static_cast<ArcId>(2 * e));
+    EXPECT_EQ(backward, static_cast<ArcId>(2 * e + 1));
+  }
+}
+
+}  // namespace
+}  // namespace fdlsp

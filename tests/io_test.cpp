@@ -1,0 +1,126 @@
+// Tests for graph/schedule serialization and dot export.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "coloring/greedy.h"
+#include "graph/arcs.h"
+#include "graph/generators.h"
+#include "io/io.h"
+#include "support/rng.h"
+
+namespace fdlsp {
+namespace {
+
+TEST(GraphIo, RoundTripPlainGraph) {
+  Rng rng(21);
+  const Graph original = generate_gnm(25, 60, rng);
+  std::stringstream buffer;
+  write_graph(buffer, original);
+  const GeometricGraph loaded = read_graph(buffer);
+  ASSERT_EQ(loaded.graph.num_nodes(), original.num_nodes());
+  ASSERT_EQ(loaded.graph.num_edges(), original.num_edges());
+  for (EdgeId e = 0; e < original.num_edges(); ++e)
+    EXPECT_EQ(loaded.graph.edge(e), original.edge(e));
+  EXPECT_TRUE(loaded.positions.empty());
+}
+
+TEST(GraphIo, RoundTripGeometricGraph) {
+  Rng rng(23);
+  const GeometricGraph original = generate_udg(30, 5.0, 0.7, rng);
+  std::stringstream buffer;
+  write_graph(buffer, original.graph, &original.positions);
+  const GeometricGraph loaded = read_graph(buffer);
+  ASSERT_EQ(loaded.positions.size(), original.positions.size());
+  for (std::size_t i = 0; i < loaded.positions.size(); ++i) {
+    EXPECT_NEAR(loaded.positions[i].x, original.positions[i].x, 1e-9);
+    EXPECT_NEAR(loaded.positions[i].y, original.positions[i].y, 1e-9);
+  }
+}
+
+TEST(GraphIo, SkipsCommentsAndBlankLines) {
+  std::stringstream buffer(
+      "# a comment\n\ngraph 3 2\n# edges below\ne 0 1\n\ne 1 2\n");
+  const GeometricGraph loaded = read_graph(buffer);
+  EXPECT_EQ(loaded.graph.num_nodes(), 3u);
+  EXPECT_EQ(loaded.graph.num_edges(), 2u);
+}
+
+TEST(GraphIo, RejectsMalformedInput) {
+  {
+    std::stringstream buffer("nonsense 3 2\n");
+    EXPECT_THROW(read_graph(buffer), contract_error);
+  }
+  {
+    std::stringstream buffer("graph 3 2\ne 0 1\n");  // missing edge
+    EXPECT_THROW(read_graph(buffer), contract_error);
+  }
+  {
+    std::stringstream buffer("graph 2 1\ne 0 5\n");  // endpoint range
+    EXPECT_THROW(read_graph(buffer), contract_error);
+  }
+}
+
+TEST(ScheduleIo, RoundTrip) {
+  Rng rng(29);
+  const Graph graph = generate_gnm(15, 35, rng);
+  const ArcView view(graph);
+  const ArcColoring original = greedy_coloring(view);
+  std::stringstream buffer;
+  write_schedule(buffer, original);
+  const ArcColoring loaded = read_schedule(buffer);
+  EXPECT_EQ(loaded.raw(), original.raw());
+}
+
+TEST(ScheduleIo, PartialColoringRoundTrip) {
+  ArcColoring partial(4);
+  partial.set(1, 7);
+  std::stringstream buffer;
+  write_schedule(buffer, partial);
+  const ArcColoring loaded = read_schedule(buffer);
+  EXPECT_EQ(loaded.raw(), partial.raw());
+  EXPECT_EQ(loaded.num_colored(), 1u);
+}
+
+TEST(DotExport, UndirectedAndColored) {
+  const Graph path = generate_path(3);
+  {
+    std::stringstream buffer;
+    write_dot(buffer, path);
+    EXPECT_NE(buffer.str().find("graph fdlsp"), std::string::npos);
+    EXPECT_NE(buffer.str().find("0 -- 1"), std::string::npos);
+  }
+  {
+    const ArcView view(path);
+    const ArcColoring coloring = greedy_coloring(view);
+    std::stringstream buffer;
+    write_dot(buffer, path, &coloring);
+    EXPECT_NE(buffer.str().find("digraph fdlsp"), std::string::npos);
+    EXPECT_NE(buffer.str().find("label="), std::string::npos);
+  }
+}
+
+TEST(FileIo, SaveAndLoad) {
+  Rng rng(31);
+  const GeometricGraph original = generate_udg(12, 3.0, 0.8, rng);
+  const std::string graph_path = "/tmp/fdlsp_io_test_graph.txt";
+  const std::string schedule_path = "/tmp/fdlsp_io_test_schedule.txt";
+  save_graph_file(graph_path, original.graph, &original.positions);
+  const GeometricGraph loaded = load_graph_file(graph_path);
+  EXPECT_EQ(loaded.graph.num_edges(), original.graph.num_edges());
+
+  const ArcColoring coloring = greedy_coloring(ArcView(original.graph));
+  save_schedule_file(schedule_path, coloring);
+  EXPECT_EQ(load_schedule_file(schedule_path).raw(), coloring.raw());
+  std::remove(graph_path.c_str());
+  std::remove(schedule_path.c_str());
+}
+
+TEST(FileIo, MissingFileThrows) {
+  EXPECT_THROW(load_graph_file("/nonexistent/path/graph.txt"),
+               contract_error);
+}
+
+}  // namespace
+}  // namespace fdlsp

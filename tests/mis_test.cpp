@@ -1,0 +1,62 @@
+// Tests for sequential MIS helpers.
+#include <gtest/gtest.h>
+
+#include "algos/mis.h"
+#include "graph/generators.h"
+#include "support/rng.h"
+
+namespace fdlsp {
+namespace {
+
+TEST(GreedyMis, PathAlternates) {
+  const Graph path = generate_path(5);
+  const auto set = greedy_mis(path);
+  EXPECT_EQ(set, (std::vector<NodeId>{0, 2, 4}));
+  EXPECT_TRUE(is_maximal_independent_set(path, set));
+}
+
+TEST(GreedyMis, CompleteGraphSingleton) {
+  const Graph complete = generate_complete(6);
+  const auto set = greedy_mis(complete);
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_TRUE(is_maximal_independent_set(complete, set));
+}
+
+TEST(GreedyMis, RespectsOrder) {
+  const Graph path = generate_path(3);
+  const auto set = greedy_mis(path, {1, 0, 2});
+  EXPECT_EQ(set, (std::vector<NodeId>{1}));
+}
+
+TEST(RandomMis, AlwaysMaximalIndependent) {
+  Rng rng(53);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph graph = generate_gnm(40, 90, rng);
+    const auto set = random_mis(graph, rng);
+    EXPECT_TRUE(is_maximal_independent_set(graph, set));
+  }
+}
+
+TEST(IsIndependentSet, DetectsAdjacency) {
+  const Graph path = generate_path(4);
+  EXPECT_TRUE(is_independent_set(path, {0, 2}));
+  EXPECT_FALSE(is_independent_set(path, {0, 1}));
+  EXPECT_TRUE(is_independent_set(path, {}));
+}
+
+TEST(IsMaximal, DetectsNonMaximal) {
+  const Graph path = generate_path(5);
+  EXPECT_FALSE(is_maximal_independent_set(path, {0}));  // 2,3,4 undominated
+  EXPECT_TRUE(is_maximal_independent_set(path, {1, 3}));
+}
+
+TEST(IsMaximal, UniverseRestriction) {
+  const Graph path = generate_path(5);
+  // Within universe {0,1,2}: {1} dominates 0 and 2.
+  EXPECT_TRUE(is_maximal_independent_set(path, {1}, {0, 1, 2}));
+  // Set members outside the universe are rejected.
+  EXPECT_FALSE(is_maximal_independent_set(path, {4}, {0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace fdlsp

@@ -1,0 +1,146 @@
+// Tests for the IlpModel container and the two-phase simplex.
+#include <gtest/gtest.h>
+
+#include "ilp/model.h"
+#include "ilp/simplex.h"
+
+namespace fdlsp {
+namespace {
+
+TEST(IlpModel, VariableBookkeeping) {
+  IlpModel model;
+  const auto x = model.add_variable(0.0, 5.0, "x");
+  const auto b = model.add_binary("b");
+  EXPECT_EQ(model.num_variables(), 2u);
+  EXPECT_FALSE(model.is_integral(x));
+  EXPECT_TRUE(model.is_integral(b));
+  EXPECT_DOUBLE_EQ(model.upper_bound(x), 5.0);
+  EXPECT_EQ(model.name(b), "b");
+  EXPECT_THROW(model.add_variable(2.0, 1.0), contract_error);
+}
+
+TEST(IlpModel, FeasibilityPredicate) {
+  IlpModel model;
+  const auto x = model.add_variable(0.0, 10.0);
+  const auto y = model.add_variable(0.0, 10.0);
+  model.add_constraint({{{x, 1.0}, {y, 1.0}}, Sense::kLessEqual, 5.0});
+  EXPECT_TRUE(model.is_feasible_point({2.0, 3.0}));
+  EXPECT_FALSE(model.is_feasible_point({3.0, 3.0}));
+  EXPECT_FALSE(model.is_feasible_point({-1.0, 0.0}));
+  EXPECT_FALSE(model.is_feasible_point({0.0}));
+}
+
+TEST(Simplex, TextbookMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  ->  opt 36 at (2, 6).
+  IlpModel model;
+  const auto x = model.add_variable(0.0, kInf);
+  const auto y = model.add_variable(0.0, kInf);
+  model.add_constraint({{{x, 1.0}}, Sense::kLessEqual, 4.0});
+  model.add_constraint({{{y, 2.0}}, Sense::kLessEqual, 12.0});
+  model.add_constraint({{{x, 3.0}, {y, 2.0}}, Sense::kLessEqual, 18.0});
+  model.set_objective(Objective::kMaximize, {{x, 3.0}, {y, 5.0}});
+  const LpResult result = solve_lp_relaxation(model);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 36.0, 1e-7);
+  EXPECT_NEAR(result.x[x], 2.0, 1e-7);
+  EXPECT_NEAR(result.x[y], 6.0, 1e-7);
+}
+
+TEST(Simplex, MinimizationWithGreaterEqual) {
+  // min 2x + 3y s.t. x + y >= 4, x >= 1  ->  opt at (4, 0) = 8.
+  IlpModel model;
+  const auto x = model.add_variable(0.0, kInf);
+  const auto y = model.add_variable(0.0, kInf);
+  model.add_constraint({{{x, 1.0}, {y, 1.0}}, Sense::kGreaterEqual, 4.0});
+  model.add_constraint({{{x, 1.0}}, Sense::kGreaterEqual, 1.0});
+  model.set_objective(Objective::kMinimize, {{x, 2.0}, {y, 3.0}});
+  const LpResult result = solve_lp_relaxation(model);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 8.0, 1e-7);
+}
+
+TEST(Simplex, EqualityConstraints) {
+  // min x + y s.t. x + 2y == 6, x - y == 0  ->  x = y = 2, obj 4.
+  IlpModel model;
+  const auto x = model.add_variable(0.0, kInf);
+  const auto y = model.add_variable(0.0, kInf);
+  model.add_constraint({{{x, 1.0}, {y, 2.0}}, Sense::kEqual, 6.0});
+  model.add_constraint({{{x, 1.0}, {y, -1.0}}, Sense::kEqual, 0.0});
+  model.set_objective(Objective::kMinimize, {{x, 1.0}, {y, 1.0}});
+  const LpResult result = solve_lp_relaxation(model);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.x[x], 2.0, 1e-7);
+  EXPECT_NEAR(result.x[y], 2.0, 1e-7);
+  EXPECT_NEAR(result.objective, 4.0, 1e-7);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  IlpModel model;
+  const auto x = model.add_variable(0.0, 1.0);
+  model.add_constraint({{{x, 1.0}}, Sense::kGreaterEqual, 2.0});
+  model.set_objective(Objective::kMinimize, {{x, 1.0}});
+  EXPECT_EQ(solve_lp_relaxation(model).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  IlpModel model;
+  const auto x = model.add_variable(0.0, kInf);
+  model.set_objective(Objective::kMaximize, {{x, 1.0}});
+  EXPECT_EQ(solve_lp_relaxation(model).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, RespectsVariableBounds) {
+  // max x + y with x in [1, 3], y in [0, 2].
+  IlpModel model;
+  const auto x = model.add_variable(1.0, 3.0);
+  const auto y = model.add_variable(0.0, 2.0);
+  model.set_objective(Objective::kMaximize, {{x, 1.0}, {y, 1.0}});
+  const LpResult result = solve_lp_relaxation(model);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 5.0, 1e-7);
+}
+
+TEST(Simplex, NonzeroLowerBoundShiftIsCorrect) {
+  // min x with x in [2, 10] and x >= 1: optimum is the lower bound 2.
+  IlpModel model;
+  const auto x = model.add_variable(2.0, 10.0);
+  model.add_constraint({{{x, 1.0}}, Sense::kGreaterEqual, 1.0});
+  model.set_objective(Objective::kMinimize, {{x, 1.0}});
+  const LpResult result = solve_lp_relaxation(model);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 2.0, 1e-7);
+  EXPECT_NEAR(result.x[x], 2.0, 1e-7);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Known degenerate LP (Beale-like structure); Bland's rule must terminate.
+  IlpModel model;
+  const auto x1 = model.add_variable(0.0, kInf);
+  const auto x2 = model.add_variable(0.0, kInf);
+  const auto x3 = model.add_variable(0.0, kInf);
+  model.add_constraint(
+      {{{x1, 0.25}, {x2, -8.0}, {x3, -1.0}}, Sense::kLessEqual, 0.0});
+  model.add_constraint(
+      {{{x1, 0.5}, {x2, -12.0}, {x3, -0.5}}, Sense::kLessEqual, 0.0});
+  model.add_constraint({{{x3, 1.0}}, Sense::kLessEqual, 1.0});
+  model.set_objective(Objective::kMaximize,
+                      {{x1, 0.75}, {x2, -20.0}, {x3, 0.5}});
+  const LpResult result = solve_lp_relaxation(model);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 1.25, 1e-6);
+}
+
+TEST(Simplex, LpRelaxationIgnoresIntegrality) {
+  // max x + y, x,y binary, x + y <= 1.5 -> LP gives 1.5.
+  IlpModel model;
+  const auto x = model.add_binary();
+  const auto y = model.add_binary();
+  model.add_constraint({{{x, 1.0}, {y, 1.0}}, Sense::kLessEqual, 1.5});
+  model.set_objective(Objective::kMaximize, {{x, 1.0}, {y, 1.0}});
+  const LpResult result = solve_lp_relaxation(model);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 1.5, 1e-7);
+}
+
+}  // namespace
+}  // namespace fdlsp

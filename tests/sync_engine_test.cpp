@@ -1,0 +1,244 @@
+// Tests for the synchronous LOCAL-model engine.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "graph/generators.h"
+#include "sim/sync_engine.h"
+#include "support/check.h"
+
+namespace fdlsp {
+namespace {
+
+/// Floods the maximum node id seen so far; node v finishes when it has been
+/// stable for `diameter` rounds. Classic leader-election-by-flooding.
+class MaxFloodProgram final : public SyncProgram {
+ public:
+  MaxFloodProgram(NodeId self, std::size_t quiet_rounds_needed)
+      : best_(self), quiet_needed_(quiet_rounds_needed) {}
+
+  void on_round(SyncContext& ctx, std::span<const Message> inbox) override {
+    NodeId before = best_;
+    for (const Message& message : inbox)
+      best_ = std::max(best_, static_cast<NodeId>(message.data[0]));
+    if (ctx.round() == 0 || best_ != before) {
+      Message message;
+      message.tag = 1;
+      message.data = {static_cast<std::int64_t>(best_)};
+      ctx.broadcast(std::move(message));
+      quiet_ = 0;
+    } else {
+      ++quiet_;
+    }
+  }
+
+  bool ready_for_phase_advance() const override { return true; }
+  void on_phase(std::size_t) override {}
+  bool finished() const override { return quiet_ >= quiet_needed_; }
+
+  NodeId best() const { return best_; }
+
+ private:
+  NodeId best_;
+  std::size_t quiet_ = 0;
+  std::size_t quiet_needed_;
+};
+
+TEST(SyncEngine, FloodingConvergesToGlobalMax) {
+  const Graph path = generate_path(8);
+  std::vector<std::unique_ptr<SyncProgram>> programs;
+  for (NodeId v = 0; v < 8; ++v)
+    programs.push_back(std::make_unique<MaxFloodProgram>(v, 10));
+  SyncEngine engine(path, std::move(programs));
+  const SyncMetrics metrics = engine.run();
+  EXPECT_TRUE(metrics.completed);
+  for (NodeId v = 0; v < 8; ++v)
+    EXPECT_EQ(static_cast<MaxFloodProgram&>(engine.program(v)).best(), 7u);
+  // The max id (node 7) must travel 7 hops: at least 7 rounds.
+  EXPECT_GE(metrics.rounds, 7u);
+  EXPECT_GT(metrics.messages, 0u);
+}
+
+/// Counts rounds between phase advances; finishes after two phases.
+class PhaseProgram final : public SyncProgram {
+ public:
+  void on_round(SyncContext&, std::span<const Message>) override {
+    ++rounds_seen_;
+  }
+  bool ready_for_phase_advance() const override { return true; }
+  void on_phase(std::size_t new_phase) override { phase_ = new_phase; }
+  bool finished() const override { return phase_ >= 2; }
+
+  std::size_t phase() const { return phase_; }
+  std::size_t rounds_seen() const { return rounds_seen_; }
+
+ private:
+  std::size_t phase_ = 0;
+  std::size_t rounds_seen_ = 0;
+};
+
+TEST(SyncEngine, BarrierAdvancesPhases) {
+  const Graph path = generate_path(3);
+  std::vector<std::unique_ptr<SyncProgram>> programs;
+  for (int i = 0; i < 3; ++i)
+    programs.push_back(std::make_unique<PhaseProgram>());
+  SyncEngine engine(path, std::move(programs));
+  const SyncMetrics metrics = engine.run(100);
+  EXPECT_TRUE(metrics.completed);
+  EXPECT_GE(metrics.phases, 2u);
+}
+
+/// Sends one message to an illegal (non-neighbor) target.
+class IllegalSendProgram final : public SyncProgram {
+ public:
+  void on_round(SyncContext& ctx, std::span<const Message>) override {
+    Message message;
+    message.tag = 1;
+    ctx.send(2, std::move(message));  // node 2 is two hops away on a path
+  }
+  bool ready_for_phase_advance() const override { return false; }
+  void on_phase(std::size_t) override {}
+  bool finished() const override { return false; }
+};
+
+class IdleProgram final : public SyncProgram {
+ public:
+  void on_round(SyncContext&, std::span<const Message>) override {}
+  bool ready_for_phase_advance() const override { return false; }
+  void on_phase(std::size_t) override {}
+  bool finished() const override { return false; }
+};
+
+TEST(SyncEngine, RejectsNonNeighborSend) {
+  const Graph path = generate_path(3);
+  std::vector<std::unique_ptr<SyncProgram>> programs;
+  programs.push_back(std::make_unique<IllegalSendProgram>());  // node 0
+  programs.push_back(std::make_unique<IdleProgram>());
+  programs.push_back(std::make_unique<IdleProgram>());
+  SyncEngine engine(path, std::move(programs));
+  EXPECT_THROW(engine.run(10), contract_error);
+}
+
+TEST(SyncEngine, RoundCapStopsRunaway) {
+  const Graph path = generate_path(2);
+  std::vector<std::unique_ptr<SyncProgram>> programs;
+  programs.push_back(std::make_unique<IdleProgram>());
+  programs.push_back(std::make_unique<IdleProgram>());
+  SyncEngine engine(path, std::move(programs));
+  const SyncMetrics metrics = engine.run(25);
+  EXPECT_FALSE(metrics.completed);
+  EXPECT_EQ(metrics.rounds, 25u);
+}
+
+/// Finishes immediately but echoes every received message once — models a
+/// retired relay node.
+class RelayWhileFinished final : public SyncProgram {
+ public:
+  void on_round(SyncContext& ctx, std::span<const Message> inbox) override {
+    for (const Message& message : inbox) {
+      if (message.data[0] > 0) {
+        Message copy;
+        copy.tag = message.tag;
+        copy.data = {message.data[0] - 1};
+        ctx.broadcast(std::move(copy));
+      }
+      ++relayed_;
+    }
+  }
+  bool ready_for_phase_advance() const override { return true; }
+  void on_phase(std::size_t) override {}
+  bool finished() const override { return true; }
+  std::size_t relayed() const { return relayed_; }
+
+ private:
+  std::size_t relayed_ = 0;
+};
+
+/// Sends one TTL'd message then finishes.
+class OneShotSender final : public SyncProgram {
+ public:
+  void on_round(SyncContext& ctx, std::span<const Message>) override {
+    if (sent_) return;
+    sent_ = true;
+    Message message;
+    message.tag = 1;
+    message.data = {3};
+    ctx.broadcast(std::move(message));
+  }
+  bool ready_for_phase_advance() const override { return true; }
+  void on_phase(std::size_t) override {}
+  bool finished() const override { return sent_; }
+
+ private:
+  bool sent_ = false;
+};
+
+TEST(SyncEngine, FinishedNodesStillRelayMessages) {
+  // Retired DistMIS nodes must keep forwarding floods; the engine calls
+  // finished programs whenever their inbox is non-empty. Node 3 waits for
+  // the flood, nodes 1-2 are finished relays.
+  class WaitForMessage final : public SyncProgram {
+   public:
+    void on_round(SyncContext&, std::span<const Message> inbox) override {
+      if (!inbox.empty()) got_it_ = true;
+    }
+    bool ready_for_phase_advance() const override { return false; }
+    void on_phase(std::size_t) override {}
+    bool finished() const override { return got_it_; }
+    bool got_it_ = false;
+  };
+  const Graph path = generate_path(4);
+  std::vector<std::unique_ptr<SyncProgram>> programs;
+  programs.push_back(std::make_unique<OneShotSender>());
+  programs.push_back(std::make_unique<RelayWhileFinished>());
+  programs.push_back(std::make_unique<RelayWhileFinished>());
+  programs.push_back(std::make_unique<WaitForMessage>());
+  SyncEngine engine(path, std::move(programs));
+  const SyncMetrics metrics = engine.run(50);
+  EXPECT_TRUE(metrics.completed);
+  // The TTL'd flood crossed two *finished* relays to reach node 3.
+  EXPECT_TRUE(static_cast<WaitForMessage&>(engine.program(3)).got_it_);
+}
+
+TEST(SyncEngine, BarrierWaitsForInFlightMessages) {
+  // A message sent right before everyone votes ready must be delivered in
+  // the old phase, not swallowed by the barrier.
+  class SendThenReady final : public SyncProgram {
+   public:
+    void on_round(SyncContext& ctx, std::span<const Message> inbox) override {
+      received_ += inbox.size();
+      if (ctx.round() == 0) {
+        Message message;
+        message.tag = 1;
+        message.data = {0};
+        ctx.broadcast(std::move(message));
+      }
+      if (received_ >= 1 && phase_ >= 1) done_ = true;
+    }
+    bool ready_for_phase_advance() const override { return true; }
+    void on_phase(std::size_t new_phase) override { phase_ = new_phase; }
+    bool finished() const override { return done_; }
+    std::size_t received_ = 0;
+    std::size_t phase_ = 0;
+    bool done_ = false;
+  };
+  const Graph path = generate_path(2);
+  std::vector<std::unique_ptr<SyncProgram>> programs;
+  programs.push_back(std::make_unique<SendThenReady>());
+  programs.push_back(std::make_unique<SendThenReady>());
+  SyncEngine engine(path, std::move(programs));
+  const SyncMetrics metrics = engine.run(20);
+  EXPECT_TRUE(metrics.completed);
+  for (NodeId v = 0; v < 2; ++v)
+    EXPECT_EQ(static_cast<SendThenReady&>(engine.program(v)).received_, 1u);
+}
+
+TEST(SyncEngine, RequiresOneProgramPerNode) {
+  const Graph path = generate_path(3);
+  std::vector<std::unique_ptr<SyncProgram>> programs;
+  programs.push_back(std::make_unique<IdleProgram>());
+  EXPECT_THROW(SyncEngine(path, std::move(programs)), contract_error);
+}
+
+}  // namespace
+}  // namespace fdlsp

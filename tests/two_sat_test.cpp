@@ -1,0 +1,100 @@
+// Tests for the 2-SAT solver.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "algos/two_sat.h"
+#include "support/rng.h"
+
+namespace fdlsp {
+namespace {
+
+TEST(TwoSat, SatisfiableChain) {
+  TwoSat sat(3);
+  sat.add_clause(0, true, 1, true);
+  sat.add_clause(1, false, 2, true);
+  sat.add_clause(0, false, 2, false);
+  const auto result = sat.solve();
+  ASSERT_TRUE(result.has_value());
+  const auto& x = *result;
+  EXPECT_TRUE(x[0] || x[1]);
+  EXPECT_TRUE(!x[1] || x[2]);
+  EXPECT_TRUE(!x[0] || !x[2]);
+}
+
+TEST(TwoSat, UnitClausesForce) {
+  TwoSat sat(2);
+  sat.add_unit(0, true);
+  sat.add_unit(1, false);
+  const auto result = sat.solve();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE((*result)[0]);
+  EXPECT_FALSE((*result)[1]);
+}
+
+TEST(TwoSat, ContradictionIsUnsat) {
+  TwoSat sat(1);
+  sat.add_unit(0, true);
+  sat.add_unit(0, false);
+  EXPECT_FALSE(sat.solve().has_value());
+}
+
+TEST(TwoSat, ImplicationCycleUnsat) {
+  // (a ∨ b)(¬a ∨ b)(a ∨ ¬b)(¬a ∨ ¬b) is unsatisfiable.
+  TwoSat sat(2);
+  sat.add_clause(0, true, 1, true);
+  sat.add_clause(0, false, 1, true);
+  sat.add_clause(0, true, 1, false);
+  sat.add_clause(0, false, 1, false);
+  EXPECT_FALSE(sat.solve().has_value());
+}
+
+TEST(TwoSat, EmptyInstanceIsSat) {
+  TwoSat sat(4);
+  EXPECT_TRUE(sat.solve().has_value());
+}
+
+TEST(TwoSat, RandomInstancesAgreeWithBruteForce) {
+  Rng rng(61);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 2 + rng.next_index(6);
+    const std::size_t clauses = rng.next_index(12);
+    std::vector<std::array<std::size_t, 4>> clause_list;
+    TwoSat sat(n);
+    for (std::size_t k = 0; k < clauses; ++k) {
+      const std::size_t a = rng.next_index(n);
+      const std::size_t b = rng.next_index(n);
+      const bool va = rng.next_bool(0.5);
+      const bool vb = rng.next_bool(0.5);
+      sat.add_clause(a, va, b, vb);
+      clause_list.push_back({a, va ? 1u : 0u, b, vb ? 1u : 0u});
+    }
+    // Brute force satisfiability.
+    bool brute_sat = false;
+    for (std::size_t mask = 0; mask < (1u << n) && !brute_sat; ++mask) {
+      bool all = true;
+      for (const auto& c : clause_list) {
+        const bool lit_a = ((mask >> c[0]) & 1) == c[1];
+        const bool lit_b = ((mask >> c[2]) & 1) == c[3];
+        if (!lit_a && !lit_b) {
+          all = false;
+          break;
+        }
+      }
+      brute_sat = all;
+    }
+    const auto solved = sat.solve();
+    EXPECT_EQ(solved.has_value(), brute_sat) << "trial " << trial;
+    if (solved) {
+      for (const auto& c : clause_list) {
+        const bool lit_a = (*solved)[c[0]] == (c[1] != 0);
+        const bool lit_b = (*solved)[c[2]] == (c[3] != 0);
+        EXPECT_TRUE(lit_a || lit_b);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fdlsp
