@@ -273,6 +273,7 @@ ScheduleResult run_dfs_schedule(const Graph& graph, const DfsOptions& options) {
                      options.seed);
   const AsyncMetrics metrics = engine.run(options.max_messages);
   FDLSP_REQUIRE(metrics.completed, "DFS did not complete in message budget");
+  FDLSP_REQUIRE(metrics.fifo_ok, "engine violated per-channel FIFO order");
 
   ScheduleResult result;
   result.coloring = ArcColoring(view.num_arcs());

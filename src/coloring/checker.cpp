@@ -1,5 +1,8 @@
 #include "coloring/checker.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "coloring/conflict.h"
 
 namespace fdlsp {
@@ -25,6 +28,28 @@ std::optional<ConflictWitness> find_violation(const ArcView& view,
 bool is_feasible_schedule(const ArcView& view, const ArcColoring& coloring) {
   return coloring.num_arcs() == view.num_arcs() && coloring.complete() &&
          !find_violation(view, coloring);
+}
+
+std::size_t count_violations(const ArcView& view,
+                             const ArcColoring& coloring) {
+  FDLSP_REQUIRE(coloring.num_arcs() == view.num_arcs(),
+                "coloring size does not match graph");
+  std::size_t violations = 0;
+  std::vector<ArcId> partners;
+  for (ArcId a = 0; a < view.num_arcs(); ++a) {
+    const Color c = coloring.color(a);
+    if (c == kNoColor) continue;
+    // De-duplicate: the conflict enumeration may visit an arc repeatedly.
+    partners.clear();
+    for_each_conflicting_arc(view, a, [&](ArcId b) {
+      if (b > a && coloring.color(b) == c) partners.push_back(b);
+    });
+    std::sort(partners.begin(), partners.end());
+    partners.erase(std::unique(partners.begin(), partners.end()),
+                   partners.end());
+    violations += partners.size();
+  }
+  return violations;
 }
 
 }  // namespace fdlsp

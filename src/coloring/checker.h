@@ -25,4 +25,10 @@ std::optional<ConflictWitness> find_violation(const ArcView& view,
 /// i.e. the coloring is a valid full-duplex TDMA link schedule.
 bool is_feasible_schedule(const ArcView& view, const ArcColoring& coloring);
 
+/// Number of unordered same-colored conflicting arc pairs among colored
+/// arcs. 0 iff the (possibly partial) coloring is conflict-free. The
+/// verification harness uses this as a quantitative oracle: shrinking steps
+/// may only keep a candidate if the violation count stays positive.
+std::size_t count_violations(const ArcView& view, const ArcColoring& coloring);
+
 }  // namespace fdlsp

@@ -20,28 +20,35 @@ void AsyncContext::broadcast(Message message) {
 AsyncEngine::AsyncEngine(const Graph& graph,
                          std::vector<std::unique_ptr<AsyncProgram>> programs,
                          DelayModel delay_model, std::uint64_t seed)
+    : AsyncEngine(graph, std::move(programs),
+                  make_delay_schedule(delay_model, seed)) {}
+
+AsyncEngine::AsyncEngine(const Graph& graph,
+                         std::vector<std::unique_ptr<AsyncProgram>> programs,
+                         std::unique_ptr<DelaySchedule> schedule)
     : graph_(graph),
       programs_(std::move(programs)),
-      delay_model_(delay_model),
-      rng_(seed) {
+      schedule_(std::move(schedule)) {
   FDLSP_REQUIRE(programs_.size() == graph_.num_nodes(),
                 "one program per node required");
+  FDLSP_REQUIRE(schedule_ != nullptr, "delay schedule required");
   channel_clock_.assign(2 * graph_.num_edges(), 0.0);
+  channel_posts_.assign(2 * graph_.num_edges(), 0);
 }
 
 void AsyncEngine::post(NodeId from, NodeId to, Message message, double now) {
   const EdgeId e = graph_.find_edge(from, to);
   FDLSP_REQUIRE(e != kNoEdge, "nodes may only message direct neighbors");
-  double delay = 1.0;
-  if (delay_model_ == DelayModel::kUniformRandom)
-    delay = 1.0 - rng_.next_double();  // (0, 1]
+  const ArcId channel = ArcView(graph_).arc_from(e, from);
+  const double delay = schedule_->delay(channel, channel_posts_[channel]++);
+  FDLSP_REQUIRE(delay > 0.0 && delay <= 1.0,
+                "delay schedules must return delays in (0, 1]");
   // FIFO per directed channel: never schedule before an earlier message on
   // the same channel.
-  const ArcId channel = ArcView(graph_).arc_from(e, from);
   double when = now + delay;
   when = std::max(when, channel_clock_[channel] + 1e-9);
   channel_clock_[channel] = when;
-  queue_.push(Event{when, next_sequence_++, to, std::move(message)});
+  queue_.push(Event{when, next_sequence_++, to, channel, std::move(message)});
 }
 
 AsyncMetrics AsyncEngine::run(std::size_t max_messages) {
@@ -50,11 +57,24 @@ AsyncMetrics AsyncEngine::run(std::size_t max_messages) {
     AsyncContext ctx(*this, v, graph_.neighbors(v), 0.0);
     programs_[v]->on_start(ctx);
   }
+  // Last delivered (time, sequence) per channel; sequences are assigned in
+  // post order, so a delivery with a smaller sequence than its channel's
+  // last one means FIFO was violated.
+  std::vector<std::pair<double, std::uint64_t>> delivered(
+      channel_clock_.size(), {-1.0, 0});
+  std::vector<bool> delivered_any(channel_clock_.size(), false);
   while (!queue_.empty() && metrics.messages < max_messages) {
     Event event = queue_.top();
     queue_.pop();
     ++metrics.messages;
     metrics.completion_time = std::max(metrics.completion_time, event.time);
+    if (delivered_any[event.channel]) {
+      const auto& [last_time, last_sequence] = delivered[event.channel];
+      if (event.time < last_time || event.sequence < last_sequence)
+        metrics.fifo_ok = false;
+    }
+    delivered[event.channel] = {event.time, event.sequence};
+    delivered_any[event.channel] = true;
     AsyncContext ctx(*this, event.to, graph_.neighbors(event.to), event.time);
     programs_[event.to]->on_message(ctx, event.message);
   }

@@ -1,12 +1,13 @@
 // Asynchronous message-passing engine.
 //
 // Event-driven: messages are delivered one at a time in timestamp order.
-// Channels are FIFO per ordered (sender, receiver) pair. Delays are either
-// the unit-delay model used for worst-case time complexity (each message
-// takes exactly 1 time unit) or uniformly random in (0, 1], which exercises
-// genuinely asynchronous interleavings. The completion "time" metric is the
-// timestamp of the last delivery — the standard asynchronous time measure
-// where every message takes at most one unit.
+// Channels are FIFO per ordered (sender, receiver) pair. Delays come from a
+// pluggable DelaySchedule (see sim/delay.h): the unit-delay model used for
+// worst-case time complexity, uniformly random delays in (0, 1], or a
+// seeded adversarial schedule that maximizes cross-channel reordering. The
+// completion "time" metric is the timestamp of the last delivery — the
+// standard asynchronous time measure where every message takes at most one
+// unit.
 #pragma once
 
 #include <memory>
@@ -15,8 +16,8 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "sim/delay.h"
 #include "sim/message.h"
-#include "support/rng.h"
 
 namespace fdlsp {
 
@@ -69,26 +70,33 @@ class AsyncProgram {
   virtual bool finished() const = 0;
 };
 
-/// Message delay model.
-enum class DelayModel {
-  kUnit,           ///< every hop takes exactly 1 time unit
-  kUniformRandom,  ///< uniform in (0, 1], FIFO preserved per channel
-};
-
 /// Metrics of an asynchronous run.
 struct AsyncMetrics {
   std::size_t messages = 0;  ///< total messages delivered
   double completion_time = 0.0;  ///< timestamp of the last delivery
   bool completed = false;        ///< all nodes finished, queue drained
+  /// True iff deliveries on every directed channel happened in send order.
+  /// The engine enforces this by construction; the flag is re-validated at
+  /// delivery time so delay-schedule bugs cannot silently break causality.
+  bool fifo_ok = true;
 };
 
 /// Drives a set of AsyncPrograms over a communication graph.
 class AsyncEngine {
  public:
+  /// Builds the engine with a built-in delay model; `seed` drives the
+  /// stochastic schedules (convention: thread the caller's run seed through,
+  /// never a fresh literal — see src/support/rng.h).
   AsyncEngine(const Graph& graph,
               std::vector<std::unique_ptr<AsyncProgram>> programs,
               DelayModel delay_model = DelayModel::kUnit,
               std::uint64_t seed = 1);
+
+  /// Builds the engine with a custom delay schedule (the injection point the
+  /// verification harness uses for adversarial interleavings).
+  AsyncEngine(const Graph& graph,
+              std::vector<std::unique_ptr<AsyncProgram>> programs,
+              std::unique_ptr<DelaySchedule> schedule);
 
   /// Runs to quiescence (empty event queue) or the message cap.
   AsyncMetrics run(std::size_t max_messages = 10'000'000);
@@ -104,6 +112,7 @@ class AsyncEngine {
     double time;
     std::uint64_t sequence;  // tie-break: deterministic FIFO order
     NodeId to;
+    ArcId channel;  // directed sender->receiver arc, for FIFO validation
     Message message;
   };
   struct EventLater {
@@ -116,8 +125,8 @@ class AsyncEngine {
   std::vector<std::unique_ptr<AsyncProgram>> programs_;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
   std::vector<double> channel_clock_;  // last scheduled time per directed edge
-  DelayModel delay_model_;
-  Rng rng_;
+  std::vector<std::uint64_t> channel_posts_;  // messages posted per channel
+  std::unique_ptr<DelaySchedule> schedule_;
   std::uint64_t next_sequence_ = 0;
 };
 

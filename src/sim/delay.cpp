@@ -1,0 +1,60 @@
+#include "sim/delay.h"
+
+#include "support/check.h"
+
+namespace fdlsp {
+
+const char* delay_model_name(DelayModel model) {
+  switch (model) {
+    case DelayModel::kUnit:
+      return "unit";
+    case DelayModel::kUniformRandom:
+      return "uniform";
+    case DelayModel::kAdversarial:
+      return "adversarial";
+  }
+  FDLSP_REQUIRE(false, "unknown delay model");
+  return "";
+}
+
+double AdversarialDelay::delay(ArcId channel, std::uint64_t message_index) {
+  // Persistent per-channel persona: hash only (seed, channel) so the bias
+  // survives across the whole run, creating channels that consistently race
+  // ahead of consistently-lagging ones.
+  std::uint64_t persona_state = seed_ ^ (0xa076'1d64'78bd'642fULL + channel);
+  const std::uint64_t persona = splitmix64(persona_state);
+  // Per-message jitter: hash (seed, channel, index) so repeated queries are
+  // consistent regardless of engine post order.
+  std::uint64_t jitter_state =
+      persona ^ (message_index * 0x9e37'79b9'7f4a'7c15ULL + 0x2545'f491'4f6c'dd1dULL);
+  const double jitter =
+      static_cast<double>(splitmix64(jitter_state) >> 11) * 0x1.0p-53;
+
+  switch (persona % 4) {
+    case 0:  // fast channel: deliveries bunch up near "instant"
+      return 0.01 + 0.04 * jitter;
+    case 1:  // slow channel: always close to the one-unit maximum
+      return 0.90 + 0.10 * jitter;
+    case 2:  // bursty channel: alternates stalls and sprints per message
+      return (message_index % 2 == 0) ? 0.02 + 0.03 * jitter
+                                      : 0.85 + 0.15 * jitter;
+    default:  // erratic channel: full-range uniform
+      return 1.0 - jitter * 0.999;
+  }
+}
+
+std::unique_ptr<DelaySchedule> make_delay_schedule(DelayModel model,
+                                                   std::uint64_t seed) {
+  switch (model) {
+    case DelayModel::kUnit:
+      return std::make_unique<UnitDelay>();
+    case DelayModel::kUniformRandom:
+      return std::make_unique<UniformRandomDelay>(seed);
+    case DelayModel::kAdversarial:
+      return std::make_unique<AdversarialDelay>(seed);
+  }
+  FDLSP_REQUIRE(false, "unknown delay model");
+  return nullptr;
+}
+
+}  // namespace fdlsp

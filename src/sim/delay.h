@@ -1,0 +1,92 @@
+// Message delay schedules for the asynchronous engine.
+//
+// A DelaySchedule decides how long the k-th message posted on a directed
+// channel is in flight. The engine clamps deliveries so that per-channel
+// FIFO order is always preserved, which means a schedule controls the
+// *interleaving across channels* — exactly the degree of freedom an
+// asynchronous adversary has. All schedules return delays in (0, 1] so the
+// standard asynchronous time measure (every message takes at most one time
+// unit) stays valid and completion-time metrics remain comparable across
+// models.
+//
+// Three built-in schedules:
+//   kUnit          — every hop takes exactly 1 time unit (worst-case time
+//                    complexity model; the synchronous-looking baseline).
+//   kUniformRandom — i.i.d. uniform in (0, 1]; mild reordering.
+//   kAdversarial   — seeded worst-case-ish adversary: each channel gets a
+//                    persistent persona (fast / slow / bursty) so some
+//                    channels race far ahead of others, maximizing the
+//                    cross-channel reorderings a protocol must tolerate
+//                    while still respecting FIFO per channel. Deliveries are
+//                    a pure function of (seed, channel, message index), so
+//                    runs are reproducible from the seed alone.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "graph/types.h"
+#include "support/rng.h"
+
+namespace fdlsp {
+
+/// Message delay model selector (see the schedule classes below).
+enum class DelayModel {
+  kUnit,           ///< every hop takes exactly 1 time unit
+  kUniformRandom,  ///< uniform in (0, 1], FIFO preserved per channel
+  kAdversarial,    ///< seeded adversary reordering deliveries across channels
+};
+
+/// Human-readable model name (for test diagnostics and repro commands).
+const char* delay_model_name(DelayModel model);
+
+/// Decides the in-flight delay of each message. Implementations must return
+/// values in (0, 1] and must be deterministic given their construction
+/// parameters (the engine relies on this for run reproducibility).
+class DelaySchedule {
+ public:
+  virtual ~DelaySchedule() = default;
+
+  /// Delay for the `message_index`-th message posted on directed channel
+  /// `channel` (the ArcId of the sender->receiver arc).
+  virtual double delay(ArcId channel, std::uint64_t message_index) = 0;
+};
+
+/// Every message takes exactly one time unit.
+class UnitDelay final : public DelaySchedule {
+ public:
+  double delay(ArcId, std::uint64_t) override { return 1.0; }
+};
+
+/// I.i.d. uniform delays in (0, 1], drawn in post order from a seeded Rng.
+class UniformRandomDelay final : public DelaySchedule {
+ public:
+  explicit UniformRandomDelay(std::uint64_t seed) : rng_(seed) {}
+
+  double delay(ArcId, std::uint64_t) override {
+    return 1.0 - rng_.next_double();  // (0, 1]
+  }
+
+ private:
+  Rng rng_;
+};
+
+/// Seeded worst-case-ish adversary. Stateless: the delay is a hash of
+/// (seed, channel, message index), so two engines with the same seed agree
+/// even if they post messages in different orders.
+class AdversarialDelay final : public DelaySchedule {
+ public:
+  explicit AdversarialDelay(std::uint64_t seed) : seed_(seed) {}
+
+  double delay(ArcId channel, std::uint64_t message_index) override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// Builds the schedule for a model selector; `seed` feeds the stochastic
+/// schedules and is ignored by kUnit.
+std::unique_ptr<DelaySchedule> make_delay_schedule(DelayModel model,
+                                                   std::uint64_t seed);
+
+}  // namespace fdlsp

@@ -4,6 +4,20 @@
 // asynchronous delay models, experiment sweeps) draw from fdlsp::Rng so that
 // every run is reproducible from a single 64-bit seed. The generator is
 // xoshiro256**, seeded via SplitMix64 per the reference recommendation.
+//
+// Seeding convention (enforced: Rng has no default seed):
+//   * Every Rng is constructed with an explicitly threaded seed that derives
+//     from the run's single base seed. Constructing Rng with a shared
+//     literal inside a loop gives every iteration an identical stream —
+//     iterations silently explore the same instance, which inflates
+//     confidence without adding coverage.
+//   * To derive per-iteration / per-node / per-task streams, either draw
+//     from a parent generator (`Rng seeder(base); child(seeder());`), call
+//     `split()`, or mix the index statelessly
+//     (`std::uint64_t s = base; Rng r(splitmix64(s) ^ index);`).
+//   * APIs that run stochastic work take a `seed` parameter and pass it down
+//     unchanged; only the outermost caller (CLI flag, test constant)
+//     chooses the literal.
 #pragma once
 
 #include <algorithm>
@@ -33,7 +47,10 @@ class Rng {
   using result_type = std::uint64_t;
 
   /// Seeds the full 256-bit state from one 64-bit seed via SplitMix64.
-  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) noexcept {
+  /// Deliberately no default seed: a shared implicit seed across call sites
+  /// is how "random" sweeps silently re-run one instance (see the seeding
+  /// convention above).
+  explicit Rng(std::uint64_t seed) noexcept {
     std::uint64_t sm = seed;
     for (auto& word : state_) word = splitmix64(sm);
   }

@@ -1,0 +1,71 @@
+#include "verify/differential.h"
+
+#include <utility>
+
+#include "exp/workloads.h"
+
+namespace fdlsp {
+
+std::string to_string(const FailureReport& report) {
+  std::string out;
+  out += "[" + report.algorithm + "] oracle failure: " +
+         report.oracle_failure + "\n";
+  out += "repro: " + report.repro + "\n";
+  out += "shrunk witness (" + report.shrunk_failure + "): " +
+         format_graph(report.shrunk) + "\n";
+  return out;
+}
+
+std::optional<FailureReport> check_scenario(
+    const ScheduleFn& run, const std::string& algorithm,
+    const Scenario& scenario, const DifferentialOptions& options) {
+  const Graph graph = materialize(scenario);
+  const OracleVerdict verdict =
+      check_oracles(run, graph, scenario.seed, options.oracles);
+  if (verdict.ok) return std::nullopt;
+
+  FailureReport report;
+  report.algorithm = algorithm;
+  report.scenario = scenario;
+  report.oracle_failure = verdict.failure;
+  report.repro = repro_command(scenario, algorithm);
+  report.shrunk = graph;
+  report.shrunk_failure = verdict.failure;
+
+  if (options.shrink_on_failure) {
+    const auto still_fails = [&](const Graph& candidate) {
+      return !check_oracles(run, candidate, scenario.seed, options.oracles)
+                  .ok;
+    };
+    ShrinkOutcome outcome =
+        shrink_graph(graph, still_fails, options.shrink);
+    report.shrunk = std::move(outcome.graph);
+    report.shrunk_failure =
+        check_oracles(run, report.shrunk, scenario.seed, options.oracles)
+            .failure;
+  }
+  return report;
+}
+
+std::optional<FailureReport> check_scenario(SchedulerKind kind,
+                                            const Scenario& scenario) {
+  DifferentialOptions options;
+  options.oracles = oracle_options_for(kind);
+  const ScheduleFn run = [kind](const Graph& graph, std::uint64_t seed) {
+    return run_scheduler_on_components(kind, graph, seed);
+  };
+  return check_scenario(run, scheduler_name(kind), scenario, options);
+}
+
+FuzzSummary fuzz_scheduler(SchedulerKind kind,
+                           std::span<const Scenario> scenarios) {
+  FuzzSummary summary;
+  for (const Scenario& scenario : scenarios) {
+    ++summary.scenarios;
+    if (auto report = check_scenario(kind, scenario))
+      summary.failures.push_back(std::move(*report));
+  }
+  return summary;
+}
+
+}  // namespace fdlsp

@@ -1,0 +1,71 @@
+// Differential fuzzing driver: scenarios × schedulers × oracles × shrink.
+//
+// The entry points every property test (and future regression gate) uses:
+//   check_scenario  — materialize one scenario, run one algorithm through
+//                     the oracle battery; on failure shrink the graph to a
+//                     minimal reproducer and return a FailureReport whose
+//                     to_string() is a ready-to-paste bug report with a
+//                     one-line repro command.
+//   fuzz_scheduler  — sweep a scenario batch and collect every failure.
+// Built-in scheduler kinds run via run_scheduler_on_components, so
+// disconnected fuzzed instances are handled the same way the experiment
+// harness handles them (DFS per component with slot reuse).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "algos/scheduler.h"
+#include "verify/oracles.h"
+#include "verify/scenario.h"
+#include "verify/shrink.h"
+
+namespace fdlsp {
+
+/// Tunables for a differential check.
+struct DifferentialOptions {
+  OracleOptions oracles;
+  bool shrink_on_failure = true;
+  ShrinkOptions shrink;
+};
+
+/// Everything needed to reproduce and debug one oracle failure.
+struct FailureReport {
+  std::string algorithm;       ///< scheduler under test
+  Scenario scenario;           ///< the original failing scenario
+  std::string oracle_failure;  ///< failing oracle on the original instance
+  std::string repro;           ///< one-line command for the original
+  Graph shrunk;                ///< minimal failing graph (== original if
+                               ///< shrinking was disabled or exhausted)
+  std::string shrunk_failure;  ///< failing oracle on the shrunk instance
+};
+
+/// Multi-line human-readable form of a failure (repro command, shrunk
+/// witness edge list, oracle messages).
+std::string to_string(const FailureReport& report);
+
+/// Checks an arbitrary scheduling function against the battery on one
+/// scenario. Returns the report on failure, nullopt when all oracles pass.
+std::optional<FailureReport> check_scenario(const ScheduleFn& run,
+                                            const std::string& algorithm,
+                                            const Scenario& scenario,
+                                            const DifferentialOptions& options);
+
+/// Same for a built-in scheduler kind; oracle gating defaults to
+/// oracle_options_for(kind).
+std::optional<FailureReport> check_scenario(SchedulerKind kind,
+                                            const Scenario& scenario);
+
+/// Aggregate over a scenario batch.
+struct FuzzSummary {
+  std::size_t scenarios = 0;
+  std::vector<FailureReport> failures;
+};
+
+/// Runs `kind` over every scenario, collecting all failures.
+FuzzSummary fuzz_scheduler(SchedulerKind kind,
+                           std::span<const Scenario> scenarios);
+
+}  // namespace fdlsp

@@ -1,0 +1,143 @@
+#include "verify/oracles.h"
+
+#include <algorithm>
+
+#include "coloring/bounds.h"
+#include "coloring/checker.h"
+#include "coloring/exact.h"
+#include "graph/arcs.h"
+
+namespace fdlsp {
+
+namespace {
+
+std::string describe(const char* oracle, const std::string& detail) {
+  return std::string(oracle) + ": " + detail;
+}
+
+}  // namespace
+
+OracleVerdict check_oracles(const ScheduleFn& run, const Graph& graph,
+                            std::uint64_t seed,
+                            const OracleOptions& options) {
+  OracleVerdict verdict;
+  const ArcView view(graph);
+  const ScheduleResult result = run(graph, seed);
+
+  // 1. Feasibility.
+  if (result.coloring.num_arcs() != view.num_arcs()) {
+    verdict.ok = false;
+    verdict.failure = describe(
+        "feasibility", "coloring covers " +
+                           std::to_string(result.coloring.num_arcs()) +
+                           " arcs, graph has " +
+                           std::to_string(view.num_arcs()));
+    return verdict;
+  }
+  if (!result.coloring.complete()) {
+    verdict.ok = false;
+    verdict.failure = describe(
+        "feasibility",
+        std::to_string(view.num_arcs() - result.coloring.num_colored()) +
+            " arcs left uncolored");
+    return verdict;
+  }
+  if (const auto witness = find_violation(view, result.coloring)) {
+    verdict.ok = false;
+    verdict.failure = describe(
+        "feasibility",
+        "arcs " + std::to_string(witness->a) + " and " +
+            std::to_string(witness->b) + " conflict but share slot " +
+            std::to_string(result.coloring.color(witness->a)) + " (" +
+            std::to_string(count_violations(view, result.coloring)) +
+            " violating pairs total)");
+    return verdict;
+  }
+
+  // 2. Bounds window.
+  const std::size_t lower = lower_bound_theorem1(graph);
+  if (result.num_slots < lower) {
+    verdict.ok = false;
+    verdict.failure = describe(
+        "lower-bound", std::to_string(result.num_slots) +
+                           " slots beat the Theorem 1 lower bound " +
+                           std::to_string(lower) +
+                           " — the schedule or the bound is wrong");
+    return verdict;
+  }
+  if (options.check_upper_bound) {
+    const std::size_t upper = upper_bound_colors(graph);
+    if (result.num_slots > upper) {
+      verdict.ok = false;
+      verdict.failure = describe(
+          "upper-bound", std::to_string(result.num_slots) +
+                             " slots exceed the 2Δ² guarantee " +
+                             std::to_string(upper));
+      return verdict;
+    }
+  }
+
+  // 3. Δ-approximation against the exact reference on small instances.
+  if (options.check_approximation &&
+      graph.num_nodes() <= options.exact_max_nodes &&
+      graph.num_edges() > 0) {
+    ExactOptions exact_options;
+    exact_options.max_nodes = options.exact_bb_budget;
+    const ExactFdlspResult exact = optimal_fdlsp(view, exact_options);
+    if (exact.optimal) {
+      const std::size_t factor = std::max<std::size_t>(graph.max_degree(), 1);
+      if (result.num_slots > factor * exact.num_colors) {
+        verdict.ok = false;
+        verdict.failure = describe(
+            "approximation",
+            std::to_string(result.num_slots) + " slots > Δ·OPT = " +
+                std::to_string(factor) + "·" +
+                std::to_string(exact.num_colors));
+        return verdict;
+      }
+    }
+  }
+
+  // 4. Determinism: same seed, byte-identical coloring.
+  if (options.check_determinism) {
+    const ScheduleResult rerun = run(graph, seed);
+    if (rerun.coloring.raw() != result.coloring.raw()) {
+      verdict.ok = false;
+      std::size_t first_diff = 0;
+      const auto& a = result.coloring.raw();
+      const auto& b = rerun.coloring.raw();
+      while (first_diff < a.size() && first_diff < b.size() &&
+             a[first_diff] == b[first_diff])
+        ++first_diff;
+      verdict.failure = describe(
+          "determinism",
+          "two runs with seed " + std::to_string(seed) +
+              " diverge (first differing arc " +
+              std::to_string(first_diff) + ")");
+      return verdict;
+    }
+  }
+
+  return verdict;
+}
+
+OracleOptions oracle_options_for(SchedulerKind kind) {
+  OracleOptions options;
+  switch (kind) {
+    case SchedulerKind::kDmgc:
+      // D-MGC can exceed 2Δ² (color injection) and claims no ratio.
+      options.check_upper_bound = false;
+      options.check_approximation = false;
+      break;
+    case SchedulerKind::kRandomized:
+      // Distance-1 knowledge: feasible by construction but unbounded.
+      options.check_upper_bound = false;
+      options.check_approximation = false;
+      break;
+    default:
+      break;
+  }
+  return options;
+}
+
+}  // namespace fdlsp

@@ -1,0 +1,64 @@
+// Oracle battery: the executable form of the paper's guarantees.
+//
+// Given any scheduling function, the oracles check, on one concrete graph:
+//   1. feasibility     — complete coloring, no distance-2 conflict
+//                        (Definition 2 / the checker);
+//   2. bounds window   — slot count within
+//                        [Theorem 1 lower bound, 2Δ² Lemma 6 upper bound];
+//   3. approximation   — slots ≤ Δ · OPT on instances small enough for the
+//                        exact DSATUR branch-and-bound (Section 5's
+//                        Δ-approximation claim);
+//   4. determinism     — a second run with the same seed yields a
+//                        byte-identical coloring (catches hidden iteration-
+//                        order or shared-state dependence).
+// The first failing oracle aborts the battery and names itself in the
+// verdict, so shrinking can target exactly that property.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "algos/scheduler.h"
+#include "graph/graph.h"
+
+namespace fdlsp {
+
+/// Any scheduling algorithm under test: graph + seed -> result.
+using ScheduleFn =
+    std::function<ScheduleResult(const Graph&, std::uint64_t seed)>;
+
+/// Which oracles to apply. Guarantee-specific checks are gated so baselines
+/// without the guarantee (D-MGC can exceed 2Δ² under injection; the
+/// randomized distance-1 algorithm has no approximation bound) still run
+/// the universal ones.
+struct OracleOptions {
+  bool check_upper_bound = true;    ///< slots ≤ 2Δ²
+  bool check_approximation = true;  ///< slots ≤ Δ·OPT on small instances
+  bool check_determinism = true;    ///< same seed ⇒ identical coloring
+  /// Run the exact reference only when the graph has at most this many
+  /// nodes (DSATUR B&B is exponential; 14 keeps the battery fast).
+  std::size_t exact_max_nodes = 14;
+  /// Branch-and-bound expansion budget for the exact reference; when the
+  /// proof does not finish in budget the approximation oracle is skipped
+  /// (matching "where the exact colorer terminates").
+  std::size_t exact_bb_budget = 50'000;
+};
+
+/// Outcome of the battery on one instance.
+struct OracleVerdict {
+  bool ok = true;
+  std::string failure;  ///< first failing oracle, human-readable
+};
+
+/// Runs the battery. `run` is invoked once (plus once more for the
+/// determinism oracle); it must tolerate disconnected graphs.
+OracleVerdict check_oracles(const ScheduleFn& run, const Graph& graph,
+                            std::uint64_t seed,
+                            const OracleOptions& options = {});
+
+/// Oracle options appropriate for a built-in scheduler kind (disables the
+/// checks a baseline does not promise).
+OracleOptions oracle_options_for(SchedulerKind kind);
+
+}  // namespace fdlsp

@@ -1,0 +1,130 @@
+#include "verify/shrink.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "graph/algorithms.h"
+#include "support/check.h"
+
+namespace fdlsp {
+
+namespace {
+
+/// Budget-aware wrapper around the caller's predicate.
+class Checker {
+ public:
+  Checker(const FailingPredicate& predicate, std::size_t budget)
+      : predicate_(predicate), budget_(budget) {}
+
+  bool exhausted() const { return checks_ >= budget_; }
+  std::size_t checks() const { return checks_; }
+
+  bool fails(const Graph& candidate) {
+    if (exhausted()) return false;  // out of budget: treat as "keep current"
+    ++checks_;
+    return predicate_(candidate);
+  }
+
+ private:
+  const FailingPredicate& predicate_;
+  std::size_t budget_;
+  std::size_t checks_ = 0;
+};
+
+Graph without_nodes(const Graph& graph, std::size_t begin, std::size_t end) {
+  std::vector<NodeId> keep;
+  keep.reserve(graph.num_nodes() - (end - begin));
+  for (NodeId v = 0; v < graph.num_nodes(); ++v)
+    if (v < begin || v >= end) keep.push_back(v);
+  return induced_subgraph(graph, keep).graph;
+}
+
+Graph without_edge(const Graph& graph, EdgeId skip) {
+  GraphBuilder builder(graph.num_nodes());
+  for (EdgeId e = 0; e < graph.num_edges(); ++e)
+    if (e != skip) builder.add_edge(graph.edge(e).u, graph.edge(e).v);
+  return builder.build();
+}
+
+Graph without_isolated(const Graph& graph) {
+  std::vector<NodeId> keep;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v)
+    if (graph.degree(v) > 0) keep.push_back(v);
+  if (keep.size() == graph.num_nodes()) return graph;
+  return induced_subgraph(graph, keep).graph;
+}
+
+/// One pass of ddmin-style vertex-block removal. Returns true on progress.
+bool shrink_vertices(Graph& current, Checker& checker) {
+  bool progressed = false;
+  std::size_t chunk = std::max<std::size_t>(current.num_nodes() / 2, 1);
+  while (chunk >= 1 && !checker.exhausted()) {
+    bool removed_any = false;
+    std::size_t begin = 0;
+    while (begin < current.num_nodes() && !checker.exhausted()) {
+      const std::size_t end =
+          std::min(begin + chunk, current.num_nodes());
+      if (end - begin == current.num_nodes()) break;  // never empty the graph
+      Graph candidate = without_nodes(current, begin, end);
+      if (checker.fails(candidate)) {
+        current = std::move(candidate);
+        progressed = removed_any = true;
+        // Do not advance `begin`: the block now holds different vertices.
+      } else {
+        begin = end;
+      }
+    }
+    if (!removed_any) {
+      if (chunk == 1) break;
+      chunk /= 2;
+    }
+  }
+  return progressed;
+}
+
+/// Greedy single-edge removal. Returns true on progress.
+bool shrink_edges(Graph& current, Checker& checker) {
+  bool progressed = false;
+  EdgeId e = 0;
+  while (e < current.num_edges() && !checker.exhausted()) {
+    Graph candidate = without_edge(current, e);
+    if (checker.fails(candidate)) {
+      current = std::move(candidate);
+      progressed = true;
+      // Do not advance: edge e is now a different edge.
+    } else {
+      ++e;
+    }
+  }
+  return progressed;
+}
+
+}  // namespace
+
+ShrinkOutcome shrink_graph(const Graph& start,
+                           const FailingPredicate& still_fails,
+                           const ShrinkOptions& options) {
+  FDLSP_REQUIRE(still_fails(start),
+                "shrink_graph needs a failing starting point");
+  Checker checker(still_fails, options.max_checks);
+  Graph current = start;
+  // Alternate vertex and edge passes to a fixpoint: removing edges can make
+  // vertices removable and vice versa.
+  bool progressed = true;
+  while (progressed && !checker.exhausted()) {
+    progressed = shrink_vertices(current, checker);
+    progressed = shrink_edges(current, checker) || progressed;
+  }
+  // Isolated vertices rarely participate in a failure; drop them in one go
+  // if the failure survives.
+  if (!checker.exhausted()) {
+    Graph candidate = without_isolated(current);
+    if (candidate.num_nodes() < current.num_nodes() &&
+        checker.fails(candidate))
+      current = std::move(candidate);
+  }
+  return ShrinkOutcome{std::move(current), checker.checks()};
+}
+
+}  // namespace fdlsp

@@ -1,0 +1,42 @@
+// Failing-case shrinking (delta debugging over graphs).
+//
+// Given a graph on which some property fails and a predicate that re-checks
+// the failure, the shrinker searches for a small induced witness: it
+// repeatedly drops vertex blocks (ddmin-style, halving block sizes), then
+// single vertices, then single edges, keeping a candidate only if the
+// failure persists. The result is 1-minimal up to the check budget: no
+// single vertex or edge can be removed without losing the failure. Small
+// witnesses turn a fuzzer hit on a 300-node instance into a reproducer a
+// human can step through.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "graph/graph.h"
+
+namespace fdlsp {
+
+/// Returns true iff the failure still reproduces on `candidate`.
+using FailingPredicate = std::function<bool(const Graph& candidate)>;
+
+/// Tunables for a shrink run.
+struct ShrinkOptions {
+  /// Predicate-call budget; shrinking stops (keeping the best graph so far)
+  /// once spent. Each call typically re-runs the algorithm under test.
+  std::size_t max_checks = 2000;
+};
+
+/// Result of a shrink run.
+struct ShrinkOutcome {
+  Graph graph;              ///< smallest failing graph found
+  std::size_t checks = 0;   ///< predicate calls spent
+};
+
+/// Shrinks `start` (on which `still_fails` must hold) to a small failing
+/// graph. Deterministic: no randomness is involved.
+ShrinkOutcome shrink_graph(const Graph& start,
+                           const FailingPredicate& still_fails,
+                           const ShrinkOptions& options = {});
+
+}  // namespace fdlsp

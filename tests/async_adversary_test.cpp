@@ -1,0 +1,164 @@
+// Adversarial delay-schedule tests for the asynchronous engine and the
+// algorithms that run on it.
+//
+// The adversary reorders deliveries across channels (within per-channel
+// FIFO) as aggressively as the (0, 1] delay model allows. DFS must produce
+// a feasible schedule under 50 distinct adversarial seeds; DistMIS (being
+// synchronous) is swept over the same 50 seeds through its own randomness.
+// The engine-level tests pin the new delay-schedule hook: FIFO order is
+// never violated, schedules are reproducible from the seed, and the
+// adversary actually produces different interleavings than unit delay.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "algos/dfs_schedule.h"
+#include "algos/dist_mis.h"
+#include "coloring/checker.h"
+#include "graph/algorithms.h"
+#include "graph/arcs.h"
+#include "graph/generators.h"
+#include "sim/async_engine.h"
+#include "sim/delay.h"
+#include "support/rng.h"
+
+namespace fdlsp {
+namespace {
+
+constexpr std::size_t kAdversarySeeds = 50;
+
+// Flood program: every node broadcasts once at start and echoes the first
+// message it receives; generates multi-message channels so FIFO matters.
+class FloodProgram : public AsyncProgram {
+ public:
+  void on_start(AsyncContext& ctx) override {
+    ctx.broadcast(Message{kNoNode, 1, {static_cast<std::int64_t>(ctx.self())}});
+  }
+  void on_message(AsyncContext& ctx, const Message& message) override {
+    ++received_;
+    if (message.tag == 1)
+      ctx.broadcast(Message{kNoNode, 2, {message.data[0]}});
+  }
+  bool finished() const override { return received_ > 0; }
+
+ private:
+  std::size_t received_ = 0;
+};
+
+AsyncMetrics run_flood(const Graph& graph, DelayModel model,
+                       std::uint64_t seed) {
+  std::vector<std::unique_ptr<AsyncProgram>> programs;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    (void)v;
+    programs.push_back(std::make_unique<FloodProgram>());
+  }
+  AsyncEngine engine(graph, std::move(programs), model, seed);
+  return engine.run();
+}
+
+TEST(AsyncAdversary, FifoNeverViolatedAcrossSeeds) {
+  Rng rng(515);
+  const Graph graph = generate_gnm(24, 60, rng);
+  for (std::uint64_t seed = 1; seed <= kAdversarySeeds; ++seed) {
+    const AsyncMetrics metrics =
+        run_flood(graph, DelayModel::kAdversarial, seed);
+    EXPECT_TRUE(metrics.fifo_ok) << "adversary seed " << seed;
+    EXPECT_TRUE(metrics.completed);
+    EXPECT_GT(metrics.messages, 0u);
+  }
+}
+
+TEST(AsyncAdversary, DelaysStayWithinAsynchronousTimeModel) {
+  AdversarialDelay schedule(99);
+  for (ArcId channel = 0; channel < 64; ++channel) {
+    for (std::uint64_t index = 0; index < 16; ++index) {
+      const double d = schedule.delay(channel, index);
+      EXPECT_GT(d, 0.0);
+      EXPECT_LE(d, 1.0);
+      // Stateless: repeated queries agree.
+      EXPECT_EQ(d, schedule.delay(channel, index));
+    }
+  }
+}
+
+TEST(AsyncAdversary, AdversaryProducesDistinctInterleavings) {
+  Rng rng(517);
+  const Graph graph = generate_gnm(20, 50, rng);
+  const AsyncMetrics unit = run_flood(graph, DelayModel::kUnit, 1);
+  std::size_t distinct = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const AsyncMetrics adv =
+        run_flood(graph, DelayModel::kAdversarial, seed);
+    if (adv.completion_time != unit.completion_time) ++distinct;
+  }
+  // The adversary would be useless if it reproduced the unit timing.
+  EXPECT_GT(distinct, 0u);
+}
+
+TEST(AsyncAdversary, DfsFeasibleUnderFiftyAdversarySeeds) {
+  Rng rng(519);
+  Graph graph = generate_gnm(14, 26, rng);
+  while (!is_connected(graph)) graph = generate_gnm(14, 26, rng);
+  const ArcView view(graph);
+  for (std::uint64_t seed = 1; seed <= kAdversarySeeds; ++seed) {
+    DfsOptions options;
+    options.delay_model = DelayModel::kAdversarial;
+    options.seed = seed;
+    const ScheduleResult result = run_dfs_schedule(graph, options);
+    ASSERT_TRUE(is_feasible_schedule(view, result.coloring))
+        << "adversary seed " << seed;
+  }
+}
+
+TEST(AsyncAdversary, DfsFeasibleUnderAdversaryOnUdg) {
+  Rng rng(521);
+  const auto geo = generate_udg(30, 4.0, 1.2, rng);
+  const auto nodes = largest_component(geo.graph);
+  const Graph graph = induced_subgraph(geo.graph, nodes).graph;
+  const ArcView view(graph);
+  for (std::uint64_t seed = 100; seed < 110; ++seed) {
+    DfsOptions options;
+    options.delay_model = DelayModel::kAdversarial;
+    options.seed = seed;
+    const ScheduleResult result = run_dfs_schedule(graph, options);
+    ASSERT_TRUE(is_feasible_schedule(view, result.coloring))
+        << "adversary seed " << seed;
+  }
+}
+
+TEST(AsyncAdversary, DistMisFeasibleUnderFiftySeeds) {
+  Rng rng(523);
+  const Graph graph = generate_gnm(16, 32, rng);
+  const ArcView view(graph);
+  for (std::uint64_t seed = 1; seed <= kAdversarySeeds; ++seed) {
+    for (const DistMisVariant variant :
+         {DistMisVariant::kGbg, DistMisVariant::kGeneral}) {
+      DistMisOptions options;
+      options.variant = variant;
+      options.seed = seed;
+      const ScheduleResult result = run_dist_mis(graph, options);
+      ASSERT_TRUE(is_feasible_schedule(view, result.coloring))
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(AsyncAdversary, AdversarialRunReproducibleFromSeed) {
+  Rng rng(525);
+  Graph graph = generate_gnm(12, 22, rng);
+  while (!is_connected(graph)) graph = generate_gnm(12, 22, rng);
+  for (std::uint64_t seed : {3ULL, 41ULL, 997ULL}) {
+    DfsOptions options;
+    options.delay_model = DelayModel::kAdversarial;
+    options.seed = seed;
+    const ScheduleResult a = run_dfs_schedule(graph, options);
+    const ScheduleResult b = run_dfs_schedule(graph, options);
+    EXPECT_EQ(a.coloring.raw(), b.coloring.raw()) << "seed " << seed;
+    EXPECT_EQ(a.messages, b.messages);
+    EXPECT_EQ(a.async_time, b.async_time);
+  }
+}
+
+}  // namespace
+}  // namespace fdlsp

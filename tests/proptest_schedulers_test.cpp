@@ -1,0 +1,67 @@
+// Property-based differential fuzzing of every scheduler.
+//
+// ≥200 random scenarios per scheduler across the UDG / G(n,m) / tree / grid
+// families, each run through the full oracle battery (feasibility, Theorem 1
+// lower bound, 2Δ² upper bound, Δ-approximation vs the exact colorer on
+// small instances, determinism). Any failure prints the one-line repro
+// command plus the shrunk minimal witness produced by fdlsp_verify.
+#include <gtest/gtest.h>
+
+#include "algos/scheduler.h"
+#include "verify/differential.h"
+#include "verify/scenario.h"
+
+namespace fdlsp {
+namespace {
+
+constexpr std::size_t kScenariosPerScheduler = 200;
+constexpr std::size_t kMaxNodes = 16;  // keeps 1200 runs inside seconds
+
+class ProptestSchedulers : public ::testing::TestWithParam<SchedulerKind> {};
+
+TEST_P(ProptestSchedulers, AllOraclesOnRandomScenarios) {
+  const SchedulerKind kind = GetParam();
+  // Distinct scenario stream per scheduler so suites do not share blind
+  // spots; the base seed is fixed so every run is reproducible.
+  const std::uint64_t base_seed =
+      0xf02ddbULL * (static_cast<std::uint64_t>(kind) + 1) + 17;
+  const std::vector<Scenario> scenarios =
+      sample_scenarios(kScenariosPerScheduler, base_seed, kMaxNodes);
+
+  const FuzzSummary summary = fuzz_scheduler(kind, scenarios);
+  EXPECT_EQ(summary.scenarios, kScenariosPerScheduler);
+  for (const FailureReport& failure : summary.failures)
+    ADD_FAILURE() << to_string(failure);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ProptestSchedulers,
+    ::testing::Values(SchedulerKind::kDistMisGbg,
+                      SchedulerKind::kDistMisGeneral, SchedulerKind::kDfs,
+                      SchedulerKind::kDmgc, SchedulerKind::kGreedy,
+                      SchedulerKind::kRandomized),
+    [](const auto& info) {
+      std::string name = scheduler_name(info.param);
+      for (char& ch : name)
+        if (ch == '-') ch = '_';
+      return name;
+    });
+
+// The acceptance-criterion oracle called out in ISSUE 1: on every sampled
+// instance where the exact colorer terminates, DistMIS and DFS stay within
+// the claimed Δ-approximation. (The generic sweep above checks this too;
+// this test pins the claim by itself so a future oracle-gating change
+// cannot silently drop it.)
+TEST(ProptestSchedulers, DeltaApproximationHoldsForProposedAlgorithms) {
+  const std::vector<Scenario> scenarios = sample_scenarios(120, 0xa11ce, 14);
+  for (const SchedulerKind kind :
+       {SchedulerKind::kDistMisGbg, SchedulerKind::kDistMisGeneral,
+        SchedulerKind::kDfs}) {
+    const FuzzSummary summary = fuzz_scheduler(kind, scenarios);
+    for (const FailureReport& failure : summary.failures)
+      ADD_FAILURE() << to_string(failure);
+  }
+}
+
+}  // namespace
+}  // namespace fdlsp

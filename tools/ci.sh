@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# CI driver: tier-1 suite plus sanitizer jobs over the property-test gate.
+#
+#   tools/ci.sh            # tier-1 (full suite, RelWithDebInfo)
+#   tools/ci.sh asan       # ASan+UBSan build, proptest-labeled suite
+#   tools/ci.sh tsan       # TSan build, proptest-labeled suite
+#   tools/ci.sh all        # all three jobs in sequence
+#
+# The proptest label selects the fdlsp_verify-based fuzzing suites — the
+# regression gate every perf/refactor PR must keep green (see DESIGN.md §7).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="${1:-tier1}"
+
+run_tier1() {
+  echo "=== tier-1: build + full test suite ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build -j
+  ctest --test-dir build --output-on-failure -j "$(nproc)"
+}
+
+run_sanitizer() {  # $1 = preset name (asan-ubsan | tsan)
+  local preset="$1"
+  echo "=== ${preset}: build + proptest suite ==="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j
+  ctest --test-dir "build-${preset}" -L proptest --output-on-failure \
+    -j "$(nproc)"
+}
+
+case "${jobs}" in
+  tier1) run_tier1 ;;
+  asan) run_sanitizer asan-ubsan ;;
+  tsan) run_sanitizer tsan ;;
+  all)
+    run_tier1
+    run_sanitizer asan-ubsan
+    run_sanitizer tsan
+    ;;
+  *)
+    echo "usage: tools/ci.sh [tier1|asan|tsan|all]" >&2
+    exit 2
+    ;;
+esac
+echo "=== ci.sh: ${jobs} OK ==="
