@@ -28,7 +28,8 @@ fdlsp::Graph make_topology(const fdlsp::CliArgs& args, fdlsp::Rng& rng) {
   }
   if (kind == "gnm") {
     const auto edges =
-        static_cast<std::size_t>(args.get_int("edges", 3 * nodes));
+        static_cast<std::size_t>(
+            args.get_int("edges", static_cast<std::int64_t>(3 * nodes)));
     return generate_gnm(nodes, edges, rng);
   }
   if (kind == "tree") return generate_random_tree(nodes, rng);

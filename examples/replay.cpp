@@ -1,0 +1,96 @@
+// Replays one fuzzer scenario from the repro command the verification
+// harness prints with every failure, e.g.
+//
+//   ./replay --family=gnm --n=12 --density=0.40 --seed=77 --scheduler=DFS
+//
+// The flags are exactly the repro_command() format (verify/scenario.h), so a
+// failure line can be pasted verbatim after the binary name. The tool
+// materializes the scenario, runs the scheduler, reruns the full oracle
+// battery (shrinking any failure to a minimal witness), and prints the
+// happens-before verdict from a traced rerun under the vector-clock checker.
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "algos/scheduler.h"
+#include "exp/workloads.h"
+#include "graph/graph.h"
+#include "support/check.h"
+#include "support/cli.h"
+#include "verify/causality.h"
+#include "verify/differential.h"
+#include "verify/scenario.h"
+
+namespace {
+
+/// Parses the scheduler-name spelling repro commands use (scheduler_name()),
+/// accepting the scheduler_cli lowercase aliases as a convenience.
+fdlsp::SchedulerKind parse_scheduler(const std::string& name) {
+  using fdlsp::SchedulerKind;
+  for (const SchedulerKind kind :
+       {SchedulerKind::kDistMisGbg, SchedulerKind::kDistMisGeneral,
+        SchedulerKind::kDfs, SchedulerKind::kDmgc, SchedulerKind::kGreedy,
+        SchedulerKind::kRandomized}) {
+    if (name == fdlsp::scheduler_name(kind)) return kind;
+  }
+  if (name == "distmis") return SchedulerKind::kDistMisGbg;
+  if (name == "distmis-gen") return SchedulerKind::kDistMisGeneral;
+  if (name == "dfs") return SchedulerKind::kDfs;
+  if (name == "dmgc") return SchedulerKind::kDmgc;
+  FDLSP_REQUIRE(false, "unknown --scheduler: " + name);
+  return SchedulerKind::kGreedy;
+}
+
+fdlsp::GraphFamily parse_family(const std::string& name) {
+  using fdlsp::GraphFamily;
+  for (const GraphFamily family : fdlsp::kAllFamilies)
+    if (name == fdlsp::family_name(family)) return family;
+  FDLSP_REQUIRE(false, "unknown --family: " + name);
+  return GraphFamily::kGnm;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fdlsp;
+  try {
+    const CliArgs args(argc, argv);
+    if (args.has("help") || !args.has("scheduler")) {
+      std::cout << "usage: replay --family=udg|gnm|tree|grid --n=N "
+                   "--density=D --seed=S --scheduler=NAME\n"
+                   "Paste the repro line a failing property test prints.\n";
+      return args.has("help") ? 0 : 2;
+    }
+
+    Scenario scenario;
+    scenario.family = parse_family(args.get("family", "gnm"));
+    scenario.n = static_cast<std::size_t>(args.get_int("n", 8));
+    scenario.density = args.get_double("density", 0.5);
+    scenario.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    const SchedulerKind kind = parse_scheduler(args.get("scheduler", ""));
+
+    const Graph graph = materialize(scenario);
+    std::cout << "scenario: " << repro_command(scenario, kind) << "\n"
+              << "graph: " << graph.num_nodes() << " nodes, "
+              << graph.num_edges() << " edges\n";
+
+    const ScheduleResult result =
+        run_scheduler_on_components(kind, graph, scenario.seed);
+    std::cout << scheduler_name(kind) << ": " << result.num_slots
+              << " slots, " << result.rounds << " rounds, "
+              << result.messages << " messages\n";
+
+    std::cout << causality_report(kind, graph, scenario.seed) << "\n";
+
+    if (const auto failure = check_scenario(kind, scenario)) {
+      std::cout << "oracle battery: FAIL\n" << to_string(*failure) << "\n";
+      return 1;
+    }
+    std::cout << "oracle battery: ok (feasibility, bounds, approximation, "
+                 "determinism, causality)\n";
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "replay: " << error.what() << "\n";
+    return 2;
+  }
+}

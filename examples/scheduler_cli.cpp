@@ -1,6 +1,6 @@
 // fdlsp command-line tool: schedule / validate / inspect graphs from files.
 //
-//   ./scheduler_cli --cmd=schedule --in=field.graph --out=field.schedule \
+//   ./scheduler_cli --cmd=schedule --in=field.graph --out=field.schedule
 //                   [--algo=distmis|distmis-gen|dfs|dmgc|greedy|randomized]
 //   ./scheduler_cli --cmd=validate --in=field.graph --schedule=field.schedule
 //   ./scheduler_cli --cmd=bounds   --in=field.graph

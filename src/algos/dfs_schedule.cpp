@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <map>
 #include <memory>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -234,8 +233,8 @@ class DfsProgram final : public AsyncProgram {
   bool is_root_;
   std::size_t degree_ = 0;
 
-  std::unordered_map<NodeId, std::size_t> neighbor_degree_;
-  std::unordered_map<NodeId, bool> visited_;
+  std::map<NodeId, std::size_t> neighbor_degree_;
+  std::map<NodeId, bool> visited_;
   NodeId parent_ = kNoNode;
   bool colored_ = false;
   bool token_pending_ = false;
@@ -246,7 +245,7 @@ class DfsProgram final : public AsyncProgram {
   NodeId rep_target_ = kNoNode;
   std::vector<std::int64_t> collected_pairs_;
 
-  std::unordered_map<ArcId, Color> knowledge_;
+  std::map<ArcId, Color> knowledge_;
   std::vector<std::pair<ArcId, Color>> assignments_;
 };
 
@@ -271,6 +270,7 @@ ScheduleResult run_dfs_schedule(const Graph& graph, const DfsOptions& options) {
     programs.push_back(std::make_unique<DfsProgram>(view, v, v == root));
   AsyncEngine engine(graph, std::move(programs), options.delay_model,
                      options.seed);
+  engine.set_trace(options.trace);
   const AsyncMetrics metrics = engine.run(options.max_messages);
   FDLSP_REQUIRE(metrics.completed, "DFS did not complete in message budget");
   FDLSP_REQUIRE(metrics.fifo_ok, "engine violated per-channel FIFO order");

@@ -33,6 +33,8 @@ struct DfsOptions {
   DelayModel delay_model = DelayModel::kUnit;
   std::uint64_t seed = 1;
   std::size_t max_messages = 50'000'000;
+  /// Optional event observer (see sim/trace.h); not owned, may be null.
+  SimTrace* trace = nullptr;
 };
 
 /// Runs the asynchronous DFS algorithm. Requires a connected graph (the

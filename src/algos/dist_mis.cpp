@@ -1,9 +1,9 @@
 #include "algos/dist_mis.h"
 
 #include <algorithm>
+#include <map>
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -257,9 +257,9 @@ class DistMisProgram final : public SyncProgram {
   std::int64_t comp_value_ = 0;
   std::vector<std::pair<std::int64_t, std::int64_t>> rivals_;
 
-  std::unordered_map<ArcId, Color> known_colors_;
+  std::map<ArcId, Color> known_colors_;
   std::vector<std::pair<ArcId, Color>> assignments_;
-  std::unordered_set<std::uint64_t> seen_;
+  std::set<std::uint64_t> seen_;
 };
 
 }  // namespace
@@ -275,6 +275,7 @@ ScheduleResult run_dist_mis(const Graph& graph,
         view, v, options.variant, seeder()));
   }
   SyncEngine engine(graph, std::move(programs));
+  engine.set_trace(options.trace);
   const SyncMetrics metrics = engine.run(options.max_rounds);
   FDLSP_REQUIRE(metrics.completed, "DistMIS did not complete in round budget");
 

@@ -36,6 +36,8 @@
 
 namespace fdlsp {
 
+class SimTrace;
+
 /// Which DistMIS variant to run.
 enum class DistMisVariant {
   kGbg,      ///< distance-3 competition, color all incident arcs
@@ -47,6 +49,8 @@ struct DistMisOptions {
   DistMisVariant variant = DistMisVariant::kGbg;
   std::uint64_t seed = 1;
   std::size_t max_rounds = 1'000'000;
+  /// Optional event observer (see sim/trace.h); not owned, may be null.
+  SimTrace* trace = nullptr;
 };
 
 /// Runs DistMIS over the synchronous engine and returns the schedule plus

@@ -1,9 +1,9 @@
 #include "algos/dist_repair.h"
 
 #include <algorithm>
+#include <map>
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -286,10 +286,10 @@ class DistRepairProgram final : public SyncProgram {
   std::int64_t comp_value_ = 0;
   std::vector<std::pair<std::int64_t, std::int64_t>> rivals_;
 
-  std::unordered_map<ArcId, Color> known_colors_;
-  std::unordered_map<ArcId, Color> snapshot_;  // phase-0 initial colors
+  std::map<ArcId, Color> known_colors_;
+  std::map<ArcId, Color> snapshot_;  // phase-0 initial colors
   std::vector<std::pair<ArcId, Color>> assignments_;
-  std::unordered_set<std::uint64_t> seen_;
+  std::set<std::uint64_t> seen_;
 };
 
 }  // namespace
@@ -297,7 +297,8 @@ class DistRepairProgram final : public SyncProgram {
 DistRepairResult run_distributed_repair(const Graph& graph,
                                         const ArcColoring& stale,
                                         std::uint64_t seed,
-                                        std::size_t max_rounds) {
+                                        std::size_t max_rounds,
+                                        SimTrace* trace) {
   const ArcView view(graph);
   FDLSP_REQUIRE(stale.num_arcs() == view.num_arcs(),
                 "stale coloring does not match graph");
@@ -308,6 +309,7 @@ DistRepairResult run_distributed_repair(const Graph& graph,
     programs.push_back(
         std::make_unique<DistRepairProgram>(view, v, stale, seeder()));
   SyncEngine engine(graph, std::move(programs));
+  engine.set_trace(trace);
   const SyncMetrics metrics = engine.run(max_rounds);
   FDLSP_REQUIRE(metrics.completed, "distributed repair did not complete");
 

@@ -28,6 +28,8 @@
 
 namespace fdlsp {
 
+class SimTrace;
+
 /// Result of a distributed repair run.
 struct DistRepairResult {
   ArcColoring coloring;            ///< complete, feasible
@@ -43,6 +45,7 @@ struct DistRepairResult {
 DistRepairResult run_distributed_repair(const Graph& graph,
                                         const ArcColoring& stale,
                                         std::uint64_t seed = 1,
-                                        std::size_t max_rounds = 1'000'000);
+                                        std::size_t max_rounds = 1'000'000,
+                                        SimTrace* trace = nullptr);
 
 }  // namespace fdlsp

@@ -1,8 +1,8 @@
 #include "algos/randomized.h"
 
 #include <algorithm>
+#include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "graph/arcs.h"
@@ -127,7 +127,7 @@ class RandomizedProgram final : public SyncProgram {
       }
     }
 
-    std::unordered_map<NodeId, std::vector<std::int64_t>> vetoes;
+    std::map<NodeId, std::vector<std::int64_t>> vetoes;
     for (std::size_t i = 0; i < seen.size(); ++i) {
       for (std::size_t j = i + 1; j < seen.size(); ++j) {
         const SeenArc& a = seen[i];
@@ -197,7 +197,7 @@ class RandomizedProgram final : public SyncProgram {
   Rng rng_;
   std::vector<OutArc> out_arcs_;
   std::vector<ArcId> reverse_of_mine_;
-  std::unordered_map<ArcId, SeenArc> remembered_finals_;
+  std::map<ArcId, SeenArc> remembered_finals_;
   std::size_t base_range_ = 2;
   bool done_ = false;
   bool announced_ = false;
@@ -214,6 +214,7 @@ ScheduleResult run_randomized(const Graph& graph,
   for (NodeId v = 0; v < graph.num_nodes(); ++v)
     programs.push_back(std::make_unique<RandomizedProgram>(view, v, seeder()));
   SyncEngine engine(graph, std::move(programs));
+  engine.set_trace(options.trace);
   const SyncMetrics metrics = engine.run(options.max_rounds);
   FDLSP_REQUIRE(metrics.completed,
                 "randomized algorithm did not converge in round budget");

@@ -29,10 +29,14 @@
 
 namespace fdlsp {
 
+class SimTrace;
+
 /// Tunables for the randomized algorithm.
 struct RandomizedOptions {
   std::uint64_t seed = 1;
   std::size_t max_rounds = 1'000'000;
+  /// Optional event observer (see sim/trace.h); not owned, may be null.
+  SimTrace* trace = nullptr;
 };
 
 /// Runs the randomized distance-1 algorithm; returns a complete feasible

@@ -31,22 +31,30 @@ std::string scheduler_name(SchedulerKind kind) {
 
 ScheduleResult run_scheduler(SchedulerKind kind, const Graph& graph,
                              std::uint64_t seed) {
+  return run_scheduler_traced(kind, graph, seed, nullptr);
+}
+
+ScheduleResult run_scheduler_traced(SchedulerKind kind, const Graph& graph,
+                                    std::uint64_t seed, SimTrace* trace) {
   switch (kind) {
     case SchedulerKind::kDistMisGbg: {
       DistMisOptions options;
       options.variant = DistMisVariant::kGbg;
       options.seed = seed;
+      options.trace = trace;
       return run_dist_mis(graph, options);
     }
     case SchedulerKind::kDistMisGeneral: {
       DistMisOptions options;
       options.variant = DistMisVariant::kGeneral;
       options.seed = seed;
+      options.trace = trace;
       return run_dist_mis(graph, options);
     }
     case SchedulerKind::kDfs: {
       DfsOptions options;
       options.seed = seed;
+      options.trace = trace;
       return run_dfs_schedule(graph, options);
     }
     case SchedulerKind::kDmgc:
@@ -61,6 +69,7 @@ ScheduleResult run_scheduler(SchedulerKind kind, const Graph& graph,
     case SchedulerKind::kRandomized: {
       RandomizedOptions options;
       options.seed = seed;
+      options.trace = trace;
       return run_randomized(graph, options);
     }
   }

@@ -9,6 +9,8 @@
 
 namespace fdlsp {
 
+class SimTrace;
+
 /// Outcome of one scheduling run: the schedule plus cost metrics. Metrics
 /// that do not apply to an algorithm are left at 0 (e.g. the asynchronous
 /// DFS run reports time, not synchronous rounds).
@@ -36,5 +38,12 @@ std::string scheduler_name(SchedulerKind kind);
 /// Runs the given algorithm on `graph` with deterministic seed.
 ScheduleResult run_scheduler(SchedulerKind kind, const Graph& graph,
                              std::uint64_t seed);
+
+/// Same, with a simulation-event observer attached to the engine for the
+/// duration of the run (see sim/trace.h). Centralized algorithms (D-MGC,
+/// greedy) have no engine and emit no events. `trace` may be null, in which
+/// case this is exactly run_scheduler.
+ScheduleResult run_scheduler_traced(SchedulerKind kind, const Graph& graph,
+                                    std::uint64_t seed, SimTrace* trace);
 
 }  // namespace fdlsp

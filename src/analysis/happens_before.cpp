@@ -1,0 +1,74 @@
+#include "analysis/happens_before.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace fdlsp {
+
+HappensBeforeChecker::HappensBeforeChecker(std::size_t num_nodes)
+    : clocks_(num_nodes, Clock(num_nodes, 0)) {}
+
+void HappensBeforeChecker::on_local_step(NodeId node) {
+  FDLSP_REQUIRE(node < clocks_.size(), "trace event for unknown node");
+  ++events_;
+  ++clocks_[node][node];
+}
+
+void HappensBeforeChecker::on_send(NodeId from, NodeId to) {
+  FDLSP_REQUIRE(from < clocks_.size() && to < clocks_.size(),
+                "trace event for unknown node");
+  ++events_;
+  channels_[{from, to}].push_back(clocks_[from]);
+}
+
+void HappensBeforeChecker::on_deliver(NodeId from, NodeId to) {
+  FDLSP_REQUIRE(from < clocks_.size() && to < clocks_.size(),
+                "trace event for unknown node");
+  ++events_;
+  const auto it = channels_.find({from, to});
+  FDLSP_REQUIRE(it != channels_.end() && !it->second.empty(),
+                "delivery without a matching send (engine trace bug)");
+  const Clock& snapshot = it->second.front();
+  Clock& receiver = clocks_[to];
+  for (std::size_t u = 0; u < receiver.size(); ++u)
+    receiver[u] = std::max(receiver[u], snapshot[u]);
+  it->second.pop_front();
+}
+
+void HappensBeforeChecker::on_state_read(NodeId reader, NodeId owner) {
+  FDLSP_REQUIRE(reader < clocks_.size() && owner < clocks_.size(),
+                "trace event for unknown node");
+  ++events_;
+  ++state_reads_;
+  const std::uint64_t known = clocks_[reader][owner];
+  const std::uint64_t actual = clocks_[owner][owner];
+  if (known < actual)
+    violations_.push_back(Violation{reader, owner, known, actual});
+}
+
+std::string HappensBeforeChecker::report() const {
+  if (ok()) {
+    return "happens-before: ok (" + std::to_string(events_) + " events, " +
+           std::to_string(state_reads_) + " cross-node reads)";
+  }
+  return "happens-before: " + std::to_string(violations_.size()) +
+         " causality-violating read(s); first: " + to_string(violations_[0]);
+}
+
+void HappensBeforeChecker::reset() {
+  for (Clock& clock : clocks_) std::fill(clock.begin(), clock.end(), 0);
+  channels_.clear();
+  violations_.clear();
+  state_reads_ = 0;
+  events_ = 0;
+}
+
+std::string to_string(const HappensBeforeChecker::Violation& violation) {
+  return "node " + std::to_string(violation.reader) + " read node " +
+         std::to_string(violation.owner) + ": knows " +
+         std::to_string(violation.reader_known) + " of " +
+         std::to_string(violation.owner_steps) + " steps";
+}
+
+}  // namespace fdlsp

@@ -1,0 +1,97 @@
+// Vector-clock happens-before checker: a race detector for protocol logic.
+//
+// The paper's algorithms are correct only if every node acts solely on its
+// own state plus information causally delivered to it in messages (the
+// message-passing discipline of the LOCAL model; Herman & Tixeuil's
+// self-stabilizing TDMA and Gandham et al.'s D-MGC hinge on the same
+// invariant). In a shared-memory simulator a NodeProcess can silently break
+// the discipline by reading a neighbor's fields directly. This checker
+// turns such reads into verdicts:
+//
+//   * It observes engine events through the SimTrace hook (sim/trace.h) and
+//     maintains one vector clock per node: clock[v][u] counts the local
+//     steps of u whose effects are causally known to v. A local step
+//     increments clock[v][v]; a send snapshots the sender's clock onto the
+//     (FIFO) channel; a delivery joins the snapshot into the receiver.
+//   * A cross-node state read (reader r obtains the program object of owner
+//     o mid-run) is BENIGN iff clock[r][o] == clock[o][o]: everything the
+//     owner has done is already causally known to the reader, so the read
+//     could have been replaced by remembering delivered messages. Otherwise
+//     the owner has performed steps that never reached the reader through
+//     any message chain — a happens-before race; the read observes state
+//     the real distributed system could not have shown.
+//
+// Cost: O(n) per event — strictly an analysis-mode tool. The engines' hot
+// path is untouched when no trace is attached.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/types.h"
+#include "sim/trace.h"
+
+namespace fdlsp {
+
+/// SimTrace implementation flagging causality-violating state reads.
+class HappensBeforeChecker final : public SimTrace {
+ public:
+  /// One causality-violating cross-node read.
+  struct Violation {
+    NodeId reader = kNoNode;
+    NodeId owner = kNoNode;
+    /// Owner local steps causally known to the reader at the read.
+    std::uint64_t reader_known = 0;
+    /// Owner local steps actually performed at the read.
+    std::uint64_t owner_steps = 0;
+  };
+
+  explicit HappensBeforeChecker(std::size_t num_nodes);
+
+  void on_local_step(NodeId node) override;
+  void on_send(NodeId from, NodeId to) override;
+  void on_deliver(NodeId from, NodeId to) override;
+  void on_state_read(NodeId reader, NodeId owner) override;
+
+  /// True iff no causality-violating read was observed.
+  bool ok() const noexcept { return violations_.empty(); }
+
+  /// All violations, in observation order.
+  const std::vector<Violation>& violations() const noexcept {
+    return violations_;
+  }
+
+  /// Cross-node reads observed (benign + violating).
+  std::uint64_t state_reads() const noexcept { return state_reads_; }
+
+  /// Total events observed (steps + sends + deliveries + reads).
+  std::uint64_t events() const noexcept { return events_; }
+
+  /// Human-readable verdict; names the first violation when not ok().
+  std::string report() const;
+
+  /// Re-arms the checker for another run over the same node count.
+  void reset();
+
+ private:
+  using Clock = std::vector<std::uint64_t>;
+
+  /// In-flight send clocks per directed channel, popped FIFO at delivery
+  /// (both engines deliver per-channel in send order; see sim/trace.h).
+  using ChannelKey = std::pair<NodeId, NodeId>;
+
+  std::vector<Clock> clocks_;
+  std::map<ChannelKey, std::deque<Clock>> channels_;
+  std::vector<Violation> violations_;
+  std::uint64_t state_reads_ = 0;
+  std::uint64_t events_ = 0;
+};
+
+/// Formats one violation ("node 3 read node 1: knows 2 of 5 steps").
+std::string to_string(const HappensBeforeChecker::Violation& violation);
+
+}  // namespace fdlsp

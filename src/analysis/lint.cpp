@@ -1,0 +1,394 @@
+#include "analysis/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace fdlsp {
+
+namespace {
+
+constexpr LintRuleInfo kRules[] = {
+    {"unseeded-rng",
+     "ambient randomness (std::rand, srand, std::random_device, std::mt19937, "
+     "std::default_random_engine, random_shuffle) breaks seed-reproducibility; "
+     "draw from fdlsp::Rng with a threaded seed"},
+    {"time-seed",
+     "wall-clock reads (time(), clock(), ::now(), gettimeofday) in "
+     "deterministic paths leak nondeterminism into protocol code"},
+    {"unordered-container",
+     "std::unordered_{map,set,multimap,multiset} in deterministic paths: "
+     "iteration order is unspecified; use ordered containers or sorted "
+     "iteration"},
+    {"pointer-key",
+     "map/set keyed on a pointer type orders by address, which varies across "
+     "runs (ASLR); key on stable ids instead"},
+    {"cross-node-state",
+     "inside SyncProgram/AsyncProgram classes: naming an engine or calling "
+     ".program()/->program() reads peer state outside the message API"},
+};
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Position of `token` as a whole identifier in `line` at or after `from`;
+/// npos when absent.
+std::size_t find_token(std::string_view line, std::string_view token,
+                       std::size_t from = 0) {
+  for (std::size_t pos = line.find(token, from); pos != std::string_view::npos;
+       pos = line.find(token, pos + 1)) {
+    const bool left_ok = pos == 0 || !ident_char(line[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end >= line.size() || !ident_char(line[end]);
+    if (left_ok && right_ok) return pos;
+  }
+  return std::string_view::npos;
+}
+
+bool has_token(std::string_view line, std::string_view token) {
+  return find_token(line, token) != std::string_view::npos;
+}
+
+std::size_t skip_spaces(std::string_view line, std::size_t pos) {
+  while (pos < line.size() &&
+         (line[pos] == ' ' || line[pos] == '\t'))
+    ++pos;
+  return pos;
+}
+
+/// True when the first non-space character after `pos` is `expect`.
+bool next_char_is(std::string_view line, std::size_t pos, char expect) {
+  pos = skip_spaces(line, pos);
+  return pos < line.size() && line[pos] == expect;
+}
+
+/// True when the token starting at `pos` is immediately preceded by "::"
+/// (ignoring spaces between "::" and the token).
+bool preceded_by_scope(std::string_view line, std::size_t pos) {
+  while (pos > 0 && (line[pos - 1] == ' ' || line[pos - 1] == '\t')) --pos;
+  return pos >= 2 && line[pos - 1] == ':' && line[pos - 2] == ':';
+}
+
+/// True when the token starting at `pos` is preceded by "." or "->"
+/// (ignoring spaces), i.e. it is a member access.
+bool preceded_by_member_access(std::string_view line, std::size_t pos) {
+  while (pos > 0 && (line[pos - 1] == ' ' || line[pos - 1] == '\t')) --pos;
+  if (pos >= 1 && line[pos - 1] == '.') return true;
+  return pos >= 2 && line[pos - 2] == '-' && line[pos - 1] == '>';
+}
+
+/// First template argument of the `container<...>` starting with the '<' at
+/// `angle`; empty when the argument list does not open at `angle` or spans
+/// past the end of the line (lint-lite: arguments are assumed line-local).
+std::string_view first_template_arg(std::string_view line, std::size_t angle) {
+  if (angle >= line.size() || line[angle] != '<') return {};
+  int depth = 1;
+  const std::size_t begin = angle + 1;
+  for (std::size_t i = begin; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '<') ++depth;
+    if (c == '>') {
+      --depth;
+      if (depth == 0) return line.substr(begin, i - begin);
+    }
+    if (c == ',' && depth == 1) return line.substr(begin, i - begin);
+  }
+  return {};
+}
+
+/// Collects the rules suppressed by `// fdlsp-lint: allow(...)` directives.
+/// Scans the raw text (directives live inside comments).
+std::set<std::string, std::less<>> parse_allows(std::string_view text) {
+  std::set<std::string, std::less<>> allows;
+  constexpr std::string_view kDirective = "fdlsp-lint:";
+  for (std::size_t pos = text.find(kDirective); pos != std::string_view::npos;
+       pos = text.find(kDirective, pos + kDirective.size())) {
+    std::size_t cursor = skip_spaces(text, pos + kDirective.size());
+    constexpr std::string_view kAllow = "allow(";
+    if (text.compare(cursor, kAllow.size(), kAllow) != 0) continue;
+    cursor += kAllow.size();
+    const std::size_t close = text.find(')', cursor);
+    if (close == std::string_view::npos) continue;
+    std::string_view list = text.substr(cursor, close - cursor);
+    while (!list.empty()) {
+      const std::size_t comma = list.find(',');
+      std::string_view rule = list.substr(0, comma);
+      while (!rule.empty() && (rule.front() == ' ' || rule.front() == '\t'))
+        rule.remove_prefix(1);
+      while (!rule.empty() && (rule.back() == ' ' || rule.back() == '\t'))
+        rule.remove_suffix(1);
+      if (!rule.empty()) allows.emplace(rule);
+      if (comma == std::string_view::npos) break;
+      list.remove_prefix(comma + 1);
+    }
+  }
+  return allows;
+}
+
+std::vector<std::string_view> split_lines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const std::size_t end = text.find('\n', begin);
+    if (end == std::string_view::npos) {
+      lines.push_back(text.substr(begin));
+      break;
+    }
+    lines.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return lines;
+}
+
+/// Marks the lines inside bodies of classes deriving from SyncProgram or
+/// AsyncProgram, by brace counting from the declaration line.
+std::vector<char> program_regions(const std::vector<std::string_view>& lines) {
+  std::vector<char> in_region(lines.size(), 0);
+  bool awaiting = false;  // saw the declaration, waiting for its '{'
+  bool active = false;
+  int depth = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string_view line = lines[i];
+    if (!awaiting && !active &&
+        (has_token(line, "SyncProgram") || has_token(line, "AsyncProgram")) &&
+        (has_token(line, "class") || has_token(line, "struct"))) {
+      awaiting = true;
+      depth = 0;
+    }
+    if (awaiting) {
+      for (const char c : line) {
+        if (c == '{') {
+          ++depth;
+          active = true;
+          awaiting = false;
+        } else if (c == '}') {
+          --depth;
+        } else if (c == ';' && !active) {
+          awaiting = false;  // forward declaration, no body
+          break;
+        }
+      }
+      if (active) {
+        in_region[i] = 1;
+        if (depth <= 0) active = false;
+      }
+      continue;
+    }
+    if (active) {
+      in_region[i] = 1;
+      for (const char c : line) {
+        if (c == '{') ++depth;
+        if (c == '}') --depth;
+      }
+      if (depth <= 0) active = false;
+    }
+  }
+  return in_region;
+}
+
+constexpr std::string_view kAmbientRandomTokens[] = {
+    "rand",    "srand",          "random_device",
+    "mt19937", "mt19937_64",     "default_random_engine",
+    "minstd_rand", "minstd_rand0", "random_shuffle",
+};
+
+constexpr std::string_view kUnorderedTokens[] = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+constexpr std::string_view kKeyedContainerTokens[] = {
+    "map",           "set",           "multimap",
+    "multiset",      "unordered_map", "unordered_set",
+    "unordered_multimap", "unordered_multiset"};
+
+constexpr std::string_view kEngineTokens[] = {"SyncEngine", "AsyncEngine"};
+
+}  // namespace
+
+std::string to_string(const LintDiagnostic& diagnostic) {
+  return diagnostic.file + ":" + std::to_string(diagnostic.line) + ": [" +
+         diagnostic.rule + "] " + diagnostic.message;
+}
+
+std::span<const LintRuleInfo> lint_rules() { return kRules; }
+
+bool lint_deterministic_path(std::string_view path) {
+  constexpr std::string_view kRoots[] = {"algos/", "sim/", "coloring/",
+                                         "graph/"};
+  for (const std::string_view root : kRoots) {
+    if (path.substr(0, root.size()) == root) return true;
+    const std::string needle = "/" + std::string(root);
+    if (path.find(needle) != std::string_view::npos) return true;
+  }
+  return false;
+}
+
+std::string lint_sanitize(std::string_view text) {
+  std::string out(text);
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+          out[i] = ' ';
+        } else if (c == '\'' && (i == 0 || !ident_char(text[i - 1]))) {
+          // An apostrophe after an identifier character is a digit
+          // separator (1'000'000) or literal suffix, not a char literal.
+          state = State::kChar;
+          out[i] = ' ';
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n')
+          state = State::kCode;
+        else
+          out[i] = ' ';
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        const char quote = state == State::kString ? '"' : '\'';
+        if (c == '\\' && next != '\0' && next != '\n') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+        } else if (c == quote) {
+          out[i] = ' ';
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<LintDiagnostic> lint_source(std::string_view path,
+                                        std::string_view text) {
+  const auto allows = parse_allows(text);
+  const std::string sanitized = lint_sanitize(text);
+  const std::vector<std::string_view> lines = split_lines(sanitized);
+  const bool deterministic = lint_deterministic_path(path);
+  const std::vector<char> in_program = program_regions(lines);
+
+  std::vector<LintDiagnostic> diagnostics;
+  const auto emit = [&](std::size_t line_index, std::string_view rule,
+                        std::string message) {
+    if (allows.find(rule) != allows.end()) return;
+    diagnostics.push_back(LintDiagnostic{std::string(path), line_index + 1,
+                                         std::string(rule),
+                                         std::move(message)});
+  };
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string_view line = lines[i];
+
+    // unseeded-rng: ambient randomness sources, everywhere.
+    for (const std::string_view token : kAmbientRandomTokens) {
+      if (has_token(line, token)) {
+        emit(i, "unseeded-rng",
+             "ambient randomness source '" + std::string(token) +
+                 "' — draw from fdlsp::Rng with a threaded seed "
+                 "(support/rng.h)");
+      }
+    }
+
+    // time-seed: wall-clock reads, deterministic paths only.
+    if (deterministic) {
+      for (const std::string_view token : {std::string_view("time"),
+                                           std::string_view("clock")}) {
+        const std::size_t pos = find_token(line, token);
+        if (pos != std::string_view::npos &&
+            next_char_is(line, pos + token.size(), '(')) {
+          emit(i, "time-seed",
+               "wall-clock read '" + std::string(token) +
+                   "()' in a deterministic path");
+        }
+      }
+      if (has_token(line, "gettimeofday")) {
+        emit(i, "time-seed",
+             "wall-clock read 'gettimeofday' in a deterministic path");
+      }
+      const std::size_t now_pos = find_token(line, "now");
+      if (now_pos != std::string_view::npos &&
+          preceded_by_scope(line, now_pos)) {
+        emit(i, "time-seed", "wall-clock read '::now()' in a deterministic "
+                             "path");
+      }
+    }
+
+    // unordered-container: deterministic paths only.
+    if (deterministic) {
+      for (const std::string_view token : kUnorderedTokens) {
+        if (has_token(line, token)) {
+          emit(i, "unordered-container",
+               "'std::" + std::string(token) +
+                   "' in a deterministic path — iteration order is "
+                   "unspecified; use an ordered container or sorted "
+                   "iteration");
+        }
+      }
+    }
+
+    // pointer-key: everywhere.
+    for (const std::string_view token : kKeyedContainerTokens) {
+      for (std::size_t pos = find_token(line, token);
+           pos != std::string_view::npos;
+           pos = find_token(line, token, pos + 1)) {
+        const std::size_t angle = skip_spaces(line, pos + token.size());
+        const std::string_view arg = first_template_arg(line, angle);
+        if (arg.find('*') != std::string_view::npos) {
+          emit(i, "pointer-key",
+               "container keyed on pointer type '" +
+                   std::string(arg.substr(0, 40)) +
+                   "' — address order is not stable across runs");
+        }
+      }
+    }
+
+    // cross-node-state: program class bodies in deterministic paths.
+    if (deterministic && in_program[i] != 0) {
+      for (const std::string_view token : kEngineTokens) {
+        if (has_token(line, token)) {
+          emit(i, "cross-node-state",
+               "'" + std::string(token) +
+                   "' named inside a node program — nodes may only act on "
+                   "their own state and delivered messages");
+        }
+      }
+      const std::size_t pos = find_token(line, "program");
+      if (pos != std::string_view::npos &&
+          preceded_by_member_access(line, pos) &&
+          next_char_is(line, pos + 7, '(')) {
+        emit(i, "cross-node-state",
+             "'.program()' call inside a node program — peer program state "
+             "is off-limits outside the message API");
+      }
+    }
+  }
+  return diagnostics;
+}
+
+}  // namespace fdlsp

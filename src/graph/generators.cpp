@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <unordered_set>
+#include <set>
 
 #include "support/check.h"
 
@@ -103,8 +103,7 @@ Graph generate_gnm(std::size_t n, std::size_t m, Rng& rng) {
   const std::size_t max_edges = n * (n - 1) / 2;
   FDLSP_REQUIRE(m <= max_edges, "too many edges requested");
   GraphBuilder builder(n);
-  std::unordered_set<std::uint64_t> chosen;
-  chosen.reserve(m * 2);
+  std::set<std::uint64_t> chosen;
   while (chosen.size() < m) {
     auto u = static_cast<NodeId>(rng.next_index(n));
     auto v = static_cast<NodeId>(rng.next_index(n));

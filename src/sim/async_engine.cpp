@@ -40,6 +40,7 @@ void AsyncEngine::post(NodeId from, NodeId to, Message message, double now) {
   const EdgeId e = graph_.find_edge(from, to);
   FDLSP_REQUIRE(e != kNoEdge, "nodes may only message direct neighbors");
   const ArcId channel = ArcView(graph_).arc_from(e, from);
+  if (trace_ != nullptr) trace_->on_send(from, to);
   const double delay = schedule_->delay(channel, channel_posts_[channel]++);
   FDLSP_REQUIRE(delay > 0.0 && delay <= 1.0,
                 "delay schedules must return delays in (0, 1]");
@@ -55,7 +56,10 @@ AsyncMetrics AsyncEngine::run(std::size_t max_messages) {
   AsyncMetrics metrics;
   for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
     AsyncContext ctx(*this, v, graph_.neighbors(v), 0.0);
+    if (trace_ != nullptr) trace_->on_local_step(v);
+    current_node_ = v;
     programs_[v]->on_start(ctx);
+    current_node_ = kNoNode;
   }
   // Last delivered (time, sequence) per channel; sequences are assigned in
   // post order, so a delivery with a smaller sequence than its channel's
@@ -76,7 +80,13 @@ AsyncMetrics AsyncEngine::run(std::size_t max_messages) {
     delivered[event.channel] = {event.time, event.sequence};
     delivered_any[event.channel] = true;
     AsyncContext ctx(*this, event.to, graph_.neighbors(event.to), event.time);
+    if (trace_ != nullptr) {
+      trace_->on_deliver(event.message.from, event.to);
+      trace_->on_local_step(event.to);
+    }
+    current_node_ = event.to;
     programs_[event.to]->on_message(ctx, event.message);
+    current_node_ = kNoNode;
   }
   metrics.completed =
       queue_.empty() &&

@@ -18,6 +18,7 @@
 #include "graph/graph.h"
 #include "sim/delay.h"
 #include "sim/message.h"
+#include "sim/trace.h"
 
 namespace fdlsp {
 
@@ -101,12 +102,30 @@ class AsyncEngine {
   /// Runs to quiescence (empty event queue) or the message cap.
   AsyncMetrics run(std::size_t max_messages = 10'000'000);
 
-  AsyncProgram& program(NodeId v) { return *programs_[v]; }
-  const AsyncProgram& program(NodeId v) const { return *programs_[v]; }
+  /// Attaches an event observer (nullptr detaches). With no trace the
+  /// instrumentation points reduce to a null check; see sim/trace.h.
+  void set_trace(SimTrace* trace) noexcept { trace_ = trace; }
+
+  /// Program of node v (for extracting results after the run). Calling this
+  /// from inside a handler for a node other than the one executing is a
+  /// cross-node state read and is reported to the attached trace.
+  AsyncProgram& program(NodeId v) {
+    note_program_access(v);
+    return *programs_[v];
+  }
+  const AsyncProgram& program(NodeId v) const {
+    note_program_access(v);
+    return *programs_[v];
+  }
 
  private:
   friend class AsyncContext;
   void post(NodeId from, NodeId to, Message message, double now);
+
+  void note_program_access(NodeId v) const {
+    if (trace_ != nullptr && current_node_ != kNoNode && current_node_ != v)
+      trace_->on_state_read(current_node_, v);
+  }
 
   struct Event {
     double time;
@@ -128,6 +147,8 @@ class AsyncEngine {
   std::vector<std::uint64_t> channel_posts_;  // messages posted per channel
   std::unique_ptr<DelaySchedule> schedule_;
   std::uint64_t next_sequence_ = 0;
+  SimTrace* trace_ = nullptr;
+  NodeId current_node_ = kNoNode;  // node whose handler is executing
 };
 
 }  // namespace fdlsp

@@ -28,6 +28,7 @@ SyncEngine::SyncEngine(const Graph& graph,
 void SyncEngine::deliver(NodeId from, NodeId to, Message message) {
   FDLSP_REQUIRE(graph_.has_edge(from, to),
                 "nodes may only message direct neighbors");
+  if (trace_ != nullptr) trace_->on_send(from, to);
   next_inbox_[to].push_back(std::move(message));
   ++pending_messages_;
   ++total_messages_;
@@ -57,7 +58,12 @@ SyncMetrics SyncEngine::run(std::size_t max_rounds) {
         })) {
       ++phase;
       ++metrics.phases;
-      for (auto& program : programs_) program->on_phase(phase);
+      for (NodeId v = 0; v < n; ++v) {
+        if (trace_ != nullptr) trace_->on_local_step(v);
+        current_node_ = v;
+        programs_[v]->on_phase(phase);
+        current_node_ = kNoNode;
+      }
       if (all_finished()) {
         metrics.completed = true;
         break;
@@ -71,8 +77,15 @@ SyncMetrics SyncEngine::run(std::size_t max_rounds) {
 
     for (NodeId v = 0; v < n; ++v) {
       if (programs_[v]->finished() && inbox_[v].empty()) continue;
+      if (trace_ != nullptr) {
+        for (const Message& message : inbox_[v])
+          trace_->on_deliver(message.from, v);
+        trace_->on_local_step(v);
+      }
       SyncContext ctx(*this, v, graph_.neighbors(v), metrics.rounds, phase);
+      current_node_ = v;
       programs_[v]->on_round(ctx, inbox_[v]);
+      current_node_ = kNoNode;
     }
     ++metrics.rounds;
   }

@@ -21,6 +21,7 @@
 
 #include "graph/graph.h"
 #include "sim/message.h"
+#include "sim/trace.h"
 
 namespace fdlsp {
 
@@ -107,13 +108,30 @@ class SyncEngine {
   /// Runs until every program reports finished() or the round cap is hit.
   SyncMetrics run(std::size_t max_rounds = 1'000'000);
 
-  /// Program of node v (for extracting results after the run).
-  SyncProgram& program(NodeId v) { return *programs_[v]; }
-  const SyncProgram& program(NodeId v) const { return *programs_[v]; }
+  /// Attaches an event observer (nullptr detaches). With no trace the
+  /// instrumentation points reduce to a null check; see sim/trace.h.
+  void set_trace(SimTrace* trace) noexcept { trace_ = trace; }
+
+  /// Program of node v (for extracting results after the run). Calling this
+  /// from inside a program callback for a node other than the one executing
+  /// is a cross-node state read and is reported to the attached trace.
+  SyncProgram& program(NodeId v) {
+    note_program_access(v);
+    return *programs_[v];
+  }
+  const SyncProgram& program(NodeId v) const {
+    note_program_access(v);
+    return *programs_[v];
+  }
 
  private:
   friend class SyncContext;
   void deliver(NodeId from, NodeId to, Message message);
+
+  void note_program_access(NodeId v) const {
+    if (trace_ != nullptr && current_node_ != kNoNode && current_node_ != v)
+      trace_->on_state_read(current_node_, v);
+  }
 
   const Graph& graph_;
   std::vector<std::unique_ptr<SyncProgram>> programs_;
@@ -121,6 +139,8 @@ class SyncEngine {
   std::vector<std::vector<Message>> next_inbox_;  // sent this round
   std::size_t pending_messages_ = 0;
   std::size_t total_messages_ = 0;
+  SimTrace* trace_ = nullptr;
+  NodeId current_node_ = kNoNode;  // node whose callback is executing
 };
 
 }  // namespace fdlsp

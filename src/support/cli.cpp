@@ -14,9 +14,10 @@ CliArgs::CliArgs(int argc, const char* const* argv) {
     arg.remove_prefix(2);
     const auto eq = arg.find('=');
     if (eq == std::string_view::npos) {
-      values_[std::string(arg)] = "1";
+      values_.insert_or_assign(std::string(arg), std::string("1"));
     } else {
-      values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+      values_.insert_or_assign(std::string(arg.substr(0, eq)),
+                               std::string(arg.substr(eq + 1)));
     }
   }
 }

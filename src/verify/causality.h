@@ -1,0 +1,44 @@
+// Causality oracle: the happens-before checker (analysis/happens_before.h)
+// packaged as a member of the oracle battery.
+//
+// check_causality reruns a scheduler with a vector-clock checker attached to
+// the simulation engine and fails if any node read another node's state
+// without a causal chain of messages delivering it — i.e. if the
+// implementation leaks information through the shared address space instead
+// of the message API. Centralized algorithms (D-MGC, greedy) never enter an
+// engine, so their probe trivially passes.
+//
+// causality_probe_for(kind) produces the std::function form that
+// OracleOptions::causality_probe expects, so oracle_options_for(kind) can
+// arm the oracle for every built-in scheduler and the proptest sweep /
+// shrinker pick it up with no further wiring.
+#pragma once
+
+#include <cstdint>
+
+#include "algos/scheduler.h"
+#include "graph/graph.h"
+#include "verify/oracles.h"
+
+namespace fdlsp {
+
+/// Runs `kind` on `graph` with a happens-before checker attached and turns
+/// the checker's verdict into an oracle verdict. DFS (which requires a
+/// connected graph) is run per connected component with an independent
+/// checker and seed `seed + component`, mirroring
+/// run_scheduler_on_components.
+OracleVerdict check_causality(SchedulerKind kind, const Graph& graph,
+                              std::uint64_t seed);
+
+/// Human-readable happens-before report for one traced run (event and
+/// cross-node-read counts, or the first violation), one line per engine run.
+/// Used by examples/replay; check_causality is the pass/fail form.
+std::string causality_report(SchedulerKind kind, const Graph& graph,
+                             std::uint64_t seed);
+
+/// The causality probe for a built-in scheduler, in the shape
+/// OracleOptions::causality_probe expects. Empty (oracle skipped) for
+/// centralized algorithms that never run on a simulation engine.
+CausalityProbe causality_probe_for(SchedulerKind kind);
+
+}  // namespace fdlsp

@@ -6,6 +6,7 @@
 #include "coloring/checker.h"
 #include "coloring/exact.h"
 #include "graph/arcs.h"
+#include "verify/causality.h"
 
 namespace fdlsp {
 
@@ -118,11 +119,18 @@ OracleVerdict check_oracles(const ScheduleFn& run, const Graph& graph,
     }
   }
 
+  // 5. Causality: no node read state it was never causally sent.
+  if (options.causality_probe) {
+    OracleVerdict probe = options.causality_probe(graph, seed);
+    if (!probe.ok) return probe;
+  }
+
   return verdict;
 }
 
 OracleOptions oracle_options_for(SchedulerKind kind) {
   OracleOptions options;
+  options.causality_probe = causality_probe_for(kind);
   switch (kind) {
     case SchedulerKind::kDmgc:
       // D-MGC can exceed 2Δ² (color injection) and claims no ratio.

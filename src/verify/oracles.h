@@ -10,7 +10,11 @@
 //                        Δ-approximation claim);
 //   4. determinism     — a second run with the same seed yields a
 //                        byte-identical coloring (catches hidden iteration-
-//                        order or shared-state dependence).
+//                        order or shared-state dependence);
+//   5. causality       — when a probe is supplied, a traced rerun under the
+//                        happens-before checker proves no node read state it
+//                        was never causally sent (protocol isolation; see
+//                        verify/causality.h and analysis/happens_before.h).
 // The first failing oracle aborts the battery and names itself in the
 // verdict, so shrinking can target exactly that property.
 #pragma once
@@ -28,6 +32,20 @@ namespace fdlsp {
 using ScheduleFn =
     std::function<ScheduleResult(const Graph&, std::uint64_t seed)>;
 
+/// Outcome of the battery on one instance.
+struct OracleVerdict {
+  bool ok = true;
+  std::string failure;  ///< first failing oracle, human-readable
+};
+
+/// A causality (happens-before) probe: reruns the algorithm under a trace
+/// checker and reports whether every cross-node state read was causally
+/// justified. Probes are algorithm-specific (they must re-instantiate the
+/// scheduler with a trace attached), so the battery takes one as data; see
+/// causality_probe_for() in verify/causality.h for the built-in schedulers.
+using CausalityProbe =
+    std::function<OracleVerdict(const Graph&, std::uint64_t seed)>;
+
 /// Which oracles to apply. Guarantee-specific checks are gated so baselines
 /// without the guarantee (D-MGC can exceed 2Δ² under injection; the
 /// randomized distance-1 algorithm has no approximation bound) still run
@@ -43,12 +61,9 @@ struct OracleOptions {
   /// proof does not finish in budget the approximation oracle is skipped
   /// (matching "where the exact colorer terminates").
   std::size_t exact_bb_budget = 50'000;
-};
-
-/// Outcome of the battery on one instance.
-struct OracleVerdict {
-  bool ok = true;
-  std::string failure;  ///< first failing oracle, human-readable
+  /// Oracle 5: when non-empty, rerun under the happens-before checker and
+  /// fail on causally unjustified cross-node reads.
+  CausalityProbe causality_probe;
 };
 
 /// Runs the battery. `run` is invoked once (plus once more for the

@@ -107,8 +107,8 @@ TEST_P(DistMisVariantTest, RoundsScaleFarBelowQuadratic) {
 INSTANTIATE_TEST_SUITE_P(BothVariants, DistMisVariantTest,
                          ::testing::Values(DistMisVariant::kGbg,
                                            DistMisVariant::kGeneral),
-                         [](const auto& info) {
-                           return info.param == DistMisVariant::kGbg
+                         [](const auto& param_info) {
+                           return param_info.param == DistMisVariant::kGbg
                                       ? "Gbg"
                                       : "General";
                          });

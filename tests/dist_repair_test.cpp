@@ -1,6 +1,8 @@
 // Tests for the distributed repair protocol.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "algos/dist_repair.h"
 #include "algos/repair.h"
 #include "coloring/checker.h"
@@ -68,7 +70,7 @@ TEST(DistRepair, ChurnSequenceStaysFeasible) {
   auto positions = generate_udg(30, 4.0, 0.8, rng).positions;
   Graph graph = udg_from_positions(positions, 0.8);
   ArcColoring coloring = greedy_coloring(ArcView(graph));
-  for (int step = 0; step < 10; ++step) {
+  for (std::uint64_t step = 0; step < 10; ++step) {
     const std::size_t mover = rng.next_index(positions.size());
     positions[mover] = Point{rng.next_double() * 4.0,
                              rng.next_double() * 4.0};

@@ -15,8 +15,9 @@ void expect_valid_schedule(const Graph& graph, const ScheduleResult& result) {
   const ArcView view(graph);
   EXPECT_TRUE(is_feasible_schedule(view, result.coloring));
   EXPECT_EQ(result.num_slots, result.coloring.num_colors_used());
-  if (graph.num_edges() > 0)
+  if (graph.num_edges() > 0) {
     EXPECT_GE(result.num_slots, lower_bound_trivial(graph));
+  }
 }
 
 TEST(Dmgc, SingleEdge) {
@@ -60,8 +61,9 @@ TEST(Dmgc, SlotCountAtLeastDoubleEdgeColors) {
     DmgcStats stats;
     const auto result = run_dmgc(graph, &stats);
     expect_valid_schedule(graph, result);
-    if (graph.num_edges() > 0)
+    if (graph.num_edges() > 0) {
       EXPECT_GE(result.num_slots, 2 * graph.max_degree());
+    }
   }
 }
 

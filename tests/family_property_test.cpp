@@ -103,7 +103,7 @@ INSTANTIATE_TEST_SUITE_P(
                [](Rng& rng) {
                  return generate_quasi_udg(40, 4.0, 0.7, 0.5, 0.5, rng).graph;
                }}),
-    [](const auto& info) { return info.param.name; });
+    [](const auto& param_info) { return param_info.param.name; });
 
 }  // namespace
 }  // namespace fdlsp

@@ -59,8 +59,12 @@ TEST(QuasiUdg, CertainAndForbiddenZones) {
     for (NodeId u = 0; u < 60; ++u) {
       for (NodeId v = u + 1; v < 60; ++v) {
         const double d = distance(geo.positions[u], geo.positions[v]);
-        if (d <= 0.5) EXPECT_TRUE(geo.graph.has_edge(u, v));
-        if (d > 1.0) EXPECT_FALSE(geo.graph.has_edge(u, v));
+        if (d <= 0.5) {
+          EXPECT_TRUE(geo.graph.has_edge(u, v));
+        }
+        if (d > 1.0) {
+          EXPECT_FALSE(geo.graph.has_edge(u, v));
+        }
         // Gray zone links are probabilistic — no assertion.
       }
     }

@@ -40,10 +40,11 @@ INSTANTIATE_TEST_SUITE_P(
                       SchedulerKind::kDistMisGeneral, SchedulerKind::kDfs,
                       SchedulerKind::kDmgc, SchedulerKind::kGreedy,
                       SchedulerKind::kRandomized),
-    [](const auto& info) {
-      std::string name = scheduler_name(info.param);
-      for (char& ch : name)
+    [](const auto& param_info) {
+      std::string name = scheduler_name(param_info.param);
+      for (char& ch : name) {
         if (ch == '-') ch = '_';
+      }
       return name;
     });
 

@@ -32,8 +32,9 @@ TEST_P(AllSchedulersTest, FeasibleAndBoundedOnConnectedGnm) {
       << scheduler_name(kind);
   EXPECT_GE(result.num_slots, lower_bound_trivial(graph));
   // D-MGC may exceed 2Δ² only through injection; everyone else must not.
-  if (kind != SchedulerKind::kDmgc)
+  if (kind != SchedulerKind::kDmgc) {
     EXPECT_LE(result.num_slots, upper_bound_colors(graph));
+  }
 }
 
 TEST_P(AllSchedulersTest, FeasibleOnUdg) {
@@ -55,11 +56,12 @@ INSTANTIATE_TEST_SUITE_P(
                                          SchedulerKind::kDmgc,
                                          SchedulerKind::kGreedy),
                        ::testing::Values(1u, 2u, 3u, 4u)),
-    [](const auto& info) {
-      std::string name = scheduler_name(std::get<0>(info.param)) + "_seed" +
-                         std::to_string(std::get<1>(info.param));
-      for (char& ch : name)
+    [](const auto& param_info) {
+      std::string name = scheduler_name(std::get<0>(param_info.param)) +
+                         "_seed" + std::to_string(std::get<1>(param_info.param));
+      for (char& ch : name) {
         if (ch == '-') ch = '_';
+      }
       return name;
     });
 

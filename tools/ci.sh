@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# CI driver: tier-1 suite plus sanitizer jobs over the property-test gate.
+# CI driver: tier-1 suite, sanitizer jobs over the property-test gate, and
+# the static-analysis jobs (fdlsp-lint, clang-tidy).
 #
 #   tools/ci.sh            # tier-1 (full suite, RelWithDebInfo)
 #   tools/ci.sh asan       # ASan+UBSan build, proptest-labeled suite
 #   tools/ci.sh tsan       # TSan build, proptest-labeled suite
-#   tools/ci.sh all        # all three jobs in sequence
+#   tools/ci.sh lint       # fdlsp-lint over src/ (determinism/isolation)
+#   tools/ci.sh tidy       # clang-tidy (skipped when not installed)
+#   tools/ci.sh all        # every job in sequence
 #
 # The proptest label selects the fdlsp_verify-based fuzzing suites — the
 # regression gate every perf/refactor PR must keep green (see DESIGN.md §7).
@@ -29,17 +32,42 @@ run_sanitizer() {  # $1 = preset name (asan-ubsan | tsan)
     -j "$(nproc)"
 }
 
+run_lint() {
+  echo "=== lint: fdlsp-lint over src/ ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build -j --target fdlsp-lint
+  ./build/tools/fdlsp-lint src/
+}
+
+run_tidy() {
+  echo "=== clang-tidy: static analysis over src/ ==="
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    # The minimal toolchain image ships without clang-tidy; the GitHub
+    # workflow installs it, so the job still gates PRs.
+    echo "clang-tidy not installed; skipping"
+    return 0
+  fi
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+  git ls-files 'src/**/*.cpp' 'tools/**/*.cpp' |
+    xargs -P "$(nproc)" -n 4 clang-tidy -p build --quiet
+}
+
 case "${jobs}" in
   tier1) run_tier1 ;;
   asan) run_sanitizer asan-ubsan ;;
   tsan) run_sanitizer tsan ;;
+  lint) run_lint ;;
+  tidy) run_tidy ;;
   all)
+    run_lint
     run_tier1
     run_sanitizer asan-ubsan
     run_sanitizer tsan
+    run_tidy
     ;;
   *)
-    echo "usage: tools/ci.sh [tier1|asan|tsan|all]" >&2
+    echo "usage: tools/ci.sh [tier1|asan|tsan|lint|tidy|all]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,107 @@
+// fdlsp-lint CLI: determinism & protocol-isolation linter for this repo.
+//
+//   fdlsp-lint src/                 # lint a tree (the CI invocation)
+//   fdlsp-lint src/algos/foo.cpp    # lint individual files
+//   fdlsp-lint --list-rules         # print the rule catalog
+//
+// Exit codes: 0 clean, 1 diagnostics found, 2 usage or I/O error.
+// Rule semantics, path scoping and the allow() escape hatch are documented
+// in src/analysis/lint.h and DESIGN.md §8.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable_extension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".h" || ext == ".hpp" || ext == ".cc";
+}
+
+/// Skips build trees and hidden directories when walking.
+bool skip_directory(const fs::path& path) {
+  const std::string name = path.filename().string();
+  return name.rfind("build", 0) == 0 || (!name.empty() && name[0] == '.');
+}
+
+std::vector<std::string> collect_files(const fs::path& root) {
+  std::vector<std::string> files;
+  if (fs::is_regular_file(root)) {
+    files.push_back(root.string());
+    return files;
+  }
+  fs::recursive_directory_iterator it(root), end;
+  while (it != end) {
+    if (it->is_directory() && skip_directory(it->path())) {
+      it.disable_recursion_pending();
+    } else if (it->is_regular_file() && lintable_extension(it->path())) {
+      files.push_back(it->path().string());
+    }
+    ++it;
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const fdlsp::LintRuleInfo& rule : fdlsp::lint_rules())
+        std::cout << rule.name << "\n    " << rule.summary << "\n";
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: fdlsp-lint [--list-rules] <path>...\n";
+      return 0;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::cerr << "fdlsp-lint: unknown flag " << arg << "\n";
+      return 2;
+    }
+    roots.push_back(arg);
+  }
+  if (roots.empty()) {
+    std::cerr << "usage: fdlsp-lint [--list-rules] <path>...\n";
+    return 2;
+  }
+
+  std::size_t files_scanned = 0;
+  std::vector<fdlsp::LintDiagnostic> diagnostics;
+  for (const std::string& root : roots) {
+    if (!fs::exists(root)) {
+      std::cerr << "fdlsp-lint: no such path: " << root << "\n";
+      return 2;
+    }
+    for (const std::string& file : collect_files(root)) {
+      std::ifstream in(file);
+      if (!in) {
+        std::cerr << "fdlsp-lint: cannot read " << file << "\n";
+        return 2;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      ++files_scanned;
+      for (fdlsp::LintDiagnostic& d :
+           fdlsp::lint_source(file, buffer.str()))
+        diagnostics.push_back(std::move(d));
+    }
+  }
+
+  for (const fdlsp::LintDiagnostic& d : diagnostics)
+    std::cout << fdlsp::to_string(d) << "\n";
+  std::cout << "fdlsp-lint: " << files_scanned << " files, "
+            << diagnostics.size() << " diagnostic(s)\n";
+  return diagnostics.empty() ? 0 : 1;
+}
