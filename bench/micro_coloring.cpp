@@ -1,15 +1,21 @@
 // Microbenchmarks for the coloring core: conflict enumeration, greedy
 // coloring, conflict-graph construction, feasibility checking.
+//
+// The *Indexed variants measure the same operations through a prebuilt
+// ConflictIndex; the baseline (non-indexed) variants are the regression
+// reference for BENCH_coloring.json, so keep both in the suite.
 #include <benchmark/benchmark.h>
 
 #include "coloring/checker.h"
 #include "coloring/conflict.h"
 #include "coloring/conflict_graph.h"
+#include "coloring/conflict_index.h"
 #include "coloring/bounds.h"
 #include "coloring/greedy.h"
 #include "graph/arcs.h"
 #include "graph/generators.h"
 #include "support/rng.h"
+#include "support/thread_pool.h"
 
 namespace {
 
@@ -18,6 +24,11 @@ using namespace fdlsp;
 Graph make_udg(std::size_t n, double side) {
   Rng rng(42);
   return generate_udg(n, side, 0.5, rng).graph;
+}
+
+ThreadPool& bench_pool() {
+  static ThreadPool pool;  // hardware concurrency; shared across benchmarks
+  return pool;
 }
 
 void BM_GreedyColoring(benchmark::State& state) {
@@ -51,7 +62,56 @@ void BM_ConflictGraphBuild(benchmark::State& state) {
     benchmark::DoNotOptimize(conflict.num_edges());
   }
 }
-BENCHMARK(BM_ConflictGraphBuild)->Arg(100)->Arg(300);
+BENCHMARK(BM_ConflictGraphBuild)->Arg(100)->Arg(300)->Arg(1000);
+
+void BM_ConflictIndexBuild(benchmark::State& state) {
+  const Graph graph = make_udg(static_cast<std::size_t>(state.range(0)), 8.0);
+  const ArcView view(graph);
+  for (auto _ : state) {
+    const ConflictIndex index(view);
+    benchmark::DoNotOptimize(index.total_conflicts());
+  }
+}
+BENCHMARK(BM_ConflictIndexBuild)->Arg(100)->Arg(300)->Arg(1000);
+
+void BM_ConflictIndexBuildParallel(benchmark::State& state) {
+  const Graph graph = make_udg(static_cast<std::size_t>(state.range(0)), 8.0);
+  const ArcView view(graph);
+  ThreadPool& pool = bench_pool();
+  for (auto _ : state) {
+    const ConflictIndex index(view, pool);
+    benchmark::DoNotOptimize(index.total_conflicts());
+  }
+}
+BENCHMARK(BM_ConflictIndexBuildParallel)->Arg(100)->Arg(300)->Arg(1000);
+
+void BM_ConflictGraphBuildIndexed(benchmark::State& state) {
+  const Graph graph = make_udg(static_cast<std::size_t>(state.range(0)), 8.0);
+  const ArcView view(graph);
+  for (auto _ : state) {
+    // Index build included: this is the end-to-end replacement for
+    // BM_ConflictGraphBuild, which enumerates conflicts on the fly. The
+    // sequential build keeps the comparison honest on single-core CI boxes;
+    // BM_ConflictIndexBuildParallel measures the threaded build separately.
+    const ConflictIndex index(view);
+    Graph conflict = build_conflict_graph(view, index);
+    benchmark::DoNotOptimize(conflict.num_edges());
+  }
+}
+BENCHMARK(BM_ConflictGraphBuildIndexed)->Arg(100)->Arg(300)->Arg(1000);
+
+void BM_GreedyColoringIndexed(benchmark::State& state) {
+  const Graph graph = make_udg(static_cast<std::size_t>(state.range(0)), 8.0);
+  const ArcView view(graph);
+  const ConflictIndex index(view);
+  for (auto _ : state) {
+    ArcColoring coloring =
+        greedy_coloring(view, GreedyOrder::kArcId, nullptr, &index);
+    benchmark::DoNotOptimize(coloring.num_colors_used());
+  }
+  state.counters["edges"] = static_cast<double>(graph.num_edges());
+}
+BENCHMARK(BM_GreedyColoringIndexed)->Arg(100)->Arg(300)->Arg(1000);
 
 void BM_FeasibilityCheck(benchmark::State& state) {
   const Graph graph = make_udg(static_cast<std::size_t>(state.range(0)), 8.0);
@@ -61,6 +121,29 @@ void BM_FeasibilityCheck(benchmark::State& state) {
     benchmark::DoNotOptimize(is_feasible_schedule(view, coloring));
 }
 BENCHMARK(BM_FeasibilityCheck)->Arg(100)->Arg(300)->Arg(1000);
+
+void BM_FeasibilityCheckIndexed(benchmark::State& state) {
+  const Graph graph = make_udg(static_cast<std::size_t>(state.range(0)), 8.0);
+  const ArcView view(graph);
+  const ConflictIndex index(view);
+  const ArcColoring coloring = greedy_coloring(view);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(is_feasible_schedule(view, coloring, &index));
+}
+BENCHMARK(BM_FeasibilityCheckIndexed)->Arg(100)->Arg(300)->Arg(1000);
+
+void BM_CountViolationsIndexed(benchmark::State& state) {
+  const Graph graph = make_udg(static_cast<std::size_t>(state.range(0)), 8.0);
+  const ArcView view(graph);
+  const ConflictIndex index(view);
+  // A deliberately clashing coloring (everything in slot 0) exercises the
+  // counting path rather than the early-exit path.
+  ArcColoring clashing(view.num_arcs());
+  for (ArcId a = 0; a < view.num_arcs(); ++a) clashing.set(a, 0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(count_violations(view, clashing, &index));
+}
+BENCHMARK(BM_CountViolationsIndexed)->Arg(100)->Arg(300);
 
 void BM_LowerBoundTheorem1(benchmark::State& state) {
   const Graph graph = make_udg(static_cast<std::size_t>(state.range(0)), 8.0);

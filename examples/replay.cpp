@@ -19,6 +19,7 @@
 #include "support/cli.h"
 #include "verify/causality.h"
 #include "verify/differential.h"
+#include "verify/oracles.h"
 #include "verify/scenario.h"
 
 namespace {
@@ -81,6 +82,17 @@ int main(int argc, char** argv) {
               << result.messages << " messages\n";
 
     std::cout << causality_report(kind, graph, scenario.seed) << "\n";
+
+    // One direct battery run surfaces the wall time each oracle spends
+    // (the battery amortizes a shared ConflictIndex across all of them).
+    const ScheduleFn oracle_run = [kind](const Graph& g, std::uint64_t s) {
+      return run_scheduler_on_components(kind, g, s);
+    };
+    const OracleVerdict verdict = check_oracles(
+        oracle_run, graph, scenario.seed, oracle_options_for(kind));
+    std::cout << "oracle wall time:\n";
+    for (const OracleTiming& timing : verdict.timings)
+      std::cout << "  " << timing.oracle << ": " << timing.millis << " ms\n";
 
     if (const auto failure = check_scenario(kind, scenario)) {
       std::cout << "oracle battery: FAIL\n" << to_string(*failure) << "\n";

@@ -6,7 +6,7 @@
 
 #include "algos/misra_gries.h"
 #include "algos/two_sat.h"
-#include "coloring/conflict.h"
+#include "coloring/conflict_index.h"
 #include "graph/arcs.h"
 #include "support/check.h"
 
@@ -27,7 +27,10 @@ ArcId oriented_arc(EdgeId e, bool stored_direction) {
 
 /// Tries to orient all edges of one class via 2-SAT, shedding the most
 /// constrained edges on failure. Shed edges are appended to `leftover`.
-ClassOrientation orient_class(const ArcView& view, std::vector<EdgeId> members,
+/// Conflict queries go through the prebuilt index (same predicate as
+/// arcs_conflict, probed against the CSR row).
+ClassOrientation orient_class(const ConflictIndex& index,
+                              std::vector<EdgeId> members,
                               std::vector<EdgeId>& leftover) {
   for (;;) {
     TwoSat sat(members.size());
@@ -44,7 +47,7 @@ ClassOrientation orient_class(const ArcView& view, std::vector<EdgeId> members,
           for (int oj = 0; oj < 2; ++oj) {
             const ArcId a = oriented_arc(members[i], oi == 0);
             const ArcId b = oriented_arc(members[j], oj == 0);
-            if (!arcs_conflict(view, a, b)) continue;
+            if (!index.conflict(a, b)) continue;
             ++forbidden;
             // Forbid (x_i == (oi==0)) AND (x_j == (oj==0)).
             sat.add_clause(i, oi != 0, j, oj != 0);
@@ -106,11 +109,15 @@ ScheduleResult run_dmgc(const Graph& graph, DmgcStats* stats) {
     classes[static_cast<std::size_t>(edge_colors[e])].push_back(e);
 
   // Phase 2: orient every class; forward orientation of class i -> slot i,
-  // mirrored orientation -> slot num_classes + i.
+  // mirrored orientation -> slot num_classes + i. The whole phase queries
+  // the distance-2 relation, so materialize it once. (D-MGC's round model
+  // below is analytic; the index is a centralized-simulation speedup and
+  // does not touch the message accounting.)
+  const ConflictIndex index(view);
   std::vector<EdgeId> leftover;
   for (std::size_t i = 0; i < num_classes; ++i) {
     const ClassOrientation oriented =
-        orient_class(view, std::move(classes[i]), leftover);
+        orient_class(index, std::move(classes[i]), leftover);
     for (std::size_t k = 0; k < oriented.edges.size(); ++k) {
       const ArcId forward = oriented_arc(oriented.edges[k],
                                          oriented.orientation[k]);
@@ -122,10 +129,11 @@ ScheduleResult run_dmgc(const Graph& graph, DmgcStats* stats) {
   local.injected_edges = leftover.size();
 
   // Injected edges: both arcs greedily recolored (extra slots as needed).
+  ConflictScratch scratch(index);
   for (EdgeId e : leftover) {
     for (ArcId a : {oriented_arc(e, true), oriented_arc(e, false)}) {
-      result.coloring.set(a,
-                          smallest_feasible_color(view, result.coloring, a));
+      result.coloring.set(
+          a, scratch.smallest_feasible_color(result.coloring, a));
     }
   }
 

@@ -4,6 +4,7 @@
 
 #include "coloring/checker.h"
 #include "coloring/conflict.h"
+#include "coloring/conflict_index.h"
 #include "support/check.h"
 
 namespace fdlsp {
@@ -21,32 +22,54 @@ ArcColoring transfer_coloring(const ArcView& old_view,
   return transferred;
 }
 
-RepairResult repair_schedule(const ArcView& view, ArcColoring partial) {
+RepairResult repair_schedule(const ArcView& view, ArcColoring partial,
+                             const ConflictIndex* index) {
   FDLSP_REQUIRE(partial.num_arcs() == view.num_arcs(),
                 "partial coloring does not match graph");
+  FDLSP_REQUIRE(index == nullptr || index->num_arcs() == view.num_arcs(),
+                "index does not match graph");
 
-  // Phase 1: clear conflicts introduced by topology changes. Iterate until
-  // clean — clearing only removes colors, so this terminates.
+  // Phase 1: clear conflicts introduced by topology changes. The lower arc
+  // id keeps its slot; the higher one yields, so each conflicting pair
+  // clears exactly one arc. Clearing only removes colors, so one ascending
+  // pass suffices.
   for (ArcId a = 0; a < view.num_arcs(); ++a) {
     if (!partial.is_colored(a)) continue;
     const Color c = partial.color(a);
     bool clash = false;
-    for_each_conflicting_arc(view, a, [&](ArcId b) {
-      // The lower arc id keeps its slot; the higher one yields, so each
-      // conflicting pair clears exactly one arc.
-      if (!clash && b < a && partial.color(b) == c) clash = true;
-    });
+    if (index != nullptr) {
+      for (const ArcId b : index->conflicts(a)) {
+        if (b >= a) break;  // rows are sorted; only lower ids matter
+        if (partial.color(b) == c) {
+          clash = true;
+          break;
+        }
+      }
+    } else {
+      for_each_conflicting_arc(view, a, [&](ArcId b) {
+        if (!clash && b < a && partial.color(b) == c) clash = true;
+      });
+    }
     if (clash) partial.clear(a);
   }
-  FDLSP_ASSERT(!find_violation(view, partial).has_value(),
+  FDLSP_ASSERT(!find_violation(view, partial, index).has_value(),
                "phase 1 must clear all conflicts");
 
   // Phase 2: greedily color everything still missing.
   RepairResult result;
-  for (ArcId a = 0; a < view.num_arcs(); ++a) {
-    if (partial.is_colored(a)) continue;
-    partial.set(a, smallest_feasible_color(view, partial, a));
-    ++result.recolored_arcs;
+  if (index != nullptr) {
+    ConflictScratch scratch(*index);
+    for (ArcId a = 0; a < view.num_arcs(); ++a) {
+      if (partial.is_colored(a)) continue;
+      partial.set(a, scratch.smallest_feasible_color(partial, a));
+      ++result.recolored_arcs;
+    }
+  } else {
+    for (ArcId a = 0; a < view.num_arcs(); ++a) {
+      if (partial.is_colored(a)) continue;
+      partial.set(a, smallest_feasible_color(view, partial, a));
+      ++result.recolored_arcs;
+    }
   }
   result.num_slots = partial.num_colors_used();
   result.coloring = std::move(partial);

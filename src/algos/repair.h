@@ -16,6 +16,8 @@
 
 namespace fdlsp {
 
+class ConflictIndex;
+
 /// Result of a repair pass.
 struct RepairResult {
   ArcColoring coloring;          ///< complete, feasible
@@ -33,7 +35,9 @@ ArcColoring transfer_coloring(const ArcView& old_view,
 /// Repairs a partial (possibly conflicting) coloring into a feasible
 /// complete schedule, touching as few arcs as possible: conflicting arcs are
 /// cleared pairwise (the higher arc id yields), then all uncolored arcs are
-/// greedily colored.
-RepairResult repair_schedule(const ArcView& view, ArcColoring partial);
+/// greedily colored. A prebuilt index for `view`'s graph turns both phases
+/// into CSR row scans; the repaired coloring is identical either way.
+RepairResult repair_schedule(const ArcView& view, ArcColoring partial,
+                             const ConflictIndex* index = nullptr);
 
 }  // namespace fdlsp

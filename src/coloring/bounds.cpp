@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "coloring/conflict_index.h"
 #include "graph/algorithms.h"
 #include "graph/cliques.h"
 
@@ -36,6 +37,10 @@ std::size_t lower_bound_theorem1(const Graph& graph) {
 std::size_t upper_bound_colors(const Graph& graph) {
   const std::size_t delta = graph.max_degree();
   return 2 * delta * delta;
+}
+
+std::size_t upper_bound_conflict_degree(const ConflictIndex& index) {
+  return index.num_arcs() == 0 ? 0 : index.max_conflict_degree() + 1;
 }
 
 }  // namespace fdlsp

@@ -7,6 +7,8 @@
 
 namespace fdlsp {
 
+class ConflictIndex;
+
 /// The trivial lower bound 2Δ (every arc incident on a max-degree node needs
 /// its own slot).
 std::size_t lower_bound_trivial(const Graph& graph);
@@ -21,5 +23,11 @@ std::size_t lower_bound_theorem1(const Graph& graph);
 /// Lemma 6 upper bound 2Δ² (any greedy coloring of the conflict graph fits).
 /// For an edgeless graph this is 0; for Δ = 1 it is 2 (one edge, two slots).
 std::size_t upper_bound_colors(const Graph& graph);
+
+/// Instance-exact form of the Lemma 6 argument, read off a prebuilt index:
+/// greedy needs at most max_conflict_degree + 1 slots. Always at most
+/// upper_bound_colors (the 2Δ² worst case over all graphs with that Δ) and
+/// usually far tighter; 0 for an arcless graph.
+std::size_t upper_bound_conflict_degree(const ConflictIndex& index);
 
 }  // namespace fdlsp

@@ -1,16 +1,90 @@
 #include "coloring/checker.h"
 
-#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "coloring/conflict.h"
+#include "coloring/conflict_index.h"
+#include "support/epoch_marks.h"
 
 namespace fdlsp {
 
+namespace {
+
+/// Scratch for the palette-bitset sweep, reused per thread so the indexed
+/// checkers allocate nothing in steady state (vector::assign reuses
+/// capacity).
+struct SweepScratch {
+  std::vector<std::size_t> offsets;  // colored arcs bucketed by color (CSR)
+  std::vector<std::size_t> cursor;
+  std::vector<ArcId> members;
+  std::vector<std::uint64_t> bits;  // one bit per arc
+};
+
+/// Palette-bitset sweep over a prebuilt index: colored arcs are bucketed by
+/// color (counting sort, so members stay in ascending arc order), then each
+/// color class is marked in an arc bitset and every member's CSR row is
+/// probed against it. Rows are deduplicated, and a same-colored conflicting
+/// pair (a, b) with a < b is seen exactly once — from a's row — so no
+/// per-arc dedup is needed. Invokes on_pair(a, b) per pair; a false return
+/// stops the sweep.
+template <typename OnPair>
+void sweep_same_color_pairs(const ConflictIndex& index,
+                            const ArcColoring& coloring, OnPair on_pair) {
+  const std::size_t n = index.num_arcs();
+  const std::size_t palette = coloring.color_span();
+  thread_local SweepScratch s;
+
+  s.offsets.assign(palette + 1, 0);
+  for (ArcId a = 0; a < n; ++a) {
+    const Color c = coloring.color(a);
+    if (c != kNoColor) ++s.offsets[static_cast<std::size_t>(c) + 1];
+  }
+  for (std::size_t j = 0; j < palette; ++j) s.offsets[j + 1] += s.offsets[j];
+  s.cursor.assign(s.offsets.begin(), s.offsets.end() - 1);
+  s.members.resize(s.offsets[palette]);
+  for (ArcId a = 0; a < n; ++a) {
+    const Color c = coloring.color(a);
+    if (c != kNoColor) s.members[s.cursor[static_cast<std::size_t>(c)]++] = a;
+  }
+
+  s.bits.assign((n + 63) / 64, 0);
+  const auto bit_test = [&](ArcId b) {
+    return (s.bits[b >> 6] >> (b & 63)) & 1u;
+  };
+  for (std::size_t j = 0; j < palette; ++j) {
+    const std::size_t begin = s.offsets[j];
+    const std::size_t end = s.offsets[j + 1];
+    if (end - begin < 2) continue;  // a singleton class cannot clash
+    for (std::size_t k = begin; k < end; ++k)
+      s.bits[s.members[k] >> 6] |= std::uint64_t{1} << (s.members[k] & 63);
+    for (std::size_t k = begin; k < end; ++k) {
+      const ArcId a = s.members[k];
+      for (const ArcId b : index.conflicts(a))
+        if (b > a && bit_test(b) && !on_pair(a, b)) return;
+    }
+    for (std::size_t k = begin; k < end; ++k)
+      s.bits[s.members[k] >> 6] &= ~(std::uint64_t{1} << (s.members[k] & 63));
+  }
+}
+
+}  // namespace
+
 std::optional<ConflictWitness> find_violation(const ArcView& view,
-                                              const ArcColoring& coloring) {
+                                              const ArcColoring& coloring,
+                                              const ConflictIndex* index) {
   FDLSP_REQUIRE(coloring.num_arcs() == view.num_arcs(),
                 "coloring size does not match graph");
+  if (index != nullptr) {
+    FDLSP_REQUIRE(index->num_arcs() == view.num_arcs(),
+                  "index does not match graph");
+    std::optional<ConflictWitness> witness;
+    sweep_same_color_pairs(*index, coloring, [&](ArcId a, ArcId b) {
+      witness = ConflictWitness{a, b};
+      return false;  // first pair suffices
+    });
+    return witness;
+  }
   for (ArcId a = 0; a < view.num_arcs(); ++a) {
     const Color c = coloring.color(a);
     if (c == kNoColor) continue;
@@ -25,29 +99,37 @@ std::optional<ConflictWitness> find_violation(const ArcView& view,
   return std::nullopt;
 }
 
-bool is_feasible_schedule(const ArcView& view, const ArcColoring& coloring) {
+bool is_feasible_schedule(const ArcView& view, const ArcColoring& coloring,
+                          const ConflictIndex* index) {
   return coloring.num_arcs() == view.num_arcs() && coloring.complete() &&
-         !find_violation(view, coloring);
+         !find_violation(view, coloring, index);
 }
 
-std::size_t count_violations(const ArcView& view,
-                             const ArcColoring& coloring) {
+std::size_t count_violations(const ArcView& view, const ArcColoring& coloring,
+                             const ConflictIndex* index) {
   FDLSP_REQUIRE(coloring.num_arcs() == view.num_arcs(),
                 "coloring size does not match graph");
   std::size_t violations = 0;
-  std::vector<ArcId> partners;
+  if (index != nullptr) {
+    FDLSP_REQUIRE(index->num_arcs() == view.num_arcs(),
+                  "index does not match graph");
+    sweep_same_color_pairs(*index, coloring, [&](ArcId, ArcId) {
+      ++violations;
+      return true;
+    });
+    return violations;
+  }
+  // Fallback: the enumeration may visit an arc repeatedly, so de-duplicate
+  // partners with an epoch-stamped set (no per-arc vector + sort).
+  thread_local EpochMarks partners;
   for (ArcId a = 0; a < view.num_arcs(); ++a) {
     const Color c = coloring.color(a);
     if (c == kNoColor) continue;
-    // De-duplicate: the conflict enumeration may visit an arc repeatedly.
-    partners.clear();
+    partners.begin();
     for_each_conflicting_arc(view, a, [&](ArcId b) {
-      if (b > a && coloring.color(b) == c) partners.push_back(b);
+      if (b > a && coloring.color(b) == c && partners.mark_if_new(b))
+        ++violations;
     });
-    std::sort(partners.begin(), partners.end());
-    partners.erase(std::unique(partners.begin(), partners.end()),
-                   partners.end());
-    violations += partners.size();
   }
   return violations;
 }

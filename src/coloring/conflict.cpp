@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/epoch_marks.h"
+
 namespace fdlsp {
 
 bool arcs_conflict(const ArcView& view, ArcId a, ArcId b) {
@@ -15,30 +17,32 @@ bool arcs_conflict(const ArcView& view, ArcId a, ArcId b) {
   return g.has_edge(h1, t2) || g.has_edge(h2, t1);
 }
 
+void conflicting_arcs_into(const ArcView& view, ArcId a,
+                           std::vector<ArcId>& out) {
+  out.clear();
+  for_each_conflicting_arc(view, a, [&](ArcId b) { out.push_back(b); });
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
 std::vector<ArcId> conflicting_arcs(const ArcView& view, ArcId a) {
   std::vector<ArcId> arcs;
-  for_each_conflicting_arc(view, a, [&](ArcId b) { arcs.push_back(b); });
-  std::sort(arcs.begin(), arcs.end());
-  arcs.erase(std::unique(arcs.begin(), arcs.end()), arcs.end());
+  conflicting_arcs_into(view, a, arcs);
   return arcs;
 }
 
 Color smallest_feasible_color(const ArcView& view, const ArcColoring& coloring,
                               ArcId a) {
-  // Collect colors of conflicting arcs, then scan for the first gap.
-  std::vector<Color> used;
+  // Epoch-stamped used-color set: duplicates from the enumeration are
+  // harmless, so no per-call vector, sort, or unique. The buffer persists
+  // per thread; the result is a pure function of (view, coloring, a).
+  thread_local EpochMarks used;
+  used.begin();
   for_each_conflicting_arc(view, a, [&](ArcId b) {
     const Color c = coloring.color(b);
-    if (c != kNoColor) used.push_back(c);
+    if (c != kNoColor) used.mark(static_cast<std::size_t>(c));
   });
-  std::sort(used.begin(), used.end());
-  used.erase(std::unique(used.begin(), used.end()), used.end());
-  Color candidate = 0;
-  for (Color c : used) {
-    if (c > candidate) break;
-    if (c == candidate) ++candidate;
-  }
-  return candidate;
+  return static_cast<Color>(used.first_unmarked());
 }
 
 }  // namespace fdlsp

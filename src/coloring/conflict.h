@@ -65,9 +65,18 @@ void for_each_conflicting_arc(const ArcView& view, ArcId a, Fn&& fn) {
 /// Sorted, de-duplicated list of arcs conflicting with a.
 std::vector<ArcId> conflicting_arcs(const ArcView& view, ArcId a);
 
+/// As conflicting_arcs, but reusing the caller's buffer (cleared first).
+/// (ConflictIndex generates its rows with a faster bitset sweep internally;
+/// this helper serves one-off queries that want an owned, sorted row.)
+void conflicting_arcs_into(const ArcView& view, ArcId a,
+                           std::vector<ArcId>& out);
+
 /// Smallest color >= 0 not used by any colored arc conflicting with a.
 /// This is the shared greedy primitive of the sequential colorer and of both
 /// distributed algorithms (each node runs it with its distance-2 knowledge).
+/// Enumerates conflicts on the fly; workloads that query many arcs on one
+/// graph should prebuild a ConflictIndex and use ConflictScratch instead
+/// (coloring/conflict_index.h) — both return identical colors.
 Color smallest_feasible_color(const ArcView& view, const ArcColoring& coloring,
                               ArcId a);
 

@@ -1,6 +1,7 @@
 #include "coloring/conflict_graph.h"
 
 #include "coloring/conflict.h"
+#include "coloring/conflict_index.h"
 
 namespace fdlsp {
 
@@ -10,6 +11,16 @@ Graph build_conflict_graph(const ArcView& view) {
     for (ArcId b : conflicting_arcs(view, a))
       if (b > a) builder.add_edge(a, b);
   return builder.build();
+}
+
+Graph build_conflict_graph(const ArcView& view, const ConflictIndex& index) {
+  FDLSP_REQUIRE(index.num_arcs() == view.num_arcs(),
+                "index does not match graph");
+  // The index's CSR rows are exactly the conflict graph's sorted adjacency
+  // lists (the relation is symmetric), so the graph materializes in one
+  // linear pass with no duplicate scans and no per-node sorts.
+  return GraphBuilder::build_from_symmetric_csr(
+      index.num_arcs(), index.raw_offsets(), index.raw_neighbors());
 }
 
 }  // namespace fdlsp

@@ -9,7 +9,17 @@
 
 namespace fdlsp {
 
+class ConflictIndex;
+
 /// Builds the conflict graph; vertex i of the result corresponds to ArcId i.
+/// Enumerates conflicts on the fly (kept as the bench-regression baseline —
+/// prefer the indexed overload when an index exists or several components
+/// need the conflict relation).
 Graph build_conflict_graph(const ArcView& view);
+
+/// Same graph, assembled from a prebuilt index: each CSR row is already the
+/// sorted, deduplicated neighbor list of a vertex of G', so construction is
+/// a single linear pass with no per-edge duplicate checks.
+Graph build_conflict_graph(const ArcView& view, const ConflictIndex& index);
 
 }  // namespace fdlsp

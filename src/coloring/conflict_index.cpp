@@ -1,0 +1,122 @@
+#include "coloring/conflict_index.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+#include "coloring/conflict.h"
+#include "support/parallel_for.h"
+#include "support/thread_pool.h"
+
+namespace fdlsp {
+
+namespace {
+
+/// Per-worker row generator. The raw enumeration emits duplicates; instead
+/// of sort+unique (which dominates the build — measured ~9x the enumeration
+/// itself), conflicts are marked in an arc bitset and the touched word range
+/// is swept once, which yields the row already sorted and deduplicated and
+/// zeroes the bitset for the next row in the same sweep.
+struct RowScratch {
+  std::vector<std::uint64_t> bits;  // one bit per arc, zero between rows
+  std::vector<ArcId> row;           // sorted deduplicated output
+
+  void prepare(std::size_t words, std::size_t row_bound) {
+    if (bits.size() < words) bits.resize(words, 0);
+    row.reserve(row_bound);
+  }
+
+  void fill(const ArcView& view, ArcId a) {
+    row.clear();
+    ArcId lo = std::numeric_limits<ArcId>::max();
+    ArcId hi = 0;
+    for_each_conflicting_arc(view, a, [&](ArcId b) {
+      bits[b >> 6] |= std::uint64_t{1} << (b & 63u);
+      lo = std::min(lo, b);
+      hi = std::max(hi, b);
+    });
+    if (lo > hi) return;  // isolated arc: no conflicts
+    for (std::size_t w = lo >> 6; w <= (hi >> 6); ++w) {
+      std::uint64_t word = bits[w];
+      bits[w] = 0;
+      while (word != 0) {
+        const auto bit = static_cast<std::size_t>(std::countr_zero(word));
+        row.push_back(static_cast<ArcId>((w << 6) | bit));
+        word &= word - 1;
+      }
+    }
+  }
+};
+
+/// Runs row_fn(arc, scratch) for every arc, sequentially or across the pool.
+/// Each invocation depends only on its own arc, so the parallel schedule
+/// cannot influence results; the scratch is reused per worker to keep the
+/// bitset and row buffer warm (the latter sized by the Lemma-6 row bound).
+template <typename RowFn>
+void for_each_arc(ThreadPool* pool, std::size_t num_arcs, std::size_t words,
+                  std::size_t row_bound, RowFn row_fn) {
+  if (pool == nullptr) {
+    RowScratch scratch;
+    scratch.prepare(words, row_bound);
+    for (std::size_t a = 0; a < num_arcs; ++a) row_fn(a, scratch);
+    return;
+  }
+  parallel_for(*pool, num_arcs, [&](std::size_t a) {
+    thread_local RowScratch scratch;
+    scratch.prepare(words, row_bound);
+    row_fn(a, scratch);
+  });
+}
+
+}  // namespace
+
+ConflictIndex::ConflictIndex(const ArcView& view) { build(view, nullptr); }
+
+ConflictIndex::ConflictIndex(const ArcView& view, ThreadPool& pool) {
+  build(view, &pool);
+}
+
+void ConflictIndex::build(const ArcView& view, ThreadPool* pool) {
+  const std::size_t n = view.num_arcs();
+  offsets_.assign(n + 1, 0);
+  if (n == 0) return;
+
+  // Lemma 6: an arc conflicts with fewer than min(2Δ², 2m − 1) others.
+  const std::size_t delta = view.graph().max_degree();
+  const std::size_t row_bound = std::min(n - 1, 2 * delta * delta);
+  const std::size_t words = (n + 63) / 64;
+
+  // Pass 1 (count): deduplicated row size per arc. Rows land in disjoint
+  // slots of offsets_, so the parallel writes never alias.
+  for_each_arc(pool, n, words, row_bound,
+               [&](std::size_t a, RowScratch& scratch) {
+                 scratch.fill(view, static_cast<ArcId>(a));
+                 offsets_[a + 1] = scratch.row.size();
+               });
+
+  for (std::size_t a = 0; a < n; ++a) {
+    max_degree_ = std::max(max_degree_, offsets_[a + 1]);
+    offsets_[a + 1] += offsets_[a];
+  }
+
+  // Pass 2 (fill): regenerate each row straight into its CSR slice.
+  neighbors_.resize(offsets_[n]);
+  for_each_arc(pool, n, words, row_bound,
+               [&](std::size_t a, RowScratch& scratch) {
+                 scratch.fill(view, static_cast<ArcId>(a));
+                 std::copy(scratch.row.begin(), scratch.row.end(),
+                           neighbors_.begin() +
+                               static_cast<std::ptrdiff_t>(offsets_[a]));
+               });
+}
+
+bool ConflictIndex::conflict(ArcId a, ArcId b) const {
+  FDLSP_REQUIRE(a != b, "conflict is defined on distinct arcs");
+  // Probe the shorter row.
+  if (conflict_degree(a) > conflict_degree(b)) std::swap(a, b);
+  const auto row = conflicts(a);
+  return std::binary_search(row.begin(), row.end(), b);
+}
+
+}  // namespace fdlsp

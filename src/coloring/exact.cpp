@@ -222,8 +222,11 @@ VertexColoringResult exact_vertex_coloring(const Graph& graph,
 }
 
 ExactFdlspResult optimal_fdlsp(const ArcView& view,
-                               const ExactOptions& options) {
-  const Graph conflict_graph = build_conflict_graph(view);
+                               const ExactOptions& options,
+                               const ConflictIndex* index) {
+  const Graph conflict_graph = index != nullptr
+                                   ? build_conflict_graph(view, *index)
+                                   : build_conflict_graph(view);
   VertexColoringResult solved = exact_vertex_coloring(conflict_graph, options);
   ExactFdlspResult result;
   result.coloring = ArcColoring(view.num_arcs());

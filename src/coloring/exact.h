@@ -16,6 +16,8 @@
 
 namespace fdlsp {
 
+class ConflictIndex;
+
 /// Search budget / tunables for the exact solver.
 struct ExactOptions {
   /// Abort the proof after this many branch-and-bound expansions; the best
@@ -43,9 +45,12 @@ struct ExactFdlspResult {
 };
 
 /// Optimal FDLSP schedule for the bi-directed view of a graph (the paper's
-/// "ILP" reference column).
+/// "ILP" reference column). With a prebuilt index, the Lemma-6 conflict
+/// graph is assembled from its CSR rows instead of re-enumerated; the DSATUR
+/// search itself (and hence the result) is unchanged.
 ExactFdlspResult optimal_fdlsp(const ArcView& view,
-                               const ExactOptions& options = {});
+                               const ExactOptions& options = {},
+                               const ConflictIndex* index = nullptr);
 
 /// DSATUR greedy coloring of a plain graph (also used standalone as the
 /// initial incumbent). Returns per-vertex colors.

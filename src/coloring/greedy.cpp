@@ -4,15 +4,27 @@
 #include <numeric>
 
 #include "coloring/conflict.h"
+#include "coloring/conflict_index.h"
 #include "support/check.h"
 
 namespace fdlsp {
 
 ArcColoring greedy_coloring_in_order(const ArcView& view,
-                                     const std::vector<ArcId>& order) {
+                                     const std::vector<ArcId>& order,
+                                     const ConflictIndex* index) {
   FDLSP_REQUIRE(order.size() == view.num_arcs(),
                 "order must cover every arc exactly once");
   ArcColoring coloring(view.num_arcs());
+  if (index != nullptr) {
+    FDLSP_REQUIRE(index->num_arcs() == view.num_arcs(),
+                  "index does not match graph");
+    ConflictScratch scratch(*index);
+    for (ArcId a : order) {
+      FDLSP_REQUIRE(!coloring.is_colored(a), "arc repeated in order");
+      coloring.set(a, scratch.smallest_feasible_color(coloring, a));
+    }
+    return coloring;
+  }
   for (ArcId a : order) {
     FDLSP_REQUIRE(!coloring.is_colored(a), "arc repeated in order");
     coloring.set(a, smallest_feasible_color(view, coloring, a));
@@ -20,7 +32,8 @@ ArcColoring greedy_coloring_in_order(const ArcView& view,
   return coloring;
 }
 
-ArcColoring greedy_coloring(const ArcView& view, GreedyOrder order, Rng* rng) {
+ArcColoring greedy_coloring(const ArcView& view, GreedyOrder order, Rng* rng,
+                            const ConflictIndex* index) {
   std::vector<ArcId> arcs(view.num_arcs());
   std::iota(arcs.begin(), arcs.end(), 0u);
   switch (order) {
@@ -42,7 +55,7 @@ ArcColoring greedy_coloring(const ArcView& view, GreedyOrder order, Rng* rng) {
       break;
     }
   }
-  return greedy_coloring_in_order(view, arcs);
+  return greedy_coloring_in_order(view, arcs, index);
 }
 
 }  // namespace fdlsp

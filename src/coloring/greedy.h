@@ -2,6 +2,11 @@
 // algorithm): color arcs one at a time with the smallest feasible color.
 // Never uses more than 2Δ² colors, hence is the Δ-approximation the
 // distributed algorithms imitate.
+//
+// Both entry points accept an optional prebuilt ConflictIndex. With one, the
+// per-arc color choice is a single scan of the arc's deduplicated CSR row
+// (ConflictScratch); without, conflicts are enumerated on the fly. The
+// resulting colorings are byte-identical — only the speed differs.
 #pragma once
 
 #include <vector>
@@ -11,6 +16,8 @@
 #include "support/rng.h"
 
 namespace fdlsp {
+
+class ConflictIndex;
 
 /// Order in which arcs are greedily colored.
 enum class GreedyOrder {
@@ -23,12 +30,14 @@ enum class GreedyOrder {
 /// feasible coloring. rng is only consulted for GreedyOrder::kRandom.
 ArcColoring greedy_coloring(const ArcView& view,
                             GreedyOrder order = GreedyOrder::kArcId,
-                            Rng* rng = nullptr);
+                            Rng* rng = nullptr,
+                            const ConflictIndex* index = nullptr);
 
 /// Greedily colors arcs in exactly the given order (each arc once; must be a
 /// permutation of all arcs). Exposed for tests and for algorithms that
 /// sequentialize a distributed coloring order.
 ArcColoring greedy_coloring_in_order(const ArcView& view,
-                                     const std::vector<ArcId>& order);
+                                     const std::vector<ArcId>& order,
+                                     const ConflictIndex* index = nullptr);
 
 }  // namespace fdlsp

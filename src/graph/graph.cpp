@@ -82,4 +82,42 @@ Graph GraphBuilder::build() {
   return graph;
 }
 
+Graph GraphBuilder::build_from_symmetric_csr(
+    std::size_t n, std::span<const std::size_t> offsets,
+    std::span<const NodeId> adjacency) {
+  FDLSP_REQUIRE(offsets.size() == n + 1 && offsets[0] == 0 &&
+                    offsets[n] == adjacency.size(),
+                "malformed CSR offsets");
+  FDLSP_REQUIRE(adjacency.size() % 2 == 0,
+                "symmetric CSR needs an even entry count");
+  Graph graph(n);
+  graph.offsets_.assign(offsets.begin(), offsets.end());
+  graph.edges_.reserve(adjacency.size() / 2);
+  graph.adjacency_.resize(adjacency.size());
+
+  // Emit each edge from its lower endpoint and cursor-fill both endpoints'
+  // slots. Rows are visited in ascending node order and are themselves
+  // sorted, so every adjacency region fills in sorted order (lower
+  // neighbors first, then higher) — no per-node sort needed.
+  std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (NodeId u = 0; u < n; ++u) {
+    for (std::size_t i = offsets[u]; i < offsets[u + 1]; ++i) {
+      const NodeId v = adjacency[i];
+      FDLSP_ASSERT(v < n && v != u, "invalid neighbor in CSR row");
+      FDLSP_ASSERT(i == offsets[u] || adjacency[i - 1] < v,
+                   "CSR row not sorted/deduplicated");
+      if (v < u) continue;  // edge already emitted from the lower endpoint
+      const auto e = static_cast<EdgeId>(graph.edges_.size());
+      graph.edges_.push_back(Edge{u, v});
+      graph.adjacency_[cursor[u]++] = NeighborEntry{v, e};
+      graph.adjacency_[cursor[v]++] = NeighborEntry{u, e};
+    }
+    graph.max_degree_ =
+        std::max(graph.max_degree_, offsets[u + 1] - offsets[u]);
+  }
+  for (NodeId v = 0; v < n; ++v)
+    FDLSP_ASSERT(cursor[v] == offsets[v + 1], "CSR adjacency not symmetric");
+  return graph;
+}
+
 }  // namespace fdlsp

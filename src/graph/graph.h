@@ -107,6 +107,16 @@ class GraphBuilder {
   /// Freezes into a Graph. The builder is left empty.
   Graph build();
 
+  /// Builds a Graph in one linear pass from a symmetric CSR adjacency the
+  /// caller guarantees well-formed: offsets has n+1 entries, every row is
+  /// sorted and duplicate-free, v appears in u's row iff u appears in v's,
+  /// and no self-loops. Skips the builder's duplicate scans and the
+  /// per-node adjacency sorts; this is how a ConflictIndex becomes the
+  /// Lemma-6 conflict graph without re-deriving structure it already holds.
+  static Graph build_from_symmetric_csr(std::size_t n,
+                                        std::span<const std::size_t> offsets,
+                                        std::span<const NodeId> adjacency);
+
  private:
   std::size_t n_;
   std::vector<Edge> edges_;

@@ -4,16 +4,21 @@
 
 #include "coloring/checker.h"
 #include "coloring/conflict.h"
+#include "coloring/conflict_index.h"
 #include "coloring/greedy.h"
 #include "support/check.h"
 
 namespace fdlsp {
 
-FdlspIlp::FdlspIlp(const ArcView& view, std::size_t num_colors)
+FdlspIlp::FdlspIlp(const ArcView& view, std::size_t num_colors,
+                   const ConflictIndex* index)
     : view_(&view) {
+  FDLSP_REQUIRE(index == nullptr || index->num_arcs() == view.num_arcs(),
+                "index does not match graph");
   if (num_colors == 0 && view.num_arcs() > 0) {
     // Greedy solution bounds the palette; the ILP can only do better.
-    num_colors = greedy_coloring(view, GreedyOrder::kByDegreeDesc)
+    num_colors = greedy_coloring(view, GreedyOrder::kByDegreeDesc, nullptr,
+                                 index)
                      .num_colors_used();
   }
   palette_ = num_colors;
@@ -50,9 +55,11 @@ FdlspIlp::FdlspIlp(const ArcView& view, std::size_t num_colors)
       model_.add_constraint(std::move(counted));
     }
 
-    // Constraints 2/4/5/6: conflicting arcs may not share a slot.
-    for (ArcId b : conflicting_arcs(view, a)) {
-      if (b < a) continue;  // each unordered pair once
+    // Constraints 2/4/5/6: conflicting arcs may not share a slot. Rows from
+    // the index and the on-the-fly enumeration are both sorted, so the
+    // constraint order (and hence the model) is identical either way.
+    const auto add_pair_constraints = [&](ArcId b) {
+      if (b < a) return;  // each unordered pair once
       for (std::size_t j = 0; j < palette_; ++j) {
         LinearConstraint apart;
         apart.sense = Sense::kLessEqual;
@@ -60,6 +67,11 @@ FdlspIlp::FdlspIlp(const ArcView& view, std::size_t num_colors)
         apart.terms = {{assign_var(a, j), 1.0}, {assign_var(b, j), 1.0}};
         model_.add_constraint(std::move(apart));
       }
+    };
+    if (index != nullptr) {
+      for (ArcId b : index->conflicts(a)) add_pair_constraints(b);
+    } else {
+      for (ArcId b : conflicting_arcs(view, a)) add_pair_constraints(b);
     }
   }
 
@@ -102,12 +114,15 @@ FdlspIlpResult solve_fdlsp_ilp(const ArcView& view, const IlpOptions& options) {
     result.optimal = true;
     return result;
   }
-  const FdlspIlp ilp(view);
+  // One index serves the constraint rows, the palette sizing, and the
+  // warm-start coloring below.
+  const ConflictIndex index(view);
+  const FdlspIlp ilp(view, 0, &index);
   // Warm start from the greedy schedule that also sized the palette.
   IlpOptions warm = options;
   if (warm.warm_start.empty()) {
     const ArcColoring greedy =
-        greedy_coloring(view, GreedyOrder::kByDegreeDesc);
+        greedy_coloring(view, GreedyOrder::kByDegreeDesc, nullptr, &index);
     warm.warm_start.assign(ilp.model().num_variables(), 0.0);
     for (ArcId a = 0; a < view.num_arcs(); ++a) {
       const auto slot = static_cast<std::size_t>(greedy.color(a));
@@ -120,7 +135,7 @@ FdlspIlpResult solve_fdlsp_ilp(const ArcView& view, const IlpOptions& options) {
   FDLSP_REQUIRE(solved.status != IlpStatus::kInfeasible,
                 "FDLSP ILP must be feasible (palette from greedy UB)");
   result.coloring = ilp.decode(solved.x);
-  FDLSP_REQUIRE(is_feasible_schedule(view, result.coloring),
+  FDLSP_REQUIRE(is_feasible_schedule(view, result.coloring, &index),
                 "decoded ILP solution must be feasible");
   result.num_colors = result.coloring.num_colors_used();
   result.optimal = solved.status == IlpStatus::kOptimal;

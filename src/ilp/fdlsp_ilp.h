@@ -25,12 +25,18 @@
 
 namespace fdlsp {
 
+class ConflictIndex;
+
 /// The assembled model plus the variable layout needed to decode solutions.
 class FdlspIlp {
  public:
   /// Builds the model for the bi-directed view of `graph` with a palette of
-  /// `num_colors` slots (0 = derive from a greedy upper bound).
-  explicit FdlspIlp(const ArcView& view, std::size_t num_colors = 0);
+  /// `num_colors` slots (0 = derive from a greedy upper bound). A prebuilt
+  /// index supplies the conflict-pair constraints (and speeds up the greedy
+  /// palette sizing); without one conflicts are enumerated on the fly. The
+  /// assembled model is identical either way.
+  explicit FdlspIlp(const ArcView& view, std::size_t num_colors = 0,
+                    const ConflictIndex* index = nullptr);
 
   const IlpModel& model() const noexcept { return model_; }
   std::size_t palette() const noexcept { return palette_; }

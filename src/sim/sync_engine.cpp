@@ -1,6 +1,5 @@
 #include "sim/sync_engine.h"
 
-#include <algorithm>
 #include <utility>
 
 #include "support/check.h"
@@ -39,23 +38,39 @@ SyncMetrics SyncEngine::run(std::size_t max_rounds) {
   std::size_t phase = 0;
   const std::size_t n = graph_.num_nodes();
 
-  auto all_finished = [&] {
-    return std::all_of(programs_.begin(), programs_.end(),
-                       [](const auto& p) { return p->finished(); });
+  // A program's finished/ready state only changes inside its own callbacks
+  // (cross-node mutation would be a protocol-isolation violation, flagged by
+  // the happens-before checker), so both predicates are cached per node and
+  // refreshed right after each callback. The old loop rescanned every
+  // program up to three times per round; this one touches only the nodes
+  // that actually ran.
+  std::vector<char> finished(n, 0);
+  std::vector<char> ready(n, 0);  // finished, or voting for phase advance
+  std::size_t finished_count = 0;
+  std::size_t ready_count = 0;
+  const auto refresh = [&](NodeId v) {
+    const bool fin = programs_[v]->finished();
+    const bool rdy = fin || programs_[v]->ready_for_phase_advance();
+    if (fin != (finished[v] != 0)) {
+      finished[v] = fin ? 1 : 0;
+      if (fin) ++finished_count; else --finished_count;
+    }
+    if (rdy != (ready[v] != 0)) {
+      ready[v] = rdy ? 1 : 0;
+      if (rdy) ++ready_count; else --ready_count;
+    }
   };
+  for (NodeId v = 0; v < n; ++v) refresh(v);
 
   while (metrics.rounds < max_rounds) {
-    if (all_finished()) {
+    if (finished_count == n) {
       metrics.completed = true;
       break;
     }
 
     // Barrier: when nothing is in flight and everyone votes ready, advance
     // the phase counter instead of burning an idle round.
-    if (pending_messages_ == 0 &&
-        std::all_of(programs_.begin(), programs_.end(), [](const auto& p) {
-          return p->finished() || p->ready_for_phase_advance();
-        })) {
+    if (pending_messages_ == 0 && ready_count == n) {
       ++phase;
       ++metrics.phases;
       for (NodeId v = 0; v < n; ++v) {
@@ -63,8 +78,9 @@ SyncMetrics SyncEngine::run(std::size_t max_rounds) {
         current_node_ = v;
         programs_[v]->on_phase(phase);
         current_node_ = kNoNode;
+        refresh(v);
       }
-      if (all_finished()) {
+      if (finished_count == n) {
         metrics.completed = true;
         break;
       }
@@ -76,7 +92,7 @@ SyncMetrics SyncEngine::run(std::size_t max_rounds) {
     pending_messages_ = 0;
 
     for (NodeId v = 0; v < n; ++v) {
-      if (programs_[v]->finished() && inbox_[v].empty()) continue;
+      if (finished[v] != 0 && inbox_[v].empty()) continue;
       if (trace_ != nullptr) {
         for (const Message& message : inbox_[v])
           trace_->on_deliver(message.from, v);
@@ -86,12 +102,13 @@ SyncMetrics SyncEngine::run(std::size_t max_rounds) {
       current_node_ = v;
       programs_[v]->on_round(ctx, inbox_[v]);
       current_node_ = kNoNode;
+      refresh(v);
     }
     ++metrics.rounds;
   }
 
   metrics.messages = total_messages_;
-  if (!metrics.completed) metrics.completed = all_finished();
+  if (!metrics.completed) metrics.completed = finished_count == n;
   return metrics;
 }
 

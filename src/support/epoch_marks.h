@@ -1,0 +1,64 @@
+// Epoch-stamped membership marks over a dense id space (colors, arcs, ...).
+//
+// begin() opens a fresh empty set in O(1) by bumping an epoch counter instead
+// of clearing the table; mark()/marked() are O(1). The backing table grows
+// monotonically to the largest key ever marked and is reused across rounds,
+// so steady-state operation performs no allocation and no clearing sweep —
+// exactly what the per-arc hot loops of the coloring core need.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fdlsp {
+
+/// Reusable O(1)-reset membership set over keys in [0, grown capacity).
+class EpochMarks {
+ public:
+  /// Starts a new, empty round. Constant time except once every 2^32 rounds,
+  /// when the stamp table is wiped to keep stale epochs from aliasing.
+  void begin() noexcept {
+    if (++epoch_ == 0) {
+      std::fill(stamps_.begin(), stamps_.end(), 0u);
+      epoch_ = 1;
+    }
+  }
+
+  /// Ensures keys < capacity can be marked without growing mid-loop.
+  void reserve(std::size_t capacity) {
+    if (capacity > stamps_.size()) stamps_.resize(capacity, 0u);
+  }
+
+  /// Adds `key` to the current round's set.
+  void mark(std::size_t key) {
+    if (key >= stamps_.size()) stamps_.resize(key + 1, 0u);
+    stamps_[key] = epoch_;
+  }
+
+  /// True iff `key` was marked since the last begin().
+  bool marked(std::size_t key) const noexcept {
+    return key < stamps_.size() && stamps_[key] == epoch_;
+  }
+
+  /// Marks `key`; returns false if it was already marked this round.
+  bool mark_if_new(std::size_t key) {
+    if (marked(key)) return false;
+    mark(key);
+    return true;
+  }
+
+  /// Smallest key not marked this round (the greedy color-gap scan).
+  std::size_t first_unmarked() const noexcept {
+    std::size_t key = 0;
+    while (key < stamps_.size() && stamps_[key] == epoch_) ++key;
+    return key;
+  }
+
+ private:
+  std::vector<std::uint32_t> stamps_;
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace fdlsp

@@ -1,11 +1,14 @@
 #include "verify/oracles.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "coloring/bounds.h"
 #include "coloring/checker.h"
+#include "coloring/conflict_index.h"
 #include "coloring/exact.h"
 #include "graph/arcs.h"
+#include "support/timer.h"
 #include "verify/causality.h"
 
 namespace fdlsp {
@@ -23,7 +26,18 @@ OracleVerdict check_oracles(const ScheduleFn& run, const Graph& graph,
                             const OracleOptions& options) {
   OracleVerdict verdict;
   const ArcView view(graph);
+  Timer timer;
+  const auto record = [&](const char* oracle) {
+    verdict.timings.push_back({oracle, timer.millis()});
+    timer.reset();
+  };
   const ScheduleResult result = run(graph, seed);
+  record("run");
+
+  // Every oracle below probes the conflict relation, so the battery
+  // amortizes one shared index over all of them.
+  const ConflictIndex index(view);
+  record("conflict-index");
 
   // 1. Feasibility.
   if (result.coloring.num_arcs() != view.num_arcs()) {
@@ -43,17 +57,18 @@ OracleVerdict check_oracles(const ScheduleFn& run, const Graph& graph,
             " arcs left uncolored");
     return verdict;
   }
-  if (const auto witness = find_violation(view, result.coloring)) {
+  if (const auto witness = find_violation(view, result.coloring, &index)) {
     verdict.ok = false;
     verdict.failure = describe(
         "feasibility",
         "arcs " + std::to_string(witness->a) + " and " +
             std::to_string(witness->b) + " conflict but share slot " +
             std::to_string(result.coloring.color(witness->a)) + " (" +
-            std::to_string(count_violations(view, result.coloring)) +
+            std::to_string(count_violations(view, result.coloring, &index)) +
             " violating pairs total)");
     return verdict;
   }
+  record("feasibility");
 
   // 2. Bounds window.
   const std::size_t lower = lower_bound_theorem1(graph);
@@ -77,6 +92,7 @@ OracleVerdict check_oracles(const ScheduleFn& run, const Graph& graph,
       return verdict;
     }
   }
+  record("bounds");
 
   // 3. Δ-approximation against the exact reference on small instances.
   if (options.check_approximation &&
@@ -84,7 +100,7 @@ OracleVerdict check_oracles(const ScheduleFn& run, const Graph& graph,
       graph.num_edges() > 0) {
     ExactOptions exact_options;
     exact_options.max_nodes = options.exact_bb_budget;
-    const ExactFdlspResult exact = optimal_fdlsp(view, exact_options);
+    const ExactFdlspResult exact = optimal_fdlsp(view, exact_options, &index);
     if (exact.optimal) {
       const std::size_t factor = std::max<std::size_t>(graph.max_degree(), 1);
       if (result.num_slots > factor * exact.num_colors) {
@@ -97,6 +113,7 @@ OracleVerdict check_oracles(const ScheduleFn& run, const Graph& graph,
         return verdict;
       }
     }
+    record("approximation");
   }
 
   // 4. Determinism: same seed, byte-identical coloring.
@@ -117,12 +134,18 @@ OracleVerdict check_oracles(const ScheduleFn& run, const Graph& graph,
               std::to_string(first_diff) + ")");
       return verdict;
     }
+    record("determinism");
   }
 
   // 5. Causality: no node read state it was never causally sent.
   if (options.causality_probe) {
     OracleVerdict probe = options.causality_probe(graph, seed);
-    if (!probe.ok) return probe;
+    if (!probe.ok) {
+      probe.timings.insert(probe.timings.begin(), verdict.timings.begin(),
+                           verdict.timings.end());
+      return probe;
+    }
+    record("causality");
   }
 
   return verdict;

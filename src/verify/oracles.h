@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "algos/scheduler.h"
 #include "graph/graph.h"
@@ -32,10 +33,19 @@ namespace fdlsp {
 using ScheduleFn =
     std::function<ScheduleResult(const Graph&, std::uint64_t seed)>;
 
+/// Wall time of one oracle (plus the scheduler run itself) within a
+/// battery invocation; replay tools print these so index-backed oracle
+/// speedups are visible end-to-end.
+struct OracleTiming {
+  std::string oracle;   ///< "run", "feasibility", "bounds", ...
+  double millis = 0.0;  ///< wall time spent in this step
+};
+
 /// Outcome of the battery on one instance.
 struct OracleVerdict {
   bool ok = true;
   std::string failure;  ///< first failing oracle, human-readable
+  std::vector<OracleTiming> timings;  ///< steps executed, in battery order
 };
 
 /// A causality (happens-before) probe: reruns the algorithm under a trace

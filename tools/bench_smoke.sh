@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Bench-regression smoke: runs the coloring micro suite in Release mode and
+# writes google-benchmark JSON to BENCH_coloring.json at the repo root.
+#
+#   tools/bench_smoke.sh                 # default build dir build-bench
+#   tools/bench_smoke.sh build           # reuse an existing build dir
+#   FDLSP_BENCH_MIN_TIME=0.05 tools/bench_smoke.sh   # faster smoke (CI)
+#
+# The JSON carries both the baseline (on-the-fly enumeration) and the
+# *Indexed benchmarks, so one file documents the ConflictIndex speedup and
+# serves as the regression reference for later PRs: compare a fresh run
+# against the committed BENCH_coloring.json before merging perf changes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build-bench}"
+min_time="${FDLSP_BENCH_MIN_TIME:-0.1}"
+
+cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "${build_dir}" -j --target micro_coloring
+
+"./${build_dir}/bench/micro_coloring" \
+  --benchmark_min_time="${min_time}" \
+  --benchmark_out=BENCH_coloring.json \
+  --benchmark_out_format=json \
+  --benchmark_format=console
+
+echo "=== bench_smoke.sh: wrote BENCH_coloring.json ==="

@@ -7,6 +7,8 @@
 #   tools/ci.sh tsan       # TSan build, proptest-labeled suite
 #   tools/ci.sh lint       # fdlsp-lint over src/ (determinism/isolation)
 #   tools/ci.sh tidy       # clang-tidy (skipped when not installed)
+#   tools/ci.sh bench      # Release build + coloring micro suite (capped
+#                          # min-time; writes BENCH_coloring.json)
 #   tools/ci.sh all        # every job in sequence
 #
 # The proptest label selects the fdlsp_verify-based fuzzing suites — the
@@ -53,21 +55,30 @@ run_tidy() {
     xargs -P "$(nproc)" -n 4 clang-tidy -p build --quiet
 }
 
+run_bench() {
+  echo "=== bench: Release build + coloring micro suite ==="
+  # Capped min-time keeps the smoke fast in CI; local perf work can raise it
+  # (FDLSP_BENCH_MIN_TIME=0.1 or more) for steadier numbers.
+  FDLSP_BENCH_MIN_TIME="${FDLSP_BENCH_MIN_TIME:-0.05}" tools/bench_smoke.sh
+}
+
 case "${jobs}" in
   tier1) run_tier1 ;;
   asan) run_sanitizer asan-ubsan ;;
   tsan) run_sanitizer tsan ;;
   lint) run_lint ;;
   tidy) run_tidy ;;
+  bench) run_bench ;;
   all)
     run_lint
     run_tier1
     run_sanitizer asan-ubsan
     run_sanitizer tsan
     run_tidy
+    run_bench
     ;;
   *)
-    echo "usage: tools/ci.sh [tier1|asan|tsan|lint|tidy|all]" >&2
+    echo "usage: tools/ci.sh [tier1|asan|tsan|lint|tidy|bench|all]" >&2
     exit 2
     ;;
 esac
