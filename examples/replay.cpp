@@ -8,6 +8,17 @@
 // materializes the scenario, runs the scheduler, reruns the full oracle
 // battery (shrinking any failure to a minimal witness), and prints the
 // happens-before verdict from a traced rerun under the vector-clock checker.
+//
+// Fault repros add the fault grammar fault_repro_command() prints
+// (verify/fault_oracles.h):
+//
+//   ./replay --family=ring --n=8 --seed=3 --scheduler=DFS
+//       --faults=drop=0.10,crash=0.25 [--reliable=0]
+//
+// With --faults= the tool runs the faulted scheduler (hardened with the
+// ack/retransmit wrapper unless --reliable=0), prints the injected fault
+// counters, and judges the run with the fault-quiescence oracle — plus the
+// crash-recovery oracle when the plan arms crashes or link churn.
 #include <cstdint>
 #include <iostream>
 #include <string>
@@ -15,10 +26,12 @@
 #include "algos/scheduler.h"
 #include "exp/workloads.h"
 #include "graph/graph.h"
+#include "sim/fault.h"
 #include "support/check.h"
 #include "support/cli.h"
 #include "verify/causality.h"
 #include "verify/differential.h"
+#include "verify/fault_oracles.h"
 #include "verify/oracles.h"
 #include "verify/scenario.h"
 
@@ -57,8 +70,10 @@ int main(int argc, char** argv) {
   try {
     const CliArgs args(argc, argv);
     if (args.has("help") || !args.has("scheduler")) {
-      std::cout << "usage: replay --family=udg|gnm|tree|grid --n=N "
+      std::cout << "usage: replay --family=udg|gnm|tree|grid|ring|star --n=N "
                    "--density=D --seed=S --scheduler=NAME\n"
+                   "       [--faults=drop=0.1,crash=0.25,... | --faults=none]"
+                   " [--reliable=0|1]\n"
                    "Paste the repro line a failing property test prints.\n";
       return args.has("help") ? 0 : 2;
     }
@@ -74,6 +89,58 @@ int main(int argc, char** argv) {
     std::cout << "scenario: " << repro_command(scenario, kind) << "\n"
               << "graph: " << graph.num_nodes() << " nodes, "
               << graph.num_edges() << " edges\n";
+
+    if (args.has("faults")) {
+      const FaultSpec spec = parse_fault_spec(args.get("faults", "none"));
+      const bool reliable = args.get_int("reliable", 1) != 0;
+      std::cout << "faults: " << format_fault_spec(spec)
+                << (reliable ? " (reliable wrapper on)"
+                             : " (reliable wrapper OFF)")
+                << "\n"
+                << "repro: "
+                << fault_repro_command(scenario, scheduler_name(kind), spec)
+                << (reliable ? "" : " --reliable=0") << "\n";
+
+      const ScheduleResult faulted =
+          run_scheduler_faulted(kind, graph, scenario.seed, spec, reliable);
+      std::cout << scheduler_name(kind) << ": " << faulted.num_slots
+                << " slots, " << faulted.rounds << " rounds, "
+                << faulted.messages << " messages, "
+                << (faulted.completed ? "quiescent" : "STALLED") << "\n"
+                << "injected: " << faulted.faults.dropped << " dropped, "
+                << faulted.faults.duplicated << " duplicated, "
+                << faulted.faults.corrupted << " corrupted, "
+                << faulted.faults.link_down_drops << " churn drops, "
+                << faulted.faults.crash_drops << " crash drops\n";
+      if (!faulted.stall_diagnosis.empty())
+        std::cout << "stall diagnosis: " << faulted.stall_diagnosis << "\n";
+
+      // The hardened run is held to the scoped fault guarantee; an
+      // unwrapped run is checked strictly, so replaying a shrunk failing
+      // case surfaces its violation verbatim.
+      const OracleVerdict verdict =
+          check_fault_result(graph, faulted, reliable ? &spec : nullptr);
+      bool ok = verdict.ok;
+      if (!verdict.ok)
+        std::cout << "fault-quiescence: FAIL — " << verdict.failure << "\n";
+      else
+        std::cout << "fault-quiescence: ok\n";
+
+      if (spec.crash_fraction > 0.0 || spec.link_down_fraction > 0.0) {
+        const CrashRecoveryReport recovery =
+            check_crash_recovery(kind, graph, scenario.seed, spec);
+        if (!recovery.ok) {
+          std::cout << "crash-recovery: FAIL — " << recovery.failure << "\n";
+          ok = false;
+        } else {
+          std::cout << "crash-recovery: ok (" << recovery.orphaned_arcs
+                    << " arcs orphaned, " << recovery.changed_arcs
+                    << " recolored in " << recovery.repair_rounds
+                    << " rounds)\n";
+        }
+      }
+      return ok ? 0 : 1;
+    }
 
     const ScheduleResult result =
         run_scheduler_on_components(kind, graph, scenario.seed);

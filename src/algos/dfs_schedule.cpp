@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <map>
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "coloring/conflict.h"
 #include "graph/algorithms.h"
 #include "graph/arcs.h"
+#include "sim/reliable.h"
 #include "support/check.h"
 
 namespace fdlsp {
@@ -268,24 +270,54 @@ ScheduleResult run_dfs_schedule(const Graph& graph, const DfsOptions& options) {
   programs.reserve(graph.num_nodes());
   for (NodeId v = 0; v < graph.num_nodes(); ++v)
     programs.push_back(std::make_unique<DfsProgram>(view, v, v == root));
+  const FaultSpec spec = options.faults != nullptr ? *options.faults
+                                                   : FaultSpec{};
+  if (options.reliable) {
+    for (auto& program : programs)
+      program = std::make_unique<ReliableAsyncProgram>(std::move(program),
+                                                       spec);
+  }
   AsyncEngine engine(graph, std::move(programs), options.delay_model,
                      options.seed);
   engine.set_trace(options.trace);
+  std::optional<FaultPlan> plan;
+  if (options.faults != nullptr && options.faults->any()) {
+    plan.emplace(spec, graph);
+    engine.set_fault_plan(&*plan);
+  }
   const AsyncMetrics metrics = engine.run(options.max_messages);
-  FDLSP_REQUIRE(metrics.completed, "DFS did not complete in message budget");
-  FDLSP_REQUIRE(metrics.fifo_ok, "engine violated per-channel FIFO order");
+  // See dist_mis.cpp: crash/churn plans and unhardened lossy runs report
+  // their outcome for the fault oracles to judge instead of aborting.
+  const bool relaxed =
+      plan.has_value() &&
+      (spec.crash_fraction > 0.0 || spec.link_down_fraction > 0.0 ||
+       !options.reliable);
+  if (!relaxed) {
+    FDLSP_REQUIRE(metrics.completed, "DFS did not complete in message budget");
+    FDLSP_REQUIRE(metrics.fifo_ok, "engine violated per-channel FIFO order");
+  }
 
   ScheduleResult result;
+  result.completed = metrics.completed;
+  result.faults = metrics.faults;
+  result.stall_diagnosis = metrics.stall_diagnosis;
   result.coloring = ArcColoring(view.num_arcs());
   for (NodeId v = 0; v < graph.num_nodes(); ++v) {
-    const auto& program = static_cast<DfsProgram&>(engine.program(v));
+    const AsyncProgram& top = engine.program(v);
+    const auto& program =
+        options.reliable
+            ? static_cast<const DfsProgram&>(
+                  static_cast<const ReliableAsyncProgram&>(top).inner())
+            : static_cast<const DfsProgram&>(top);
     for (const auto& [arc, color] : program.assignments()) {
-      FDLSP_REQUIRE(!result.coloring.is_colored(arc),
-                    "arc colored by two nodes");
+      if (!relaxed)
+        FDLSP_REQUIRE(!result.coloring.is_colored(arc),
+                      "arc colored by two nodes");
       result.coloring.set(arc, color);
     }
   }
-  FDLSP_REQUIRE(result.coloring.complete(), "DFS left arcs uncolored");
+  if (!relaxed)
+    FDLSP_REQUIRE(result.coloring.complete(), "DFS left arcs uncolored");
   result.num_slots = result.coloring.num_colors_used();
   result.messages = metrics.messages;
   result.async_time = metrics.completion_time;

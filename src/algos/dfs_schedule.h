@@ -35,6 +35,13 @@ struct DfsOptions {
   std::size_t max_messages = 50'000'000;
   /// Optional event observer (see sim/trace.h); not owned, may be null.
   SimTrace* trace = nullptr;
+  /// Optional fault model (see sim/fault.h); not owned, may be null. With
+  /// crash/churn armed, or with losses and `reliable` off, the result's
+  /// coloring may be partial and `completed` false instead of aborting —
+  /// an unhardened DFS loses its token to the first dropped message.
+  const FaultSpec* faults = nullptr;
+  /// Harden every node with the ack/retransmit wrapper (sim/reliable.h).
+  bool reliable = false;
 };
 
 /// Runs the asynchronous DFS algorithm. Requires a connected graph (the

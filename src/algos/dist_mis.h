@@ -51,6 +51,14 @@ struct DistMisOptions {
   std::size_t max_rounds = 1'000'000;
   /// Optional event observer (see sim/trace.h); not owned, may be null.
   SimTrace* trace = nullptr;
+  /// Optional fault model (see sim/fault.h); not owned, may be null. With
+  /// crash/churn armed, or with losses and `reliable` off, the result's
+  /// coloring may be partial and `completed` false instead of aborting.
+  const FaultSpec* faults = nullptr;
+  /// Harden every node with the ack/retransmit wrapper (sim/reliable.h);
+  /// preserves the feasibility guarantee under lossy plans at a round cost
+  /// of ReliableSyncProgram::round_dilation(*faults) per algorithm round.
+  bool reliable = false;
 };
 
 /// Runs DistMIS over the synchronous engine and returns the schedule plus

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <utility>
 #include <vector>
 
 #include "coloring/conflict.h"
 #include "graph/arcs.h"
+#include "sim/reliable.h"
 #include "sim/sync_engine.h"
 #include "support/check.h"
 #include "support/rng.h"
@@ -298,7 +300,9 @@ DistRepairResult run_distributed_repair(const Graph& graph,
                                         const ArcColoring& stale,
                                         std::uint64_t seed,
                                         std::size_t max_rounds,
-                                        SimTrace* trace) {
+                                        SimTrace* trace,
+                                        const FaultSpec* faults,
+                                        bool reliable) {
   const ArcView view(graph);
   FDLSP_REQUIRE(stale.num_arcs() == view.num_arcs(),
                 "stale coloring does not match graph");
@@ -308,24 +312,50 @@ DistRepairResult run_distributed_repair(const Graph& graph,
   for (NodeId v = 0; v < graph.num_nodes(); ++v)
     programs.push_back(
         std::make_unique<DistRepairProgram>(view, v, stale, seeder()));
+  const FaultSpec spec = faults != nullptr ? *faults : FaultSpec{};
+  std::size_t round_budget = max_rounds;
+  if (reliable) {
+    for (auto& program : programs)
+      program = std::make_unique<ReliableSyncProgram>(std::move(program),
+                                                      spec);
+    round_budget *= ReliableSyncProgram::round_dilation(spec);
+  }
   SyncEngine engine(graph, std::move(programs));
   engine.set_trace(trace);
-  const SyncMetrics metrics = engine.run(max_rounds);
-  FDLSP_REQUIRE(metrics.completed, "distributed repair did not complete");
+  std::optional<FaultPlan> plan;
+  if (faults != nullptr && faults->any()) {
+    plan.emplace(spec, graph);
+    engine.set_fault_plan(&*plan);
+  }
+  const SyncMetrics metrics = engine.run(round_budget);
+  // See dist_mis.cpp: faulted runs report their outcome for the fault
+  // oracles to judge instead of aborting. Repair under unhardened loss
+  // terminates with stale knowledge — conflicting survivors included —
+  // which is exactly the failing case the shrinker minimizes.
+  const bool relaxed = plan.has_value();
+  if (!relaxed)
+    FDLSP_REQUIRE(metrics.completed, "distributed repair did not complete");
 
   DistRepairResult result;
+  result.completed = metrics.completed;
+  result.faults = metrics.faults;
   result.coloring = ArcColoring(view.num_arcs());
   for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const SyncProgram& top = engine.program(v);
     const auto& program =
-        static_cast<DistRepairProgram&>(engine.program(v));
+        reliable ? static_cast<const DistRepairProgram&>(
+                       static_cast<const ReliableSyncProgram&>(top).inner())
+                 : static_cast<const DistRepairProgram&>(top);
     for (const auto& [arc, color] : program.surviving_colors()) {
-      FDLSP_REQUIRE(!result.coloring.is_colored(arc),
-                    "arc colored by two tails");
+      if (!relaxed)
+        FDLSP_REQUIRE(!result.coloring.is_colored(arc),
+                      "arc colored by two tails");
       result.coloring.set(arc, color);
     }
     result.recolored_arcs += program.assignments().size();
   }
-  FDLSP_REQUIRE(result.coloring.complete(), "repair left arcs uncolored");
+  if (!relaxed)
+    FDLSP_REQUIRE(result.coloring.complete(), "repair left arcs uncolored");
   result.num_slots = result.coloring.num_colors_used();
   result.rounds = metrics.rounds;
   result.messages = metrics.messages;

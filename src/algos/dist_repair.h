@@ -37,15 +37,28 @@ struct DistRepairResult {
   std::size_t num_slots = 0;
   std::size_t rounds = 0;
   std::size_t messages = 0;
+  bool completed = true;  ///< engine ran to quiescence within budget
+  FaultStats faults;      ///< injected faults (all zero without a plan)
 };
 
 /// Repairs `stale` (a possibly conflicting, possibly partial coloring of
 /// `graph`'s arcs — e.g. the output of transfer_coloring after churn) into
 /// a feasible complete schedule, distributedly.
+///
+/// `faults` optionally runs the repair itself under a fault model (see
+/// sim/fault.h), with `reliable` hardening the messaging (sim/reliable.h).
+/// Under a fault plan the completeness/feasibility contract weakens the
+/// same way run_dist_mis's does: the caller inspects `completed` and
+/// verifies the coloring instead of the run aborting. The fixed-length
+/// flood-and-compete structure always terminates, so an unhardened lossy
+/// repair is the canonical *terminating but wrong* fault case the shrinker
+/// exercises.
 DistRepairResult run_distributed_repair(const Graph& graph,
                                         const ArcColoring& stale,
                                         std::uint64_t seed = 1,
                                         std::size_t max_rounds = 1'000'000,
-                                        SimTrace* trace = nullptr);
+                                        SimTrace* trace = nullptr,
+                                        const FaultSpec* faults = nullptr,
+                                        bool reliable = false);
 
 }  // namespace fdlsp

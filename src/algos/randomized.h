@@ -37,6 +37,12 @@ struct RandomizedOptions {
   std::size_t max_rounds = 1'000'000;
   /// Optional event observer (see sim/trace.h); not owned, may be null.
   SimTrace* trace = nullptr;
+  /// Optional fault model (see sim/fault.h); not owned, may be null. With
+  /// crash/churn armed, or with losses and `reliable` off, the result's
+  /// coloring may be partial and `completed` false instead of aborting.
+  const FaultSpec* faults = nullptr;
+  /// Harden every node with the ack/retransmit wrapper (sim/reliable.h).
+  bool reliable = false;
 };
 
 /// Runs the randomized distance-1 algorithm; returns a complete feasible

@@ -29,19 +29,19 @@ std::string scheduler_name(SchedulerKind kind) {
   return {};
 }
 
-ScheduleResult run_scheduler(SchedulerKind kind, const Graph& graph,
-                             std::uint64_t seed) {
-  return run_scheduler_traced(kind, graph, seed, nullptr);
-}
+namespace {
 
-ScheduleResult run_scheduler_traced(SchedulerKind kind, const Graph& graph,
-                                    std::uint64_t seed, SimTrace* trace) {
+ScheduleResult dispatch(SchedulerKind kind, const Graph& graph,
+                        std::uint64_t seed, SimTrace* trace,
+                        const FaultSpec* faults, bool reliable) {
   switch (kind) {
     case SchedulerKind::kDistMisGbg: {
       DistMisOptions options;
       options.variant = DistMisVariant::kGbg;
       options.seed = seed;
       options.trace = trace;
+      options.faults = faults;
+      options.reliable = reliable;
       return run_dist_mis(graph, options);
     }
     case SchedulerKind::kDistMisGeneral: {
@@ -49,12 +49,16 @@ ScheduleResult run_scheduler_traced(SchedulerKind kind, const Graph& graph,
       options.variant = DistMisVariant::kGeneral;
       options.seed = seed;
       options.trace = trace;
+      options.faults = faults;
+      options.reliable = reliable;
       return run_dist_mis(graph, options);
     }
     case SchedulerKind::kDfs: {
       DfsOptions options;
       options.seed = seed;
       options.trace = trace;
+      options.faults = faults;
+      options.reliable = reliable;
       return run_dfs_schedule(graph, options);
     }
     case SchedulerKind::kDmgc:
@@ -70,11 +74,32 @@ ScheduleResult run_scheduler_traced(SchedulerKind kind, const Graph& graph,
       RandomizedOptions options;
       options.seed = seed;
       options.trace = trace;
+      options.faults = faults;
+      options.reliable = reliable;
       return run_randomized(graph, options);
     }
   }
   FDLSP_REQUIRE(false, "unknown scheduler kind");
   return {};
+}
+
+}  // namespace
+
+ScheduleResult run_scheduler(SchedulerKind kind, const Graph& graph,
+                             std::uint64_t seed) {
+  return dispatch(kind, graph, seed, nullptr, nullptr, false);
+}
+
+ScheduleResult run_scheduler_traced(SchedulerKind kind, const Graph& graph,
+                                    std::uint64_t seed, SimTrace* trace) {
+  return dispatch(kind, graph, seed, trace, nullptr, false);
+}
+
+ScheduleResult run_scheduler_faulted(SchedulerKind kind, const Graph& graph,
+                                     std::uint64_t seed,
+                                     const FaultSpec& faults, bool reliable,
+                                     SimTrace* trace) {
+  return dispatch(kind, graph, seed, trace, &faults, reliable);
 }
 
 }  // namespace fdlsp

@@ -6,6 +6,7 @@
 
 #include "coloring/coloring.h"
 #include "graph/graph.h"
+#include "sim/fault.h"
 
 namespace fdlsp {
 
@@ -14,12 +15,22 @@ class SimTrace;
 /// Outcome of one scheduling run: the schedule plus cost metrics. Metrics
 /// that do not apply to an algorithm are left at 0 (e.g. the asynchronous
 /// DFS run reports time, not synchronous rounds).
+///
+/// On a fault-free run the coloring is complete and feasible and
+/// `completed` is true (the run functions enforce this loudly). Under an
+/// installed FaultPlan the contract weakens: crash/churn plans, and lossy
+/// plans without the reliable wrapper, may leave the coloring partial or
+/// the run uncompleted — the caller (the fault oracles) inspects
+/// `completed`/`faults` instead of the run aborting.
 struct ScheduleResult {
   ArcColoring coloring;       ///< complete, feasible FDLSP coloring
   std::size_t num_slots = 0;  ///< distinct colors used (TDMA frame length)
   std::size_t rounds = 0;     ///< synchronous communication rounds
   std::size_t messages = 0;   ///< total messages exchanged
   double async_time = 0.0;    ///< asynchronous completion time (time units)
+  bool completed = true;      ///< engine ran to quiescence within budget
+  FaultStats faults;          ///< injected faults (all zero without a plan)
+  std::string stall_diagnosis;  ///< async watchdog dump; empty when clean
 };
 
 /// The scheduling algorithms the experiment harness can run.
@@ -45,5 +56,16 @@ ScheduleResult run_scheduler(SchedulerKind kind, const Graph& graph,
 /// case this is exactly run_scheduler.
 ScheduleResult run_scheduler_traced(SchedulerKind kind, const Graph& graph,
                                     std::uint64_t seed, SimTrace* trace);
+
+/// Runs the algorithm under a deterministic fault model (sim/fault.h).
+/// `reliable` additionally hardens every node with the ack/retransmit
+/// wrapper (sim/reliable.h) — required for the run to keep its feasibility
+/// guarantee under lossy plans. Centralized algorithms (D-MGC, greedy) have
+/// no engine and execute fault-free; their result is the clean one.
+/// `trace` may be null.
+ScheduleResult run_scheduler_faulted(SchedulerKind kind, const Graph& graph,
+                                     std::uint64_t seed,
+                                     const FaultSpec& faults, bool reliable,
+                                     SimTrace* trace = nullptr);
 
 }  // namespace fdlsp

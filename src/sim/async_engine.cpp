@@ -10,12 +10,22 @@ namespace fdlsp {
 
 void AsyncContext::send(NodeId to, Message message) {
   message.from = self_;
+  if (sink_ != nullptr) {
+    (*sink_)(to, std::move(message));
+    return;
+  }
   engine_->post(self_, to, std::move(message), now_);
 }
 
 void AsyncContext::broadcast(Message message) {
   for (const NeighborEntry& entry : neighbors_) send(entry.to, message);
 }
+
+void AsyncContext::set_timer(double delay, std::int64_t cookie) {
+  engine_->post_timer(self_, delay, cookie, now_);
+}
+
+void AsyncProgram::on_timer(AsyncContext& /*ctx*/, std::int64_t /*cookie*/) {}
 
 AsyncEngine::AsyncEngine(const Graph& graph,
                          std::vector<std::unique_ptr<AsyncProgram>> programs,
@@ -40,7 +50,45 @@ void AsyncEngine::post(NodeId from, NodeId to, Message message, double now) {
   const EdgeId e = graph_.find_edge(from, to);
   FDLSP_REQUIRE(e != kNoEdge, "nodes may only message direct neighbors");
   const ArcId channel = ArcView(graph_).arc_from(e, from);
-  if (trace_ != nullptr) trace_->on_send(from, to);
+  if (faults_ == nullptr) {
+    enqueue(to, channel, std::move(message), now);
+    return;
+  }
+  // A crashed sender's handlers never run, but a send from the exact crash
+  // instant is possible; treat both endpoints dead.
+  if (faults_->node_down(from, now) || faults_->node_down(to, now)) {
+    ++faults_->stats().crash_drops;
+    return;
+  }
+  if (faults_->link_down(channel, now)) {
+    ++faults_->stats().link_down_drops;
+    return;
+  }
+  const std::uint64_t index = fault_posts_[channel]++;
+  switch (faults_->channel_action(channel, index)) {
+    case FaultAction::kDrop:
+      return;
+    case FaultAction::kDuplicate:
+      enqueue(to, channel, message, now);
+      enqueue(to, channel, std::move(message), now);
+      return;
+    case FaultAction::kCorrupt:
+      faults_->corrupt_payload(channel, index, message);
+      enqueue(to, channel, std::move(message), now);
+      return;
+    case FaultAction::kDeliver:
+      enqueue(to, channel, std::move(message), now);
+      return;
+  }
+  FDLSP_REQUIRE(false, "unknown fault action");
+}
+
+void AsyncEngine::enqueue(NodeId to, ArcId channel, Message message,
+                          double now) {
+  // on_send fires once per copy actually scheduled (dropped messages emit no
+  // event, duplicates emit two), keeping the per-channel send/deliver
+  // pairing the happens-before checker relies on exact under faults.
+  if (trace_ != nullptr) trace_->on_send(message.from, to);
   const double delay = schedule_->delay(channel, channel_posts_[channel]++);
   FDLSP_REQUIRE(delay > 0.0 && delay <= 1.0,
                 "delay schedules must return delays in (0, 1]");
@@ -49,12 +97,80 @@ void AsyncEngine::post(NodeId from, NodeId to, Message message, double now) {
   double when = now + delay;
   when = std::max(when, channel_clock_[channel] + 1e-9);
   channel_clock_[channel] = when;
-  queue_.push(Event{when, next_sequence_++, to, channel, std::move(message)});
+  queue_.push(Event{when, next_sequence_++, to, channel, 0, std::move(message)});
+}
+
+void AsyncEngine::post_timer(NodeId v, double delay, std::int64_t cookie,
+                             double now) {
+  FDLSP_REQUIRE(delay > 0.0, "timer delays must be positive");
+  // Timers are node-local: no channel, no FIFO clamp, no delay schedule.
+  queue_.push(Event{now + delay, next_sequence_++, v, kNoArc, cookie, {}});
+}
+
+std::string AsyncEngine::diagnose_stall() {
+  // Event budget exhausted with work still queued: summarize what is stuck
+  // so a livelock (e.g. a retransmission loop that can never be acked) is
+  // debuggable instead of a silent hang.
+  std::vector<std::uint64_t> pending(channel_clock_.size(), 0);
+  std::size_t pending_timers = 0;
+  std::size_t total = 0;
+  while (!queue_.empty()) {
+    const Event& event = queue_.top();
+    ++total;
+    if (event.channel == kNoArc)
+      ++pending_timers;
+    else
+      ++pending[event.channel];
+    queue_.pop();
+  }
+  std::vector<ArcId> busiest;
+  for (ArcId c = 0; c < pending.size(); ++c)
+    if (pending[c] > 0) busiest.push_back(c);
+  std::sort(busiest.begin(), busiest.end(), [&](ArcId a, ArcId b) {
+    return pending[a] != pending[b] ? pending[a] > pending[b] : a < b;
+  });
+  std::string out = "event budget exhausted with " + std::to_string(total) +
+                    " events pending (" + std::to_string(pending_timers) +
+                    " timers); busiest channels:";
+  const std::size_t show = std::min<std::size_t>(busiest.size(), 5);
+  for (std::size_t i = 0; i < show; ++i) {
+    const ArcId c = busiest[i];
+    const Edge& edge = graph_.edge(static_cast<EdgeId>(c >> 1));
+    const NodeId from = (c & 1u) == 0 ? edge.u : edge.v;
+    const NodeId to = (c & 1u) == 0 ? edge.v : edge.u;
+    out.append(" ")
+        .append(std::to_string(from))
+        .append("->")
+        .append(std::to_string(to))
+        .append(" x")
+        .append(std::to_string(pending[c]));
+  }
+  if (busiest.size() > show)
+    out.append(" (+")
+        .append(std::to_string(busiest.size() - show))
+        .append(" more)");
+  out += "; unfinished nodes:";
+  std::size_t listed = 0;
+  for (NodeId v = 0; v < programs_.size(); ++v) {
+    if (programs_[v]->finished()) continue;
+    if (faults_ != nullptr && faults_->node_crashes(v)) continue;
+    if (listed == 8) {
+      out += " ...";
+      break;
+    }
+    out.append(" ").append(std::to_string(v));
+    ++listed;
+  }
+  if (listed == 0) out += " none";
+  return out;
 }
 
 AsyncMetrics AsyncEngine::run(std::size_t max_messages) {
   AsyncMetrics metrics;
+  if (faults_ != nullptr) fault_posts_.assign(2 * graph_.num_edges(), 0);
   for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    // A node whose crash time is <= 0 never wakes up at all.
+    if (faults_ != nullptr && faults_->node_down(v, 0.0)) continue;
     AsyncContext ctx(*this, v, graph_.neighbors(v), 0.0);
     if (trace_ != nullptr) trace_->on_local_step(v);
     current_node_ = v;
@@ -67,11 +183,30 @@ AsyncMetrics AsyncEngine::run(std::size_t max_messages) {
   std::vector<std::pair<double, std::uint64_t>> delivered(
       channel_clock_.size(), {-1.0, 0});
   std::vector<bool> delivered_any(channel_clock_.size(), false);
-  while (!queue_.empty() && metrics.messages < max_messages) {
+  // Timer callbacks count against the same budget as deliveries: a
+  // retransmission livelock burns timers, not messages, and must still hit
+  // the watchdog.
+  std::size_t events = 0;
+  while (!queue_.empty() && events < max_messages) {
     Event event = queue_.top();
     queue_.pop();
-    ++metrics.messages;
+    if (faults_ != nullptr && faults_->node_down(event.to, event.time)) {
+      // In-flight traffic to a dead node dies with it (timers silently).
+      if (event.channel != kNoArc) ++faults_->stats().crash_drops;
+      continue;
+    }
+    ++events;
     metrics.completion_time = std::max(metrics.completion_time, event.time);
+    AsyncContext ctx(*this, event.to, graph_.neighbors(event.to), event.time);
+    if (event.channel == kNoArc) {
+      ++metrics.timer_events;
+      if (trace_ != nullptr) trace_->on_local_step(event.to);
+      current_node_ = event.to;
+      programs_[event.to]->on_timer(ctx, event.cookie);
+      current_node_ = kNoNode;
+      continue;
+    }
+    ++metrics.messages;
     if (delivered_any[event.channel]) {
       const auto& [last_time, last_sequence] = delivered[event.channel];
       if (event.time < last_time || event.sequence < last_sequence)
@@ -79,7 +214,6 @@ AsyncMetrics AsyncEngine::run(std::size_t max_messages) {
     }
     delivered[event.channel] = {event.time, event.sequence};
     delivered_any[event.channel] = true;
-    AsyncContext ctx(*this, event.to, graph_.neighbors(event.to), event.time);
     if (trace_ != nullptr) {
       trace_->on_deliver(event.message.from, event.to);
       trace_->on_local_step(event.to);
@@ -88,10 +222,18 @@ AsyncMetrics AsyncEngine::run(std::size_t max_messages) {
     programs_[event.to]->on_message(ctx, event.message);
     current_node_ = kNoNode;
   }
-  metrics.completed =
-      queue_.empty() &&
-      std::all_of(programs_.begin(), programs_.end(),
-                  [](const auto& p) { return p->finished(); });
+  if (!queue_.empty()) metrics.stall_diagnosis = diagnose_stall();
+  bool all_done = true;
+  for (NodeId v = 0; v < programs_.size(); ++v) {
+    if (programs_[v]->finished()) continue;
+    // A node the plan fail-stops counts as terminated even when its crash
+    // time lies past the last event: no future event can ever reach it.
+    if (faults_ != nullptr && faults_->node_crashes(v)) continue;
+    all_done = false;
+    break;
+  }
+  metrics.completed = queue_.empty() && all_done;
+  if (faults_ != nullptr) metrics.faults = faults_->stats();
   return metrics;
 }
 

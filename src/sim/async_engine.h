@@ -10,19 +10,25 @@
 // unit.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <queue>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "graph/graph.h"
 #include "sim/delay.h"
+#include "sim/fault.h"
 #include "sim/message.h"
 #include "sim/trace.h"
 
 namespace fdlsp {
 
 class AsyncEngine;
+
+/// Capture target for a reframed context's sends (see AsyncContext::reframed).
+using AsyncSendSink = std::function<void(NodeId to, Message message)>;
 
 /// Context handed to asynchronous handlers; valid only during the call.
 class AsyncContext {
@@ -43,6 +49,22 @@ class AsyncContext {
   /// Sends a copy of the message to every neighbor.
   void broadcast(Message message);
 
+  /// Schedules an on_timer(cookie) callback on this node after `delay` time
+  /// units (any positive value; timers are local and bypass the delay
+  /// schedule). The timeout primitive retransmission layers need — a purely
+  /// message-driven node cannot act on silence.
+  void set_timer(double delay, std::int64_t cookie);
+
+  /// A copy of this context for a protocol layered *inside* another program
+  /// (sim/reliable.h): send()/broadcast() feed `sink` instead of the engine
+  /// so the outer program can frame and schedule the traffic itself.
+  /// set_timer still reaches the engine. `sink` must outlive the copy.
+  AsyncContext reframed(const AsyncSendSink* sink) const {
+    AsyncContext copy = *this;
+    copy.sink_ = sink;
+    return copy;
+  }
+
  private:
   friend class AsyncEngine;
   AsyncContext(AsyncEngine& engine, NodeId self,
@@ -53,6 +75,7 @@ class AsyncContext {
   NodeId self_;
   std::span<const NeighborEntry> neighbors_;
   double now_;
+  const AsyncSendSink* sink_ = nullptr;  // non-null: capture instead of send
 };
 
 /// A node program for the asynchronous engine.
@@ -67,6 +90,10 @@ class AsyncProgram {
   /// Called for each delivered message.
   virtual void on_message(AsyncContext& ctx, const Message& message) = 0;
 
+  /// Called when a timer set via AsyncContext::set_timer expires. Default:
+  /// ignore (plain message-driven programs never see timers).
+  virtual void on_timer(AsyncContext& ctx, std::int64_t cookie);
+
   /// True when this node has terminated.
   virtual bool finished() const = 0;
 };
@@ -74,12 +101,20 @@ class AsyncProgram {
 /// Metrics of an asynchronous run.
 struct AsyncMetrics {
   std::size_t messages = 0;  ///< total messages delivered
+  std::size_t timer_events = 0;  ///< timer callbacks fired
   double completion_time = 0.0;  ///< timestamp of the last delivery
-  bool completed = false;        ///< all nodes finished, queue drained
+  bool completed = false;  ///< all (non-crashed) nodes finished, queue drained
   /// True iff deliveries on every directed channel happened in send order.
   /// The engine enforces this by construction; the flag is re-validated at
   /// delivery time so delay-schedule bugs cannot silently break causality.
   bool fifo_ok = true;
+  FaultStats faults;  ///< injected faults (all zero without a plan)
+  /// Empty on a clean run. When the event budget is exhausted with work
+  /// still queued (a livelock — e.g. a retransmission loop that can never
+  /// be acked), this holds the watchdog's diagnosis: pending event counts,
+  /// the busiest channels, and the unfinished nodes, so the failure is
+  /// debuggable instead of a silent hang.
+  std::string stall_diagnosis;
 };
 
 /// Drives a set of AsyncPrograms over a communication graph.
@@ -106,6 +141,15 @@ class AsyncEngine {
   /// instrumentation points reduce to a null check; see sim/trace.h.
   void set_trace(SimTrace* trace) noexcept { trace_ = trace; }
 
+  /// Installs a fault plan (nullptr detaches) — the same seam as set_trace:
+  /// with no plan every injection point is a single null check and the run
+  /// is byte-identical to an engine built before fault injection existed.
+  /// The plan is consulted at post time (drop/duplicate/corrupt/link-down)
+  /// and at delivery time for node crashes: a crashed node's handlers stop,
+  /// in-flight traffic to it is discarded, and it counts as terminated. Not
+  /// owned; must outlive the run.
+  void set_fault_plan(FaultPlan* plan) noexcept { faults_ = plan; }
+
   /// Program of node v (for extracting results after the run). Calling this
   /// from inside a handler for a node other than the one executing is a
   /// cross-node state read and is reported to the attached trace.
@@ -121,6 +165,9 @@ class AsyncEngine {
  private:
   friend class AsyncContext;
   void post(NodeId from, NodeId to, Message message, double now);
+  void enqueue(NodeId to, ArcId channel, Message message, double now);
+  void post_timer(NodeId v, double delay, std::int64_t cookie, double now);
+  std::string diagnose_stall();
 
   void note_program_access(NodeId v) const {
     if (trace_ != nullptr && current_node_ != kNoNode && current_node_ != v)
@@ -131,7 +178,8 @@ class AsyncEngine {
     double time;
     std::uint64_t sequence;  // tie-break: deterministic FIFO order
     NodeId to;
-    ArcId channel;  // directed sender->receiver arc, for FIFO validation
+    ArcId channel;  // directed sender->receiver arc; kNoArc marks a timer
+    std::int64_t cookie = 0;  // timer events only
     Message message;
   };
   struct EventLater {
@@ -148,6 +196,8 @@ class AsyncEngine {
   std::unique_ptr<DelaySchedule> schedule_;
   std::uint64_t next_sequence_ = 0;
   SimTrace* trace_ = nullptr;
+  FaultPlan* faults_ = nullptr;
+  std::vector<std::uint64_t> fault_posts_;  // fault-decision index per channel
   NodeId current_node_ = kNoNode;  // node whose handler is executing
 };
 

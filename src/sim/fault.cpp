@@ -1,0 +1,205 @@
+#include "sim/fault.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace fdlsp {
+
+namespace {
+
+// Distinct stream tags keep the per-channel, per-node and per-edge hash
+// streams independent even when ids collide numerically.
+constexpr std::uint64_t kStreamChannel = 0x11;
+constexpr std::uint64_t kStreamCrash = 0x22;
+constexpr std::uint64_t kStreamLink = 0x33;
+constexpr std::uint64_t kStreamCorrupt = 0x44;
+
+/// Stateless mix of (seed, stream, index) -> 64 uniform bits.
+std::uint64_t fault_hash(std::uint64_t seed, std::uint64_t stream,
+                         std::uint64_t index) {
+  std::uint64_t s = seed ^ (stream * 0x9e3779b97f4a7c15ULL);
+  const std::uint64_t a = splitmix64(s);
+  s ^= index * 0xbf58476d1ce4e5b9ULL;
+  return splitmix64(s) ^ a;
+}
+
+/// The hash mapped into [0, 1).
+double unit_interval(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(const FaultSpec& spec, const Graph& graph)
+    : spec_(spec),
+      crash_time_(graph.num_nodes(), -1.0),
+      link_down_start_(graph.num_edges(), -1.0),
+      losses_(2 * graph.num_edges(), 0) {
+  FDLSP_REQUIRE(
+      spec_.drop_rate + spec_.duplicate_rate + spec_.corrupt_rate <= 1.0,
+      "channel fault rates must sum to at most 1");
+  if (spec_.crash_fraction > 0.0) {
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      const std::uint64_t pick = fault_hash(spec_.seed, kStreamCrash, v);
+      if (unit_interval(pick) < spec_.crash_fraction) {
+        const std::uint64_t when =
+            fault_hash(spec_.seed, kStreamCrash, v ^ 0x8000000000000000ULL);
+        crash_time_[v] = unit_interval(when) * spec_.crash_horizon;
+      }
+    }
+  }
+  if (spec_.link_down_fraction > 0.0) {
+    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+      const std::uint64_t pick = fault_hash(spec_.seed, kStreamLink, e);
+      if (unit_interval(pick) < spec_.link_down_fraction) {
+        const std::uint64_t when =
+            fault_hash(spec_.seed, kStreamLink, e ^ 0x8000000000000000ULL);
+        link_down_start_[e] = unit_interval(when) * spec_.link_down_horizon;
+      }
+    }
+  }
+}
+
+FaultAction FaultPlan::channel_action(ArcId channel,
+                                      std::uint64_t message_index) {
+  if (spec_.drop_rate <= 0.0 && spec_.duplicate_rate <= 0.0 &&
+      spec_.corrupt_rate <= 0.0)
+    return FaultAction::kDeliver;
+  const double u = unit_interval(fault_hash(
+      spec_.seed, kStreamChannel + (static_cast<std::uint64_t>(channel) << 8),
+      message_index));
+  if (u < spec_.drop_rate) {
+    if (losses_[channel] >= spec_.max_losses_per_channel)
+      return FaultAction::kDeliver;
+    ++losses_[channel];
+    ++stats_.dropped;
+    return FaultAction::kDrop;
+  }
+  if (u < spec_.drop_rate + spec_.duplicate_rate) {
+    ++stats_.duplicated;
+    return FaultAction::kDuplicate;
+  }
+  if (u < spec_.drop_rate + spec_.duplicate_rate + spec_.corrupt_rate) {
+    if (losses_[channel] >= spec_.max_losses_per_channel)
+      return FaultAction::kDeliver;
+    ++losses_[channel];
+    ++stats_.corrupted;
+    return FaultAction::kCorrupt;
+  }
+  return FaultAction::kDeliver;
+}
+
+void FaultPlan::corrupt_payload(ArcId channel, std::uint64_t message_index,
+                                Message& message) const {
+  const std::uint64_t h = fault_hash(
+      spec_.seed, kStreamCorrupt + (static_cast<std::uint64_t>(channel) << 8),
+      message_index);
+  // Never XOR with 0: the flip must be observable.
+  const std::uint64_t flip = h | 1;
+  if (message.data.empty()) {
+    message.tag ^= static_cast<std::int32_t>(flip & 0x7fffffff);
+    if (message.tag == 0) message.tag = 1;  // keep the flip observable
+    return;
+  }
+  const std::size_t word = static_cast<std::size_t>(
+      (h >> 32) % static_cast<std::uint64_t>(message.data.size()));
+  message.data[word] ^= static_cast<std::int64_t>(flip & 0x7fffffffffffffffULL);
+}
+
+std::vector<NodeId> FaultPlan::crashed_nodes() const {
+  std::vector<NodeId> nodes;
+  for (NodeId v = 0; v < crash_time_.size(); ++v)
+    if (crash_time_[v] >= 0.0) nodes.push_back(v);
+  return nodes;
+}
+
+std::vector<EdgeId> FaultPlan::churned_edges() const {
+  std::vector<EdgeId> edges;
+  for (EdgeId e = 0; e < link_down_start_.size(); ++e)
+    if (link_down_start_[e] >= 0.0) edges.push_back(e);
+  return edges;
+}
+
+std::string format_fault_spec(const FaultSpec& spec) {
+  const FaultSpec defaults;
+  std::string out;
+  const auto add = [&out](const char* key, const std::string& value) {
+    if (!out.empty()) out += ",";
+    out += key;
+    out += "=";
+    out += value;
+  };
+  const auto add_rate = [&add](const char* key, double value) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.4g", value);
+    add(key, buffer);
+  };
+  if (spec.seed != defaults.seed) add("fseed", std::to_string(spec.seed));
+  if (spec.drop_rate != defaults.drop_rate) add_rate("drop", spec.drop_rate);
+  if (spec.duplicate_rate != defaults.duplicate_rate)
+    add_rate("dup", spec.duplicate_rate);
+  if (spec.corrupt_rate != defaults.corrupt_rate)
+    add_rate("corrupt", spec.corrupt_rate);
+  if (spec.max_losses_per_channel != defaults.max_losses_per_channel)
+    add("cap", std::to_string(spec.max_losses_per_channel));
+  if (spec.crash_fraction != defaults.crash_fraction)
+    add_rate("crash", spec.crash_fraction);
+  if (spec.crash_horizon != defaults.crash_horizon)
+    add_rate("crashh", spec.crash_horizon);
+  if (spec.link_down_fraction != defaults.link_down_fraction)
+    add_rate("link", spec.link_down_fraction);
+  if (spec.link_down_horizon != defaults.link_down_horizon)
+    add_rate("linkh", spec.link_down_horizon);
+  if (spec.link_down_duration != defaults.link_down_duration)
+    add_rate("linkd", spec.link_down_duration);
+  return out.empty() ? "none" : out;
+}
+
+FaultSpec parse_fault_spec(const std::string& text) {
+  FaultSpec spec;
+  if (text.empty() || text == "none") return spec;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string pair = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    const std::size_t eq = pair.find('=');
+    FDLSP_REQUIRE(eq != std::string::npos,
+                  "fault spec entries must be key=value: " + pair);
+    const std::string key = pair.substr(0, eq);
+    const std::string value = pair.substr(eq + 1);
+    if (key == "fseed") {
+      spec.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "cap") {
+      spec.max_losses_per_channel = std::strtoull(value.c_str(), nullptr, 10);
+    } else {
+      const double number = std::strtod(value.c_str(), nullptr);
+      if (key == "drop") {
+        spec.drop_rate = number;
+      } else if (key == "dup") {
+        spec.duplicate_rate = number;
+      } else if (key == "corrupt") {
+        spec.corrupt_rate = number;
+      } else if (key == "crash") {
+        spec.crash_fraction = number;
+      } else if (key == "crashh") {
+        spec.crash_horizon = number;
+      } else if (key == "link") {
+        spec.link_down_fraction = number;
+      } else if (key == "linkh") {
+        spec.link_down_horizon = number;
+      } else if (key == "linkd") {
+        spec.link_down_duration = number;
+      } else {
+        FDLSP_REQUIRE(false, "unknown fault spec key: " + key);
+      }
+    }
+  }
+  return spec;
+}
+
+}  // namespace fdlsp

@@ -1,0 +1,162 @@
+// Deterministic fault injection for both simulation engines.
+//
+// A FaultPlan is the fault-model analogue of the DelaySchedule adversary
+// (sim/delay.h): every decision is a pure function of
+// (seed, channel, message index) for channel faults and (seed, node) /
+// (seed, edge) for node-crash and link-churn schedules, so a faulted run is
+// reproducible from the spec alone and two engines with the same spec agree
+// even if they post messages in different orders. The plan is installed on
+// an engine through the same optional-pointer seam as SimTrace: with no
+// plan installed every injection point is a single null check and the run
+// is byte-identical to an unfaulted build.
+//
+// Fault classes:
+//   * drop       — the k-th message on a directed channel vanishes.
+//   * duplicate  — the message is delivered twice (back to back; per-channel
+//                  FIFO is preserved, matching a link-layer retransmit whose
+//                  ack was lost).
+//   * corrupt    — one payload word (or, for empty payloads, the tag) is
+//                  XOR-flipped; the payload size never changes.
+//   * node crash — a node fail-stops at a hashed round/time: its callbacks
+//                  never run again and traffic to or from it is discarded.
+//                  Recovery with state loss is modeled *between* runs by the
+//                  crash-recovery workflow (verify/fault_oracles.h), which
+//                  re-colors the orphaned arcs with dist_repair.
+//   * link churn — an edge is down for one hashed, finite time window; both
+//                  directions drop traffic while down.
+//
+// Bounded loss: drops and corruptions on one channel stop after
+// `max_losses_per_channel` (the channel becomes lossless), and churn
+// windows are finite. An ack/retransmit wrapper (sim/reliable.h) can
+// therefore guarantee delivery, which is what the fault-quiescence oracle
+// exploits. The loss counters make the plan an object with per-run state:
+// construct a fresh plan per run (decisions are still deterministic,
+// because each (channel, message index) pair is queried exactly once and
+// message indices are consumed in order).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "sim/message.h"
+
+namespace fdlsp {
+
+/// Pure-data description of a fault model. Value-comparable so shrunk fault
+/// cases can be tested for fixpoints.
+struct FaultSpec {
+  std::uint64_t seed = 1;  ///< drives every fault decision
+
+  double drop_rate = 0.0;       ///< P(message dropped), per posted message
+  double duplicate_rate = 0.0;  ///< P(message delivered twice)
+  double corrupt_rate = 0.0;    ///< P(one payload word flipped)
+
+  /// Bounded loss: after this many drops+corruptions on one directed
+  /// channel, that channel delivers everything (retransmission terminates).
+  std::uint64_t max_losses_per_channel = 8;
+
+  double crash_fraction = 0.0;  ///< fraction of nodes that fail-stop
+  double crash_horizon = 16.0;  ///< crash times drawn in [0, horizon)
+
+  double link_down_fraction = 0.0;  ///< fraction of edges with a down window
+  double link_down_horizon = 16.0;  ///< window starts drawn in [0, horizon)
+  double link_down_duration = 4.0;  ///< window length (rounds / time units)
+
+  /// True when at least one fault class is armed.
+  bool any() const noexcept {
+    return drop_rate > 0.0 || duplicate_rate > 0.0 || corrupt_rate > 0.0 ||
+           crash_fraction > 0.0 || link_down_fraction > 0.0;
+  }
+
+  friend bool operator==(const FaultSpec&, const FaultSpec&) = default;
+};
+
+/// What happens to one posted message.
+enum class FaultAction {
+  kDeliver,    ///< delivered untouched
+  kDrop,       ///< silently discarded
+  kDuplicate,  ///< delivered twice
+  kCorrupt,    ///< one payload word flipped, then delivered
+};
+
+/// Counters of the faults an engine actually injected during one run.
+struct FaultStats {
+  std::uint64_t dropped = 0;          ///< channel-fault drops
+  std::uint64_t duplicated = 0;       ///< extra copies delivered
+  std::uint64_t corrupted = 0;        ///< messages with a flipped word
+  std::uint64_t link_down_drops = 0;  ///< messages lost to a down link
+  std::uint64_t crash_drops = 0;      ///< messages to/from a dead node
+};
+
+/// Deterministic fault decision engine for one run. See the header comment
+/// for the determinism contract; construct a fresh plan per run.
+class FaultPlan {
+ public:
+  /// Sizes the crash/churn schedules for `graph`. The graph must be the one
+  /// the engine runs on (channel ids are its ArcIds).
+  FaultPlan(const FaultSpec& spec, const Graph& graph);
+
+  const FaultSpec& spec() const noexcept { return spec_; }
+
+  /// Decision for the `message_index`-th message posted on `channel`.
+  /// Stateful only through the bounded-loss counters; call exactly once per
+  /// (channel, index), indices in increasing order per channel (the engines
+  /// do this by construction).
+  FaultAction channel_action(ArcId channel, std::uint64_t message_index);
+
+  /// Applies the payload-size-preserving corruption for this (channel,
+  /// index): XOR-flips one data word, or the tag when `data` is empty.
+  void corrupt_payload(ArcId channel, std::uint64_t message_index,
+                       Message& message) const;
+
+  /// True iff this node ever fail-stops under the plan.
+  bool node_crashes(NodeId v) const { return crash_time_[v] >= 0.0; }
+
+  /// Crash time of v (sync engines compare against the round number), or a
+  /// negative value when v never crashes.
+  double crash_time(NodeId v) const { return crash_time_[v]; }
+
+  /// True iff v is dead at time/round `now`.
+  bool node_down(NodeId v, double now) const {
+    return crash_time_[v] >= 0.0 && now >= crash_time_[v];
+  }
+
+  /// True iff the edge under `channel` is inside its down window at `now`.
+  bool link_down(ArcId channel, double now) const {
+    const double start = link_down_start_[channel >> 1];
+    return start >= 0.0 && now >= start &&
+           now < start + spec_.link_down_duration;
+  }
+
+  /// All nodes that fail-stop under the plan, ascending.
+  std::vector<NodeId> crashed_nodes() const;
+
+  /// All edges with a down window under the plan, ascending.
+  std::vector<EdgeId> churned_edges() const;
+
+  FaultStats& stats() noexcept { return stats_; }
+  const FaultStats& stats() const noexcept { return stats_; }
+
+ private:
+  FaultSpec spec_;
+  std::vector<double> crash_time_;       ///< per node; < 0 == never
+  std::vector<double> link_down_start_;  ///< per edge; < 0 == never
+  std::vector<std::uint64_t> losses_;    ///< drops+corruptions per channel
+  FaultStats stats_;
+};
+
+/// Compact key=value form of a spec, e.g.
+///   "fseed=7,drop=0.10,dup=0.05,corrupt=0.02,cap=8,crash=0.25,..."
+/// Only non-default fields are printed; an all-default spec formats as "none".
+/// The string is the value of the --faults= replay flag and round-trips
+/// through parse_fault_spec.
+std::string format_fault_spec(const FaultSpec& spec);
+
+/// Parses the format_fault_spec form ("none" or comma-separated key=value
+/// pairs). Unknown keys raise contract_error so repro typos fail loudly.
+FaultSpec parse_fault_spec(const std::string& text);
+
+}  // namespace fdlsp

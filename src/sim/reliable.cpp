@@ -1,0 +1,417 @@
+#include "sim/reliable.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace fdlsp {
+
+namespace {
+
+// Frame payload layout: [checksum, seq, inner_round, orig_tag, payload...].
+// The async wrapper has no rounds and stores 0 in the inner_round slot.
+constexpr std::size_t kHeaderWords = 4;
+
+// Ack payload layout: [checksum, cumulative_ack].
+constexpr std::size_t kAckWords = 2;
+
+/// Checksum over a wire message's payload past the checksum slot, keyed by
+/// the directed channel so a frame cannot be mistaken for one from another
+/// peer. Corruption flips exactly one payload word (sim/fault.h), which
+/// this detects with overwhelming probability; a corrupted message is
+/// silently discarded and the retransmission path treats it as a drop.
+std::int64_t wire_checksum(NodeId from, NodeId to, const std::int64_t* words,
+                           std::size_t count) {
+  std::uint64_t state = 0x72656c6961626c65ULL ^
+                        ((static_cast<std::uint64_t>(from) << 32) |
+                         static_cast<std::uint64_t>(to));
+  std::uint64_t h = splitmix64(state);
+  for (std::size_t i = 0; i < count; ++i) {
+    state ^= h ^ static_cast<std::uint64_t>(words[i]);
+    h = splitmix64(state);
+  }
+  return static_cast<std::int64_t>(h >> 1);
+}
+
+/// True iff the stored checksum matches the payload.
+bool checksum_ok(NodeId from, NodeId to, const Message& message) {
+  return message.data[0] ==
+         wire_checksum(from, to, message.data.data() + 1,
+                       message.data.size() - 1);
+}
+
+Message make_frame(NodeId from, NodeId to, std::int64_t seq,
+                   std::int64_t inner_round, const Message& original) {
+  Message frame;
+  frame.from = from;
+  frame.tag = kReliableFrameTag;
+  frame.data.reserve(kHeaderWords + original.data.size());
+  frame.data.push_back(0);  // checksum slot
+  frame.data.push_back(seq);
+  frame.data.push_back(inner_round);
+  frame.data.push_back(original.tag);
+  frame.data.insert(frame.data.end(), original.data.begin(),
+                    original.data.end());
+  frame.data[0] =
+      wire_checksum(from, to, frame.data.data() + 1, frame.data.size() - 1);
+  return frame;
+}
+
+Message unframe(const Message& frame) {
+  Message original;
+  original.from = frame.from;
+  original.tag = static_cast<std::int32_t>(frame.data[3]);
+  original.data.assign(frame.data.begin() +
+                           static_cast<std::ptrdiff_t>(kHeaderWords),
+                       frame.data.end());
+  return original;
+}
+
+Message make_ack(NodeId from, NodeId to, std::int64_t cumulative) {
+  Message ack;
+  ack.from = from;
+  ack.tag = kReliableAckTag;
+  ack.data = {0, cumulative};
+  ack.data[0] = wire_checksum(from, to, ack.data.data() + 1, 1);
+  return ack;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Synchronous wrapper: round dilation.
+// ---------------------------------------------------------------------------
+
+std::size_t ReliableSyncProgram::round_dilation(const FaultSpec& spec) {
+  // Go-back-N retransmits every other outer round; each failed attempt
+  // consumes at least one unit of the per-channel loss cap, so at most
+  // cap+1 attempts are needed once a channel's cap is exhausted — frames
+  // land within 2*cap+2 outer rounds. One finite link-down window can
+  // additionally stall the channel for its whole duration. The +4 margin
+  // covers the delivery round offset and keeps the window even.
+  std::size_t dilation = 2 * static_cast<std::size_t>(
+                                 spec.max_losses_per_channel) + 4;
+  if (spec.link_down_fraction > 0.0)
+    dilation += static_cast<std::size_t>(spec.link_down_duration) + 2;
+  return dilation;
+}
+
+ReliableSyncProgram::ReliableSyncProgram(std::unique_ptr<SyncProgram> inner,
+                                         const FaultSpec& spec)
+    : inner_(std::move(inner)), dilation_(round_dilation(spec)) {
+  FDLSP_REQUIRE(inner_ != nullptr, "reliable wrapper needs a program");
+}
+
+ReliableSyncProgram::PeerState& ReliableSyncProgram::peer_state(NodeId peer) {
+  auto it = std::lower_bound(
+      peers_.begin(), peers_.end(), peer,
+      [](const PeerState& state, NodeId id) { return state.peer < id; });
+  if (it == peers_.end() || it->peer != peer) {
+    it = peers_.insert(it, PeerState{});
+    it->peer = peer;
+  }
+  return *it;
+}
+
+bool ReliableSyncProgram::channels_idle() const {
+  for (const PeerState& state : peers_)
+    if (!state.pending.empty() || !state.buffered.empty()) return false;
+  return true;
+}
+
+void ReliableSyncProgram::handle_frame(SyncContext& ctx,
+                                       const Message& message) {
+  FDLSP_REQUIRE(message.data.size() >= kHeaderWords,
+                "reliable frame too short");
+  if (!checksum_ok(message.from, ctx.self(), message)) return;  // corrupted
+  PeerState& state = peer_state(message.from);
+  if (std::find(ack_due_.begin(), ack_due_.end(), message.from) ==
+      ack_due_.end())
+    ack_due_.push_back(message.from);
+  const std::int64_t seq = message.data[1];
+  if (seq <= state.received) return;      // duplicate: just re-ack
+  if (seq > state.received + 1) return;   // gap: go-back-N will resend
+  state.received = seq;
+  state.buffered.push_back(BufferedFrame{seq, message.data[2],
+                                         unframe(message)});
+}
+
+void ReliableSyncProgram::handle_ack(const Message& message) {
+  // Size and checksum already verified at the call site.
+  PeerState& state = peer_state(message.from);
+  const std::int64_t cumulative = message.data[1];
+  if (cumulative <= state.acked) return;
+  state.acked = cumulative;
+  std::erase_if(state.pending, [cumulative](const PendingFrame& frame) {
+    return frame.seq <= cumulative;
+  });
+}
+
+void ReliableSyncProgram::capture_send(SyncContext& ctx, NodeId to,
+                                       Message message) {
+  PeerState& state = peer_state(to);
+  Message frame = make_frame(ctx.self(), to, state.next_seq,
+                             static_cast<std::int64_t>(next_inner_round_),
+                             message);
+  state.pending.push_back(PendingFrame{state.next_seq, ctx.round(), frame});
+  ++state.next_seq;
+  ctx.send(to, std::move(frame));
+}
+
+void ReliableSyncProgram::on_round(SyncContext& ctx,
+                                   std::span<const Message> inbox) {
+  const std::size_t round = ctx.round();
+  ack_due_.clear();
+  for (const Message& message : inbox) {
+    if (message.tag == kReliableFrameTag) {
+      handle_frame(ctx, message);
+    } else if (message.tag == kReliableAckTag) {
+      FDLSP_REQUIRE(message.data.size() == kAckWords,
+                    "reliable ack malformed");
+      if (checksum_ok(message.from, ctx.self(), message)) handle_ack(message);
+    } else {
+      FDLSP_REQUIRE(false, "unexpected wire tag under reliable wrapper");
+    }
+  }
+  for (NodeId peer : ack_due_)
+    ctx.send(peer, make_ack(ctx.self(), peer, peer_state(peer).received));
+
+  // Retransmission sweep: resend everything unacked every other round, and
+  // abandon frames two full windows old — by then a live peer has provably
+  // received them (only the acks can still be missing), so an unacked
+  // survivor means the peer is dead.
+  if (round % 2 == 0) {
+    for (PeerState& state : peers_) {
+      std::erase_if(state.pending,
+                    [this, round](const PendingFrame& frame) {
+                      return round >= frame.sent_round + 2 * dilation_;
+                    });
+      for (const PendingFrame& frame : state.pending)
+        ctx.send(state.peer, frame.frame);
+    }
+  }
+
+  // Window boundary: assemble the previous inner round's inbox and run the
+  // wrapped program one round.
+  if (round % dilation_ != 0) return;
+  next_inner_round_ = round / dilation_;
+  std::vector<Message> assembled;
+  for (PeerState& state : peers_) {
+    for (BufferedFrame& frame : state.buffered) {
+      FDLSP_REQUIRE(frame.inner_round + 1 ==
+                        static_cast<std::int64_t>(next_inner_round_),
+                    "late frame: reliable dilation window violated");
+      assembled.push_back(std::move(frame.original));
+    }
+    state.buffered.clear();
+  }
+  // Match the engine's native semantics: a finished program runs again only
+  // when mail arrives for it.
+  if (inner_->finished() && assembled.empty()) return;
+  const SyncSendSink sink = [this, &ctx](NodeId to, Message message) {
+    capture_send(ctx, to, std::move(message));
+  };
+  SyncContext inner_ctx = ctx.reframed(next_inner_round_, &sink);
+  inner_->on_round(inner_ctx, assembled);
+}
+
+bool ReliableSyncProgram::ready_for_phase_advance() const {
+  // The engine's barrier promises "no messages in flight"; at this layer
+  // that means no unacked outbound frames and no buffered inbound frames
+  // the wrapped program has not consumed yet.
+  return inner_->ready_for_phase_advance() && channels_idle();
+}
+
+void ReliableSyncProgram::on_phase(std::size_t new_phase) {
+  inner_->on_phase(new_phase);
+}
+
+bool ReliableSyncProgram::finished() const {
+  return inner_->finished() && channels_idle();
+}
+
+// ---------------------------------------------------------------------------
+// Asynchronous wrapper: timer retransmit.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Retransmission period in simulated time. Delays are at most one unit, so
+/// one period covers a frame and its ack round trip.
+constexpr double kRetransmitPeriod = 2.0;
+
+std::int64_t peer_cookie(NodeId peer) {
+  return -static_cast<std::int64_t>(peer) - 1;
+}
+
+NodeId cookie_peer(std::int64_t cookie) {
+  return static_cast<NodeId>(-(cookie + 1));
+}
+
+}  // namespace
+
+ReliableAsyncProgram::ReliableAsyncProgram(std::unique_ptr<AsyncProgram> inner,
+                                           const FaultSpec& spec)
+    : inner_(std::move(inner)) {
+  FDLSP_REQUIRE(inner_ != nullptr, "reliable wrapper needs a program");
+  // Each failed retransmission round consumes loss budget on the frame or
+  // the ack channel; once both caps are exhausted the next attempt
+  // succeeds. Churn can stall attempts for one window on each path.
+  give_up_attempts_ =
+      2 * static_cast<std::size_t>(spec.max_losses_per_channel) + 8;
+  if (spec.link_down_fraction > 0.0)
+    give_up_attempts_ +=
+        static_cast<std::size_t>(spec.link_down_duration / kRetransmitPeriod) +
+        2;
+}
+
+ReliableAsyncProgram::PeerState& ReliableAsyncProgram::peer_state(
+    NodeId peer) {
+  auto it = std::lower_bound(
+      peers_.begin(), peers_.end(), peer,
+      [](const PeerState& state, NodeId id) { return state.peer < id; });
+  if (it == peers_.end() || it->peer != peer) {
+    it = peers_.insert(it, PeerState{});
+    it->peer = peer;
+  }
+  return *it;
+}
+
+void ReliableAsyncProgram::arm_timer(AsyncContext& ctx, PeerState& state) {
+  if (state.timer_armed) return;
+  state.timer_armed = true;
+  ctx.set_timer(kRetransmitPeriod, peer_cookie(state.peer));
+}
+
+void ReliableAsyncProgram::capture_send(AsyncContext& ctx, NodeId to,
+                                        Message message) {
+  PeerState& state = peer_state(to);
+  Message frame = make_frame(ctx.self(), to, state.next_seq, 0, message);
+  state.pending.push_back(PendingFrame{state.next_seq, frame});
+  ++state.next_seq;
+  ctx.send(to, std::move(frame));
+  arm_timer(ctx, state);
+}
+
+void ReliableAsyncProgram::on_start(AsyncContext& ctx) {
+  const AsyncSendSink sink = [this, &ctx](NodeId to, Message message) {
+    capture_send(ctx, to, std::move(message));
+  };
+  AsyncContext inner_ctx = ctx.reframed(&sink);
+  inner_->on_start(inner_ctx);
+}
+
+void ReliableAsyncProgram::deliver_in_order(AsyncContext& ctx, PeerState& state,
+                                            Message original) {
+  const NodeId peer = state.peer;
+  const AsyncSendSink sink = [this, &ctx](NodeId to, Message message) {
+    capture_send(ctx, to, std::move(message));
+  };
+  AsyncContext inner_ctx = ctx.reframed(&sink);
+  inner_->on_message(inner_ctx, original);
+  // The inner handler may have sent to new peers, growing peers_ and
+  // invalidating references — re-resolve the state every iteration.
+  for (;;) {
+    PeerState& fresh = peer_state(peer);
+    if (fresh.reordered.empty() ||
+        fresh.reordered.front().seq != fresh.received + 1)
+      break;
+    fresh.received = fresh.reordered.front().seq;
+    Message next = std::move(fresh.reordered.front().original);
+    fresh.reordered.erase(fresh.reordered.begin());
+    inner_->on_message(inner_ctx, next);
+  }
+}
+
+void ReliableAsyncProgram::handle_frame(AsyncContext& ctx,
+                                        const Message& message) {
+  FDLSP_REQUIRE(message.data.size() >= kHeaderWords,
+                "reliable frame too short");
+  if (!checksum_ok(message.from, ctx.self(), message)) return;  // corrupted
+  const NodeId peer = message.from;
+  const std::int64_t seq = message.data[1];
+  bool deliver = false;
+  Message original;
+  {
+    PeerState& state = peer_state(peer);
+    if (seq == state.received + 1) {
+      state.received = seq;
+      original = unframe(message);
+      deliver = true;
+    } else if (seq > state.received + 1) {
+      // Out of order: hold until the gap fills (the sender retransmits the
+      // missing frames). Idempotent under duplication.
+      auto it = std::lower_bound(
+          state.reordered.begin(), state.reordered.end(), seq,
+          [](const ReorderedFrame& frame, std::int64_t id) {
+            return frame.seq < id;
+          });
+      if (it == state.reordered.end() || it->seq != seq)
+        state.reordered.insert(it, ReorderedFrame{seq, unframe(message)});
+    }
+    // seq <= received: duplicate — fall through and re-ack.
+  }
+  if (deliver) deliver_in_order(ctx, peer_state(peer), std::move(original));
+  ctx.send(peer, make_ack(ctx.self(), peer, peer_state(peer).received));
+}
+
+void ReliableAsyncProgram::handle_ack(const Message& message) {
+  const std::int64_t cumulative = message.data[1];
+  PeerState& state = peer_state(message.from);
+  if (cumulative <= state.acked) return;
+  state.acked = cumulative;
+  state.attempts = 0;  // progress: the peer is alive and hearing us
+  std::erase_if(state.pending, [cumulative](const PendingFrame& frame) {
+    return frame.seq <= cumulative;
+  });
+}
+
+void ReliableAsyncProgram::on_message(AsyncContext& ctx,
+                                      const Message& message) {
+  if (message.tag == kReliableAckTag) {
+    FDLSP_REQUIRE(message.data.size() == kAckWords, "reliable ack malformed");
+    if (checksum_ok(message.from, ctx.self(), message)) handle_ack(message);
+    return;
+  }
+  FDLSP_REQUIRE(message.tag == kReliableFrameTag,
+                "unexpected wire tag under reliable wrapper");
+  handle_frame(ctx, message);
+}
+
+void ReliableAsyncProgram::on_timer(AsyncContext& ctx, std::int64_t cookie) {
+  if (cookie >= 0) {
+    // Inner-program timer: forward untouched (cookies < 0 are ours).
+    const AsyncSendSink sink = [this, &ctx](NodeId to, Message message) {
+      capture_send(ctx, to, std::move(message));
+    };
+    AsyncContext inner_ctx = ctx.reframed(&sink);
+    inner_->on_timer(inner_ctx, cookie);
+    return;
+  }
+  const NodeId peer = cookie_peer(cookie);
+  PeerState& state = peer_state(peer);
+  state.timer_armed = false;
+  if (state.pending.empty()) return;
+  ++state.attempts;
+  if (state.attempts > give_up_attempts_) {
+    // A live peer would have acked within the attempt budget: either these
+    // frames were delivered (acks lost past the cap is impossible) or the
+    // peer is dead. Stop resending so the run can quiesce.
+    state.pending.clear();
+    return;
+  }
+  for (const PendingFrame& frame : state.pending)
+    ctx.send(peer, frame.frame);
+  arm_timer(ctx, state);
+}
+
+bool ReliableAsyncProgram::finished() const {
+  if (!inner_->finished()) return false;
+  for (const PeerState& state : peers_)
+    if (!state.pending.empty() || !state.reordered.empty()) return false;
+  return true;
+}
+
+}  // namespace fdlsp

@@ -1,0 +1,159 @@
+// Ack/retransmit hardening: reliable-delivery wrappers for both engines.
+//
+// A FaultPlan (sim/fault.h) with drop/duplicate/corrupt rates breaks the
+// perfect-channel assumption every algorithm in src/algos is written
+// against. These wrappers restore it *inside the protocol stack*, the way a
+// deployment would: each original message is framed with a checksum and a
+// per-peer sequence number, retransmitted until cumulatively acked, verified
+// and deduplicated on receipt, and handed to the wrapped program in order.
+// The wrapped program is unchanged — it talks through a reframed context
+// (SyncContext::reframed / AsyncContext::reframed) whose sends the wrapper
+// captures, frames, and schedules.
+//
+// Why this terminates under a FaultPlan: losses per channel are bounded
+// (FaultSpec::max_losses_per_channel) and link-down windows are finite, so
+// a frame retransmitted every other round/time-unit is delivered within a
+// computable window; see round_dilation() below. Crashed peers never ack,
+// so retransmission gives up after the window in which a live peer would
+// provably have answered — a frame abandoned by give-up was either
+// delivered already (only its ack was lost) or addressed to a dead node.
+//
+// Synchronous wrapper — round dilation. Lock-step rounds are the engine's
+// semantic, so reliability must preserve "all round-k messages arrive
+// before round k+1". The wrapper runs inner round k at outer round k*R
+// (R = round_dilation(spec)) and uses the R-1 outer rounds in between as
+// the retransmission window: frames carry their inner round number,
+// receivers buffer them per peer, and the inner inbox for round k is
+// assembled — sorted by (peer, sequence) for determinism — once the window
+// guarantees every round-k frame has landed. A frame surfacing after its
+// assembly point would mean the window math is wrong and fails loudly.
+//
+// Asynchronous wrapper — timer retransmit. No rounds to piggyback on, so
+// unacked frames are retransmitted on a timer (AsyncContext::set_timer);
+// out-of-order arrivals are buffered and released to the inner program in
+// sequence order. Timer cookies < 0 are reserved for the wrapper; inner
+// programs that use timers must stick to cookies >= 0 and get them
+// forwarded untouched.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/async_engine.h"
+#include "sim/fault.h"
+#include "sim/sync_engine.h"
+
+namespace fdlsp {
+
+/// Wire tags of the wrapper protocol. Inner tags travel inside the frame
+/// payload, so the wrapped program's own tags can never collide with these.
+inline constexpr std::int32_t kReliableFrameTag = 0x52464C46;  // "RFLF"
+inline constexpr std::int32_t kReliableAckTag = 0x52464C41;    // "RFLA"
+
+/// Reliable-delivery wrapper for the synchronous engine (round dilation).
+class ReliableSyncProgram final : public SyncProgram {
+ public:
+  /// `spec` must be the spec of the FaultPlan installed on the engine: the
+  /// dilation factor is derived from its loss bounds.
+  ReliableSyncProgram(std::unique_ptr<SyncProgram> inner,
+                      const FaultSpec& spec);
+
+  /// Outer rounds per inner round: the retransmission window sized so that
+  /// bounded per-channel loss plus one finite link-down window cannot delay
+  /// a frame past its assembly point.
+  static std::size_t round_dilation(const FaultSpec& spec);
+
+  /// The wrapped program (result extraction after a run).
+  SyncProgram& inner() noexcept { return *inner_; }
+  const SyncProgram& inner() const noexcept { return *inner_; }
+
+  void on_round(SyncContext& ctx, std::span<const Message> inbox) override;
+  bool ready_for_phase_advance() const override;
+  void on_phase(std::size_t new_phase) override;
+  bool finished() const override;
+
+ private:
+  struct PendingFrame {
+    std::int64_t seq;
+    std::size_t sent_round;  // outer round of first transmission
+    Message frame;           // fully framed, ready to resend
+  };
+  struct BufferedFrame {
+    std::int64_t seq;
+    std::int64_t inner_round;
+    Message original;  // unframed, from/tag/data restored
+  };
+  struct PeerState {
+    NodeId peer = kNoNode;
+    std::int64_t next_seq = 1;   // next outbound sequence number
+    std::int64_t acked = 0;      // highest cumulative ack received
+    std::int64_t received = 0;   // highest contiguous inbound seq accepted
+    std::vector<PendingFrame> pending;   // unacked, seq ascending
+    std::vector<BufferedFrame> buffered;  // awaiting inner-round assembly
+  };
+
+  PeerState& peer_state(NodeId peer);
+  void capture_send(SyncContext& ctx, NodeId to, Message message);
+  void handle_frame(SyncContext& ctx, const Message& message);
+  void handle_ack(const Message& message);
+  bool channels_idle() const;
+
+  std::unique_ptr<SyncProgram> inner_;
+  std::size_t dilation_;
+  std::size_t next_inner_round_ = 0;  // next inner round to execute
+  std::vector<PeerState> peers_;      // sorted by peer id
+  std::vector<NodeId> ack_due_;       // peers to ack this round
+};
+
+/// Reliable-delivery wrapper for the asynchronous engine (timer retransmit).
+class ReliableAsyncProgram final : public AsyncProgram {
+ public:
+  /// `spec` must be the spec of the FaultPlan installed on the engine: the
+  /// retransmission give-up budget is derived from its loss bounds.
+  ReliableAsyncProgram(std::unique_ptr<AsyncProgram> inner,
+                       const FaultSpec& spec);
+
+  /// The wrapped program (result extraction after a run).
+  AsyncProgram& inner() noexcept { return *inner_; }
+  const AsyncProgram& inner() const noexcept { return *inner_; }
+
+  void on_start(AsyncContext& ctx) override;
+  void on_message(AsyncContext& ctx, const Message& message) override;
+  void on_timer(AsyncContext& ctx, std::int64_t cookie) override;
+  bool finished() const override;
+
+ private:
+  struct PendingFrame {
+    std::int64_t seq;
+    Message frame;
+  };
+  struct ReorderedFrame {
+    std::int64_t seq;
+    Message original;
+  };
+  struct PeerState {
+    NodeId peer = kNoNode;
+    std::int64_t next_seq = 1;
+    std::int64_t acked = 0;
+    std::int64_t received = 0;
+    std::size_t attempts = 0;     // retransmission rounds since last progress
+    bool timer_armed = false;
+    std::vector<PendingFrame> pending;     // unacked, seq ascending
+    std::vector<ReorderedFrame> reordered;  // accepted out of order
+  };
+
+  PeerState& peer_state(NodeId peer);
+  void capture_send(AsyncContext& ctx, NodeId to, Message message);
+  void handle_frame(AsyncContext& ctx, const Message& message);
+  void handle_ack(const Message& message);
+  void arm_timer(AsyncContext& ctx, PeerState& state);
+  void deliver_in_order(AsyncContext& ctx, PeerState& state,
+                        Message original);
+
+  std::unique_ptr<AsyncProgram> inner_;
+  std::size_t give_up_attempts_;
+  std::vector<PeerState> peers_;  // sorted by peer id
+};
+
+}  // namespace fdlsp

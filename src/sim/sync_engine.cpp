@@ -8,6 +8,10 @@ namespace fdlsp {
 
 void SyncContext::send(NodeId to, Message message) {
   message.from = self_;
+  if (sink_ != nullptr) {
+    (*sink_)(to, std::move(message));
+    return;
+  }
   engine_->deliver(self_, to, std::move(message));
 }
 
@@ -27,29 +31,81 @@ SyncEngine::SyncEngine(const Graph& graph,
 void SyncEngine::deliver(NodeId from, NodeId to, Message message) {
   FDLSP_REQUIRE(graph_.has_edge(from, to),
                 "nodes may only message direct neighbors");
+  if (faults_ != nullptr) {
+    deliver_faulted(from, to, std::move(message));
+    return;
+  }
+  enqueue(from, to, std::move(message));
+}
+
+void SyncEngine::enqueue(NodeId from, NodeId to, Message message) {
+  // on_send fires once per copy actually enqueued (dropped messages emit no
+  // event, duplicates emit two), keeping the per-channel send/deliver
+  // pairing the happens-before checker relies on exact under faults.
   if (trace_ != nullptr) trace_->on_send(from, to);
   next_inbox_[to].push_back(std::move(message));
   ++pending_messages_;
   ++total_messages_;
 }
 
+void SyncEngine::deliver_faulted(NodeId from, NodeId to, Message message) {
+  const double now = static_cast<double>(current_round_);
+  // A crashed sender never runs, but sends from the crash round itself are
+  // possible when the crash lands mid-round; treat both endpoints dead.
+  if (faults_->node_down(from, now) || faults_->node_down(to, now)) {
+    ++faults_->stats().crash_drops;
+    return;
+  }
+  const EdgeId e = graph_.find_edge(from, to);
+  const Edge& edge = graph_.edge(e);
+  const ArcId channel =
+      static_cast<ArcId>((e << 1) | (from == edge.u ? 0u : 1u));
+  if (faults_->link_down(channel, now)) {
+    ++faults_->stats().link_down_drops;
+    return;
+  }
+  const std::uint64_t index = channel_posts_[channel]++;
+  switch (faults_->channel_action(channel, index)) {
+    case FaultAction::kDrop:
+      return;
+    case FaultAction::kDuplicate:
+      enqueue(from, to, message);
+      enqueue(from, to, std::move(message));
+      return;
+    case FaultAction::kCorrupt:
+      faults_->corrupt_payload(channel, index, message);
+      enqueue(from, to, std::move(message));
+      return;
+    case FaultAction::kDeliver:
+      enqueue(from, to, std::move(message));
+      return;
+  }
+  FDLSP_REQUIRE(false, "unknown fault action");
+}
+
 SyncMetrics SyncEngine::run(std::size_t max_rounds) {
   SyncMetrics metrics;
   std::size_t phase = 0;
   const std::size_t n = graph_.num_nodes();
+  if (faults_ != nullptr) channel_posts_.assign(2 * graph_.num_edges(), 0);
 
   // A program's finished/ready state only changes inside its own callbacks
   // (cross-node mutation would be a protocol-isolation violation, flagged by
   // the happens-before checker), so both predicates are cached per node and
   // refreshed right after each callback. The old loop rescanned every
   // program up to three times per round; this one touches only the nodes
-  // that actually ran.
+  // that actually ran. A crashed node counts as terminated: its callbacks
+  // stop and it neither blocks the barrier nor run completion.
   std::vector<char> finished(n, 0);
   std::vector<char> ready(n, 0);  // finished, or voting for phase advance
   std::size_t finished_count = 0;
   std::size_t ready_count = 0;
+  const auto is_down = [&](NodeId v) {
+    return faults_ != nullptr &&
+           faults_->node_down(v, static_cast<double>(current_round_));
+  };
   const auto refresh = [&](NodeId v) {
-    const bool fin = programs_[v]->finished();
+    const bool fin = is_down(v) || programs_[v]->finished();
     const bool rdy = fin || programs_[v]->ready_for_phase_advance();
     if (fin != (finished[v] != 0)) {
       finished[v] = fin ? 1 : 0;
@@ -60,9 +116,18 @@ SyncMetrics SyncEngine::run(std::size_t max_rounds) {
       if (rdy) ++ready_count; else --ready_count;
     }
   };
+  current_round_ = 0;
   for (NodeId v = 0; v < n; ++v) refresh(v);
 
   while (metrics.rounds < max_rounds) {
+    current_round_ = metrics.rounds;
+    if (faults_ != nullptr) {
+      // Down-ness changes with the round counter, not inside callbacks, so
+      // the cached predicates must be recomputed when nodes cross their
+      // crash time (fault path only; the zero-fault loop never scans).
+      for (NodeId v = 0; v < n; ++v)
+        if (finished[v] == 0 && is_down(v)) refresh(v);
+    }
     if (finished_count == n) {
       metrics.completed = true;
       break;
@@ -74,6 +139,7 @@ SyncMetrics SyncEngine::run(std::size_t max_rounds) {
       ++phase;
       ++metrics.phases;
       for (NodeId v = 0; v < n; ++v) {
+        if (is_down(v)) continue;
         if (trace_ != nullptr) trace_->on_local_step(v);
         current_node_ = v;
         programs_[v]->on_phase(phase);
@@ -92,6 +158,13 @@ SyncMetrics SyncEngine::run(std::size_t max_rounds) {
     pending_messages_ = 0;
 
     for (NodeId v = 0; v < n; ++v) {
+      if (is_down(v)) {
+        // Mail queued for a dead node dies with it.
+        if (faults_ != nullptr)
+          faults_->stats().crash_drops += inbox_[v].size();
+        inbox_[v].clear();
+        continue;
+      }
       if (finished[v] != 0 && inbox_[v].empty()) continue;
       if (trace_ != nullptr) {
         for (const Message& message : inbox_[v])
@@ -109,6 +182,7 @@ SyncMetrics SyncEngine::run(std::size_t max_rounds) {
 
   metrics.messages = total_messages_;
   if (!metrics.completed) metrics.completed = finished_count == n;
+  if (faults_ != nullptr) metrics.faults = faults_->stats();
   return metrics;
 }
 

@@ -15,17 +15,22 @@
 // rounds actually consumed.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
 
 #include "graph/graph.h"
+#include "sim/fault.h"
 #include "sim/message.h"
 #include "sim/trace.h"
 
 namespace fdlsp {
 
 class SyncEngine;
+
+/// Capture target for a reframed context's sends (see SyncContext::reframed).
+using SyncSendSink = std::function<void(NodeId to, Message message)>;
 
 /// Per-round context handed to a node program; valid only during on_round.
 class SyncContext {
@@ -50,6 +55,18 @@ class SyncContext {
   /// Sends a copy of the message to every neighbor.
   void broadcast(Message message);
 
+  /// A copy of this context for a protocol layered *inside* another program
+  /// (sim/reliable.h): round() reports the wrapped protocol's own round
+  /// counter and send()/broadcast() feed `sink` instead of the engine, so
+  /// the outer program can frame and schedule the traffic itself. `sink`
+  /// must outlive the copy.
+  SyncContext reframed(std::size_t round, const SyncSendSink* sink) const {
+    SyncContext copy = *this;
+    copy.round_ = round;
+    copy.sink_ = sink;
+    return copy;
+  }
+
  private:
   friend class SyncEngine;
   SyncContext(SyncEngine& engine, NodeId self,
@@ -66,6 +83,7 @@ class SyncContext {
   std::span<const NeighborEntry> neighbors_;
   std::size_t round_;
   std::size_t phase_;
+  const SyncSendSink* sink_ = nullptr;  // non-null: capture instead of send
 };
 
 /// A node program for the synchronous engine.
@@ -93,9 +111,10 @@ class SyncProgram {
 /// Metrics of a synchronous run.
 struct SyncMetrics {
   std::size_t rounds = 0;    ///< communication rounds consumed
-  std::size_t messages = 0;  ///< total point-to-point messages sent
+  std::size_t messages = 0;  ///< total point-to-point messages delivered
   std::size_t phases = 0;    ///< barrier advances performed
   bool completed = false;    ///< all nodes finished within the round cap
+  FaultStats faults;         ///< injected faults (all zero without a plan)
 };
 
 /// Drives a set of SyncPrograms over a communication graph.
@@ -112,6 +131,15 @@ class SyncEngine {
   /// instrumentation points reduce to a null check; see sim/trace.h.
   void set_trace(SimTrace* trace) noexcept { trace_ = trace; }
 
+  /// Installs a fault plan (nullptr detaches) — the same seam as set_trace:
+  /// with no plan every injection point is a single null check and the run
+  /// is byte-identical to an engine built before fault injection existed.
+  /// The plan is consulted at send time (drop/duplicate/corrupt/link-down)
+  /// and each round for node crashes: a crashed node's callbacks stop, its
+  /// queued inbox is discarded, and it counts as terminated. Not owned; must
+  /// outlive the run.
+  void set_fault_plan(FaultPlan* plan) noexcept { faults_ = plan; }
+
   /// Program of node v (for extracting results after the run). Calling this
   /// from inside a program callback for a node other than the one executing
   /// is a cross-node state read and is reported to the attached trace.
@@ -127,6 +155,8 @@ class SyncEngine {
  private:
   friend class SyncContext;
   void deliver(NodeId from, NodeId to, Message message);
+  void deliver_faulted(NodeId from, NodeId to, Message message);
+  void enqueue(NodeId from, NodeId to, Message message);
 
   void note_program_access(NodeId v) const {
     if (trace_ != nullptr && current_node_ != kNoNode && current_node_ != v)
@@ -140,6 +170,9 @@ class SyncEngine {
   std::size_t pending_messages_ = 0;
   std::size_t total_messages_ = 0;
   SimTrace* trace_ = nullptr;
+  FaultPlan* faults_ = nullptr;
+  std::vector<std::uint64_t> channel_posts_;  // fault path only
+  std::size_t current_round_ = 0;             // fault path only
   NodeId current_node_ = kNoNode;  // node whose callback is executing
 };
 

@@ -36,7 +36,11 @@ class SimTrace {
   /// Node `node` begins a local computation step.
   virtual void on_local_step(NodeId node) = 0;
 
-  /// Node `from` sent a message to its direct neighbor `to`.
+  /// Node `from` sent a message to its direct neighbor `to`. Under a
+  /// FaultPlan (sim/fault.h) this fires once per enqueued copy — zero for a
+  /// dropped message, twice for a duplicated one — so every on_deliver
+  /// still pairs with exactly one on_send and happens-before checking
+  /// stays exact on faulted runs.
   virtual void on_send(NodeId from, NodeId to) = 0;
 
   /// The message `from` -> `to` is being delivered (receiver consumes it in

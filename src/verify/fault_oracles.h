@@ -1,0 +1,115 @@
+// Fault-aware verify oracles: the executable form of the robustness claims.
+//
+// Two new oracles join the battery in verify/oracles.h:
+//
+//   * fault-quiescence — under any bounded-loss FaultPlan (sim/fault.h), a
+//     scheduler hardened with the reliable wrapper (sim/reliable.h) still
+//     terminates and still produces a complete, feasible, deterministic
+//     coloring. This is the end-to-end statement of the wrapper's delivery
+//     guarantee: bounded per-channel loss + finite churn windows =>
+//     retransmission restores the perfect-channel semantics the algorithms
+//     assume.
+//
+//   * recovery-locality — after fail-stop crashes and link churn orphan
+//     part of a schedule, re-running dist_repair on the stale coloring (a)
+//     restores completeness and feasibility, (b) leaves every intact arc's
+//     color untouched, and (c) only changes arcs whose tail lies within
+//     distance 2 of the faulted region. The paper's repair cost argument
+//     ("only nodes within distance ~2 of a change compete") becomes a
+//     checkable safety property.
+//
+// The module also extends the delta-debugging story to fault plans:
+// shrink_fault_case minimizes (graph, FaultSpec) jointly, and
+// fault_repro_command renders the result as a one-line replay invocation
+// (examples/replay --faults=...).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "algos/scheduler.h"
+#include "graph/graph.h"
+#include "sim/fault.h"
+#include "verify/oracles.h"
+#include "verify/scenario.h"
+#include "verify/shrink.h"
+
+namespace fdlsp {
+
+/// Judges an already-produced faulted run: termination (with the watchdog's
+/// stall diagnosis surfaced on failure), coloring completeness, and
+/// distance-2 feasibility.
+///
+/// `spec`, when non-null with crashes or link churn armed, scopes the
+/// guarantee: arcs with an endpoint inside the distance-1 ball of the
+/// faulted region (crashed nodes, churned-edge endpoints) are exempt from
+/// both completeness and feasibility — a dead relay severs the distance-2
+/// knowledge path, so survivors adjacent to it can legitimately disagree.
+/// Their correctness story is check_crash_recovery. Every arc outside the
+/// ball keeps the full guarantee. A null spec (or a loss-only spec) checks
+/// the whole coloring strictly.
+OracleVerdict check_fault_result(const Graph& graph,
+                                 const ScheduleResult& result,
+                                 const FaultSpec* spec = nullptr);
+
+/// The fault-quiescence oracle. Runs `kind` hardened with the reliable
+/// wrapper under `spec`, applies check_fault_result, then re-runs with the
+/// identical spec and fails unless the coloring is byte-identical (fault
+/// injection must not break seed-determinism). Centralized baselines run
+/// fault-free and pass trivially.
+OracleVerdict check_fault_quiescence(SchedulerKind kind, const Graph& graph,
+                                     std::uint64_t seed,
+                                     const FaultSpec& spec);
+
+/// Outcome of the crash-recovery workflow.
+struct CrashRecoveryReport {
+  bool ok = true;
+  std::string failure;             ///< first failing check, human-readable
+  std::size_t orphaned_arcs = 0;   ///< arcs the fault model invalidated
+  std::size_t changed_arcs = 0;    ///< arcs whose color differs from stale
+  std::size_t repair_rounds = 0;   ///< rounds the repair run consumed
+  std::size_t repair_messages = 0;
+};
+
+/// The recovery-locality oracle. Produces a clean schedule with `kind`,
+/// orphans it according to `spec`'s crash/churn draws (a crashed node
+/// recovers with state loss — its out-arc colors are forgotten; a churned
+/// edge forgets both directions), repairs it with run_distributed_repair,
+/// and checks feasibility, intact-arc stability, and the distance-2
+/// locality of every changed arc. A spec with no crash/churn armed yields
+/// a trivial ok report (orphaned_arcs == 0).
+CrashRecoveryReport check_crash_recovery(SchedulerKind kind,
+                                         const Graph& graph,
+                                         std::uint64_t seed,
+                                         const FaultSpec& spec);
+
+/// Returns true iff the failure still reproduces on (candidate graph,
+/// candidate fault spec).
+using FaultFailingPredicate =
+    std::function<bool(const Graph& graph, const FaultSpec& spec)>;
+
+/// Result of a joint (graph, spec) shrink.
+struct FaultShrinkOutcome {
+  Graph graph;             ///< smallest failing graph found
+  FaultSpec spec;          ///< simplest failing fault spec found
+  std::size_t checks = 0;  ///< predicate calls spent
+};
+
+/// Minimizes a failing fault case along both axes: first the graph (ddmin
+/// via shrink_graph, spec held fixed), then the spec (disarming whole fault
+/// classes, resetting seed/cap to defaults, halving rates — greedily, to a
+/// fixpoint), then the graph once more under the simplified spec.
+/// Deterministic; `still_fails` must hold on the inputs.
+FaultShrinkOutcome shrink_fault_case(const Graph& start, const FaultSpec& spec,
+                                     const FaultFailingPredicate& still_fails,
+                                     const ShrinkOptions& options = {});
+
+/// One-line replay command including the fault plan, e.g.
+///   --family=ring --n=8 --density=0.50 --seed=3 --scheduler=DFS
+///       --faults=drop=0.1,crash=0.25
+std::string fault_repro_command(const Scenario& scenario,
+                                const std::string& algorithm,
+                                const FaultSpec& spec);
+
+}  // namespace fdlsp

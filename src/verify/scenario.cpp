@@ -19,6 +19,10 @@ std::string family_name(GraphFamily family) {
       return "tree";
     case GraphFamily::kGrid:
       return "grid";
+    case GraphFamily::kRing:
+      return "ring";
+    case GraphFamily::kStar:
+      return "star";
   }
   FDLSP_REQUIRE(false, "unknown graph family");
   return {};
@@ -55,6 +59,12 @@ Graph materialize(const Scenario& scenario) {
       const std::size_t cols = (scenario.n + rows - 1) / rows;
       return generate_grid(rows, cols);
     }
+    case GraphFamily::kRing:
+      // generate_cycle needs n >= 3; below that fall back to a path.
+      return scenario.n >= 3 ? generate_cycle(scenario.n)
+                             : generate_path(scenario.n);
+    case GraphFamily::kStar:
+      return generate_star(scenario.n);
   }
   FDLSP_REQUIRE(false, "unknown graph family");
   return Graph(0);

@@ -23,14 +23,17 @@ enum class GraphFamily {
   kGnm,   ///< Erdős–Rényi G(n, m); density = m / n(n-1)/2
   kTree,  ///< uniform random attachment tree (density unused)
   kGrid,  ///< rows×cols grid, rows*cols ≈ n (density unused)
+  kRing,  ///< cycle on n nodes (density unused) — worst case for token loss
+  kStar,  ///< star K_{1,n-1} (density unused) — hub crash kills everything
 };
 
 /// All families, for sweep loops.
 inline constexpr GraphFamily kAllFamilies[] = {
-    GraphFamily::kUdg, GraphFamily::kGnm, GraphFamily::kTree,
-    GraphFamily::kGrid};
+    GraphFamily::kUdg,  GraphFamily::kGnm,  GraphFamily::kTree,
+    GraphFamily::kGrid, GraphFamily::kRing, GraphFamily::kStar};
 
-/// Family name as used in repro commands ("udg", "gnm", "tree", "grid").
+/// Family name as used in repro commands
+/// ("udg", "gnm", "tree", "grid", "ring", "star").
 std::string family_name(GraphFamily family);
 
 /// One reproducible test instance.

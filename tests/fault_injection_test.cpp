@@ -1,0 +1,272 @@
+// Property-based fault-injection sweep (the `faulttest` battery).
+//
+// Every distributed scheduler × all six graph families × the fault-plan
+// classes (bounded loss, duplication+corruption, crashes, link churn) ×
+// the three async delay models, judged by the fault-aware oracles:
+// fault-quiescence (hardened runs terminate with a feasible, deterministic
+// schedule outside the faulted region) and recovery-locality (dist_repair
+// heals crash/churn orphans touching only the distance-2 neighborhood).
+// The last tests pin the delta-debugging story: a seeded failing fault
+// plan shrinks to a minimal (graph, spec) pair with a replayable repro
+// string.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "algos/dfs_schedule.h"
+#include "algos/dist_repair.h"
+#include "algos/scheduler.h"
+#include "coloring/checker.h"
+#include "graph/algorithms.h"
+#include "graph/arcs.h"
+#include "graph/graph.h"
+#include "sim/delay.h"
+#include "sim/fault.h"
+#include "verify/fault_oracles.h"
+#include "verify/scenario.h"
+
+namespace fdlsp {
+namespace {
+
+constexpr std::size_t kScenariosPerClass = 18;  // 3 per family
+constexpr std::size_t kMaxNodes = 12;
+
+/// The fault-plan classes the sweep crosses with every scenario.
+std::vector<FaultSpec> fault_classes(std::uint64_t seed) {
+  FaultSpec loss;
+  loss.seed = seed;
+  loss.drop_rate = 0.2;
+
+  FaultSpec noise;
+  noise.seed = seed;
+  noise.duplicate_rate = 0.15;
+  noise.corrupt_rate = 0.1;
+
+  FaultSpec crash;
+  crash.seed = seed;
+  crash.drop_rate = 0.05;
+  crash.crash_fraction = 0.2;
+
+  FaultSpec churn;
+  churn.seed = seed;
+  churn.link_down_fraction = 0.3;
+  churn.link_down_duration = 3.0;
+
+  return {loss, noise, crash, churn};
+}
+
+class FaultSweep : public ::testing::TestWithParam<SchedulerKind> {};
+
+TEST_P(FaultSweep, HardenedRunsPassFaultOracles) {
+  const SchedulerKind kind = GetParam();
+  const bool needs_connected = kind == SchedulerKind::kDfs;
+  const std::uint64_t base_seed =
+      0xfa171ULL * (static_cast<std::uint64_t>(kind) + 1) + 3;
+  const std::vector<Scenario> scenarios =
+      sample_scenarios(kScenariosPerClass, base_seed, kMaxNodes);
+
+  std::size_t checked = 0;
+  for (const Scenario& scenario : scenarios) {
+    const Graph graph = materialize(scenario);
+    if (needs_connected && !is_connected(graph)) continue;
+    for (const FaultSpec& spec : fault_classes(scenario.seed + 1)) {
+      // A token-passing traversal cannot survive its token holder
+      // fail-stopping: the guarantee for DFS under crash plans is graceful
+      // degradation — the run returns (give-up + watchdog, no hang),
+      // deterministically, and whatever it did color obeys the scoped
+      // feasibility contract.
+      if (kind == SchedulerKind::kDfs && spec.crash_fraction > 0.0) {
+        const ScheduleResult first = run_scheduler_faulted(
+            kind, graph, scenario.seed, spec, /*reliable=*/true);
+        const ScheduleResult second = run_scheduler_faulted(
+            kind, graph, scenario.seed, spec, /*reliable=*/true);
+        EXPECT_EQ(first.completed, second.completed);
+        EXPECT_EQ(first.messages, second.messages);
+        if (first.completed) {
+          const OracleVerdict verdict =
+              check_fault_result(graph, first, &spec);
+          EXPECT_TRUE(verdict.ok)
+              << verdict.failure << "\nrepro: "
+              << fault_repro_command(scenario, scheduler_name(kind), spec);
+        }
+        ++checked;
+        continue;
+      }
+      const OracleVerdict verdict =
+          check_fault_quiescence(kind, graph, scenario.seed, spec);
+      EXPECT_TRUE(verdict.ok)
+          << verdict.failure << "\nrepro: "
+          << fault_repro_command(scenario, scheduler_name(kind), spec);
+      ++checked;
+    }
+  }
+  // The connectivity filter must not silently hollow out the sweep.
+  EXPECT_GE(checked, 4 * kScenariosPerClass / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FaultSweep,
+    ::testing::Values(SchedulerKind::kDistMisGbg,
+                      SchedulerKind::kDistMisGeneral,
+                      SchedulerKind::kRandomized, SchedulerKind::kDfs,
+                      SchedulerKind::kDmgc),
+    [](const auto& param_info) {
+      std::string name = scheduler_name(param_info.param);
+      for (char& ch : name)
+        if (ch == '-') ch = '_';
+      return name;
+    });
+
+// DFS under a lossy plan across all three delay models: the timer-based
+// retransmit path must be insensitive to how the adversary schedules
+// deliveries.
+TEST(FaultInjectionTest, DfsSurvivesLossAcrossDelayModels) {
+  const std::vector<Scenario> scenarios = sample_scenarios(12, 0xde1a, 10);
+  FaultSpec spec;
+  spec.seed = 13;
+  spec.drop_rate = 0.2;
+  spec.duplicate_rate = 0.1;
+  std::size_t checked = 0;
+  for (const Scenario& scenario : scenarios) {
+    const Graph graph = materialize(scenario);
+    if (!is_connected(graph)) continue;
+    for (const DelayModel model :
+         {DelayModel::kUnit, DelayModel::kUniformRandom,
+          DelayModel::kAdversarial}) {
+      DfsOptions options;
+      options.seed = scenario.seed;
+      options.delay_model = model;
+      options.faults = &spec;
+      options.reliable = true;
+      const ScheduleResult result = run_dfs_schedule(graph, options);
+      const OracleVerdict verdict = check_fault_result(graph, result);
+      EXPECT_TRUE(verdict.ok)
+          << delay_model_name(model) << ": " << verdict.failure << "\nrepro: "
+          << fault_repro_command(scenario, "DFS", spec);
+      ++checked;
+    }
+  }
+  EXPECT_GE(checked, 12u);
+}
+
+// Crash-recovery workflow: crash/churn plans orphan part of a clean
+// schedule; dist_repair must restore feasibility while touching only the
+// distance-2 neighborhood of the faulted region.
+TEST(FaultInjectionTest, CrashRecoveryIsLocal) {
+  const std::vector<Scenario> scenarios = sample_scenarios(18, 0xc4a5, 12);
+  for (const Scenario& scenario : scenarios) {
+    const Graph graph = materialize(scenario);
+    FaultSpec crash;
+    crash.seed = scenario.seed + 7;
+    crash.crash_fraction = 0.25;
+    FaultSpec churn;
+    churn.seed = scenario.seed + 7;
+    churn.link_down_fraction = 0.3;
+    for (const FaultSpec& spec : {crash, churn}) {
+      const CrashRecoveryReport report = check_crash_recovery(
+          SchedulerKind::kDistMisGbg, graph, scenario.seed, spec);
+      EXPECT_TRUE(report.ok)
+          << report.failure << "\nrepro: "
+          << fault_repro_command(scenario, "distMIS", spec);
+      if (report.orphaned_arcs > 0) {
+        EXPECT_GT(report.changed_arcs, 0u);
+      }
+    }
+  }
+}
+
+// dist_repair hardened with the wrapper also runs *under* faults.
+TEST(FaultInjectionTest, HardenedRepairSurvivesLossyRun) {
+  const std::vector<Scenario> scenarios = sample_scenarios(8, 0x4e9a, 10);
+  FaultSpec spec;
+  spec.seed = 17;
+  spec.drop_rate = 0.2;
+  for (const Scenario& scenario : scenarios) {
+    const Graph graph = materialize(scenario);
+    if (graph.num_edges() == 0) continue;
+    const ScheduleResult clean =
+        run_scheduler(SchedulerKind::kDistMisGbg, graph, scenario.seed);
+    const ArcView view(graph);
+    ArcColoring stale = clean.coloring;
+    for (const NeighborEntry& entry : graph.neighbors(0))
+      stale.clear(view.arc_from(entry.edge, 0));
+    const DistRepairResult repaired = run_distributed_repair(
+        graph, stale, scenario.seed, 1'000'000, nullptr, &spec,
+        /*reliable=*/true);
+    EXPECT_TRUE(repaired.completed);
+    EXPECT_TRUE(is_feasible_schedule(view, repaired.coloring))
+        << "repro: "
+        << fault_repro_command(scenario, "dist_repair", spec);
+  }
+}
+
+/// The canonical terminating-but-wrong fault case: unhardened dist_repair
+/// under message loss finishes its fixed-length flood-and-compete schedule
+/// with holes in its knowledge, producing an infeasible or incomplete
+/// coloring.
+bool lossy_repair_fails(const Graph& graph, const FaultSpec& spec) {
+  if (graph.num_nodes() == 0 || graph.num_edges() == 0 || !spec.any())
+    return false;
+  const ScheduleResult clean =
+      run_scheduler(SchedulerKind::kDistMisGbg, graph, 7);
+  const ArcView view(graph);
+  ArcColoring stale = clean.coloring;
+  for (const NeighborEntry& entry : graph.neighbors(0))
+    stale.clear(view.arc_from(entry.edge, 0));
+  const DistRepairResult repaired = run_distributed_repair(
+      graph, stale, 7, 1'000'000, nullptr, &spec, /*reliable=*/false);
+  return !repaired.completed ||
+         !is_feasible_schedule(view, repaired.coloring);
+}
+
+// The acceptance-criterion shrink: a seeded failing fault plan minimizes
+// to a small (graph, spec) pair and renders as a one-line replay command.
+TEST(FaultInjectionTest, FailingFaultPlanShrinksToReplayableRepro) {
+  // Scan a few seeded instances for a failing one so the test is robust to
+  // upstream generator tweaks; the shrinker contract is what is under test.
+  Graph failing;
+  FaultSpec failing_spec;
+  bool found = false;
+  for (std::uint64_t seed = 1; seed <= 6 && !found; ++seed) {
+    const std::vector<Scenario> scenarios = sample_scenarios(12, seed, 14);
+    for (const Scenario& scenario : scenarios) {
+      FaultSpec spec;
+      spec.seed = seed * 31 + 5;
+      spec.drop_rate = 0.6;
+      spec.corrupt_rate = 0.3;
+      spec.max_losses_per_channel = 16;
+      const Graph graph = materialize(scenario);
+      if (lossy_repair_fails(graph, spec)) {
+        failing = graph;
+        failing_spec = spec;
+        found = true;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(found) << "no seeded lossy repair failure found";
+
+  ShrinkOptions options;
+  options.max_checks = 400;
+  const FaultShrinkOutcome shrunk =
+      shrink_fault_case(failing, failing_spec, lossy_repair_fails, options);
+
+  // The minimized case still fails, is no larger than the seed case, and
+  // the spec only got simpler.
+  EXPECT_TRUE(lossy_repair_fails(shrunk.graph, shrunk.spec));
+  EXPECT_LE(shrunk.graph.num_nodes(), failing.num_nodes());
+  EXPECT_LE(shrunk.graph.num_edges(), failing.num_edges());
+  EXPECT_LE(shrunk.spec.drop_rate, failing_spec.drop_rate);
+  EXPECT_LE(shrunk.spec.corrupt_rate, failing_spec.corrupt_rate);
+  EXPECT_LE(shrunk.checks, options.max_checks + 1);
+
+  const std::string repro = fault_repro_command(
+      scenario_from_graph(shrunk.graph), "dist_repair", shrunk.spec);
+  EXPECT_NE(repro.find("--faults="), std::string::npos) << repro;
+  EXPECT_NE(repro.find("--scheduler=dist_repair"), std::string::npos)
+      << repro;
+}
+
+}  // namespace
+}  // namespace fdlsp

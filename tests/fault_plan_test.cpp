@@ -1,0 +1,205 @@
+// FaultPlan unit tests: decision determinism, bounded loss, crash/churn
+// schedules, payload-size-preserving corruption, spec round-tripping, and
+// the zero-fault byte-identity guarantee of the injection seam.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "algos/scheduler.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "sim/fault.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace fdlsp {
+namespace {
+
+Graph test_graph() {
+  Rng rng(5);
+  return generate_gnm(12, 20, rng);
+}
+
+TEST(FaultPlanTest, DecisionsAreDeterministic) {
+  const Graph graph = test_graph();
+  FaultSpec spec;
+  spec.seed = 42;
+  spec.drop_rate = 0.2;
+  spec.duplicate_rate = 0.1;
+  spec.corrupt_rate = 0.1;
+  spec.crash_fraction = 0.25;
+  spec.link_down_fraction = 0.25;
+
+  FaultPlan a(spec, graph);
+  FaultPlan b(spec, graph);
+  for (ArcId channel = 0; channel < 2 * graph.num_edges(); ++channel)
+    for (std::uint64_t index = 0; index < 50; ++index)
+      ASSERT_EQ(a.channel_action(channel, index),
+                b.channel_action(channel, index))
+          << "channel " << channel << " index " << index;
+  EXPECT_EQ(a.crashed_nodes(), b.crashed_nodes());
+  EXPECT_EQ(a.churned_edges(), b.churned_edges());
+}
+
+TEST(FaultPlanTest, SeedChangesDecisions) {
+  const Graph graph = test_graph();
+  FaultSpec spec;
+  spec.drop_rate = 0.5;
+  spec.seed = 1;
+  FaultPlan a(spec, graph);
+  spec.seed = 2;
+  FaultPlan b(spec, graph);
+  bool differs = false;
+  for (ArcId channel = 0; channel < 2 * graph.num_edges() && !differs;
+       ++channel)
+    for (std::uint64_t index = 0; index < 20 && !differs; ++index)
+      differs = a.channel_action(channel, index) !=
+                b.channel_action(channel, index);
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultPlanTest, LossIsBoundedPerChannel) {
+  const Graph graph = test_graph();
+  FaultSpec spec;
+  spec.drop_rate = 1.0;  // every message would drop, absent the cap
+  spec.max_losses_per_channel = 3;
+  FaultPlan plan(spec, graph);
+  std::uint64_t drops = 0;
+  for (std::uint64_t index = 0; index < 100; ++index)
+    if (plan.channel_action(/*channel=*/0, index) == FaultAction::kDrop)
+      ++drops;
+  EXPECT_EQ(drops, 3u);
+  // Once the cap is hit the channel is lossless forever.
+  EXPECT_EQ(plan.channel_action(0, 100), FaultAction::kDeliver);
+  // Other channels have their own budget.
+  EXPECT_EQ(plan.channel_action(1, 0), FaultAction::kDrop);
+}
+
+TEST(FaultPlanTest, CorruptionPreservesPayloadSize) {
+  const Graph graph = test_graph();
+  FaultSpec spec;
+  spec.corrupt_rate = 1.0;
+  FaultPlan plan(spec, graph);
+
+  Message message;
+  message.tag = 7;
+  message.data = {1, 2, 3};
+  Message corrupted = message;
+  plan.corrupt_payload(/*channel=*/0, /*message_index=*/0, corrupted);
+  EXPECT_EQ(corrupted.data.size(), message.data.size());
+  EXPECT_TRUE(corrupted.tag != message.tag || corrupted.data != message.data);
+
+  Message empty;
+  empty.tag = 7;
+  Message empty_corrupted = empty;
+  plan.corrupt_payload(0, 0, empty_corrupted);
+  EXPECT_TRUE(empty_corrupted.data.empty());
+  EXPECT_NE(empty_corrupted.tag, empty.tag);  // the tag takes the flip
+}
+
+TEST(FaultPlanTest, CrashScheduleMatchesFraction) {
+  Rng rng(9);
+  const Graph graph = generate_gnm(40, 60, rng);
+  FaultSpec all;
+  all.crash_fraction = 1.0;
+  const FaultPlan everyone(all, graph);
+  EXPECT_EQ(everyone.crashed_nodes().size(), graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    EXPECT_TRUE(everyone.node_crashes(v));
+    EXPECT_GE(everyone.crash_time(v), 0.0);
+    EXPECT_LT(everyone.crash_time(v), all.crash_horizon);
+    EXPECT_FALSE(everyone.node_down(v, -1.0));
+    EXPECT_TRUE(everyone.node_down(v, all.crash_horizon + 1.0));
+  }
+
+  FaultSpec none;
+  const FaultPlan nobody(none, graph);
+  EXPECT_TRUE(nobody.crashed_nodes().empty());
+  EXPECT_TRUE(nobody.churned_edges().empty());
+}
+
+TEST(FaultPlanTest, LinkDownWindowsAreFinite) {
+  const Graph graph = test_graph();
+  FaultSpec spec;
+  spec.link_down_fraction = 1.0;
+  spec.link_down_duration = 3.0;
+  const FaultPlan plan(spec, graph);
+  ASSERT_EQ(plan.churned_edges().size(), graph.num_edges());
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const ArcId forward = static_cast<ArcId>(e << 1);
+    const ArcId backward = static_cast<ArcId>((e << 1) | 1u);
+    bool ever_down = false;
+    for (double t = 0.0; t < spec.link_down_horizon + spec.link_down_duration;
+         t += 0.5) {
+      // Both directions of an edge share the window.
+      ASSERT_EQ(plan.link_down(forward, t), plan.link_down(backward, t));
+      ever_down = ever_down || plan.link_down(forward, t);
+    }
+    EXPECT_TRUE(ever_down);
+    EXPECT_FALSE(plan.link_down(
+        forward, spec.link_down_horizon + spec.link_down_duration + 1.0));
+  }
+}
+
+TEST(FaultPlanTest, SpecFormatsAndParsesRoundTrip) {
+  FaultSpec spec;
+  spec.seed = 7;
+  spec.drop_rate = 0.125;
+  spec.duplicate_rate = 0.0625;
+  spec.corrupt_rate = 0.25;
+  spec.max_losses_per_channel = 5;
+  spec.crash_fraction = 0.5;
+  spec.crash_horizon = 12.0;
+  spec.link_down_fraction = 0.25;
+  spec.link_down_horizon = 10.0;
+  spec.link_down_duration = 2.0;
+  EXPECT_EQ(parse_fault_spec(format_fault_spec(spec)), spec);
+
+  const FaultSpec defaults;
+  EXPECT_EQ(format_fault_spec(defaults), "none");
+  EXPECT_EQ(parse_fault_spec("none"), defaults);
+  EXPECT_EQ(parse_fault_spec(format_fault_spec(defaults)), defaults);
+
+  FaultSpec drop_only;
+  drop_only.drop_rate = 0.1;
+  EXPECT_EQ(parse_fault_spec(format_fault_spec(drop_only)), drop_only);
+
+  EXPECT_THROW(parse_fault_spec("bogus=1"), contract_error);
+  EXPECT_THROW(parse_fault_spec("drop"), contract_error);
+}
+
+// The seam contract: with no plan armed, the faulted entry point must
+// reproduce the unfaulted run bit for bit — coloring, slots, rounds,
+// messages — on both engine families.
+TEST(FaultPlanTest, ZeroFaultPathIsByteIdentical) {
+  const Graph sync_graph = test_graph();
+  const Graph async_graph = generate_cycle(10);
+  const FaultSpec none;
+  ASSERT_FALSE(none.any());
+
+  for (const SchedulerKind kind :
+       {SchedulerKind::kDistMisGbg, SchedulerKind::kDistMisGeneral,
+        SchedulerKind::kRandomized}) {
+    const ScheduleResult plain = run_scheduler(kind, sync_graph, 3);
+    const ScheduleResult faulted = run_scheduler_faulted(
+        kind, sync_graph, 3, none, /*reliable=*/false);
+    ASSERT_EQ(plain.coloring.num_arcs(), faulted.coloring.num_arcs());
+    for (ArcId a = 0; a < plain.coloring.num_arcs(); ++a)
+      ASSERT_EQ(plain.coloring.color(a), faulted.coloring.color(a));
+    EXPECT_EQ(plain.num_slots, faulted.num_slots);
+    EXPECT_EQ(plain.rounds, faulted.rounds);
+    EXPECT_EQ(plain.messages, faulted.messages);
+  }
+
+  const ScheduleResult plain =
+      run_scheduler(SchedulerKind::kDfs, async_graph, 3);
+  const ScheduleResult faulted = run_scheduler_faulted(
+      SchedulerKind::kDfs, async_graph, 3, none, /*reliable=*/false);
+  for (ArcId a = 0; a < plain.coloring.num_arcs(); ++a)
+    ASSERT_EQ(plain.coloring.color(a), faulted.coloring.color(a));
+  EXPECT_EQ(plain.messages, faulted.messages);
+}
+
+}  // namespace
+}  // namespace fdlsp

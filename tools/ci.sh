@@ -5,6 +5,8 @@
 #   tools/ci.sh            # tier-1 (full suite, RelWithDebInfo)
 #   tools/ci.sh asan       # ASan+UBSan build, proptest-labeled suite
 #   tools/ci.sh tsan       # TSan build, proptest-labeled suite
+#   tools/ci.sh faults     # fault-injection gate: faulttest-labeled suite,
+#                          # plain and under ASan+UBSan
 #   tools/ci.sh lint       # fdlsp-lint over src/ (determinism/isolation)
 #   tools/ci.sh tidy       # clang-tidy (skipped when not installed)
 #   tools/ci.sh bench      # Release build + coloring micro suite (capped
@@ -31,6 +33,17 @@ run_sanitizer() {  # $1 = preset name (asan-ubsan | tsan)
   cmake --preset "${preset}"
   cmake --build --preset "${preset}" -j
   ctest --test-dir "build-${preset}" -L proptest --output-on-failure \
+    -j "$(nproc)"
+}
+
+run_faults() {
+  echo "=== faults: fault-injection suite (plain + ASan+UBSan) ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build -j
+  ctest --test-dir build -L faulttest --output-on-failure -j "$(nproc)"
+  cmake --preset asan-ubsan
+  cmake --build --preset asan-ubsan -j
+  ctest --test-dir build-asan-ubsan -L faulttest --output-on-failure \
     -j "$(nproc)"
 }
 
@@ -66,6 +79,7 @@ case "${jobs}" in
   tier1) run_tier1 ;;
   asan) run_sanitizer asan-ubsan ;;
   tsan) run_sanitizer tsan ;;
+  faults) run_faults ;;
   lint) run_lint ;;
   tidy) run_tidy ;;
   bench) run_bench ;;
@@ -74,11 +88,12 @@ case "${jobs}" in
     run_tier1
     run_sanitizer asan-ubsan
     run_sanitizer tsan
+    run_faults
     run_tidy
     run_bench
     ;;
   *)
-    echo "usage: tools/ci.sh [tier1|asan|tsan|lint|tidy|bench|all]" >&2
+    echo "usage: tools/ci.sh [tier1|asan|tsan|faults|lint|tidy|bench|all]" >&2
     exit 2
     ;;
 esac
