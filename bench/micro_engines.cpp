@@ -1,27 +1,40 @@
 // Microbenchmarks for the simulation engines themselves: round dispatch
-// overhead, message throughput, and event-queue cost.
+// overhead, message throughput, event-queue cost, and the performance-layer
+// knobs (ISSUE 5): payload size across the SmallPayload inline/spill
+// boundary, and sharded parallel rounds at several thread counts.
+//
+// tools/bench_smoke.sh runs this suite and commits BENCH_sim.json as the
+// regression baseline; tools/ci.sh bench-compare diffs fresh runs against
+// it with a tolerance band.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <memory>
 
+#include "algos/dist_mis.h"
 #include "graph/generators.h"
 #include "sim/async_engine.h"
 #include "sim/sync_engine.h"
 #include "support/rng.h"
+#include "support/thread_pool.h"
 
 namespace {
 
 using namespace fdlsp;
 
-/// Gossip for a fixed number of rounds: every node rebroadcasts each round.
+/// Gossip for a fixed number of rounds: every node rebroadcasts each round,
+/// carrying `words` int64s (words <= 4 stays inline in SmallPayload, more
+/// spills to the heap).
 class GossipProgram final : public SyncProgram {
  public:
-  explicit GossipProgram(std::size_t rounds) : rounds_(rounds) {}
+  explicit GossipProgram(std::size_t rounds, std::size_t words = 1)
+      : rounds_(rounds), words_(words) {}
   void on_round(SyncContext& ctx, std::span<const Message>) override {
     ++executed_;
     Message message;
     message.tag = 1;
-    message.data = {static_cast<std::int64_t>(executed_)};
+    for (std::size_t w = 0; w < words_; ++w)
+      message.data.push_back(static_cast<std::int64_t>(executed_ + w));
     ctx.broadcast(std::move(message));
   }
   bool ready_for_phase_advance() const override { return false; }
@@ -30,6 +43,7 @@ class GossipProgram final : public SyncProgram {
 
  private:
   std::size_t rounds_;
+  std::size_t words_;
   std::size_t executed_ = 0;
 };
 
@@ -49,6 +63,92 @@ void BM_SyncEngineGossip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SyncEngineGossip)->Arg(100)->Arg(500);
+
+/// Payload-size sweep across the SmallPayload boundary: 2 and 4 words are
+/// inline (zero-alloc), 8 and 16 spill. Args: {nodes, words}.
+void BM_SyncEngineGossipPayload(benchmark::State& state) {
+  Rng rng(5);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto words = static_cast<std::size_t>(state.range(1));
+  const Graph graph = generate_gnm(n, n * 4, rng);
+  for (auto _ : state) {
+    std::vector<std::unique_ptr<SyncProgram>> programs;
+    for (NodeId v = 0; v < graph.num_nodes(); ++v)
+      programs.push_back(std::make_unique<GossipProgram>(20, words));
+    SyncEngine engine(graph, std::move(programs));
+    const SyncMetrics metrics = engine.run();
+    benchmark::DoNotOptimize(metrics.messages);
+    state.counters["msgs"] = static_cast<double>(metrics.messages);
+  }
+}
+BENCHMARK(BM_SyncEngineGossipPayload)
+    ->Args({200, 2})
+    ->Args({200, 4})
+    ->Args({200, 8})
+    ->Args({200, 16});
+
+/// Thread-count sweep of the sharded round loop. Args: {nodes, threads};
+/// threads == 0 runs the serial engine (no pool attached). Results are
+/// byte-identical across the sweep (tests/engine_parallel_test.cpp); this
+/// bench measures only the wall-time effect of sharding.
+void BM_SyncEngineGossipThreads(benchmark::State& state) {
+  Rng rng(5);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const Graph graph = generate_gnm(n, n * 4, rng);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 0) pool = std::make_unique<ThreadPool>(threads);
+  for (auto _ : state) {
+    std::vector<std::unique_ptr<SyncProgram>> programs;
+    for (NodeId v = 0; v < graph.num_nodes(); ++v)
+      programs.push_back(std::make_unique<GossipProgram>(20, 2));
+    SyncEngine engine(graph, std::move(programs));
+    engine.set_thread_pool(pool.get());
+    const SyncMetrics metrics = engine.run();
+    benchmark::DoNotOptimize(metrics.messages);
+    state.counters["msgs"] = static_cast<double>(metrics.messages);
+  }
+}
+BENCHMARK(BM_SyncEngineGossipThreads)
+    ->Args({500, 0})
+    ->Args({500, 1})
+    ->Args({500, 2})
+    ->Args({500, 8});
+
+/// End-to-end DistMIS on a paper-style UDG field, thread-parameterized.
+/// Args: {nodes, threads}; the field side is chosen for average degree ~6
+/// at every n so the per-node work stays comparable across sizes. This is
+/// the headline row of EXPERIMENTS.md's engine-throughput table.
+void BM_DistMisUdg(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const double radius = 0.5;
+  const double side =
+      std::sqrt(static_cast<double>(n) * 3.14159265 * radius * radius / 6.0);
+  Rng rng(42);
+  const Graph graph = generate_udg(n, side, radius, rng).graph;
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 0) pool = std::make_unique<ThreadPool>(threads);
+  for (auto _ : state) {
+    DistMisOptions options;
+    options.variant = DistMisVariant::kGbg;
+    options.seed = 42;
+    options.pool = pool.get();
+    const ScheduleResult result = run_dist_mis(graph, options);
+    benchmark::DoNotOptimize(result.num_slots);
+    state.counters["msgs"] = static_cast<double>(result.messages);
+    state.counters["rounds"] = static_cast<double>(result.rounds);
+  }
+}
+BENCHMARK(BM_DistMisUdg)
+    ->Args({200, 0})
+    ->Args({200, 2})
+    ->Args({500, 0})
+    ->Args({500, 2})
+    ->Args({1000, 0})
+    ->Args({1000, 2})
+    ->Args({1000, 8})
+    ->Unit(benchmark::kMillisecond);
 
 /// Ping-pong along a random ring for a fixed hop count.
 class HopProgram final : public AsyncProgram {

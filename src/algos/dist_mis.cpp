@@ -1,10 +1,8 @@
 #include "algos/dist_mis.h"
 
 #include <algorithm>
-#include <map>
 #include <memory>
 #include <optional>
-#include <set>
 #include <utility>
 #include <vector>
 
@@ -13,6 +11,8 @@
 #include "sim/reliable.h"
 #include "sim/sync_engine.h"
 #include "support/check.h"
+#include "support/epoch_marks.h"
+#include "support/flat_hash.h"
 #include "support/rng.h"
 
 namespace fdlsp {
@@ -204,7 +204,7 @@ class DistMisProgram final : public SyncProgram {
                     static_cast<std::int64_t>(own_block_),
                     static_cast<std::int64_t>(flood_radius_)};
     for (ArcId a : arcs) {
-      if (known_colors_.count(a)) continue;  // colored by a neighbor already
+      if (known_colors_.contains(a)) continue;  // colored by a neighbor
       const Color c = smallest_known_feasible(a);
       known_colors_[a] = c;
       assignments_.emplace_back(a, c);
@@ -216,21 +216,18 @@ class DistMisProgram final : public SyncProgram {
     retired_ = true;
   }
 
-  /// Smallest color not used by any known-colored conflicting arc.
-  Color smallest_known_feasible(ArcId a) const {
-    std::vector<Color> used;
+  /// Smallest color not used by any known-colored conflicting arc. The
+  /// conflict enumeration stays on the fly (see coloring/conflict_index.h on
+  /// why node programs do not prebuild); the used-set is an epoch-stamped
+  /// sweep instead of a per-call vector + sort + unique.
+  Color smallest_known_feasible(ArcId a) {
+    used_colors_.begin();
     for_each_conflicting_arc(*view_, a, [&](ArcId b) {
-      const auto it = known_colors_.find(b);
-      if (it != known_colors_.end()) used.push_back(it->second);
+      const Color* color = known_colors_.find(b);
+      if (color != nullptr)
+        used_colors_.mark(static_cast<std::size_t>(*color));
     });
-    std::sort(used.begin(), used.end());
-    used.erase(std::unique(used.begin(), used.end()), used.end());
-    Color candidate = 0;
-    for (Color c : used) {
-      if (c > candidate) break;
-      if (c == candidate) ++candidate;
-    }
-    return candidate;
+    return static_cast<Color>(used_colors_.first_unmarked());
   }
 
   /// Returns true the first time a (tag, origin, block) flood is seen.
@@ -238,7 +235,7 @@ class DistMisProgram final : public SyncProgram {
     const std::uint64_t key = (static_cast<std::uint64_t>(origin) << 34) |
                               (block << 2) |
                               static_cast<std::uint64_t>(tag & 3);
-    return seen_.insert(key).second;
+    return seen_.insert(key);
   }
 
   const ArcView* view_;
@@ -259,9 +256,12 @@ class DistMisProgram final : public SyncProgram {
   std::int64_t comp_value_ = 0;
   std::vector<std::pair<std::int64_t, std::int64_t>> rivals_;
 
-  std::map<ArcId, Color> known_colors_;
+  // Point-access only (no observed ordering): flat hashes keep the
+  // per-message cost allocation-free — see support/flat_hash.h.
+  FlatHashMap<ArcId, Color> known_colors_;
   std::vector<std::pair<ArcId, Color>> assignments_;
-  std::set<std::uint64_t> seen_;
+  FlatHashSet<std::uint64_t> seen_;
+  EpochMarks used_colors_;  // scratch of smallest_known_feasible
 };
 
 }  // namespace
@@ -287,6 +287,7 @@ ScheduleResult run_dist_mis(const Graph& graph,
   }
   SyncEngine engine(graph, std::move(programs));
   engine.set_trace(options.trace);
+  engine.set_thread_pool(options.pool);
   std::optional<FaultPlan> plan;
   if (options.faults != nullptr && options.faults->any()) {
     plan.emplace(spec, graph);

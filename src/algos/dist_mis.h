@@ -37,6 +37,7 @@
 namespace fdlsp {
 
 class SimTrace;
+class ThreadPool;
 
 /// Which DistMIS variant to run.
 enum class DistMisVariant {
@@ -59,6 +60,10 @@ struct DistMisOptions {
   /// preserves the feasibility guarantee under lossy plans at a round cost
   /// of ReliableSyncProgram::round_dilation(*faults) per algorithm round.
   bool reliable = false;
+  /// Shard engine rounds across this pool (see SyncEngine::set_thread_pool;
+  /// byte-identical to the serial run for any thread count). Not owned, may
+  /// be null. Ignored — serial fallback — when trace/faults are attached.
+  ThreadPool* pool = nullptr;
 };
 
 /// Runs DistMIS over the synchronous engine and returns the schedule plus

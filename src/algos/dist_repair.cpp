@@ -4,7 +4,6 @@
 #include <map>
 #include <memory>
 #include <optional>
-#include <set>
 #include <utility>
 #include <vector>
 
@@ -13,6 +12,7 @@
 #include "sim/reliable.h"
 #include "sim/sync_engine.h"
 #include "support/check.h"
+#include "support/flat_hash.h"
 #include "support/rng.h"
 
 namespace fdlsp {
@@ -271,7 +271,7 @@ class DistRepairProgram final : public SyncProgram {
     const std::uint64_t key = (static_cast<std::uint64_t>(origin) << 24) |
                               (block << 4) |
                               static_cast<std::uint64_t>(tag & 0xf);
-    return seen_.insert(key).second;
+    return seen_.insert(key);
   }
 
   const ArcView* view_;
@@ -291,7 +291,7 @@ class DistRepairProgram final : public SyncProgram {
   std::map<ArcId, Color> known_colors_;
   std::map<ArcId, Color> snapshot_;  // phase-0 initial colors
   std::vector<std::pair<ArcId, Color>> assignments_;
-  std::set<std::uint64_t> seen_;
+  FlatHashSet<std::uint64_t> seen_;  // dedup only — see flat_hash.h
 };
 
 }  // namespace
@@ -302,7 +302,8 @@ DistRepairResult run_distributed_repair(const Graph& graph,
                                         std::size_t max_rounds,
                                         SimTrace* trace,
                                         const FaultSpec* faults,
-                                        bool reliable) {
+                                        bool reliable,
+                                        ThreadPool* pool) {
   const ArcView view(graph);
   FDLSP_REQUIRE(stale.num_arcs() == view.num_arcs(),
                 "stale coloring does not match graph");
@@ -322,6 +323,7 @@ DistRepairResult run_distributed_repair(const Graph& graph,
   }
   SyncEngine engine(graph, std::move(programs));
   engine.set_trace(trace);
+  engine.set_thread_pool(pool);
   std::optional<FaultPlan> plan;
   if (faults != nullptr && faults->any()) {
     plan.emplace(spec, graph);

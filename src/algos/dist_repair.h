@@ -29,6 +29,7 @@
 namespace fdlsp {
 
 class SimTrace;
+class ThreadPool;
 
 /// Result of a distributed repair run.
 struct DistRepairResult {
@@ -53,12 +54,15 @@ struct DistRepairResult {
 /// flood-and-compete structure always terminates, so an unhardened lossy
 /// repair is the canonical *terminating but wrong* fault case the shrinker
 /// exercises.
+/// `pool`, when non-null, shards engine rounds across its workers (see
+/// SyncEngine::set_thread_pool; byte-identical for any thread count).
 DistRepairResult run_distributed_repair(const Graph& graph,
                                         const ArcColoring& stale,
                                         std::uint64_t seed = 1,
                                         std::size_t max_rounds = 1'000'000,
                                         SimTrace* trace = nullptr,
                                         const FaultSpec* faults = nullptr,
-                                        bool reliable = false);
+                                        bool reliable = false,
+                                        ThreadPool* pool = nullptr);
 
 }  // namespace fdlsp

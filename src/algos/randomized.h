@@ -30,6 +30,7 @@
 namespace fdlsp {
 
 class SimTrace;
+class ThreadPool;
 
 /// Tunables for the randomized algorithm.
 struct RandomizedOptions {
@@ -43,6 +44,10 @@ struct RandomizedOptions {
   const FaultSpec* faults = nullptr;
   /// Harden every node with the ack/retransmit wrapper (sim/reliable.h).
   bool reliable = false;
+  /// Shard engine rounds across this pool (see SyncEngine::set_thread_pool;
+  /// byte-identical to the serial run for any thread count). Not owned, may
+  /// be null. Ignored — serial fallback — when trace/faults are attached.
+  ThreadPool* pool = nullptr;
 };
 
 /// Runs the randomized distance-1 algorithm; returns a complete feasible

@@ -33,7 +33,8 @@ namespace {
 
 ScheduleResult dispatch(SchedulerKind kind, const Graph& graph,
                         std::uint64_t seed, SimTrace* trace,
-                        const FaultSpec* faults, bool reliable) {
+                        const FaultSpec* faults, bool reliable,
+                        ThreadPool* pool = nullptr) {
   switch (kind) {
     case SchedulerKind::kDistMisGbg: {
       DistMisOptions options;
@@ -42,6 +43,7 @@ ScheduleResult dispatch(SchedulerKind kind, const Graph& graph,
       options.trace = trace;
       options.faults = faults;
       options.reliable = reliable;
+      options.pool = pool;
       return run_dist_mis(graph, options);
     }
     case SchedulerKind::kDistMisGeneral: {
@@ -51,6 +53,7 @@ ScheduleResult dispatch(SchedulerKind kind, const Graph& graph,
       options.trace = trace;
       options.faults = faults;
       options.reliable = reliable;
+      options.pool = pool;
       return run_dist_mis(graph, options);
     }
     case SchedulerKind::kDfs: {
@@ -76,6 +79,7 @@ ScheduleResult dispatch(SchedulerKind kind, const Graph& graph,
       options.trace = trace;
       options.faults = faults;
       options.reliable = reliable;
+      options.pool = pool;
       return run_randomized(graph, options);
     }
   }
@@ -93,6 +97,11 @@ ScheduleResult run_scheduler(SchedulerKind kind, const Graph& graph,
 ScheduleResult run_scheduler_traced(SchedulerKind kind, const Graph& graph,
                                     std::uint64_t seed, SimTrace* trace) {
   return dispatch(kind, graph, seed, trace, nullptr, false);
+}
+
+ScheduleResult run_scheduler_parallel(SchedulerKind kind, const Graph& graph,
+                                      std::uint64_t seed, ThreadPool& pool) {
+  return dispatch(kind, graph, seed, nullptr, nullptr, false, &pool);
 }
 
 ScheduleResult run_scheduler_faulted(SchedulerKind kind, const Graph& graph,

@@ -11,6 +11,7 @@
 namespace fdlsp {
 
 class SimTrace;
+class ThreadPool;
 
 /// Outcome of one scheduling run: the schedule plus cost metrics. Metrics
 /// that do not apply to an algorithm are left at 0 (e.g. the asynchronous
@@ -56,6 +57,13 @@ ScheduleResult run_scheduler(SchedulerKind kind, const Graph& graph,
 /// case this is exactly run_scheduler.
 ScheduleResult run_scheduler_traced(SchedulerKind kind, const Graph& graph,
                                     std::uint64_t seed, SimTrace* trace);
+
+/// Same as run_scheduler, with the synchronous engine's rounds sharded
+/// across `pool` (see SyncEngine::set_thread_pool). Byte-identical to
+/// run_scheduler for any thread count; algorithms without a synchronous
+/// engine (DFS, D-MGC, greedy) ignore the pool and run as usual.
+ScheduleResult run_scheduler_parallel(SchedulerKind kind, const Graph& graph,
+                                      std::uint64_t seed, ThreadPool& pool);
 
 /// Runs the algorithm under a deterministic fault model (sim/fault.h).
 /// `reliable` additionally hardens every node with the ack/retransmit

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <utility>
 
-#include "graph/arcs.h"
 #include "support/check.h"
 
 namespace fdlsp {
@@ -18,7 +17,12 @@ void AsyncContext::send(NodeId to, Message message) {
 }
 
 void AsyncContext::broadcast(Message message) {
-  for (const NeighborEntry& entry : neighbors_) send(entry.to, message);
+  if (neighbors_.empty()) return;
+  for (std::size_t i = 0; i + 1 < neighbors_.size(); ++i)
+    send(neighbors_[i].to, message);
+  // The last copy is the original: move instead of copy, so a broadcast
+  // to d neighbors performs d-1 payload copies, not d.
+  send(neighbors_.back().to, std::move(message));
 }
 
 void AsyncContext::set_timer(double delay, std::int64_t cookie) {
@@ -44,12 +48,15 @@ AsyncEngine::AsyncEngine(const Graph& graph,
   FDLSP_REQUIRE(schedule_ != nullptr, "delay schedule required");
   channel_clock_.assign(2 * graph_.num_edges(), 0.0);
   channel_posts_.assign(2 * graph_.num_edges(), 0);
+  // Per-(neighbor-pair) channel ids, computed once: post() resolves the
+  // channel of every message with a single CSR row search instead of
+  // find_edge + an ArcView Edge load.
+  channels_.build(graph_);
 }
 
 void AsyncEngine::post(NodeId from, NodeId to, Message message, double now) {
-  const EdgeId e = graph_.find_edge(from, to);
-  FDLSP_REQUIRE(e != kNoEdge, "nodes may only message direct neighbors");
-  const ArcId channel = ArcView(graph_).arc_from(e, from);
+  const ArcId channel = channels_.channel(graph_, from, to);
+  FDLSP_REQUIRE(channel != kNoArc, "nodes may only message direct neighbors");
   if (faults_ == nullptr) {
     enqueue(to, channel, std::move(message), now);
     return;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "sim/channel_table.h"
 #include "sim/delay.h"
 #include "sim/fault.h"
 #include "sim/message.h"
@@ -190,6 +191,7 @@ class AsyncEngine {
 
   const Graph& graph_;
   std::vector<std::unique_ptr<AsyncProgram>> programs_;
+  ChannelTable channels_;  // (sender, receiver) -> arc id, built once
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
   std::vector<double> channel_clock_;  // last scheduled time per directed edge
   std::vector<std::uint64_t> channel_posts_;  // messages posted per channel

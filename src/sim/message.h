@@ -1,14 +1,18 @@
 // Message type exchanged by simulated sensor nodes.
 //
-// Payloads are small integer vectors: every quantity the paper's algorithms
-// exchange (ids, random draws, arc colors, TTLs) fits, and a single concrete
-// type keeps both engines simple. Tags namespace the protocol per algorithm.
+// Payloads are small integer sequences: every quantity the paper's
+// algorithms exchange (ids, random draws, arc colors, TTLs) fits, and a
+// single concrete type keeps both engines simple. Tags namespace the
+// protocol per algorithm. The payload is a SmallPayload (support/
+// small_payload.h): up to four words travel inline with the message, so
+// the common send/deliver path performs no heap allocation at all — only
+// bulk knowledge floods and reliable-wrapper frames spill.
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
 #include "graph/types.h"
+#include "support/small_payload.h"
 
 namespace fdlsp {
 
@@ -16,7 +20,7 @@ namespace fdlsp {
 struct Message {
   NodeId from = kNoNode;
   std::int32_t tag = 0;
-  std::vector<std::int64_t> data;
+  SmallPayload data;
 };
 
 }  // namespace fdlsp

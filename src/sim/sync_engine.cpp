@@ -1,8 +1,10 @@
 #include "sim/sync_engine.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "support/check.h"
+#include "support/thread_pool.h"
 
 namespace fdlsp {
 
@@ -12,11 +14,37 @@ void SyncContext::send(NodeId to, Message message) {
     (*sink_)(to, std::move(message));
     return;
   }
+  if (out_ != nullptr) {
+    // Parallel round: validate here (read-only graph lookup) and buffer the
+    // send for the post-barrier merge; shared engine state is untouched.
+    FDLSP_REQUIRE(engine_->graph_.has_edge(self_, to),
+                  "nodes may only message direct neighbors");
+    out_->push_back(SyncBufferedSend{to, std::move(message)});
+    return;
+  }
   engine_->deliver(self_, to, std::move(message));
 }
 
+void SyncContext::send_trusted(NodeId to, Message message) {
+  message.from = self_;
+  if (sink_ != nullptr) {
+    (*sink_)(to, std::move(message));
+    return;
+  }
+  if (out_ != nullptr) {
+    out_->push_back(SyncBufferedSend{to, std::move(message)});
+    return;
+  }
+  engine_->deliver_trusted(self_, to, std::move(message));
+}
+
 void SyncContext::broadcast(Message message) {
-  for (const NeighborEntry& entry : neighbors_) send(entry.to, message);
+  if (neighbors_.empty()) return;
+  for (std::size_t i = 0; i + 1 < neighbors_.size(); ++i)
+    send_trusted(neighbors_[i].to, message);
+  // The last copy is the original: move instead of copy, so a broadcast
+  // to d neighbors performs d-1 payload copies, not d.
+  send_trusted(neighbors_.back().to, std::move(message));
 }
 
 SyncEngine::SyncEngine(const Graph& graph,
@@ -29,10 +57,28 @@ SyncEngine::SyncEngine(const Graph& graph,
 }
 
 void SyncEngine::deliver(NodeId from, NodeId to, Message message) {
+  if (faults_ != nullptr) {
+    // One CSR row search resolves the directed channel and validates
+    // neighbor-ness at once — the old path did a has_edge binary search
+    // plus find_edge plus an Edge load for every message.
+    const ArcId channel = channels_.channel(graph_, from, to);
+    FDLSP_REQUIRE(channel != kNoArc,
+                  "nodes may only message direct neighbors");
+    deliver_faulted(channel, from, to, std::move(message));
+    return;
+  }
   FDLSP_REQUIRE(graph_.has_edge(from, to),
                 "nodes may only message direct neighbors");
+  enqueue(from, to, std::move(message));
+}
+
+void SyncEngine::deliver_trusted(NodeId from, NodeId to, Message message) {
   if (faults_ != nullptr) {
-    deliver_faulted(from, to, std::move(message));
+    // The channel lookup subsumes the neighbor-ness proof, so the fault
+    // path costs the same whether the sender was validated or trusted.
+    const ArcId channel = channels_.channel(graph_, from, to);
+    FDLSP_ASSERT(channel != kNoArc, "trusted send to a non-neighbor");
+    deliver_faulted(channel, from, to, std::move(message));
     return;
   }
   enqueue(from, to, std::move(message));
@@ -43,12 +89,17 @@ void SyncEngine::enqueue(NodeId from, NodeId to, Message message) {
   // event, duplicates emit two), keeping the per-channel send/deliver
   // pairing the happens-before checker relies on exact under faults.
   if (trace_ != nullptr) trace_->on_send(from, to);
-  next_inbox_[to].push_back(std::move(message));
+  std::vector<Message>& box = next_inbox_[to];
+  // Invariant: a non-empty box is always listed in dirty_next_, so the
+  // round swap clears only boxes that actually held messages.
+  if (box.empty()) dirty_next_.push_back(to);
+  box.push_back(std::move(message));
   ++pending_messages_;
   ++total_messages_;
 }
 
-void SyncEngine::deliver_faulted(NodeId from, NodeId to, Message message) {
+void SyncEngine::deliver_faulted(ArcId channel, NodeId from, NodeId to,
+                                 Message message) {
   const double now = static_cast<double>(current_round_);
   // A crashed sender never runs, but sends from the crash round itself are
   // possible when the crash lands mid-round; treat both endpoints dead.
@@ -56,10 +107,6 @@ void SyncEngine::deliver_faulted(NodeId from, NodeId to, Message message) {
     ++faults_->stats().crash_drops;
     return;
   }
-  const EdgeId e = graph_.find_edge(from, to);
-  const Edge& edge = graph_.edge(e);
-  const ArcId channel =
-      static_cast<ArcId>((e << 1) | (from == edge.u ? 0u : 1u));
   if (faults_->link_down(channel, now)) {
     ++faults_->stats().link_down_drops;
     return;
@@ -87,7 +134,26 @@ SyncMetrics SyncEngine::run(std::size_t max_rounds) {
   SyncMetrics metrics;
   std::size_t phase = 0;
   const std::size_t n = graph_.num_nodes();
-  if (faults_ != nullptr) channel_posts_.assign(2 * graph_.num_edges(), 0);
+  if (faults_ != nullptr) {
+    channel_posts_.assign(2 * graph_.num_edges(), 0);
+    // Per-(neighbor-pair) channel ids, computed once and reused for every
+    // faulted message.
+    channels_.build(graph_);
+  }
+
+  // Parallel rounds need protocol isolation *and* silent seams: a trace
+  // observes callback/send order and a fault plan mutates per-message
+  // state, so either forces the serial path (they are observation and
+  // adversary channels, not hot paths).
+  // (The on_worker_thread check keeps a pooled engine nested inside a
+  // pooled sweep on the same pool from waiting for its own task.)
+  const bool parallel =
+      pool_ != nullptr && trace_ == nullptr && faults_ == nullptr && n > 0 &&
+      !pool_->on_worker_thread();
+  const std::size_t shards =
+      parallel
+          ? std::min(n, std::max<std::size_t>(pool_->size(), 1) * 4)
+          : 0;
 
   // A program's finished/ready state only changes inside its own callbacks
   // (cross-node mutation would be a protocol-isolation violation, flagged by
@@ -119,6 +185,81 @@ SyncMetrics SyncEngine::run(std::size_t max_rounds) {
   current_round_ = 0;
   for (NodeId v = 0; v < n; ++v) refresh(v);
 
+  // --- parallel-round machinery (unused on the serial path) ---
+  // Shards are contiguous node ranges; concatenating their buffered sends
+  // in shard order therefore reproduces the serial (sender id, send order)
+  // enqueue order exactly, for any shard count — which is what makes the
+  // parallel engine byte-identical to the serial one.
+  std::vector<std::ptrdiff_t> shard_fin(shards, 0);
+  std::vector<std::ptrdiff_t> shard_rdy(shards, 0);
+  if (parallel && shard_sends_.size() < shards) shard_sends_.resize(shards);
+  const auto shard_lo = [&](std::size_t s) { return s * n / shards; };
+  // Refresh of one node from a worker: per-node flags are distinct memory
+  // locations, counters are accumulated per shard and merged after the
+  // barrier. No faults on this path, so is_down never applies.
+  const auto refresh_local = [&](NodeId v, std::ptrdiff_t& dfin,
+                                 std::ptrdiff_t& drdy) {
+    const bool fin = programs_[v]->finished();
+    const bool rdy = fin || programs_[v]->ready_for_phase_advance();
+    if (fin != (finished[v] != 0)) {
+      finished[v] = fin ? 1 : 0;
+      dfin += fin ? 1 : -1;
+    }
+    if (rdy != (ready[v] != 0)) {
+      ready[v] = rdy ? 1 : 0;
+      drdy += rdy ? 1 : -1;
+    }
+  };
+  const auto round_shard = [&](std::size_t s, std::size_t round_no,
+                               std::size_t phase_no) {
+    std::vector<SyncBufferedSend>& out = shard_sends_[s];
+    std::ptrdiff_t dfin = 0;
+    std::ptrdiff_t drdy = 0;
+    const std::size_t hi = shard_lo(s + 1);
+    for (std::size_t i = shard_lo(s); i < hi; ++i) {
+      const NodeId v = static_cast<NodeId>(i);
+      if (finished[v] != 0 && inbox_[v].empty()) continue;
+      SyncContext ctx(*this, v, graph_.neighbors(v), round_no, phase_no);
+      ctx.out_ = &out;
+      programs_[v]->on_round(ctx, inbox_[v]);
+      refresh_local(v, dfin, drdy);
+    }
+    shard_fin[s] = dfin;
+    shard_rdy[s] = drdy;
+  };
+  const auto phase_shard = [&](std::size_t s, std::size_t new_phase) {
+    std::ptrdiff_t dfin = 0;
+    std::ptrdiff_t drdy = 0;
+    const std::size_t hi = shard_lo(s + 1);
+    for (std::size_t i = shard_lo(s); i < hi; ++i) {
+      const NodeId v = static_cast<NodeId>(i);
+      programs_[v]->on_phase(new_phase);
+      refresh_local(v, dfin, drdy);
+    }
+    shard_fin[s] = dfin;
+    shard_rdy[s] = drdy;
+  };
+  const auto run_sharded = [&](auto&& body) {
+    for (std::size_t s = 0; s < shards; ++s)
+      pool_->submit([&body, s] { body(s); });
+    pool_->wait_idle();
+  };
+  // Applies the shard count deltas and enqueues the buffered sends in shard
+  // (= canonical) order. Runs on the driving thread, after the barrier.
+  const auto merge_shards = [&] {
+    for (std::size_t s = 0; s < shards; ++s) {
+      finished_count = static_cast<std::size_t>(
+          static_cast<std::ptrdiff_t>(finished_count) + shard_fin[s]);
+      ready_count = static_cast<std::size_t>(
+          static_cast<std::ptrdiff_t>(ready_count) + shard_rdy[s]);
+      shard_fin[s] = 0;
+      shard_rdy[s] = 0;
+      for (SyncBufferedSend& send : shard_sends_[s])
+        enqueue(send.message.from, send.to, std::move(send.message));
+      shard_sends_[s].clear();  // reset, not freed: capacity is reused
+    }
+  };
+
   while (metrics.rounds < max_rounds) {
     current_round_ = metrics.rounds;
     if (faults_ != nullptr) {
@@ -138,13 +279,18 @@ SyncMetrics SyncEngine::run(std::size_t max_rounds) {
     if (pending_messages_ == 0 && ready_count == n) {
       ++phase;
       ++metrics.phases;
-      for (NodeId v = 0; v < n; ++v) {
-        if (is_down(v)) continue;
-        if (trace_ != nullptr) trace_->on_local_step(v);
-        current_node_ = v;
-        programs_[v]->on_phase(phase);
-        current_node_ = kNoNode;
-        refresh(v);
+      if (parallel) {
+        run_sharded([&](std::size_t s) { phase_shard(s, phase); });
+        merge_shards();  // on_phase cannot send; this applies the deltas
+      } else {
+        for (NodeId v = 0; v < n; ++v) {
+          if (is_down(v)) continue;
+          if (trace_ != nullptr) trace_->on_local_step(v);
+          current_node_ = v;
+          programs_[v]->on_phase(phase);
+          current_node_ = kNoNode;
+          refresh(v);
+        }
       }
       if (finished_count == n) {
         metrics.completed = true;
@@ -152,30 +298,41 @@ SyncMetrics SyncEngine::run(std::size_t max_rounds) {
       }
     }
 
-    // Swap buffers: messages sent last round become this round's inboxes.
+    // Swap slabs: messages sent last round become this round's inboxes.
+    // Only the boxes that actually held messages are cleared (dirty lists),
+    // and clearing retains vector and payload capacity — steady-state
+    // rounds perform no allocator traffic.
     inbox_.swap(next_inbox_);
-    for (auto& box : next_inbox_) box.clear();
+    dirty_inbox_.swap(dirty_next_);
+    for (NodeId v : dirty_next_) next_inbox_[v].clear();
+    dirty_next_.clear();
     pending_messages_ = 0;
 
-    for (NodeId v = 0; v < n; ++v) {
-      if (is_down(v)) {
-        // Mail queued for a dead node dies with it.
-        if (faults_ != nullptr)
-          faults_->stats().crash_drops += inbox_[v].size();
-        inbox_[v].clear();
-        continue;
+    if (parallel) {
+      run_sharded(
+          [&](std::size_t s) { round_shard(s, metrics.rounds, phase); });
+      merge_shards();
+    } else {
+      for (NodeId v = 0; v < n; ++v) {
+        if (is_down(v)) {
+          // Mail queued for a dead node dies with it.
+          if (faults_ != nullptr)
+            faults_->stats().crash_drops += inbox_[v].size();
+          inbox_[v].clear();
+          continue;
+        }
+        if (finished[v] != 0 && inbox_[v].empty()) continue;
+        if (trace_ != nullptr) {
+          for (const Message& message : inbox_[v])
+            trace_->on_deliver(message.from, v);
+          trace_->on_local_step(v);
+        }
+        SyncContext ctx(*this, v, graph_.neighbors(v), metrics.rounds, phase);
+        current_node_ = v;
+        programs_[v]->on_round(ctx, inbox_[v]);
+        current_node_ = kNoNode;
+        refresh(v);
       }
-      if (finished[v] != 0 && inbox_[v].empty()) continue;
-      if (trace_ != nullptr) {
-        for (const Message& message : inbox_[v])
-          trace_->on_deliver(message.from, v);
-        trace_->on_local_step(v);
-      }
-      SyncContext ctx(*this, v, graph_.neighbors(v), metrics.rounds, phase);
-      current_node_ = v;
-      programs_[v]->on_round(ctx, inbox_[v]);
-      current_node_ = kNoNode;
-      refresh(v);
     }
     ++metrics.rounds;
   }

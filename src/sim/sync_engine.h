@@ -13,6 +13,16 @@
 // without consuming a communication round. DESIGN.md discusses this
 // substitution; round counts reported by the engine are the communication
 // rounds actually consumed.
+//
+// Parallel rounds (DESIGN.md §11): node callbacks are protocol-isolated —
+// a program only touches its own state and the read-only graph (enforced by
+// fdlsp-lint and the happens-before checker) — so with a ThreadPool
+// attached the engine shards the on_round/on_phase loops across workers.
+// Sends are buffered per shard and merged into the next-round inboxes in
+// canonical (sender id, send order) order, so the run is byte-identical to
+// the serial engine for any thread count. Trace and fault seams force the
+// serial path: they are observation/adversary channels, not hot paths, and
+// their event ordering contracts stay exactly as documented.
 #pragma once
 
 #include <functional>
@@ -21,6 +31,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "sim/channel_table.h"
 #include "sim/fault.h"
 #include "sim/message.h"
 #include "sim/trace.h"
@@ -28,9 +39,17 @@
 namespace fdlsp {
 
 class SyncEngine;
+class ThreadPool;
 
 /// Capture target for a reframed context's sends (see SyncContext::reframed).
 using SyncSendSink = std::function<void(NodeId to, Message message)>;
+
+/// One send buffered by a parallel-round shard, merged in canonical order
+/// after the shard barrier (engine internal).
+struct SyncBufferedSend {
+  NodeId to;
+  Message message;
+};
 
 /// Per-round context handed to a node program; valid only during on_round.
 class SyncContext {
@@ -52,7 +71,8 @@ class SyncContext {
   /// Sends a message to a direct neighbor, delivered next round.
   void send(NodeId to, Message message);
 
-  /// Sends a copy of the message to every neighbor.
+  /// Sends a copy of the message to every neighbor (the last copy is moved,
+  /// not copied — broadcast costs degree-1 payload copies).
   void broadcast(Message message);
 
   /// A copy of this context for a protocol layered *inside* another program
@@ -78,12 +98,21 @@ class SyncContext {
         round_(round),
         phase_(phase) {}
 
+  // send() for targets already known to be neighbors — broadcast iterates
+  // neighbors_, which the engine built from the graph, so the per-send
+  // neighbor-ness validation (a binary search) would re-prove an invariant
+  // that holds by construction. Direct send() keeps the check.
+  void send_trusted(NodeId to, Message message);
+
   SyncEngine* engine_;
   NodeId self_;
   std::span<const NeighborEntry> neighbors_;
   std::size_t round_;
   std::size_t phase_;
   const SyncSendSink* sink_ = nullptr;  // non-null: capture instead of send
+  // Non-null on parallel rounds: buffer sends for the post-barrier merge
+  // instead of touching shared engine state from a worker thread.
+  std::vector<SyncBufferedSend>* out_ = nullptr;
 };
 
 /// A node program for the synchronous engine.
@@ -140,6 +169,14 @@ class SyncEngine {
   /// outlive the run.
   void set_fault_plan(FaultPlan* plan) noexcept { faults_ = plan; }
 
+  /// Shards on_round/on_phase across `pool` (nullptr detaches → serial).
+  /// The result is byte-identical to the serial engine for any thread
+  /// count: sends are buffered per contiguous node shard and merged in
+  /// (sender id, send order) — exactly the serial enqueue order. An
+  /// attached trace or fault plan forces serial execution so their event
+  /// ordering contracts are untouched. Not owned; must outlive the run.
+  void set_thread_pool(ThreadPool* pool) noexcept { pool_ = pool; }
+
   /// Program of node v (for extracting results after the run). Calling this
   /// from inside a program callback for a node other than the one executing
   /// is a cross-node state read and is reported to the attached trace.
@@ -155,7 +192,8 @@ class SyncEngine {
  private:
   friend class SyncContext;
   void deliver(NodeId from, NodeId to, Message message);
-  void deliver_faulted(NodeId from, NodeId to, Message message);
+  void deliver_trusted(NodeId from, NodeId to, Message message);
+  void deliver_faulted(ArcId channel, NodeId from, NodeId to, Message message);
   void enqueue(NodeId from, NodeId to, Message message);
 
   void note_program_access(NodeId v) const {
@@ -165,12 +203,21 @@ class SyncEngine {
 
   const Graph& graph_;
   std::vector<std::unique_ptr<SyncProgram>> programs_;
+  // Inbox slabs: per-node message vectors that are reset, not freed,
+  // between rounds — only the boxes named in the dirty lists are cleared,
+  // and clearing keeps both the vector capacity and any spilled payload
+  // capacity, so steady-state rounds allocate nothing.
   std::vector<std::vector<Message>> inbox_;       // delivered this round
   std::vector<std::vector<Message>> next_inbox_;  // sent this round
+  std::vector<NodeId> dirty_inbox_;  // boxes of inbox_ holding messages
+  std::vector<NodeId> dirty_next_;   // boxes of next_inbox_ holding messages
   std::size_t pending_messages_ = 0;
   std::size_t total_messages_ = 0;
   SimTrace* trace_ = nullptr;
   FaultPlan* faults_ = nullptr;
+  ThreadPool* pool_ = nullptr;  // non-null: shard rounds across workers
+  std::vector<std::vector<SyncBufferedSend>> shard_sends_;  // per shard
+  ChannelTable channels_;                     // fault path only
   std::vector<std::uint64_t> channel_posts_;  // fault path only
   std::size_t current_round_ = 0;             // fault path only
   NodeId current_node_ = kNoNode;  // node whose callback is executing

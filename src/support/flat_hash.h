@@ -1,0 +1,145 @@
+// Deterministic open-addressed hash containers for integer keys.
+//
+// The protocol programs keep per-node dedup sets and color tables that are
+// only ever *point-queried* (insert / find / contains) — iteration order is
+// never observed. std::set/std::map give that contract one heap allocation
+// and a tree rebalance per insert, which dominated DistMIS's per-message
+// cost (see DESIGN.md §11). These containers use linear probing over a
+// power-of-two flat array instead: zero allocations after warm-up, and —
+// because nothing exposes ordering and the hash is a fixed integer mix —
+// bit-for-bit deterministic across runs, platforms, and thread counts.
+// (std::unordered_* is banned from deterministic paths by fdlsp-lint for
+// exactly the ordering reason; these deliberately offer no iteration.)
+//
+// Keys are unsigned integers. Key(-1) is reserved as the empty sentinel —
+// fine for NodeId/ArcId (kNoNode/kNoArc) and for the packed dedup keys the
+// protocols build, none of which reach the all-ones pattern.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "support/check.h"
+
+namespace fdlsp {
+
+namespace detail {
+
+/// Stateless splitmix64 finalizer: a fixed, platform-independent integer
+/// mix, so probe sequences (and therefore timings, never results) are
+/// reproducible everywhere.
+constexpr std::uint64_t mix_hash(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace detail
+
+/// Flat open-addressed map from an unsigned integer key to a trivially
+/// copyable value. Point access only — no iteration, no erase (the
+/// protocol tables are insert-only within a run).
+template <typename Key, typename Value>
+class FlatHashMap {
+  static_assert(std::is_unsigned_v<Key>, "keys must be unsigned integers");
+
+ public:
+  static constexpr Key kEmpty = static_cast<Key>(-1);
+
+  FlatHashMap() = default;
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Drops all entries but keeps the table storage (slab semantics).
+  void clear() noexcept {
+    for (Slot& slot : slots_) slot.key = kEmpty;
+    size_ = 0;
+  }
+
+  bool contains(Key key) const { return find(key) != nullptr; }
+
+  /// Pointer to the value for `key`, or nullptr when absent.
+  const Value* find(Key key) const {
+    if (slots_.empty()) return nullptr;
+    for (std::size_t i = probe_start(key);; i = (i + 1) & mask_) {
+      const Slot& slot = slots_[i];
+      if (slot.key == key) return &slot.value;
+      if (slot.key == kEmpty) return nullptr;
+    }
+  }
+  Value* find(Key key) {
+    return const_cast<Value*>(std::as_const(*this).find(key));
+  }
+
+  /// Inserts key -> value, overwriting any existing entry.
+  void insert_or_assign(Key key, Value value) { slot_for(key).value = value; }
+
+  /// Value for `key`, default-constructed on first access.
+  Value& operator[](Key key) { return slot_for(key).value; }
+
+ private:
+  struct Slot {
+    Key key = kEmpty;
+    Value value{};
+  };
+
+  std::size_t probe_start(Key key) const {
+    return static_cast<std::size_t>(
+               detail::mix_hash(static_cast<std::uint64_t>(key))) &
+           mask_;
+  }
+
+  Slot& slot_for(Key key) {
+    FDLSP_ASSERT(key != kEmpty, "key collides with the empty sentinel");
+    if (slots_.empty() || size_ * 2 >= slots_.size()) grow();
+    for (std::size_t i = probe_start(key);; i = (i + 1) & mask_) {
+      Slot& slot = slots_[i];
+      if (slot.key == key) return slot;
+      if (slot.key == kEmpty) {
+        slot.key = key;
+        ++size_;
+        return slot;
+      }
+    }
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.empty() ? 16 : old.size() * 2, Slot{});
+    mask_ = slots_.size() - 1;
+    size_ = 0;
+    for (const Slot& slot : old)
+      if (slot.key != kEmpty) slot_for(slot.key).value = slot.value;
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+/// Flat open-addressed dedup set over an unsigned integer key.
+template <typename Key>
+class FlatHashSet {
+ public:
+  std::size_t size() const noexcept { return map_.size(); }
+  bool empty() const noexcept { return map_.empty(); }
+  void clear() noexcept { map_.clear(); }
+  bool contains(Key key) const { return map_.contains(key); }
+
+  /// Returns true the first time `key` is inserted.
+  bool insert(Key key) {
+    const std::size_t before = map_.size();
+    map_[key] = true;
+    return map_.size() != before;
+  }
+
+ private:
+  FlatHashMap<Key, bool> map_;
+};
+
+}  // namespace fdlsp

@@ -17,6 +17,15 @@ namespace fdlsp {
 template <typename Body>
 void parallel_for(ThreadPool& pool, std::size_t count, Body body) {
   if (count == 0) return;
+  if (pool.on_worker_thread()) {
+    // Already inside one of this pool's tasks: waiting for the pool to go
+    // idle would deadlock on ourselves, so run the loop inline. Nested
+    // parallel sections on a shared pool thereby serialize instead of
+    // hanging (results are identical either way — every pooled loop here
+    // is order-independent by construction).
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
   const std::size_t chunks = pool.size() * 4;
   const std::size_t chunk = (count + chunks - 1) / chunks;
   for (std::size_t begin = 0; begin < count; begin += chunk) {

@@ -4,6 +4,12 @@
 
 namespace fdlsp {
 
+namespace {
+// Which pool (if any) owns the current thread; lets parallel entry points
+// detect nesting on a shared pool and fall back to their serial path.
+thread_local const ThreadPool* current_worker_pool = nullptr;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
@@ -41,7 +47,12 @@ void ThreadPool::wait_idle() {
   }
 }
 
+bool ThreadPool::on_worker_thread() const noexcept {
+  return current_worker_pool == this;
+}
+
 void ThreadPool::worker_loop() {
+  current_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {

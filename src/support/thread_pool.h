@@ -34,7 +34,16 @@ class ThreadPool {
 
   /// Blocks until the queue is empty and no task is running, then rethrows
   /// the first exception any task raised (if any).
+  ///
+  /// Must not be called from one of this pool's own workers: the waiter
+  /// would itself be an in-flight task and never see the pool idle. Check
+  /// on_worker_thread() and run serially instead — parallel_for and the
+  /// pooled engines/sweeps do exactly that, so nesting them on one shared
+  /// pool degrades gracefully rather than deadlocking.
   void wait_idle();
+
+  /// True when the calling thread is one of this pool's workers.
+  bool on_worker_thread() const noexcept;
 
   /// Number of worker threads.
   std::size_t size() const noexcept { return workers_.size(); }

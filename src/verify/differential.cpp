@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "exp/workloads.h"
+#include "support/parallel_for.h"
+#include "support/thread_pool.h"
 
 namespace fdlsp {
 
@@ -58,14 +60,59 @@ std::optional<FailureReport> check_scenario(SchedulerKind kind,
 }
 
 FuzzSummary fuzz_scheduler(SchedulerKind kind,
-                           std::span<const Scenario> scenarios) {
+                           std::span<const Scenario> scenarios,
+                           ThreadPool* pool) {
   FuzzSummary summary;
-  for (const Scenario& scenario : scenarios) {
-    ++summary.scenarios;
-    if (auto report = check_scenario(kind, scenario))
-      summary.failures.push_back(std::move(*report));
+  summary.scenarios = scenarios.size();
+  if (pool == nullptr || pool->size() <= 1 || scenarios.size() <= 1) {
+    for (const Scenario& scenario : scenarios)
+      if (auto report = check_scenario(kind, scenario))
+        summary.failures.push_back(std::move(*report));
+    return summary;
   }
+  // Per-index slots: each worker writes only its own scenario's slot, and
+  // the merge walks slots in index order, so the failure list is identical
+  // to the serial sweep for any thread count.
+  std::vector<std::optional<FailureReport>> slots(scenarios.size());
+  parallel_for(*pool, scenarios.size(), [&](std::size_t i) {
+    slots[i] = check_scenario(kind, scenarios[i]);
+  });
+  for (auto& slot : slots)
+    if (slot.has_value()) summary.failures.push_back(std::move(*slot));
   return summary;
+}
+
+std::string ScenarioSweep::failure_digest() const {
+  std::string out;
+  for (const std::string& failure : failures) {
+    if (!out.empty()) out += "\n";
+    out += failure;
+  }
+  return out;
+}
+
+ScenarioSweep run_scenarios(std::span<const Scenario> scenarios,
+                            const ScenarioCheckFn& check,
+                            ThreadPool* pool) {
+  ScenarioSweep sweep;
+  sweep.scenarios = scenarios.size();
+  std::vector<ScenarioOutcome> slots(scenarios.size());
+  if (pool == nullptr || pool->size() <= 1 || scenarios.size() <= 1) {
+    for (std::size_t i = 0; i < scenarios.size(); ++i)
+      slots[i] = check(scenarios[i], i);
+  } else {
+    parallel_for(*pool, scenarios.size(), [&](std::size_t i) {
+      slots[i] = check(scenarios[i], i);
+    });
+  }
+  // Merge in index order: counts and failure ordering match the serial
+  // sweep exactly (lowest failing index first).
+  for (ScenarioOutcome& outcome : slots) {
+    sweep.checks += outcome.checks;
+    for (std::string& failure : outcome.failures)
+      sweep.failures.push_back(std::move(failure));
+  }
+  return sweep;
 }
 
 }  // namespace fdlsp

@@ -7,11 +7,18 @@
 //                     to_string() is a ready-to-paste bug report with a
 //                     one-line repro command.
 //   fuzz_scheduler  — sweep a scenario batch and collect every failure.
+//   run_scenarios   — generic sharded sweep driver: fans a scenario batch
+//                     across a ThreadPool and merges per-scenario outcomes
+//                     in index order, so the aggregate (counts AND failure
+//                     ordering) is identical to the serial sweep for any
+//                     thread count. Property suites build on it instead of
+//                     hand-rolling their scenario loops.
 // Built-in scheduler kinds run via run_scheduler_on_components, so
 // disconnected fuzzed instances are handled the same way the experiment
 // harness handles them (DFS per component with slot reuse).
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <span>
 #include <string>
@@ -23,6 +30,8 @@
 #include "verify/shrink.h"
 
 namespace fdlsp {
+
+class ThreadPool;
 
 /// Tunables for a differential check.
 struct DifferentialOptions {
@@ -64,8 +73,43 @@ struct FuzzSummary {
   std::vector<FailureReport> failures;
 };
 
-/// Runs `kind` over every scenario, collecting all failures.
+/// Runs `kind` over every scenario, collecting all failures. A non-null
+/// `pool` shards the batch across its workers; the summary is identical to
+/// the serial sweep (failures reported lowest scenario index first).
 FuzzSummary fuzz_scheduler(SchedulerKind kind,
-                           std::span<const Scenario> scenarios);
+                           std::span<const Scenario> scenarios,
+                           ThreadPool* pool = nullptr);
+
+/// Outcome of checking one scenario, as reported by a ScenarioCheckFn.
+struct ScenarioOutcome {
+  std::size_t checks = 0;              ///< property/oracle checks performed
+  std::vector<std::string> failures;   ///< empty when the scenario passed
+};
+
+/// One scenario's property check. Receives the scenario and its index in
+/// the batch; must not touch shared mutable state (it may run on any pool
+/// worker) and must be deterministic in (scenario, index) — both are
+/// satisfied naturally by seeding from scenario.seed.
+using ScenarioCheckFn =
+    std::function<ScenarioOutcome(const Scenario&, std::size_t)>;
+
+/// Aggregate of a sharded scenario sweep.
+struct ScenarioSweep {
+  std::size_t scenarios = 0;           ///< scenarios checked
+  std::size_t checks = 0;              ///< total checks across the batch
+  std::vector<std::string> failures;   ///< ascending scenario-index order
+  bool ok() const { return failures.empty(); }
+  /// All failure messages joined for a one-shot assertion message.
+  std::string failure_digest() const;
+};
+
+/// Sweeps `check` over the batch. With a non-null pool the scenarios fan
+/// out across its workers; outcomes are merged in scenario-index order, so
+/// counts and failure ordering are byte-identical to the serial sweep
+/// (lowest failing index always reported first) for any thread count.
+/// Exceptions thrown by `check` propagate (first one, by pool contract).
+ScenarioSweep run_scenarios(std::span<const Scenario> scenarios,
+                            const ScenarioCheckFn& check,
+                            ThreadPool* pool = nullptr);
 
 }  // namespace fdlsp

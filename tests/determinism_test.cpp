@@ -6,6 +6,9 @@
 // state — all of which can differ between runs (or builds) while still
 // producing "feasible" schedules. The sweep covers every scheduler kind,
 // every graph family, and every async delay model.
+//
+// The rerun sweep rides the sharded run_scenarios driver: scenarios fan
+// out across a ThreadPool while failure reporting stays lowest-index-first.
 #include <gtest/gtest.h>
 
 #include "algos/scheduler.h"
@@ -13,6 +16,8 @@
 #include "coloring/greedy.h"
 #include "exp/workloads.h"
 #include "graph/arcs.h"
+#include "support/thread_pool.h"
+#include "verify/differential.h"
 #include "verify/scenario.h"
 
 namespace fdlsp {
@@ -20,23 +25,33 @@ namespace {
 
 TEST(Determinism, AllSchedulersByteIdenticalAcrossReruns) {
   const std::vector<Scenario> scenarios = sample_scenarios(24, 0xdead5eed, 18);
+  ThreadPool pool(4);
   for (const SchedulerKind kind :
        {SchedulerKind::kDistMisGbg, SchedulerKind::kDistMisGeneral,
         SchedulerKind::kDfs, SchedulerKind::kDmgc, SchedulerKind::kGreedy,
         SchedulerKind::kRandomized}) {
-    for (const Scenario& scenario : scenarios) {
+    const ScenarioCheckFn rerun = [kind](const Scenario& scenario,
+                                         std::size_t) {
+      ScenarioOutcome outcome;
       const Graph graph = materialize(scenario);
       const ScheduleResult first =
           run_scheduler_on_components(kind, graph, scenario.seed);
       const ScheduleResult second =
           run_scheduler_on_components(kind, graph, scenario.seed);
-      ASSERT_EQ(first.coloring.raw(), second.coloring.raw())
-          << repro_command(scenario, kind);
-      EXPECT_EQ(first.num_slots, second.num_slots);
-      EXPECT_EQ(first.rounds, second.rounds);
-      EXPECT_EQ(first.messages, second.messages);
-      EXPECT_EQ(first.async_time, second.async_time);
-    }
+      ++outcome.checks;
+      if (first.coloring.raw() != second.coloring.raw() ||
+          first.num_slots != second.num_slots ||
+          first.rounds != second.rounds ||
+          first.messages != second.messages ||
+          first.async_time != second.async_time)
+        outcome.failures.push_back("rerun diverged: " +
+                                   repro_command(scenario, kind));
+      return outcome;
+    };
+    const ScenarioSweep sweep = run_scenarios(scenarios, rerun, &pool);
+    EXPECT_EQ(sweep.scenarios, scenarios.size());
+    EXPECT_EQ(sweep.checks, scenarios.size());
+    EXPECT_TRUE(sweep.ok()) << sweep.failure_digest();
   }
 }
 

@@ -1,0 +1,290 @@
+// Property suite for the simulation runtime performance layer.
+//
+// 1. SmallPayload: the zero-alloc message payload must behave exactly like
+//    a vector at the API level — inline up to 4 words, transparent heap
+//    spill beyond, value-type copy/move/equality — because every protocol
+//    in src/algos reads and writes message.data through that interface.
+// 2. Parallel rounds: SyncEngine sharded across a ThreadPool must be
+//    BYTE-IDENTICAL to the serial engine — same coloring bytes, same
+//    rounds, same message counts — for any thread count. Verified for
+//    every engine-backed scheduler across all six scenario families.
+// 3. run_scenarios: the sharded sweep driver must report identical counts
+//    and identical (lowest-index-first) failure ordering for any pool.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algos/dist_repair.h"
+#include "algos/scheduler.h"
+#include "coloring/coloring.h"
+#include "coloring/greedy.h"
+#include "exp/workloads.h"
+#include "graph/arcs.h"
+#include "graph/generators.h"
+#include "support/rng.h"
+#include "support/small_payload.h"
+#include "support/thread_pool.h"
+#include "verify/differential.h"
+#include "verify/scenario.h"
+
+namespace fdlsp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SmallPayload
+// ---------------------------------------------------------------------------
+
+TEST(SmallPayload, StaysInlineUpToCapacity) {
+  SmallPayload p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.capacity(), SmallPayload::kInlineCapacity);
+  for (std::int64_t i = 0; i < 4; ++i) p.push_back(i * 10);
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_FALSE(p.spilled());
+  for (std::int64_t i = 0; i < 4; ++i)
+    EXPECT_EQ(p[static_cast<std::size_t>(i)], i * 10);
+}
+
+TEST(SmallPayload, SpillsPastCapacityAndPreservesContents) {
+  SmallPayload p;
+  for (std::int64_t i = 0; i < 5; ++i) p.push_back(i);
+  EXPECT_TRUE(p.spilled());
+  EXPECT_EQ(p.size(), 5u);
+  EXPECT_GE(p.capacity(), 5u);
+  for (std::int64_t i = 0; i < 5; ++i)
+    EXPECT_EQ(p[static_cast<std::size_t>(i)], i);
+  // Keep growing well past the first spill.
+  for (std::int64_t i = 5; i < 100; ++i) p.push_back(i);
+  EXPECT_EQ(p.size(), 100u);
+  EXPECT_EQ(p.front(), 0);
+  EXPECT_EQ(p.back(), 99);
+}
+
+TEST(SmallPayload, ClearResetsSizeButKeepsCapacity) {
+  SmallPayload p;
+  for (std::int64_t i = 0; i < 32; ++i) p.push_back(i);
+  const std::size_t grown = p.capacity();
+  EXPECT_GE(grown, 32u);
+  p.clear();
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.capacity(), grown);  // slab semantics: reset, not freed
+  EXPECT_TRUE(p.spilled());
+  for (std::int64_t i = 0; i < 32; ++i) p.push_back(i);
+  EXPECT_EQ(p.capacity(), grown);  // refill did not reallocate
+}
+
+TEST(SmallPayload, MoveStealsHeapAndEmptiesSource) {
+  SmallPayload big;
+  for (std::int64_t i = 0; i < 20; ++i) big.push_back(i);
+  const std::int64_t* storage = big.data();
+  SmallPayload moved(std::move(big));
+  EXPECT_EQ(moved.data(), storage);  // heap buffer stolen, not copied
+  EXPECT_EQ(moved.size(), 20u);
+  EXPECT_TRUE(big.empty());  // NOLINT(bugprone-use-after-move): spec'd state
+  EXPECT_FALSE(big.spilled());
+
+  SmallPayload small{1, 2, 3};
+  SmallPayload small_moved(std::move(small));
+  EXPECT_EQ(small_moved, (SmallPayload{1, 2, 3}));
+  EXPECT_FALSE(small_moved.spilled());
+}
+
+TEST(SmallPayload, MoveAssignIntoSpilledReusesNothingLeaks) {
+  SmallPayload a;
+  for (std::int64_t i = 0; i < 10; ++i) a.push_back(i);
+  SmallPayload b;
+  for (std::int64_t i = 0; i < 40; ++i) b.push_back(-i);
+  b = std::move(a);
+  EXPECT_EQ(b.size(), 10u);
+  for (std::int64_t i = 0; i < 10; ++i)
+    EXPECT_EQ(b[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallPayload, EqualityIsValueBasedAcrossStorageModes) {
+  SmallPayload inline_side{7, 8, 9};
+  SmallPayload heap_side;
+  for (std::int64_t i = 0; i < 6; ++i) heap_side.push_back(i);  // spill it
+  heap_side.clear();
+  for (std::int64_t v : {7, 8, 9}) heap_side.push_back(v);
+  EXPECT_TRUE(heap_side.spilled());
+  EXPECT_FALSE(inline_side.spilled());
+  EXPECT_EQ(inline_side, heap_side);  // same values, different storage
+  heap_side.push_back(10);
+  EXPECT_NE(inline_side, heap_side);
+}
+
+TEST(SmallPayload, VectorInterop) {
+  const std::vector<std::int64_t> source{4, 5, 6, 7, 8, 9};
+  SmallPayload from_vector = source;  // implicit, call sites assign vectors
+  EXPECT_EQ(from_vector.size(), source.size());
+  EXPECT_TRUE(std::equal(from_vector.begin(), from_vector.end(),
+                         source.begin()));
+  SmallPayload assigned;
+  assigned.push_back(-1);
+  assigned = source;
+  EXPECT_EQ(assigned, from_vector);
+}
+
+TEST(SmallPayload, InsertAndAssignRanges) {
+  SmallPayload p{1, 5};
+  const std::vector<std::int64_t> middle{2, 3, 4};
+  p.insert(p.begin() + 1, middle.begin(), middle.end());
+  EXPECT_EQ(p, (SmallPayload{1, 2, 3, 4, 5}));
+  const std::vector<std::int64_t> fresh{9, 8};
+  p.assign(fresh.begin(), fresh.end());
+  EXPECT_EQ(p, (SmallPayload{9, 8}));
+  p.pop_back();
+  EXPECT_EQ(p, (SmallPayload{9}));
+}
+
+// ---------------------------------------------------------------------------
+// Parallel rounds: byte-identical to serial for any thread count
+// ---------------------------------------------------------------------------
+
+/// Engine-backed schedulers (the ones a ThreadPool actually reaches).
+constexpr SchedulerKind kEngineKinds[] = {SchedulerKind::kDistMisGbg,
+                                          SchedulerKind::kDistMisGeneral,
+                                          SchedulerKind::kRandomized};
+
+TEST(ParallelEngine, ByteIdenticalToSerialForAnyThreadCount) {
+  const std::vector<Scenario> scenarios = sample_scenarios(18, 0x9a11e1, 24);
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    for (const SchedulerKind kind : kEngineKinds) {
+      for (const Scenario& scenario : scenarios) {
+        const Graph graph = materialize(scenario);
+        const ScheduleResult serial =
+            run_scheduler(kind, graph, scenario.seed);
+        const ScheduleResult parallel =
+            run_scheduler_parallel(kind, graph, scenario.seed, pool);
+        ASSERT_EQ(serial.coloring.raw(), parallel.coloring.raw())
+            << "threads=" << threads << " "
+            << repro_command(scenario, kind);
+        EXPECT_EQ(serial.num_slots, parallel.num_slots);
+        EXPECT_EQ(serial.rounds, parallel.rounds);
+        EXPECT_EQ(serial.messages, parallel.messages);
+        EXPECT_EQ(serial.completed, parallel.completed);
+      }
+    }
+  }
+}
+
+TEST(ParallelEngine, AllSixFamiliesCovered) {
+  // sample_scenarios cycles families; make coverage explicit so a future
+  // sampler change can't silently shrink this suite's reach.
+  const std::vector<Scenario> scenarios = sample_scenarios(18, 0x9a11e1, 24);
+  std::vector<bool> seen(6, false);
+  for (const Scenario& scenario : scenarios)
+    seen[static_cast<std::size_t>(scenario.family)] = true;
+  for (const GraphFamily family : kAllFamilies)
+    EXPECT_TRUE(seen[static_cast<std::size_t>(family)])
+        << "family not sampled: " << family_name(family);
+}
+
+TEST(ParallelEngine, DistributedRepairMatchesSerial) {
+  Rng rng(0x5eed);
+  const Graph graph = generate_gnm(40, 110, rng);
+  const ArcView view(graph);
+  ArcColoring stale = greedy_coloring(view);
+  // Invalidate a slice of the schedule so repair has real work to do.
+  for (ArcId a = 0; a < stale.num_arcs(); a += 3) stale.clear(a);
+  const DistRepairResult serial = run_distributed_repair(graph, stale, 11);
+  ThreadPool pool(4);
+  const DistRepairResult parallel = run_distributed_repair(
+      graph, stale, 11, 1'000'000, nullptr, nullptr, false, &pool);
+  EXPECT_EQ(serial.coloring.raw(), parallel.coloring.raw());
+  EXPECT_EQ(serial.recolored_arcs, parallel.recolored_arcs);
+  EXPECT_EQ(serial.rounds, parallel.rounds);
+  EXPECT_EQ(serial.messages, parallel.messages);
+}
+
+TEST(ParallelEngine, PoolReusableAcrossRuns) {
+  // One pool, many runs: the engine must leave no residue in the pool or
+  // in itself between runs.
+  ThreadPool pool(3);
+  const Graph graph = generate_cycle(20);
+  const ScheduleResult first = run_scheduler_parallel(
+      SchedulerKind::kDistMisGbg, graph, 42, pool);
+  const ScheduleResult second = run_scheduler_parallel(
+      SchedulerKind::kDistMisGbg, graph, 42, pool);
+  EXPECT_EQ(first.coloring.raw(), second.coloring.raw());
+  EXPECT_EQ(first.rounds, second.rounds);
+  EXPECT_EQ(first.messages, second.messages);
+}
+
+// ---------------------------------------------------------------------------
+// run_scenarios: sharded sweep determinism
+// ---------------------------------------------------------------------------
+
+TEST(RunScenarios, PooledSweepMatchesSerialIncludingFailureOrder) {
+  const std::vector<Scenario> scenarios = sample_scenarios(40, 0xabcd, 16);
+  // A synthetic check that fails on a scattered subset of indices with an
+  // index-tagged message, so ordering mistakes are visible.
+  const ScenarioCheckFn check = [](const Scenario& scenario,
+                                   std::size_t index) {
+    ScenarioOutcome outcome;
+    outcome.checks = 2;
+    if (index % 7 == 3)
+      outcome.failures.push_back("fail@" + std::to_string(index) + " " +
+                                 family_name(scenario.family));
+    return outcome;
+  };
+  const ScenarioSweep serial = run_scenarios(scenarios, check, nullptr);
+  EXPECT_EQ(serial.scenarios, scenarios.size());
+  EXPECT_EQ(serial.checks, 2 * scenarios.size());
+  ASSERT_FALSE(serial.ok());
+  for (std::size_t threads : {2u, 8u}) {
+    ThreadPool pool(threads);
+    const ScenarioSweep pooled = run_scenarios(scenarios, check, &pool);
+    EXPECT_EQ(pooled.scenarios, serial.scenarios);
+    EXPECT_EQ(pooled.checks, serial.checks);
+    EXPECT_EQ(pooled.failures, serial.failures);  // lowest index first
+  }
+  // The digest joins in the same (index) order.
+  EXPECT_NE(serial.failure_digest().find("fail@3"), std::string::npos);
+}
+
+// The natural composition of the two parallel grains: a pooled sweep whose
+// check runs a pooled engine on the *same* pool. The inner wait-for-idle
+// would deadlock on its own task, so both the engine and parallel_for
+// detect they are on a worker thread and degrade to serial — same results,
+// no hang (this test used to deadlock before ThreadPool::on_worker_thread).
+TEST(RunScenarios, NestedPooledEngineOnSharedPoolDegradesToSerial) {
+  const std::vector<Scenario> scenarios = sample_scenarios(8, 0x5eed, 18);
+  ThreadPool pool(4);
+  const ScenarioCheckFn nested = [&](const Scenario& scenario, std::size_t) {
+    ScenarioOutcome outcome;
+    const Graph graph = materialize(scenario);
+    const ScheduleResult serial =
+        run_scheduler_on_components(SchedulerKind::kDistMisGbg, graph, 7);
+    const ScheduleResult pooled =
+        run_scheduler_parallel(SchedulerKind::kDistMisGbg, graph, 7, pool);
+    ++outcome.checks;
+    if (serial.coloring.raw() != pooled.coloring.raw() ||
+        serial.messages != pooled.messages)
+      outcome.failures.push_back("nested pooled run diverged");
+    return outcome;
+  };
+  const ScenarioSweep sweep = run_scenarios(scenarios, nested, &pool);
+  EXPECT_EQ(sweep.checks, scenarios.size());
+  EXPECT_TRUE(sweep.ok()) << sweep.failure_digest();
+}
+
+TEST(RunScenarios, RealOracleSweepAgreesWithFuzzScheduler) {
+  const std::vector<Scenario> scenarios = sample_scenarios(10, 0xf00d, 14);
+  ThreadPool pool(4);
+  const FuzzSummary serial =
+      fuzz_scheduler(SchedulerKind::kDistMisGbg, scenarios);
+  const FuzzSummary pooled =
+      fuzz_scheduler(SchedulerKind::kDistMisGbg, scenarios, &pool);
+  EXPECT_EQ(serial.scenarios, pooled.scenarios);
+  ASSERT_EQ(serial.failures.size(), pooled.failures.size());
+  for (std::size_t i = 0; i < serial.failures.size(); ++i)
+    EXPECT_EQ(to_string(serial.failures[i]), to_string(pooled.failures[i]));
+}
+
+}  // namespace
+}  // namespace fdlsp

@@ -9,6 +9,10 @@
 // The last tests pin the delta-debugging story: a seeded failing fault
 // plan shrinks to a minimal (graph, spec) pair with a replayable repro
 // string.
+//
+// The per-scenario sweeps ride the sharded run_scenarios driver
+// (verify/differential.h): batches fan out across a ThreadPool while
+// failure reporting stays lowest-index-first, identical to serial.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -23,11 +27,19 @@
 #include "graph/graph.h"
 #include "sim/delay.h"
 #include "sim/fault.h"
+#include "support/thread_pool.h"
+#include "verify/differential.h"
 #include "verify/fault_oracles.h"
 #include "verify/scenario.h"
 
 namespace fdlsp {
 namespace {
+
+/// One pool for the whole battery; workers idle between tests.
+ThreadPool& sweep_pool() {
+  static ThreadPool pool(4);
+  return pool;
+}
 
 constexpr std::size_t kScenariosPerClass = 18;  // 3 per family
 constexpr std::size_t kMaxNodes = 12;
@@ -66,10 +78,11 @@ TEST_P(FaultSweep, HardenedRunsPassFaultOracles) {
   const std::vector<Scenario> scenarios =
       sample_scenarios(kScenariosPerClass, base_seed, kMaxNodes);
 
-  std::size_t checked = 0;
-  for (const Scenario& scenario : scenarios) {
+  const ScenarioCheckFn check = [kind, needs_connected](
+                                    const Scenario& scenario, std::size_t) {
+    ScenarioOutcome outcome;
     const Graph graph = materialize(scenario);
-    if (needs_connected && !is_connected(graph)) continue;
+    if (needs_connected && !is_connected(graph)) return outcome;
     for (const FaultSpec& spec : fault_classes(scenario.seed + 1)) {
       // A token-passing traversal cannot survive its token holder
       // fail-stopping: the guarantee for DFS under crash plans is graceful
@@ -81,28 +94,36 @@ TEST_P(FaultSweep, HardenedRunsPassFaultOracles) {
             kind, graph, scenario.seed, spec, /*reliable=*/true);
         const ScheduleResult second = run_scheduler_faulted(
             kind, graph, scenario.seed, spec, /*reliable=*/true);
-        EXPECT_EQ(first.completed, second.completed);
-        EXPECT_EQ(first.messages, second.messages);
+        if (first.completed != second.completed ||
+            first.messages != second.messages)
+          outcome.failures.push_back(
+              "crash-plan rerun diverged\nrepro: " +
+              fault_repro_command(scenario, scheduler_name(kind), spec));
         if (first.completed) {
           const OracleVerdict verdict =
               check_fault_result(graph, first, &spec);
-          EXPECT_TRUE(verdict.ok)
-              << verdict.failure << "\nrepro: "
-              << fault_repro_command(scenario, scheduler_name(kind), spec);
+          if (!verdict.ok)
+            outcome.failures.push_back(
+                verdict.failure + "\nrepro: " +
+                fault_repro_command(scenario, scheduler_name(kind), spec));
         }
-        ++checked;
+        ++outcome.checks;
         continue;
       }
       const OracleVerdict verdict =
           check_fault_quiescence(kind, graph, scenario.seed, spec);
-      EXPECT_TRUE(verdict.ok)
-          << verdict.failure << "\nrepro: "
-          << fault_repro_command(scenario, scheduler_name(kind), spec);
-      ++checked;
+      if (!verdict.ok)
+        outcome.failures.push_back(
+            verdict.failure + "\nrepro: " +
+            fault_repro_command(scenario, scheduler_name(kind), spec));
+      ++outcome.checks;
     }
-  }
+    return outcome;
+  };
+  const ScenarioSweep sweep = run_scenarios(scenarios, check, &sweep_pool());
+  EXPECT_TRUE(sweep.ok()) << sweep.failure_digest();
   // The connectivity filter must not silently hollow out the sweep.
-  EXPECT_GE(checked, 4 * kScenariosPerClass / 2);
+  EXPECT_GE(sweep.checks, 4 * kScenariosPerClass / 2);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -155,7 +176,8 @@ TEST(FaultInjectionTest, DfsSurvivesLossAcrossDelayModels) {
 // distance-2 neighborhood of the faulted region.
 TEST(FaultInjectionTest, CrashRecoveryIsLocal) {
   const std::vector<Scenario> scenarios = sample_scenarios(18, 0xc4a5, 12);
-  for (const Scenario& scenario : scenarios) {
+  const ScenarioCheckFn check = [](const Scenario& scenario, std::size_t) {
+    ScenarioOutcome outcome;
     const Graph graph = materialize(scenario);
     FaultSpec crash;
     crash.seed = scenario.seed + 7;
@@ -166,14 +188,21 @@ TEST(FaultInjectionTest, CrashRecoveryIsLocal) {
     for (const FaultSpec& spec : {crash, churn}) {
       const CrashRecoveryReport report = check_crash_recovery(
           SchedulerKind::kDistMisGbg, graph, scenario.seed, spec);
-      EXPECT_TRUE(report.ok)
-          << report.failure << "\nrepro: "
-          << fault_repro_command(scenario, "distMIS", spec);
-      if (report.orphaned_arcs > 0) {
-        EXPECT_GT(report.changed_arcs, 0u);
-      }
+      ++outcome.checks;
+      if (!report.ok)
+        outcome.failures.push_back(
+            report.failure + "\nrepro: " +
+            fault_repro_command(scenario, "distMIS", spec));
+      if (report.orphaned_arcs > 0 && report.changed_arcs == 0)
+        outcome.failures.push_back(
+            "orphaned arcs but repair changed nothing\nrepro: " +
+            fault_repro_command(scenario, "distMIS", spec));
     }
-  }
+    return outcome;
+  };
+  const ScenarioSweep sweep = run_scenarios(scenarios, check, &sweep_pool());
+  EXPECT_EQ(sweep.checks, 2 * scenarios.size());
+  EXPECT_TRUE(sweep.ok()) << sweep.failure_digest();
 }
 
 // dist_repair hardened with the wrapper also runs *under* faults.

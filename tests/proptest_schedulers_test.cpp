@@ -5,9 +5,14 @@
 // lower bound, 2Δ² upper bound, Δ-approximation vs the exact colorer on
 // small instances, determinism). Any failure prints the one-line repro
 // command plus the shrunk minimal witness produced by fdlsp_verify.
+//
+// The batches fan out across a shared ThreadPool via the sharded sweep
+// driver (verify/differential.h), which guarantees serial-identical counts
+// and failure ordering for any thread count.
 #include <gtest/gtest.h>
 
 #include "algos/scheduler.h"
+#include "support/thread_pool.h"
 #include "verify/differential.h"
 #include "verify/scenario.h"
 
@@ -16,6 +21,12 @@ namespace {
 
 constexpr std::size_t kScenariosPerScheduler = 200;
 constexpr std::size_t kMaxNodes = 16;  // keeps 1200 runs inside seconds
+
+/// One pool for the whole suite; workers idle between tests.
+ThreadPool& sweep_pool() {
+  static ThreadPool pool(4);
+  return pool;
+}
 
 class ProptestSchedulers : public ::testing::TestWithParam<SchedulerKind> {};
 
@@ -28,7 +39,7 @@ TEST_P(ProptestSchedulers, AllOraclesOnRandomScenarios) {
   const std::vector<Scenario> scenarios =
       sample_scenarios(kScenariosPerScheduler, base_seed, kMaxNodes);
 
-  const FuzzSummary summary = fuzz_scheduler(kind, scenarios);
+  const FuzzSummary summary = fuzz_scheduler(kind, scenarios, &sweep_pool());
   EXPECT_EQ(summary.scenarios, kScenariosPerScheduler);
   for (const FailureReport& failure : summary.failures)
     ADD_FAILURE() << to_string(failure);
@@ -58,7 +69,8 @@ TEST(ProptestSchedulers, DeltaApproximationHoldsForProposedAlgorithms) {
   for (const SchedulerKind kind :
        {SchedulerKind::kDistMisGbg, SchedulerKind::kDistMisGeneral,
         SchedulerKind::kDfs}) {
-    const FuzzSummary summary = fuzz_scheduler(kind, scenarios);
+    const FuzzSummary summary = fuzz_scheduler(kind, scenarios,
+                                               &sweep_pool());
     for (const FailureReport& failure : summary.failures)
       ADD_FAILURE() << to_string(failure);
   }

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Diff a fresh google-benchmark JSON run against a committed baseline.
+
+Usage:
+    tools/bench_compare.py BASELINE.json FRESH.json [--tolerance 0.30]
+
+For every benchmark present in both files, compares real_time (after
+normalizing time units) and fails — exit 1 — if the fresh run regressed by
+more than the tolerance band. Benchmarks present on only one side are
+reported but never fail the gate (suites are allowed to grow).
+
+The default tolerance is deliberately loose (30%): micro timings on shared
+CI machines jitter, and the gate exists to catch order-of-magnitude
+regressions (an accidental O(n^2), a lost zero-alloc path), not percent
+noise. Speedups never fail.
+"""
+
+import argparse
+import json
+import sys
+
+_UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_times(path):
+    """name -> real_time in ns, aggregates and error runs excluded."""
+    with open(path) as fh:
+        data = json.load(fh)
+    times = {}
+    for entry in data.get("benchmarks", []):
+        if entry.get("run_type") == "aggregate" or "error_occurred" in entry:
+            continue
+        unit = _UNIT_TO_NS.get(entry.get("time_unit", "ns"), 1.0)
+        times[entry["name"]] = float(entry["real_time"]) * unit
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed relative slowdown (default 0.30)")
+    args = parser.parse_args()
+
+    base = load_times(args.baseline)
+    fresh = load_times(args.fresh)
+
+    regressions = []
+    for name in sorted(base):
+        if name not in fresh:
+            print(f"  [only-baseline] {name}")
+            continue
+        old, new = base[name], fresh[name]
+        ratio = new / old if old > 0 else float("inf")
+        marker = " "
+        if ratio > 1.0 + args.tolerance:
+            marker = "!"
+            regressions.append((name, ratio))
+        print(f"  [{marker}] {name}: {old:12.0f}ns -> {new:12.0f}ns "
+              f"({ratio:6.2f}x)")
+    for name in sorted(set(fresh) - set(base)):
+        print(f"  [only-fresh] {name}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.tolerance:.0%} tolerance:")
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x slower")
+        return 1
+    print(f"\nOK: no regression beyond {args.tolerance:.0%} "
+          f"({len(base)} baseline benchmarks checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
-# Bench-regression smoke: runs the coloring micro suite in Release mode and
-# writes google-benchmark JSON to BENCH_coloring.json at the repo root.
+# Bench-regression smoke: runs the coloring and engine micro suites in
+# Release mode and writes google-benchmark JSON to BENCH_coloring.json and
+# BENCH_sim.json at the repo root.
 #
 #   tools/bench_smoke.sh                 # default build dir build-bench
 #   tools/bench_smoke.sh build           # reuse an existing build dir
 #   FDLSP_BENCH_MIN_TIME=0.05 tools/bench_smoke.sh   # faster smoke (CI)
 #
-# The JSON carries both the baseline (on-the-fly enumeration) and the
-# *Indexed benchmarks, so one file documents the ConflictIndex speedup and
-# serves as the regression reference for later PRs: compare a fresh run
-# against the committed BENCH_coloring.json before merging perf changes.
+# The committed JSON files are the regression references for later PRs:
+# BENCH_coloring.json documents the ConflictIndex speedup; BENCH_sim.json
+# documents the zero-alloc message path and parallel-round throughput
+# (payload-size sweep, thread sweep, DistMIS-on-UDG wall times). Compare a
+# fresh run against them with `tools/ci.sh bench-compare` before merging
+# perf changes.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,7 +20,7 @@ build_dir="${1:-build-bench}"
 min_time="${FDLSP_BENCH_MIN_TIME:-0.1}"
 
 cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "${build_dir}" -j --target micro_coloring
+cmake --build "${build_dir}" -j --target micro_coloring micro_engines
 
 "./${build_dir}/bench/micro_coloring" \
   --benchmark_min_time="${min_time}" \
@@ -25,4 +28,10 @@ cmake --build "${build_dir}" -j --target micro_coloring
   --benchmark_out_format=json \
   --benchmark_format=console
 
-echo "=== bench_smoke.sh: wrote BENCH_coloring.json ==="
+"./${build_dir}/bench/micro_engines" \
+  --benchmark_min_time="${min_time}" \
+  --benchmark_out=BENCH_sim.json \
+  --benchmark_out_format=json \
+  --benchmark_format=console
+
+echo "=== bench_smoke.sh: wrote BENCH_coloring.json BENCH_sim.json ==="

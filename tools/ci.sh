@@ -9,8 +9,10 @@
 #                          # plain and under ASan+UBSan
 #   tools/ci.sh lint       # fdlsp-lint over src/ (determinism/isolation)
 #   tools/ci.sh tidy       # clang-tidy (skipped when not installed)
-#   tools/ci.sh bench      # Release build + coloring micro suite (capped
-#                          # min-time; writes BENCH_coloring.json)
+#   tools/ci.sh bench      # Release build + micro suites (capped min-time;
+#                          # writes BENCH_coloring.json, BENCH_sim.json)
+#   tools/ci.sh bench-compare  # fresh bench run diffed against the
+#                          # committed baselines with a tolerance band
 #   tools/ci.sh all        # every job in sequence
 #
 # The proptest label selects the fdlsp_verify-based fuzzing suites — the
@@ -69,10 +71,29 @@ run_tidy() {
 }
 
 run_bench() {
-  echo "=== bench: Release build + coloring micro suite ==="
+  echo "=== bench: Release build + micro suites ==="
   # Capped min-time keeps the smoke fast in CI; local perf work can raise it
   # (FDLSP_BENCH_MIN_TIME=0.1 or more) for steadier numbers.
   FDLSP_BENCH_MIN_TIME="${FDLSP_BENCH_MIN_TIME:-0.05}" tools/bench_smoke.sh
+}
+
+run_bench_compare() {
+  echo "=== bench-compare: fresh run vs committed baselines ==="
+  # Save the committed baselines aside (bench_smoke.sh overwrites them),
+  # run fresh, then diff with the tolerance band.
+  local stash
+  stash="$(mktemp -d)"
+  cp BENCH_coloring.json BENCH_sim.json "${stash}/"
+  FDLSP_BENCH_MIN_TIME="${FDLSP_BENCH_MIN_TIME:-0.05}" tools/bench_smoke.sh
+  local status=0
+  python3 tools/bench_compare.py "${stash}/BENCH_coloring.json" \
+    BENCH_coloring.json || status=1
+  python3 tools/bench_compare.py "${stash}/BENCH_sim.json" \
+    BENCH_sim.json || status=1
+  # Restore the committed baselines: the gate compares, it does not rebase.
+  cp "${stash}/BENCH_coloring.json" "${stash}/BENCH_sim.json" .
+  rm -rf "${stash}"
+  return "${status}"
 }
 
 case "${jobs}" in
@@ -83,6 +104,7 @@ case "${jobs}" in
   lint) run_lint ;;
   tidy) run_tidy ;;
   bench) run_bench ;;
+  bench-compare) run_bench_compare ;;
   all)
     run_lint
     run_tier1
@@ -93,7 +115,8 @@ case "${jobs}" in
     run_bench
     ;;
   *)
-    echo "usage: tools/ci.sh [tier1|asan|tsan|faults|lint|tidy|bench|all]" >&2
+    echo "usage: tools/ci.sh" \
+      "[tier1|asan|tsan|faults|lint|tidy|bench|bench-compare|all]" >&2
     exit 2
     ;;
 esac
