@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_randomized.dir/ablation_randomized.cpp.o"
+  "CMakeFiles/ablation_randomized.dir/ablation_randomized.cpp.o.d"
+  "ablation_randomized"
+  "ablation_randomized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_randomized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

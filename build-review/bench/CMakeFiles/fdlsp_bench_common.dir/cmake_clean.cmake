@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdlsp_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/fdlsp_bench_common.dir/bench_common.cpp.o.d"
+  "libfdlsp_bench_common.a"
+  "libfdlsp_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdlsp_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_udg_plan15.dir/fig08_udg_plan15.cpp.o"
+  "CMakeFiles/fig08_udg_plan15.dir/fig08_udg_plan15.cpp.o.d"
+  "fig08_udg_plan15"
+  "fig08_udg_plan15.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_udg_plan15.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

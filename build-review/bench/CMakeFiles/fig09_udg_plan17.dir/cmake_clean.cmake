@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_udg_plan17.dir/fig09_udg_plan17.cpp.o"
+  "CMakeFiles/fig09_udg_plan17.dir/fig09_udg_plan17.cpp.o.d"
+  "fig09_udg_plan17"
+  "fig09_udg_plan17.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_udg_plan17.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

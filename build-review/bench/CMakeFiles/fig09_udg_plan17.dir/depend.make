@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_udg_plan17.
+# This may be replaced when dependencies are built.

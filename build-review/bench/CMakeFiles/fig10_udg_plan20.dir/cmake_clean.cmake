@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_udg_plan20.dir/fig10_udg_plan20.cpp.o"
+  "CMakeFiles/fig10_udg_plan20.dir/fig10_udg_plan20.cpp.o.d"
+  "fig10_udg_plan20"
+  "fig10_udg_plan20.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_udg_plan20.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

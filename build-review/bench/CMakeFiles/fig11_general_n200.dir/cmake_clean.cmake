@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_general_n200.dir/fig11_general_n200.cpp.o"
+  "CMakeFiles/fig11_general_n200.dir/fig11_general_n200.cpp.o.d"
+  "fig11_general_n200"
+  "fig11_general_n200.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_general_n200.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_general_n500.dir/fig12_general_n500.cpp.o"
+  "CMakeFiles/fig12_general_n500.dir/fig12_general_n500.cpp.o.d"
+  "fig12_general_n500"
+  "fig12_general_n500.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_general_n500.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

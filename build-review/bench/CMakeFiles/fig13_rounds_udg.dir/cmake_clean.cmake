@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_rounds_udg.dir/fig13_rounds_udg.cpp.o"
+  "CMakeFiles/fig13_rounds_udg.dir/fig13_rounds_udg.cpp.o.d"
+  "fig13_rounds_udg"
+  "fig13_rounds_udg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_rounds_udg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

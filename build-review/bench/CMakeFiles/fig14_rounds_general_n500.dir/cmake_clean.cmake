@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_rounds_general_n500.dir/fig14_rounds_general_n500.cpp.o"
+  "CMakeFiles/fig14_rounds_general_n500.dir/fig14_rounds_general_n500.cpp.o.d"
+  "fig14_rounds_general_n500"
+  "fig14_rounds_general_n500.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_rounds_general_n500.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

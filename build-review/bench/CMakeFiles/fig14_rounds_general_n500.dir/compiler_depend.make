@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig14_rounds_general_n500.
+# This may be replaced when dependencies are built.

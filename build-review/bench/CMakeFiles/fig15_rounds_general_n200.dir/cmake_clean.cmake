@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_rounds_general_n200.dir/fig15_rounds_general_n200.cpp.o"
+  "CMakeFiles/fig15_rounds_general_n200.dir/fig15_rounds_general_n200.cpp.o.d"
+  "fig15_rounds_general_n200"
+  "fig15_rounds_general_n200.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_rounds_general_n200.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15_rounds_general_n200.
+# This may be replaced when dependencies are built.

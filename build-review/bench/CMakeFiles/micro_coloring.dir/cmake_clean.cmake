@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_coloring.dir/micro_coloring.cpp.o"
+  "CMakeFiles/micro_coloring.dir/micro_coloring.cpp.o.d"
+  "micro_coloring"
+  "micro_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_generators.dir/micro_generators.cpp.o"
+  "CMakeFiles/micro_generators.dir/micro_generators.cpp.o.d"
+  "micro_generators"
+  "micro_generators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_generators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

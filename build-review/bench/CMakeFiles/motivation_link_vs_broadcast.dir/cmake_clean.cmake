@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motivation_link_vs_broadcast.dir/motivation_link_vs_broadcast.cpp.o"
+  "CMakeFiles/motivation_link_vs_broadcast.dir/motivation_link_vs_broadcast.cpp.o.d"
+  "motivation_link_vs_broadcast"
+  "motivation_link_vs_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_link_vs_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for motivation_link_vs_broadcast.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_ilp_vs_dfs.dir/table1_ilp_vs_dfs.cpp.o"
+  "CMakeFiles/table1_ilp_vs_dfs.dir/table1_ilp_vs_dfs.cpp.o.d"
+  "table1_ilp_vs_dfs"
+  "table1_ilp_vs_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_ilp_vs_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_network.dir/dynamic_network.cpp.o"
+  "CMakeFiles/dynamic_network.dir/dynamic_network.cpp.o.d"
+  "dynamic_network"
+  "dynamic_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

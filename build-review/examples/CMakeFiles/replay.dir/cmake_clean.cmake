@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay.dir/replay.cpp.o"
+  "CMakeFiles/replay.dir/replay.cpp.o.d"
+  "replay"
+  "replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_io.dir/schedule_io.cpp.o"
+  "CMakeFiles/schedule_io.dir/schedule_io.cpp.o.d"
+  "schedule_io"
+  "schedule_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_cli.dir/scheduler_cli.cpp.o"
+  "CMakeFiles/scheduler_cli.dir/scheduler_cli.cpp.o.d"
+  "scheduler_cli"
+  "scheduler_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

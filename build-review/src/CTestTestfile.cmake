@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("graph")
+subdirs("coloring")
+subdirs("io")
+subdirs("ilp")
+subdirs("sim")
+subdirs("analysis")
+subdirs("algos")
+subdirs("tdma")
+subdirs("exp")
+subdirs("verify")

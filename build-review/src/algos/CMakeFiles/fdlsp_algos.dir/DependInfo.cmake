@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algos/broadcast.cpp" "src/algos/CMakeFiles/fdlsp_algos.dir/broadcast.cpp.o" "gcc" "src/algos/CMakeFiles/fdlsp_algos.dir/broadcast.cpp.o.d"
+  "/root/repo/src/algos/dfs_schedule.cpp" "src/algos/CMakeFiles/fdlsp_algos.dir/dfs_schedule.cpp.o" "gcc" "src/algos/CMakeFiles/fdlsp_algos.dir/dfs_schedule.cpp.o.d"
+  "/root/repo/src/algos/dist_mis.cpp" "src/algos/CMakeFiles/fdlsp_algos.dir/dist_mis.cpp.o" "gcc" "src/algos/CMakeFiles/fdlsp_algos.dir/dist_mis.cpp.o.d"
+  "/root/repo/src/algos/dist_repair.cpp" "src/algos/CMakeFiles/fdlsp_algos.dir/dist_repair.cpp.o" "gcc" "src/algos/CMakeFiles/fdlsp_algos.dir/dist_repair.cpp.o.d"
+  "/root/repo/src/algos/dmgc.cpp" "src/algos/CMakeFiles/fdlsp_algos.dir/dmgc.cpp.o" "gcc" "src/algos/CMakeFiles/fdlsp_algos.dir/dmgc.cpp.o.d"
+  "/root/repo/src/algos/mis.cpp" "src/algos/CMakeFiles/fdlsp_algos.dir/mis.cpp.o" "gcc" "src/algos/CMakeFiles/fdlsp_algos.dir/mis.cpp.o.d"
+  "/root/repo/src/algos/misra_gries.cpp" "src/algos/CMakeFiles/fdlsp_algos.dir/misra_gries.cpp.o" "gcc" "src/algos/CMakeFiles/fdlsp_algos.dir/misra_gries.cpp.o.d"
+  "/root/repo/src/algos/randomized.cpp" "src/algos/CMakeFiles/fdlsp_algos.dir/randomized.cpp.o" "gcc" "src/algos/CMakeFiles/fdlsp_algos.dir/randomized.cpp.o.d"
+  "/root/repo/src/algos/repair.cpp" "src/algos/CMakeFiles/fdlsp_algos.dir/repair.cpp.o" "gcc" "src/algos/CMakeFiles/fdlsp_algos.dir/repair.cpp.o.d"
+  "/root/repo/src/algos/scheduler.cpp" "src/algos/CMakeFiles/fdlsp_algos.dir/scheduler.cpp.o" "gcc" "src/algos/CMakeFiles/fdlsp_algos.dir/scheduler.cpp.o.d"
+  "/root/repo/src/algos/two_sat.cpp" "src/algos/CMakeFiles/fdlsp_algos.dir/two_sat.cpp.o" "gcc" "src/algos/CMakeFiles/fdlsp_algos.dir/two_sat.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/coloring/CMakeFiles/fdlsp_coloring.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/fdlsp_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/fdlsp_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/fdlsp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdlsp_algos.dir/broadcast.cpp.o"
+  "CMakeFiles/fdlsp_algos.dir/broadcast.cpp.o.d"
+  "CMakeFiles/fdlsp_algos.dir/dfs_schedule.cpp.o"
+  "CMakeFiles/fdlsp_algos.dir/dfs_schedule.cpp.o.d"
+  "CMakeFiles/fdlsp_algos.dir/dist_mis.cpp.o"
+  "CMakeFiles/fdlsp_algos.dir/dist_mis.cpp.o.d"
+  "CMakeFiles/fdlsp_algos.dir/dist_repair.cpp.o"
+  "CMakeFiles/fdlsp_algos.dir/dist_repair.cpp.o.d"
+  "CMakeFiles/fdlsp_algos.dir/dmgc.cpp.o"
+  "CMakeFiles/fdlsp_algos.dir/dmgc.cpp.o.d"
+  "CMakeFiles/fdlsp_algos.dir/mis.cpp.o"
+  "CMakeFiles/fdlsp_algos.dir/mis.cpp.o.d"
+  "CMakeFiles/fdlsp_algos.dir/misra_gries.cpp.o"
+  "CMakeFiles/fdlsp_algos.dir/misra_gries.cpp.o.d"
+  "CMakeFiles/fdlsp_algos.dir/randomized.cpp.o"
+  "CMakeFiles/fdlsp_algos.dir/randomized.cpp.o.d"
+  "CMakeFiles/fdlsp_algos.dir/repair.cpp.o"
+  "CMakeFiles/fdlsp_algos.dir/repair.cpp.o.d"
+  "CMakeFiles/fdlsp_algos.dir/scheduler.cpp.o"
+  "CMakeFiles/fdlsp_algos.dir/scheduler.cpp.o.d"
+  "CMakeFiles/fdlsp_algos.dir/two_sat.cpp.o"
+  "CMakeFiles/fdlsp_algos.dir/two_sat.cpp.o.d"
+  "libfdlsp_algos.a"
+  "libfdlsp_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdlsp_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

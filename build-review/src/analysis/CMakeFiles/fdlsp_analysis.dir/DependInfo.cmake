@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/happens_before.cpp" "src/analysis/CMakeFiles/fdlsp_analysis.dir/happens_before.cpp.o" "gcc" "src/analysis/CMakeFiles/fdlsp_analysis.dir/happens_before.cpp.o.d"
+  "/root/repo/src/analysis/lint.cpp" "src/analysis/CMakeFiles/fdlsp_analysis.dir/lint.cpp.o" "gcc" "src/analysis/CMakeFiles/fdlsp_analysis.dir/lint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/graph/CMakeFiles/fdlsp_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/fdlsp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

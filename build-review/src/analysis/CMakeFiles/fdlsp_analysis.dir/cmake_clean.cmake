@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdlsp_analysis.dir/happens_before.cpp.o"
+  "CMakeFiles/fdlsp_analysis.dir/happens_before.cpp.o.d"
+  "CMakeFiles/fdlsp_analysis.dir/lint.cpp.o"
+  "CMakeFiles/fdlsp_analysis.dir/lint.cpp.o.d"
+  "libfdlsp_analysis.a"
+  "libfdlsp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdlsp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coloring/bounds.cpp" "src/coloring/CMakeFiles/fdlsp_coloring.dir/bounds.cpp.o" "gcc" "src/coloring/CMakeFiles/fdlsp_coloring.dir/bounds.cpp.o.d"
+  "/root/repo/src/coloring/checker.cpp" "src/coloring/CMakeFiles/fdlsp_coloring.dir/checker.cpp.o" "gcc" "src/coloring/CMakeFiles/fdlsp_coloring.dir/checker.cpp.o.d"
+  "/root/repo/src/coloring/coloring.cpp" "src/coloring/CMakeFiles/fdlsp_coloring.dir/coloring.cpp.o" "gcc" "src/coloring/CMakeFiles/fdlsp_coloring.dir/coloring.cpp.o.d"
+  "/root/repo/src/coloring/conflict.cpp" "src/coloring/CMakeFiles/fdlsp_coloring.dir/conflict.cpp.o" "gcc" "src/coloring/CMakeFiles/fdlsp_coloring.dir/conflict.cpp.o.d"
+  "/root/repo/src/coloring/conflict_graph.cpp" "src/coloring/CMakeFiles/fdlsp_coloring.dir/conflict_graph.cpp.o" "gcc" "src/coloring/CMakeFiles/fdlsp_coloring.dir/conflict_graph.cpp.o.d"
+  "/root/repo/src/coloring/conflict_index.cpp" "src/coloring/CMakeFiles/fdlsp_coloring.dir/conflict_index.cpp.o" "gcc" "src/coloring/CMakeFiles/fdlsp_coloring.dir/conflict_index.cpp.o.d"
+  "/root/repo/src/coloring/exact.cpp" "src/coloring/CMakeFiles/fdlsp_coloring.dir/exact.cpp.o" "gcc" "src/coloring/CMakeFiles/fdlsp_coloring.dir/exact.cpp.o.d"
+  "/root/repo/src/coloring/greedy.cpp" "src/coloring/CMakeFiles/fdlsp_coloring.dir/greedy.cpp.o" "gcc" "src/coloring/CMakeFiles/fdlsp_coloring.dir/greedy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/graph/CMakeFiles/fdlsp_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/fdlsp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

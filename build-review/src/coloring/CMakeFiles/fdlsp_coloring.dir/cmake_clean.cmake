@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdlsp_coloring.dir/bounds.cpp.o"
+  "CMakeFiles/fdlsp_coloring.dir/bounds.cpp.o.d"
+  "CMakeFiles/fdlsp_coloring.dir/checker.cpp.o"
+  "CMakeFiles/fdlsp_coloring.dir/checker.cpp.o.d"
+  "CMakeFiles/fdlsp_coloring.dir/coloring.cpp.o"
+  "CMakeFiles/fdlsp_coloring.dir/coloring.cpp.o.d"
+  "CMakeFiles/fdlsp_coloring.dir/conflict.cpp.o"
+  "CMakeFiles/fdlsp_coloring.dir/conflict.cpp.o.d"
+  "CMakeFiles/fdlsp_coloring.dir/conflict_graph.cpp.o"
+  "CMakeFiles/fdlsp_coloring.dir/conflict_graph.cpp.o.d"
+  "CMakeFiles/fdlsp_coloring.dir/conflict_index.cpp.o"
+  "CMakeFiles/fdlsp_coloring.dir/conflict_index.cpp.o.d"
+  "CMakeFiles/fdlsp_coloring.dir/exact.cpp.o"
+  "CMakeFiles/fdlsp_coloring.dir/exact.cpp.o.d"
+  "CMakeFiles/fdlsp_coloring.dir/greedy.cpp.o"
+  "CMakeFiles/fdlsp_coloring.dir/greedy.cpp.o.d"
+  "libfdlsp_coloring.a"
+  "libfdlsp_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdlsp_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

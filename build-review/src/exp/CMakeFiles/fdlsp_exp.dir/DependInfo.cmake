@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exp/report.cpp" "src/exp/CMakeFiles/fdlsp_exp.dir/report.cpp.o" "gcc" "src/exp/CMakeFiles/fdlsp_exp.dir/report.cpp.o.d"
+  "/root/repo/src/exp/runner.cpp" "src/exp/CMakeFiles/fdlsp_exp.dir/runner.cpp.o" "gcc" "src/exp/CMakeFiles/fdlsp_exp.dir/runner.cpp.o.d"
+  "/root/repo/src/exp/workloads.cpp" "src/exp/CMakeFiles/fdlsp_exp.dir/workloads.cpp.o" "gcc" "src/exp/CMakeFiles/fdlsp_exp.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/algos/CMakeFiles/fdlsp_algos.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/coloring/CMakeFiles/fdlsp_coloring.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/fdlsp_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/fdlsp_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/fdlsp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

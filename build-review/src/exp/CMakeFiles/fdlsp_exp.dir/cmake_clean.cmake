@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdlsp_exp.dir/report.cpp.o"
+  "CMakeFiles/fdlsp_exp.dir/report.cpp.o.d"
+  "CMakeFiles/fdlsp_exp.dir/runner.cpp.o"
+  "CMakeFiles/fdlsp_exp.dir/runner.cpp.o.d"
+  "CMakeFiles/fdlsp_exp.dir/workloads.cpp.o"
+  "CMakeFiles/fdlsp_exp.dir/workloads.cpp.o.d"
+  "libfdlsp_exp.a"
+  "libfdlsp_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdlsp_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

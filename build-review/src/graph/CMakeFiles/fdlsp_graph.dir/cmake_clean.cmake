@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdlsp_graph.dir/algorithms.cpp.o"
+  "CMakeFiles/fdlsp_graph.dir/algorithms.cpp.o.d"
+  "CMakeFiles/fdlsp_graph.dir/cliques.cpp.o"
+  "CMakeFiles/fdlsp_graph.dir/cliques.cpp.o.d"
+  "CMakeFiles/fdlsp_graph.dir/generators.cpp.o"
+  "CMakeFiles/fdlsp_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/fdlsp_graph.dir/graph.cpp.o"
+  "CMakeFiles/fdlsp_graph.dir/graph.cpp.o.d"
+  "libfdlsp_graph.a"
+  "libfdlsp_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdlsp_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdlsp_ilp.dir/branch_bound.cpp.o"
+  "CMakeFiles/fdlsp_ilp.dir/branch_bound.cpp.o.d"
+  "CMakeFiles/fdlsp_ilp.dir/fdlsp_ilp.cpp.o"
+  "CMakeFiles/fdlsp_ilp.dir/fdlsp_ilp.cpp.o.d"
+  "CMakeFiles/fdlsp_ilp.dir/model.cpp.o"
+  "CMakeFiles/fdlsp_ilp.dir/model.cpp.o.d"
+  "CMakeFiles/fdlsp_ilp.dir/simplex.cpp.o"
+  "CMakeFiles/fdlsp_ilp.dir/simplex.cpp.o.d"
+  "libfdlsp_ilp.a"
+  "libfdlsp_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdlsp_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

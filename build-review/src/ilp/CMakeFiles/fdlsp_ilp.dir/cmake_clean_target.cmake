@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfdlsp_ilp.a"
+)

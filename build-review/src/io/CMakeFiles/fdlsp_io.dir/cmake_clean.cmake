@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdlsp_io.dir/io.cpp.o"
+  "CMakeFiles/fdlsp_io.dir/io.cpp.o.d"
+  "libfdlsp_io.a"
+  "libfdlsp_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdlsp_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

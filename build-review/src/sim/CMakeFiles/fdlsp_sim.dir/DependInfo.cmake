@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/async_engine.cpp" "src/sim/CMakeFiles/fdlsp_sim.dir/async_engine.cpp.o" "gcc" "src/sim/CMakeFiles/fdlsp_sim.dir/async_engine.cpp.o.d"
+  "/root/repo/src/sim/delay.cpp" "src/sim/CMakeFiles/fdlsp_sim.dir/delay.cpp.o" "gcc" "src/sim/CMakeFiles/fdlsp_sim.dir/delay.cpp.o.d"
+  "/root/repo/src/sim/fault.cpp" "src/sim/CMakeFiles/fdlsp_sim.dir/fault.cpp.o" "gcc" "src/sim/CMakeFiles/fdlsp_sim.dir/fault.cpp.o.d"
+  "/root/repo/src/sim/reliable.cpp" "src/sim/CMakeFiles/fdlsp_sim.dir/reliable.cpp.o" "gcc" "src/sim/CMakeFiles/fdlsp_sim.dir/reliable.cpp.o.d"
+  "/root/repo/src/sim/sync_engine.cpp" "src/sim/CMakeFiles/fdlsp_sim.dir/sync_engine.cpp.o" "gcc" "src/sim/CMakeFiles/fdlsp_sim.dir/sync_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/graph/CMakeFiles/fdlsp_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/fdlsp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdlsp_sim.dir/async_engine.cpp.o"
+  "CMakeFiles/fdlsp_sim.dir/async_engine.cpp.o.d"
+  "CMakeFiles/fdlsp_sim.dir/delay.cpp.o"
+  "CMakeFiles/fdlsp_sim.dir/delay.cpp.o.d"
+  "CMakeFiles/fdlsp_sim.dir/fault.cpp.o"
+  "CMakeFiles/fdlsp_sim.dir/fault.cpp.o.d"
+  "CMakeFiles/fdlsp_sim.dir/reliable.cpp.o"
+  "CMakeFiles/fdlsp_sim.dir/reliable.cpp.o.d"
+  "CMakeFiles/fdlsp_sim.dir/sync_engine.cpp.o"
+  "CMakeFiles/fdlsp_sim.dir/sync_engine.cpp.o.d"
+  "libfdlsp_sim.a"
+  "libfdlsp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdlsp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

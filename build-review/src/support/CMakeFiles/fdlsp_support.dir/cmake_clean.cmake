@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdlsp_support.dir/cli.cpp.o"
+  "CMakeFiles/fdlsp_support.dir/cli.cpp.o.d"
+  "CMakeFiles/fdlsp_support.dir/table.cpp.o"
+  "CMakeFiles/fdlsp_support.dir/table.cpp.o.d"
+  "CMakeFiles/fdlsp_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/fdlsp_support.dir/thread_pool.cpp.o.d"
+  "libfdlsp_support.a"
+  "libfdlsp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdlsp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tdma/convergecast.cpp" "src/tdma/CMakeFiles/fdlsp_tdma.dir/convergecast.cpp.o" "gcc" "src/tdma/CMakeFiles/fdlsp_tdma.dir/convergecast.cpp.o.d"
+  "/root/repo/src/tdma/energy.cpp" "src/tdma/CMakeFiles/fdlsp_tdma.dir/energy.cpp.o" "gcc" "src/tdma/CMakeFiles/fdlsp_tdma.dir/energy.cpp.o.d"
+  "/root/repo/src/tdma/radio_sim.cpp" "src/tdma/CMakeFiles/fdlsp_tdma.dir/radio_sim.cpp.o" "gcc" "src/tdma/CMakeFiles/fdlsp_tdma.dir/radio_sim.cpp.o.d"
+  "/root/repo/src/tdma/schedule.cpp" "src/tdma/CMakeFiles/fdlsp_tdma.dir/schedule.cpp.o" "gcc" "src/tdma/CMakeFiles/fdlsp_tdma.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/coloring/CMakeFiles/fdlsp_coloring.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/fdlsp_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/fdlsp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdlsp_tdma.dir/convergecast.cpp.o"
+  "CMakeFiles/fdlsp_tdma.dir/convergecast.cpp.o.d"
+  "CMakeFiles/fdlsp_tdma.dir/energy.cpp.o"
+  "CMakeFiles/fdlsp_tdma.dir/energy.cpp.o.d"
+  "CMakeFiles/fdlsp_tdma.dir/radio_sim.cpp.o"
+  "CMakeFiles/fdlsp_tdma.dir/radio_sim.cpp.o.d"
+  "CMakeFiles/fdlsp_tdma.dir/schedule.cpp.o"
+  "CMakeFiles/fdlsp_tdma.dir/schedule.cpp.o.d"
+  "libfdlsp_tdma.a"
+  "libfdlsp_tdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdlsp_tdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verify/causality.cpp" "src/verify/CMakeFiles/fdlsp_verify.dir/causality.cpp.o" "gcc" "src/verify/CMakeFiles/fdlsp_verify.dir/causality.cpp.o.d"
+  "/root/repo/src/verify/differential.cpp" "src/verify/CMakeFiles/fdlsp_verify.dir/differential.cpp.o" "gcc" "src/verify/CMakeFiles/fdlsp_verify.dir/differential.cpp.o.d"
+  "/root/repo/src/verify/fault_oracles.cpp" "src/verify/CMakeFiles/fdlsp_verify.dir/fault_oracles.cpp.o" "gcc" "src/verify/CMakeFiles/fdlsp_verify.dir/fault_oracles.cpp.o.d"
+  "/root/repo/src/verify/oracles.cpp" "src/verify/CMakeFiles/fdlsp_verify.dir/oracles.cpp.o" "gcc" "src/verify/CMakeFiles/fdlsp_verify.dir/oracles.cpp.o.d"
+  "/root/repo/src/verify/scenario.cpp" "src/verify/CMakeFiles/fdlsp_verify.dir/scenario.cpp.o" "gcc" "src/verify/CMakeFiles/fdlsp_verify.dir/scenario.cpp.o.d"
+  "/root/repo/src/verify/shrink.cpp" "src/verify/CMakeFiles/fdlsp_verify.dir/shrink.cpp.o" "gcc" "src/verify/CMakeFiles/fdlsp_verify.dir/shrink.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/exp/CMakeFiles/fdlsp_exp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/algos/CMakeFiles/fdlsp_algos.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/analysis/CMakeFiles/fdlsp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/coloring/CMakeFiles/fdlsp_coloring.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/fdlsp_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/fdlsp_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/fdlsp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdlsp_verify.dir/causality.cpp.o"
+  "CMakeFiles/fdlsp_verify.dir/causality.cpp.o.d"
+  "CMakeFiles/fdlsp_verify.dir/differential.cpp.o"
+  "CMakeFiles/fdlsp_verify.dir/differential.cpp.o.d"
+  "CMakeFiles/fdlsp_verify.dir/fault_oracles.cpp.o"
+  "CMakeFiles/fdlsp_verify.dir/fault_oracles.cpp.o.d"
+  "CMakeFiles/fdlsp_verify.dir/oracles.cpp.o"
+  "CMakeFiles/fdlsp_verify.dir/oracles.cpp.o.d"
+  "CMakeFiles/fdlsp_verify.dir/scenario.cpp.o"
+  "CMakeFiles/fdlsp_verify.dir/scenario.cpp.o.d"
+  "CMakeFiles/fdlsp_verify.dir/shrink.cpp.o"
+  "CMakeFiles/fdlsp_verify.dir/shrink.cpp.o.d"
+  "libfdlsp_verify.a"
+  "libfdlsp_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdlsp_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

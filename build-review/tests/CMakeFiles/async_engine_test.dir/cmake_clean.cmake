@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_engine_test.dir/async_engine_test.cpp.o"
+  "CMakeFiles/async_engine_test.dir/async_engine_test.cpp.o.d"
+  "async_engine_test"
+  "async_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cliques_test.dir/cliques_test.cpp.o"
+  "CMakeFiles/cliques_test.dir/cliques_test.cpp.o.d"
+  "cliques_test"
+  "cliques_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cliques_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conflict_index_test.dir/conflict_index_test.cpp.o"
+  "CMakeFiles/conflict_index_test.dir/conflict_index_test.cpp.o.d"
+  "conflict_index_test"
+  "conflict_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conflict_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

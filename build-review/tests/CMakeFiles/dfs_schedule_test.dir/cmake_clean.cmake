@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_schedule_test.dir/dfs_schedule_test.cpp.o"
+  "CMakeFiles/dfs_schedule_test.dir/dfs_schedule_test.cpp.o.d"
+  "dfs_schedule_test"
+  "dfs_schedule_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

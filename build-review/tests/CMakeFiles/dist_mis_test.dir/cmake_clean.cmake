@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_mis_test.dir/dist_mis_test.cpp.o"
+  "CMakeFiles/dist_mis_test.dir/dist_mis_test.cpp.o.d"
+  "dist_mis_test"
+  "dist_mis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_mis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_repair_test.dir/dist_repair_test.cpp.o"
+  "CMakeFiles/dist_repair_test.dir/dist_repair_test.cpp.o.d"
+  "dist_repair_test"
+  "dist_repair_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_repair_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

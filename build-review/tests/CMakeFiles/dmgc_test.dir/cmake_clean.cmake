@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmgc_test.dir/dmgc_test.cpp.o"
+  "CMakeFiles/dmgc_test.dir/dmgc_test.cpp.o.d"
+  "dmgc_test"
+  "dmgc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmgc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

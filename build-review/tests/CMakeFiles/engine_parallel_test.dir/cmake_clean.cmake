@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_parallel_test.dir/engine_parallel_test.cpp.o"
+  "CMakeFiles/engine_parallel_test.dir/engine_parallel_test.cpp.o.d"
+  "engine_parallel_test"
+  "engine_parallel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/family_property_test.dir/family_property_test.cpp.o"
+  "CMakeFiles/family_property_test.dir/family_property_test.cpp.o.d"
+  "family_property_test"
+  "family_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/family_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

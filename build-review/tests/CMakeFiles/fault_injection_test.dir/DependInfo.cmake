@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fault_injection_test.cpp" "tests/CMakeFiles/fault_injection_test.dir/fault_injection_test.cpp.o" "gcc" "tests/CMakeFiles/fault_injection_test.dir/fault_injection_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/verify/CMakeFiles/fdlsp_verify.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/algos/CMakeFiles/fdlsp_algos.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ilp/CMakeFiles/fdlsp_ilp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/tdma/CMakeFiles/fdlsp_tdma.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/exp/CMakeFiles/fdlsp_exp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/io/CMakeFiles/fdlsp_io.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/coloring/CMakeFiles/fdlsp_coloring.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/fdlsp_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/fdlsp_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/fdlsp_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/analysis/CMakeFiles/fdlsp_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

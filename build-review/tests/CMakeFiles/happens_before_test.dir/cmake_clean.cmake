@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/happens_before_test.dir/happens_before_test.cpp.o"
+  "CMakeFiles/happens_before_test.dir/happens_before_test.cpp.o.d"
+  "happens_before_test"
+  "happens_before_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/happens_before_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

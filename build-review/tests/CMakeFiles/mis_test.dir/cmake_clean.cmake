@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mis_test.dir/mis_test.cpp.o"
+  "CMakeFiles/mis_test.dir/mis_test.cpp.o.d"
+  "mis_test"
+  "mis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misra_gries_test.dir/misra_gries_test.cpp.o"
+  "CMakeFiles/misra_gries_test.dir/misra_gries_test.cpp.o.d"
+  "misra_gries_test"
+  "misra_gries_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misra_gries_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

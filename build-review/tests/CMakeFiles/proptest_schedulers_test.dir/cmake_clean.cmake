@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proptest_schedulers_test.dir/proptest_schedulers_test.cpp.o"
+  "CMakeFiles/proptest_schedulers_test.dir/proptest_schedulers_test.cpp.o.d"
+  "proptest_schedulers_test"
+  "proptest_schedulers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proptest_schedulers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

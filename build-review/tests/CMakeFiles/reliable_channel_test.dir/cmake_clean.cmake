@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliable_channel_test.dir/reliable_channel_test.cpp.o"
+  "CMakeFiles/reliable_channel_test.dir/reliable_channel_test.cpp.o.d"
+  "reliable_channel_test"
+  "reliable_channel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliable_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_property_test.dir/schedule_property_test.cpp.o"
+  "CMakeFiles/schedule_property_test.dir/schedule_property_test.cpp.o.d"
+  "schedule_property_test"
+  "schedule_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

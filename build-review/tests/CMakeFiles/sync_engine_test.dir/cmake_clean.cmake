@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_engine_test.dir/sync_engine_test.cpp.o"
+  "CMakeFiles/sync_engine_test.dir/sync_engine_test.cpp.o.d"
+  "sync_engine_test"
+  "sync_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdma_test.dir/tdma_test.cpp.o"
+  "CMakeFiles/tdma_test.dir/tdma_test.cpp.o.d"
+  "tdma_test"
+  "tdma_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

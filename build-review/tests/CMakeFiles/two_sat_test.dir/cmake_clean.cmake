@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_sat_test.dir/two_sat_test.cpp.o"
+  "CMakeFiles/two_sat_test.dir/two_sat_test.cpp.o.d"
+  "two_sat_test"
+  "two_sat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_sat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

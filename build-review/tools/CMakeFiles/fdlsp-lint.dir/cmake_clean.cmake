@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdlsp-lint.dir/fdlsp-lint/main.cpp.o"
+  "CMakeFiles/fdlsp-lint.dir/fdlsp-lint/main.cpp.o.d"
+  "fdlsp-lint"
+  "fdlsp-lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdlsp-lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
