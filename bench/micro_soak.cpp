@@ -1,0 +1,177 @@
+// Microbenchmarks for the continuous-operation soak harness: per-event
+// repair latency percentiles, slots churned per event, repair vs recompute
+// wall time on the same stream, and the incremental ConflictIndex patch vs
+// a fresh rebuild.
+//
+// tools/bench_smoke.sh runs this suite and commits BENCH_soak.json as the
+// regression baseline; tools/ci.sh bench-compare diffs fresh runs against
+// it with a tolerance band.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "coloring/conflict_index.h"
+#include "graph/arcs.h"
+#include "soak/driver.h"
+#include "soak/topology.h"
+
+namespace {
+
+using namespace fdlsp;
+
+SoakSpec bench_spec(std::size_t n, std::uint64_t events) {
+  SoakSpec spec;
+  spec.seed = 17;
+  spec.n = n;
+  spec.events = events;
+  // Side grows with sqrt(n) so density (and the Lemma-6 bound) stays put
+  // across the size sweep.
+  spec.side = 0.9 * std::sqrt(static_cast<double>(n));
+  return spec;
+}
+
+/// One whole soak stream per iteration under the default cost model.
+/// Counters carry the steady-state health metrics: repair-latency
+/// percentiles, slots churned per event, and the recompute fraction.
+void BM_SoakStream(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto events = static_cast<std::uint64_t>(state.range(1));
+  const SoakSpec spec = bench_spec(n, events);
+  SoakStats last;
+  for (auto _ : state) {
+    SoakDriver driver(spec);
+    driver.run();
+    benchmark::DoNotOptimize(driver.coloring().raw().data());
+    last = driver.stats();
+  }
+  const auto scheduled =
+      static_cast<double>(last.repairs + last.recomputes);
+  state.counters["p50_us"] = soak_percentile(last.event_micros, 50.0);
+  state.counters["p99_us"] = soak_percentile(last.event_micros, 99.0);
+  state.counters["churn_per_event"] =
+      scheduled > 0.0 ? static_cast<double>(last.total_recolored) / scheduled
+                      : 0.0;
+  state.counters["recompute_frac"] =
+      scheduled > 0.0 ? static_cast<double>(last.recomputes) / scheduled : 0.0;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_SoakStream)
+    ->Args({64, 500})
+    ->Args({256, 500})
+    ->Args({1000, 500})
+    ->Unit(benchmark::kMillisecond);
+
+/// The same stream forced through one strategy, isolating what the cost
+/// model is trading: ball-local repair vs full recompute per event.
+void BM_SoakForcedStrategy(benchmark::State& state) {
+  const bool recompute = state.range(1) != 0;
+  const SoakSpec spec =
+      bench_spec(static_cast<std::size_t>(state.range(0)), 300);
+  SoakOptions options;
+  options.cost_model = [recompute](const SoakCostContext&) {
+    return recompute ? SoakAction::kRecompute : SoakAction::kRepair;
+  };
+  SoakStats last;
+  for (auto _ : state) {
+    SoakDriver driver(spec, options);
+    driver.run();
+    benchmark::DoNotOptimize(driver.coloring().raw().data());
+    last = driver.stats();
+  }
+  state.counters["p50_us"] = soak_percentile(last.event_micros, 50.0);
+  state.counters["p99_us"] = soak_percentile(last.event_micros, 99.0);
+  state.SetLabel(recompute ? "recompute" : "repair");
+}
+BENCHMARK(BM_SoakForcedStrategy)
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Unit(benchmark::kMillisecond);
+
+/// Incremental ConflictIndex patch after one churn event vs rebuilding the
+/// index from scratch on the same post-event graph — the speedup that makes
+/// per-event maintenance affordable.
+/// Endpoints of the edge symmetric difference — what the driver hands the
+/// incremental constructor after each event.
+std::vector<NodeId> touched_endpoints(const Graph& old_graph,
+                                      const Graph& new_graph) {
+  std::vector<NodeId> touched;
+  const auto lex_less = [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  };
+  const std::span<const Edge> old_edges = old_graph.edges();
+  const std::span<const Edge> new_edges = new_graph.edges();
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < old_edges.size() || j < new_edges.size()) {
+    const bool take_old =
+        j == new_edges.size() ||
+        (i < old_edges.size() && lex_less(old_edges[i], new_edges[j]));
+    const bool take_new =
+        !take_old &&
+        (i == old_edges.size() || lex_less(new_edges[j], old_edges[i]));
+    if (take_old || take_new) {
+      const Edge& e = take_old ? old_edges[i] : new_edges[j];
+      touched.push_back(e.u);
+      touched.push_back(e.v);
+      ++(take_old ? i : j);
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  return touched;
+}
+
+/// The first edge-changing event of the spec's stream: (pre-event graph,
+/// post-event graph, touched endpoints).
+struct ChurnedPair {
+  Graph old_graph;
+  Graph new_graph;
+  std::vector<NodeId> touched;
+};
+
+ChurnedPair first_churned_event(const SoakSpec& spec) {
+  DynamicTopology topo(spec);
+  for (std::uint64_t e = 0;; ++e) {
+    Graph old_graph = topo.graph();
+    topo.apply(e);
+    std::vector<NodeId> touched = touched_endpoints(old_graph, topo.graph());
+    if (!touched.empty())
+      return {std::move(old_graph), topo.graph(), std::move(touched)};
+  }
+}
+
+void BM_ConflictIndexIncremental(benchmark::State& state) {
+  const SoakSpec spec =
+      bench_spec(static_cast<std::size_t>(state.range(0)), 4);
+  const ChurnedPair churn = first_churned_event(spec);
+  const ConflictIndex old_index{ArcView(churn.old_graph)};
+  const ArcView view(churn.new_graph);
+  for (auto _ : state) {
+    ConflictIndex next(view, churn.old_graph, old_index, churn.touched);
+    benchmark::DoNotOptimize(next.raw_neighbors().data());
+  }
+}
+BENCHMARK(BM_ConflictIndexIncremental)->Arg(256)->Arg(1000);
+
+void BM_ConflictIndexFresh(benchmark::State& state) {
+  const SoakSpec spec =
+      bench_spec(static_cast<std::size_t>(state.range(0)), 4);
+  const ChurnedPair churn = first_churned_event(spec);
+  const ArcView view(churn.new_graph);
+  for (auto _ : state) {
+    ConflictIndex fresh(view);
+    benchmark::DoNotOptimize(fresh.raw_neighbors().data());
+  }
+}
+BENCHMARK(BM_ConflictIndexFresh)->Arg(256)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -19,6 +19,15 @@
 // ack/retransmit wrapper unless --reliable=0), prints the injected fault
 // counters, and judges the run with the fault-quiescence oracle — plus the
 // crash-recovery oracle when the plan arms crashes or link churn.
+//
+// Soak repros replay a whole churn stream under the long-horizon oracles
+// (verify/soak_oracles.h):
+//
+//   ./replay --soak=seed=7,n=200,events=5000 [--soak-band=1.2]
+//       [--distributed=1] [--faults=drop=0.1,...] [--reliable=0]
+//
+// The spec string is exactly what soak_repro_command() prints; on a failure
+// the tool shrinks the stream and prints the minimized repro line.
 #include <cstdint>
 #include <iostream>
 #include <string>
@@ -34,6 +43,7 @@
 #include "verify/fault_oracles.h"
 #include "verify/oracles.h"
 #include "verify/scenario.h"
+#include "verify/soak_oracles.h"
 
 namespace {
 
@@ -63,17 +73,85 @@ fdlsp::GraphFamily parse_family(const std::string& name) {
   return GraphFamily::kGnm;
 }
 
+/// Replays a soak stream under the full oracle battery, shrinking any
+/// failure back down to a printable repro line.
+int run_soak_replay(const fdlsp::CliArgs& args) {
+  using namespace fdlsp;
+  const SoakSpec spec = parse_soak_spec(args.get("soak", "default"));
+
+  SoakOptions driver_options;
+  FaultSpec faults;
+  const bool reliable = args.get_int("reliable", 1) != 0;
+  if (args.has("faults")) {
+    faults = parse_fault_spec(args.get("faults", "none"));
+    driver_options.faults = &faults;
+    driver_options.reliable = reliable;
+    driver_options.distributed = true;  // fault plans act on the radio
+  }
+  if (args.get_int("distributed", 0) != 0) driver_options.distributed = true;
+
+  SoakOracleOptions oracle_options;
+  oracle_options.drift_band = args.get_double("soak-band", 0.0);
+
+  std::cout << "soak: " << soak_repro_command(spec, &oracle_options)
+            << (driver_options.distributed ? " (distributed engine)" : "")
+            << "\n";
+  if (driver_options.faults != nullptr)
+    std::cout << "faults: " << format_fault_spec(faults)
+              << (reliable ? " (reliable wrapper on)"
+                           : " (reliable wrapper OFF)")
+              << "\n";
+
+  const SoakVerdict verdict =
+      run_soak_with_oracles(spec, driver_options, oracle_options);
+  const SoakStats& stats = verdict.stats;
+  std::cout << "events: " << stats.events << " (" << stats.repairs
+            << " repairs, " << stats.recomputes << " recomputes, "
+            << stats.fallbacks << " fallbacks, " << stats.noop_events
+            << " no-ops)\n"
+            << "recolored: " << stats.total_recolored << " arcs total, max "
+            << stats.max_recolored << " in one event\n"
+            << "slots: peak " << stats.max_slots << "\n"
+            << "latency: p50 " << soak_percentile(stats.event_micros, 50.0)
+            << " us, p99 " << soak_percentile(stats.event_micros, 99.0)
+            << " us\n";
+
+  if (verdict.ok) {
+    std::cout << "soak oracles: ok (feasibility, locality, drift)\n";
+    return 0;
+  }
+  std::cout << "soak oracles: FAIL at event " << verdict.failing_event
+            << " — " << verdict.failure << "\n";
+
+  const SoakFailingPredicate still_fails = [&](const SoakSpec& candidate) {
+    return !run_soak_with_oracles(candidate, driver_options, oracle_options)
+                .ok;
+  };
+  const SoakShrinkOutcome shrunk = shrink_soak_case(spec, still_fails);
+  std::cout << "shrunk in " << shrunk.checks << " checks\n"
+            << "repro: "
+            << (driver_options.faults != nullptr
+                    ? soak_repro_command(shrunk.spec, faults, reliable,
+                                         &oracle_options)
+                    : soak_repro_command(shrunk.spec, &oracle_options))
+            << "\n";
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace fdlsp;
   try {
     const CliArgs args(argc, argv);
+    if (args.has("soak") && !args.has("help")) return run_soak_replay(args);
     if (args.has("help") || !args.has("scheduler")) {
       std::cout << "usage: replay --family=udg|gnm|tree|grid|ring|star --n=N "
                    "--density=D --seed=S --scheduler=NAME\n"
                    "       [--faults=drop=0.1,crash=0.25,... | --faults=none]"
                    " [--reliable=0|1]\n"
+                   "   or: replay --soak=SPEC [--soak-band=B]"
+                   " [--distributed=1] [--faults=...] [--reliable=0]\n"
                    "Paste the repro line a failing property test prints.\n";
       return args.has("help") ? 0 : 2;
     }

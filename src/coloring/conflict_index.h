@@ -53,6 +53,23 @@ class ConflictIndex {
   /// build for any pool size.
   ConflictIndex(const ArcView& view, ThreadPool& pool);
 
+  /// Incremental rebuild after a local topology change (the soak driver's
+  /// per-event path). `old_index` must be the index of `old_graph`; `view`
+  /// is over the new graph on the same node universe; `touched` must list
+  /// both endpoints of every edge present in exactly one of the two graphs.
+  ///
+  /// A conflict (shared endpoint or hidden-terminal mediation) can only
+  /// appear or vanish for arcs with an endpoint within distance 1 of a
+  /// changed-edge endpoint, so rows of arcs whose endpoints lie outside the
+  /// distance-2 ball of `touched` (in the union of old and new adjacency)
+  /// are copied and edge-id-remapped; only the ball is re-enumerated. The
+  /// remap is strictly monotone (both edge lists sort lexicographically),
+  /// so copied rows stay sorted. Byte-identical to a fresh build — the
+  /// soaktest suite asserts this on every event of a churn stream.
+  ConflictIndex(const ArcView& view, const Graph& old_graph,
+                const ConflictIndex& old_index,
+                std::span<const NodeId> touched);
+
   /// Number of arcs indexed (2m).
   std::size_t num_arcs() const noexcept { return offsets_.size() - 1; }
 

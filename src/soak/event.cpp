@@ -1,0 +1,173 @@
+#include "soak/event.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace fdlsp {
+
+std::string soak_event_name(SoakEventKind kind) {
+  switch (kind) {
+    case SoakEventKind::kJoin: return "join";
+    case SoakEventKind::kLeave: return "leave";
+    case SoakEventKind::kMove: return "move";
+    case SoakEventKind::kLinkDown: return "link_down";
+    case SoakEventKind::kLinkUp: return "link_up";
+  }
+  return "?";
+}
+
+std::uint64_t soak_hash(std::uint64_t seed, std::uint64_t stream,
+                        std::uint64_t index) {
+  std::uint64_t s = seed ^ (stream * 0x9e3779b97f4a7c15ULL);
+  const std::uint64_t a = splitmix64(s);
+  s ^= index * 0xbf58476d1ce4e5b9ULL;
+  return splitmix64(s) ^ a;
+}
+
+double soak_unit(std::uint64_t hash) {
+  return static_cast<double>(hash >> 11) * 0x1.0p-53;
+}
+
+namespace {
+
+/// Shortest decimal form that round-trips a double through strtod.
+std::string format_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%g", value);
+  return buffer;
+}
+
+void append_field(std::string& out, const char* key,
+                  const std::string& value) {
+  if (!out.empty()) out += ',';
+  out += key;
+  out += '=';
+  out += value;
+}
+
+}  // namespace
+
+std::string format_soak_spec(const SoakSpec& spec) {
+  const SoakSpec defaults;
+  std::string out;
+  if (spec.seed != defaults.seed)
+    append_field(out, "seed", std::to_string(spec.seed));
+  if (spec.n != defaults.n) append_field(out, "n", std::to_string(spec.n));
+  if (spec.events != defaults.events)
+    append_field(out, "events", std::to_string(spec.events));
+  if (spec.family != defaults.family) append_field(out, "family", spec.family);
+  if (spec.density != defaults.density)
+    append_field(out, "density", format_double(spec.density));
+  if (spec.side != defaults.side)
+    append_field(out, "side", format_double(spec.side));
+  if (spec.radius != defaults.radius)
+    append_field(out, "radius", format_double(spec.radius));
+  if (spec.alive_fraction != defaults.alive_fraction)
+    append_field(out, "alive", format_double(spec.alive_fraction));
+  if (spec.move_step != defaults.move_step)
+    append_field(out, "step", format_double(spec.move_step));
+  if (spec.join_weight != defaults.join_weight)
+    append_field(out, "join", format_double(spec.join_weight));
+  if (spec.leave_weight != defaults.leave_weight)
+    append_field(out, "leave", format_double(spec.leave_weight));
+  if (spec.move_weight != defaults.move_weight)
+    append_field(out, "move", format_double(spec.move_weight));
+  if (spec.link_down_weight != defaults.link_down_weight)
+    append_field(out, "down", format_double(spec.link_down_weight));
+  if (spec.link_up_weight != defaults.link_up_weight)
+    append_field(out, "up", format_double(spec.link_up_weight));
+  if (spec.repair_threshold != defaults.repair_threshold)
+    append_field(out, "repair", format_double(spec.repair_threshold));
+  if (spec.drift_band != defaults.drift_band)
+    append_field(out, "band", format_double(spec.drift_band));
+  if (!spec.skip.empty()) {
+    std::string joined;
+    for (const std::uint64_t index : spec.skip) {
+      if (!joined.empty()) joined += '.';
+      joined += std::to_string(index);
+    }
+    append_field(out, "skip", joined);
+  }
+  return out.empty() ? "default" : out;
+}
+
+SoakSpec parse_soak_spec(const std::string& text) {
+  SoakSpec spec;
+  if (text.empty() || text == "default") return spec;
+  std::stringstream stream(text);
+  std::string pair;
+  while (std::getline(stream, pair, ',')) {
+    const std::size_t eq = pair.find('=');
+    FDLSP_REQUIRE(eq != std::string::npos,
+                  "soak spec entries must be key=value: " + pair);
+    const std::string key = pair.substr(0, eq);
+    const std::string value = pair.substr(eq + 1);
+    const auto as_double = [&value, &key]() {
+      char* end = nullptr;
+      const double parsed = std::strtod(value.c_str(), &end);
+      FDLSP_REQUIRE(end != nullptr && *end == '\0',
+                    "bad numeric value for soak key " + key + ": " + value);
+      return parsed;
+    };
+    const auto as_u64 = [&value, &key]() {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+      FDLSP_REQUIRE(end != nullptr && *end == '\0',
+                    "bad integer value for soak key " + key + ": " + value);
+      return static_cast<std::uint64_t>(parsed);
+    };
+    if (key == "seed") {
+      spec.seed = as_u64();
+    } else if (key == "n") {
+      spec.n = static_cast<std::size_t>(as_u64());
+    } else if (key == "events") {
+      spec.events = as_u64();
+    } else if (key == "family") {
+      spec.family = value;
+    } else if (key == "density") {
+      spec.density = as_double();
+    } else if (key == "side") {
+      spec.side = as_double();
+    } else if (key == "radius") {
+      spec.radius = as_double();
+    } else if (key == "alive") {
+      spec.alive_fraction = as_double();
+    } else if (key == "step") {
+      spec.move_step = as_double();
+    } else if (key == "join") {
+      spec.join_weight = as_double();
+    } else if (key == "leave") {
+      spec.leave_weight = as_double();
+    } else if (key == "move") {
+      spec.move_weight = as_double();
+    } else if (key == "down") {
+      spec.link_down_weight = as_double();
+    } else if (key == "up") {
+      spec.link_up_weight = as_double();
+    } else if (key == "repair") {
+      spec.repair_threshold = as_double();
+    } else if (key == "band") {
+      spec.drift_band = as_double();
+    } else if (key == "skip") {
+      std::stringstream indices(value);
+      std::string index;
+      while (std::getline(indices, index, '.')) {
+        char* end = nullptr;
+        const unsigned long long parsed =
+            std::strtoull(index.c_str(), &end, 10);
+        FDLSP_REQUIRE(end != nullptr && *end == '\0' && !index.empty(),
+                      "bad skip index in soak spec: " + index);
+        spec.skip.push_back(static_cast<std::uint64_t>(parsed));
+      }
+    } else {
+      FDLSP_REQUIRE(false, "unknown soak spec key: " + key);
+    }
+  }
+  return spec;
+}
+
+}  // namespace fdlsp

@@ -1,0 +1,101 @@
+// Deterministic topology-event streams for the continuous-operation soak
+// harness (the "scheduling as a service" pipeline of the ROADMAP).
+//
+// A SoakSpec is the churn analogue of a FaultSpec (sim/fault.h): a compact,
+// value-comparable recipe whose every event is a pure function of
+// (seed, event index) — no generator state is shared between events, so a
+// soak run is replayable from the spec string alone, an arbitrary subset of
+// event indices can be skipped without changing the meaning of the rest
+// (which is what makes event-stream shrinking well-defined), and two runs
+// with the same spec produce byte-identical event logs regardless of thread
+// count.
+//
+// Event classes (Herman & Tixeuil's self-stabilization regime: correctness
+// over an unbounded stream, not a single run):
+//   * join      — a dead node comes (back) up at a hashed plan position.
+//   * leave     — an alive node fail-stops; its links vanish.
+//   * move      — mobility: an alive node advances one waypoint step over
+//                 the plan coordinates (ns-2 self-organized-TDMA style);
+//                 links re-derive from the unit-disk radius.
+//   * link_down — one present link is forced down (interference).
+//   * link_up   — one forced-down link is restored.
+//
+// The draws are pure; the *meaning* of an event (which node joins, which
+// link drops) is a deterministic function of the draws and the topology
+// state the preceding non-skipped events produced.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fdlsp {
+
+/// The topology-event classes of the churn grammar.
+enum class SoakEventKind { kJoin, kLeave, kMove, kLinkDown, kLinkUp };
+
+/// Event-class name as printed in event logs and spec strings
+/// ("join", "leave", "move", "link_down", "link_up").
+std::string soak_event_name(SoakEventKind kind);
+
+/// Pure-data description of one soak run. Value-comparable so shrunk soak
+/// cases can be tested for fixpoints (the shrink_fault_case convention).
+struct SoakSpec {
+  std::uint64_t seed = 1;      ///< drives every event draw
+  std::size_t n = 64;          ///< node-id universe (dead nodes stay dense)
+  std::uint64_t events = 1000; ///< stream length
+
+  /// Seed-topology family: "udg" (default; geometric, mobility enabled) or
+  /// one of the scenario families "gnm" / "tree" / "grid" / "ring" / "star"
+  /// (combinatorial; a move event rewires instead of relocating).
+  std::string family = "udg";
+  double density = 0.5;  ///< density knob for the gnm family (unused else)
+
+  double side = 7.5;            ///< UDG plan side (absolute coordinates)
+  double radius = 1.0;          ///< UDG transmission radius
+  double alive_fraction = 0.9;  ///< initially-alive fraction of the universe
+  double move_step = 0.5;       ///< waypoint step per move, × radius
+
+  /// Relative event-mix weights. A zero weight disarms the class (the
+  /// shrinker exploits this); at least one weight must stay positive.
+  double join_weight = 1.0;
+  double leave_weight = 1.0;
+  double move_weight = 4.0;
+  double link_down_weight = 1.0;
+  double link_up_weight = 1.0;
+
+  /// Default cost-model knobs (soak/driver.h): recompute when the dirty
+  /// fraction exceeds `repair_threshold`, or when the transferred span
+  /// drifts past `drift_band` × the instance-tight Lemma-6 bound.
+  double repair_threshold = 0.2;
+  double drift_band = 1.5;
+
+  /// Event indices removed by the shrinker, ascending. Skipped events are
+  /// never applied; all other indices keep their draws.
+  std::vector<std::uint64_t> skip;
+
+  friend bool operator==(const SoakSpec&, const SoakSpec&) = default;
+};
+
+/// Stateless mix of (seed, stream, index) -> 64 uniform bits, the FaultPlan
+/// hashing discipline. Distinct stream tags keep per-purpose draws
+/// independent even when indices collide.
+std::uint64_t soak_hash(std::uint64_t seed, std::uint64_t stream,
+                        std::uint64_t index);
+
+/// The hash mapped into [0, 1).
+double soak_unit(std::uint64_t hash);
+
+/// Compact key=value form of a spec, e.g.
+///   "seed=7,n=200,events=5000,move=8,step=0.25,skip=3.17.90"
+/// Only non-default fields are printed; an all-default spec formats as
+/// "default". The string is the value of the --soak= replay flag and
+/// round-trips through parse_soak_spec.
+std::string format_soak_spec(const SoakSpec& spec);
+
+/// Parses the format_soak_spec form ("default" or comma-separated key=value
+/// pairs; skip indices are dot-separated). Unknown keys raise contract_error
+/// so repro typos fail loudly.
+SoakSpec parse_soak_spec(const std::string& text);
+
+}  // namespace fdlsp

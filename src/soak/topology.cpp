@@ -1,0 +1,422 @@
+#include "soak/topology.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/generators.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace fdlsp {
+namespace {
+
+// Per-purpose stream tags (the FaultPlan hashing discipline): draws for
+// distinct decisions stay independent even when event indices coincide.
+constexpr std::uint64_t kStreamKind = 0x51;
+constexpr std::uint64_t kStreamInitAlive = 0x52;
+constexpr std::uint64_t kStreamInitPos = 0x53;
+constexpr std::uint64_t kStreamInitWaypoint = 0x54;
+constexpr std::uint64_t kStreamInitGraph = 0x55;
+constexpr std::uint64_t kStreamPick = 0x56;
+constexpr std::uint64_t kStreamJoinPos = 0x57;
+constexpr std::uint64_t kStreamWaypoint = 0x58;
+constexpr std::uint64_t kStreamRewire = 0x59;
+
+// The alive floor: leave events refuse to shrink the network below this, so
+// a move target always exists and the schedule never degenerates to nothing.
+constexpr std::size_t kMinAlive = 4;
+
+bool edge_less(const Edge& a, const Edge& b) {
+  return a.u != b.u ? a.u < b.u : a.v < b.v;
+}
+
+Edge make_link(NodeId u, NodeId v) {
+  return {std::min(u, v), std::max(u, v)};
+}
+
+void insert_sorted(std::vector<NodeId>& row, NodeId w) {
+  row.insert(std::lower_bound(row.begin(), row.end(), w), w);
+}
+
+void erase_sorted(std::vector<NodeId>& row, NodeId w) {
+  const auto it = std::lower_bound(row.begin(), row.end(), w);
+  FDLSP_ASSERT(it != row.end() && *it == w, "link row entry missing");
+  row.erase(it);
+}
+
+/// Seed link set for the combinatorial families, mirroring the
+/// verify/scenario materialize semantics where the node count allows it.
+Graph seed_graph(const SoakSpec& spec) {
+  Rng rng(soak_hash(spec.seed, kStreamInitGraph, 0));
+  const std::size_t n = spec.n;
+  if (spec.family == "gnm") {
+    const std::size_t max_edges = n * (n - 1) / 2;
+    const auto m = static_cast<std::size_t>(
+        std::floor(spec.density * static_cast<double>(max_edges)));
+    return generate_gnm(n, std::min(m, max_edges), rng);
+  }
+  if (spec.family == "tree") return generate_random_tree(n, rng);
+  if (spec.family == "ring")
+    return n >= 3 ? generate_cycle(n) : generate_path(n);
+  if (spec.family == "star") return generate_star(n);
+  FDLSP_ASSERT(spec.family == "grid", "unexpected combinatorial family");
+  // Partial rows×cols lattice over exactly n nodes (scenario's generate_grid
+  // would mint rows*cols >= n nodes, which would break the fixed universe).
+  auto rows = static_cast<std::size_t>(std::sqrt(static_cast<double>(n)));
+  if (rows == 0) rows = 1;
+  const std::size_t cols = (n + rows - 1) / rows;
+  GraphBuilder builder(n);
+  for (std::size_t id = 0; id < n; ++id) {
+    if (id % cols + 1 < cols && id + 1 < n)
+      builder.add_edge(static_cast<NodeId>(id), static_cast<NodeId>(id + 1));
+    if (id + cols < n)
+      builder.add_edge(static_cast<NodeId>(id),
+                       static_cast<NodeId>(id + cols));
+  }
+  return builder.build();
+}
+
+}  // namespace
+
+DynamicTopology::DynamicTopology(const SoakSpec& spec) : spec_(spec) {
+  FDLSP_REQUIRE(spec_.n >= kMinAlive, "soak universe needs at least 4 nodes");
+  FDLSP_REQUIRE(spec_.family == "udg" || spec_.family == "gnm" ||
+                    spec_.family == "tree" || spec_.family == "grid" ||
+                    spec_.family == "ring" || spec_.family == "star",
+                "unknown soak family: " + spec_.family);
+  FDLSP_REQUIRE(spec_.join_weight >= 0.0 && spec_.leave_weight >= 0.0 &&
+                    spec_.move_weight >= 0.0 &&
+                    spec_.link_down_weight >= 0.0 &&
+                    spec_.link_up_weight >= 0.0,
+                "soak event weights must be non-negative");
+  FDLSP_REQUIRE(spec_.join_weight + spec_.leave_weight + spec_.move_weight +
+                        spec_.link_down_weight + spec_.link_up_weight >
+                    0.0,
+                "soak event weights must not all be zero");
+  FDLSP_REQUIRE(spec_.alive_fraction >= 0.0 && spec_.alive_fraction <= 1.0,
+                "alive fraction must lie in [0, 1]");
+  geometric_ = spec_.family == "udg";
+  if (geometric_) {
+    FDLSP_REQUIRE(spec_.side > 0.0 && spec_.radius > 0.0,
+                  "udg soak needs positive side and radius");
+    FDLSP_REQUIRE(spec_.move_step >= 0.0, "move step must be non-negative");
+  }
+
+  alive_.assign(spec_.n, 0);
+  adj_.assign(spec_.n, {});
+  pos_.assign(spec_.n, Point{});
+  waypoint_.assign(spec_.n, Point{});
+  for (std::size_t v = 0; v < spec_.n; ++v) {
+    if (soak_unit(soak_hash(spec_.seed, kStreamInitAlive, v)) <
+        spec_.alive_fraction) {
+      alive_[v] = 1;
+      ++num_alive_;
+    }
+  }
+  // Force the floor so the stream always has something to schedule.
+  for (std::size_t v = 0; v < spec_.n && num_alive_ < kMinAlive; ++v) {
+    if (!alive_[v]) {
+      alive_[v] = 1;
+      ++num_alive_;
+    }
+  }
+
+  if (geometric_) {
+    // Cell width side/grid_dim_ >= radius, so the 3×3 neighborhood of a
+    // node's cell covers its whole transmission disk.
+    grid_dim_ = std::max<std::size_t>(
+        1, static_cast<std::size_t>(spec_.side / spec_.radius));
+    cells_.assign(grid_dim_ * grid_dim_, {});
+    for (std::size_t v = 0; v < spec_.n; ++v) {
+      pos_[v] = hashed_point(kStreamInitPos, v);
+      waypoint_[v] = hashed_point(kStreamInitWaypoint, v);
+      if (alive_[v]) grid_insert(static_cast<NodeId>(v));
+    }
+    // Re-deriving each alive node's links in turn converges to the full
+    // radius relation: later refreshes re-add what they momentarily drop.
+    for (std::size_t v = 0; v < spec_.n; ++v)
+      if (alive_[v]) refresh_geometric_links(static_cast<NodeId>(v));
+  } else {
+    const Graph seed = seed_graph(spec_);
+    for (const Edge& e : seed.edges())
+      if (alive_[e.u] && alive_[e.v]) add_link(e.u, e.v);
+  }
+  freeze_graph();
+}
+
+SoakEventKind DynamicTopology::pick_kind(std::uint64_t index) const {
+  const double total = spec_.join_weight + spec_.leave_weight +
+                       spec_.move_weight + spec_.link_down_weight +
+                       spec_.link_up_weight;
+  double r = soak_unit(soak_hash(spec_.seed, kStreamKind, index)) * total;
+  if ((r -= spec_.join_weight) < 0.0) return SoakEventKind::kJoin;
+  if ((r -= spec_.leave_weight) < 0.0) return SoakEventKind::kLeave;
+  if ((r -= spec_.move_weight) < 0.0) return SoakEventKind::kMove;
+  if ((r -= spec_.link_down_weight) < 0.0) return SoakEventKind::kLinkDown;
+  return SoakEventKind::kLinkUp;
+}
+
+DynamicTopology::Applied DynamicTopology::apply(std::uint64_t index) {
+  SoakEventKind kind = pick_kind(index);
+  // Deterministic fallback: an inapplicable class degrades to a move, which
+  // is always applicable (>= kMinAlive nodes stay alive by construction).
+  switch (kind) {
+    case SoakEventKind::kJoin:
+      if (num_alive_ == spec_.n) kind = SoakEventKind::kMove;
+      break;
+    case SoakEventKind::kLeave:
+      if (num_alive_ <= kMinAlive) kind = SoakEventKind::kMove;
+      break;
+    case SoakEventKind::kLinkDown:
+      if (num_links_ == 0) kind = SoakEventKind::kMove;
+      break;
+    case SoakEventKind::kLinkUp:
+      if (down_.empty()) kind = SoakEventKind::kMove;
+      break;
+    case SoakEventKind::kMove:
+      break;
+  }
+  Applied applied;
+  switch (kind) {
+    case SoakEventKind::kJoin:
+      applied = apply_join(index);
+      break;
+    case SoakEventKind::kLeave:
+      applied = apply_leave(index);
+      break;
+    case SoakEventKind::kMove:
+      applied = apply_move(index);
+      break;
+    case SoakEventKind::kLinkDown:
+      applied = apply_link_down(index);
+      break;
+    case SoakEventKind::kLinkUp:
+      applied = apply_link_up(index);
+      break;
+  }
+  freeze_graph();
+  return applied;
+}
+
+DynamicTopology::Applied DynamicTopology::apply_join(std::uint64_t index) {
+  const std::uint64_t hash = soak_hash(spec_.seed, kStreamPick, index);
+  std::uint64_t k = hash % (spec_.n - num_alive_);
+  NodeId v = kNoNode;
+  for (std::size_t u = 0; u < spec_.n; ++u) {
+    if (alive_[u]) continue;
+    if (k == 0) {
+      v = static_cast<NodeId>(u);
+      break;
+    }
+    --k;
+  }
+  alive_[v] = 1;
+  ++num_alive_;
+  if (geometric_) {
+    pos_[v] = hashed_point(kStreamJoinPos, index);
+    waypoint_[v] = hashed_point(kStreamWaypoint, index);
+    grid_insert(v);
+    refresh_geometric_links(v);
+  } else {
+    // Attach at roughly the network's mean degree so joins neither starve
+    // nor densify the family over the long horizon.
+    const std::size_t average =
+        num_links_ == 0
+            ? 1
+            : std::max<std::size_t>(
+                  1, (2 * num_links_ + num_alive_ / 2) / num_alive_);
+    rewire_links(v, std::min(average, num_alive_ - 1), index);
+  }
+  return {SoakEventKind::kJoin, v, kNoNode};
+}
+
+DynamicTopology::Applied DynamicTopology::apply_leave(std::uint64_t index) {
+  const NodeId v = pick_alive(soak_hash(spec_.seed, kStreamPick, index));
+  alive_[v] = 0;
+  --num_alive_;
+  drop_links_of(v);
+  if (geometric_) grid_erase(v);
+  std::erase_if(down_, [v](const Edge& e) { return e.u == v || e.v == v; });
+  return {SoakEventKind::kLeave, v, kNoNode};
+}
+
+DynamicTopology::Applied DynamicTopology::apply_move(std::uint64_t index) {
+  const NodeId v = pick_alive(soak_hash(spec_.seed, kStreamPick, index));
+  if (geometric_) {
+    const double step = spec_.move_step * spec_.radius;
+    const Point target = waypoint_[v];
+    const double dist = distance(pos_[v], target);
+    grid_erase(v);
+    if (dist <= step) {
+      // Waypoint reached: land on it and draw the next one.
+      pos_[v] = target;
+      waypoint_[v] = hashed_point(kStreamWaypoint, index);
+    } else {
+      pos_[v].x += (target.x - pos_[v].x) / dist * step;
+      pos_[v].y += (target.y - pos_[v].y) / dist * step;
+    }
+    grid_insert(v);
+    refresh_geometric_links(v);
+  } else {
+    // Mobility analogue for explicit link sets: rewire v at its old degree.
+    const std::size_t degree = std::max<std::size_t>(1, adj_[v].size());
+    drop_links_of(v);
+    rewire_links(v, std::min(degree, num_alive_ - 1), index);
+  }
+  return {SoakEventKind::kMove, v, kNoNode};
+}
+
+DynamicTopology::Applied DynamicTopology::apply_link_down(
+    std::uint64_t index) {
+  const std::uint64_t hash = soak_hash(spec_.seed, kStreamPick, index);
+  std::uint64_t k = hash % num_links_;
+  NodeId u = kNoNode;
+  NodeId w = kNoNode;
+  for (std::size_t a = 0; a < spec_.n && u == kNoNode; ++a) {
+    for (const NodeId b : adj_[a]) {
+      if (b <= a) continue;
+      if (k == 0) {
+        u = static_cast<NodeId>(a);
+        w = b;
+        break;
+      }
+      --k;
+    }
+  }
+  remove_link(u, w);
+  const Edge e = make_link(u, w);
+  down_.insert(std::upper_bound(down_.begin(), down_.end(), e, edge_less), e);
+  return {SoakEventKind::kLinkDown, e.u, e.v};
+}
+
+DynamicTopology::Applied DynamicTopology::apply_link_up(std::uint64_t index) {
+  const std::uint64_t hash = soak_hash(spec_.seed, kStreamPick, index);
+  const auto pick = static_cast<std::size_t>(hash % down_.size());
+  const Edge e = down_[pick];
+  down_.erase(down_.begin() + static_cast<std::ptrdiff_t>(pick));
+  // Invariant: forced-down pairs stay both-alive (and in-range in the
+  // geometric mode) — stale entries are dropped at the invalidating event.
+  if (!has_link(e.u, e.v)) add_link(e.u, e.v);
+  return {SoakEventKind::kLinkUp, e.u, e.v};
+}
+
+Point DynamicTopology::hashed_point(std::uint64_t stream,
+                                    std::uint64_t index) const {
+  return {soak_unit(soak_hash(spec_.seed, stream, 2 * index)) * spec_.side,
+          soak_unit(soak_hash(spec_.seed, stream, 2 * index + 1)) *
+              spec_.side};
+}
+
+NodeId DynamicTopology::pick_alive(std::uint64_t hash) const {
+  std::uint64_t k = hash % num_alive_;
+  for (std::size_t v = 0; v < spec_.n; ++v) {
+    if (!alive_[v]) continue;
+    if (k == 0) return static_cast<NodeId>(v);
+    --k;
+  }
+  FDLSP_ASSERT(false, "alive pick walked past the population");
+  return kNoNode;
+}
+
+void DynamicTopology::refresh_geometric_links(NodeId v) {
+  drop_links_of(v);
+  const Point p = pos_[v];
+  const double radius_sq = spec_.radius * spec_.radius;
+  const std::size_t cell = grid_cell(p);
+  const std::size_t cx = cell % grid_dim_;
+  const std::size_t cy = cell / grid_dim_;
+  const std::size_t x1 = std::min(cx + 1, grid_dim_ - 1);
+  const std::size_t y1 = std::min(cy + 1, grid_dim_ - 1);
+  for (std::size_t y = cy == 0 ? 0 : cy - 1; y <= y1; ++y) {
+    for (std::size_t x = cx == 0 ? 0 : cx - 1; x <= x1; ++x) {
+      for (const NodeId w : cells_[y * grid_dim_ + x]) {
+        if (w == v || !alive_[w]) continue;
+        if (distance_sq(p, pos_[w]) <= radius_sq && !is_down(v, w))
+          add_link(v, w);
+      }
+    }
+  }
+  // Forced-down pairs of v that drifted out of range are no longer links at
+  // all; drop them so link_up never resurrects an out-of-range edge.
+  std::erase_if(down_, [&](const Edge& e) {
+    return (e.u == v || e.v == v) &&
+           distance_sq(pos_[e.u], pos_[e.v]) > radius_sq;
+  });
+}
+
+void DynamicTopology::rewire_links(NodeId v, std::size_t degree,
+                                   std::uint64_t index) {
+  // Bounded hashed probing; skipping self, duplicate, and forced-down
+  // targets. Running dry is fine — the node comes up sparser this round.
+  const std::size_t attempts = degree * 4 + 8;
+  std::size_t added = 0;
+  for (std::size_t t = 0; t < attempts && added < degree; ++t) {
+    const std::uint64_t hash = soak_hash(
+        spec_.seed, kStreamRewire + (static_cast<std::uint64_t>(t) << 8),
+        index);
+    const NodeId w = pick_alive(hash);
+    if (w == v || has_link(v, w) || is_down(v, w)) continue;
+    add_link(v, w);
+    ++added;
+  }
+}
+
+void DynamicTopology::drop_links_of(NodeId v) {
+  for (const NodeId w : adj_[v]) erase_sorted(adj_[w], v);
+  num_links_ -= adj_[v].size();
+  adj_[v].clear();
+}
+
+void DynamicTopology::add_link(NodeId u, NodeId v) {
+  insert_sorted(adj_[u], v);
+  insert_sorted(adj_[v], u);
+  ++num_links_;
+}
+
+void DynamicTopology::remove_link(NodeId u, NodeId v) {
+  erase_sorted(adj_[u], v);
+  erase_sorted(adj_[v], u);
+  --num_links_;
+}
+
+bool DynamicTopology::has_link(NodeId u, NodeId v) const {
+  return std::binary_search(adj_[u].begin(), adj_[u].end(), v);
+}
+
+bool DynamicTopology::is_down(NodeId u, NodeId v) const {
+  return std::binary_search(down_.begin(), down_.end(), make_link(u, v),
+                            edge_less);
+}
+
+void DynamicTopology::grid_insert(NodeId v) {
+  cells_[grid_cell(pos_[v])].push_back(v);
+}
+
+void DynamicTopology::grid_erase(NodeId v) {
+  auto& cell = cells_[grid_cell(pos_[v])];
+  const auto it = std::find(cell.begin(), cell.end(), v);
+  FDLSP_ASSERT(it != cell.end(), "grid cell entry missing");
+  cell.erase(it);
+}
+
+std::size_t DynamicTopology::grid_cell(const Point& p) const {
+  const double width = spec_.side / static_cast<double>(grid_dim_);
+  const auto axis = [&](double coord) {
+    const double c = std::floor(coord / width);
+    if (c <= 0.0) return std::size_t{0};
+    return std::min(static_cast<std::size_t>(c), grid_dim_ - 1);
+  };
+  return axis(p.y) * grid_dim_ + axis(p.x);
+}
+
+void DynamicTopology::freeze_graph() {
+  std::vector<std::size_t> offsets(spec_.n + 1, 0);
+  for (std::size_t v = 0; v < spec_.n; ++v)
+    offsets[v + 1] = offsets[v] + adj_[v].size();
+  std::vector<NodeId> flat;
+  flat.reserve(offsets.back());
+  for (const auto& row : adj_) flat.insert(flat.end(), row.begin(), row.end());
+  graph_ = GraphBuilder::build_from_symmetric_csr(spec_.n, offsets, flat);
+}
+
+}  // namespace fdlsp

@@ -1,0 +1,107 @@
+// Mutable topology under a deterministic churn stream.
+//
+// DynamicTopology owns the evolving network the soak driver schedules: a
+// fixed dense node-id universe [0, n) in which nodes die and revive, links
+// appear and disappear, and (in the geometric mode) nodes move over the UDG
+// plan coordinates. After every applied event the current state freezes
+// into an immutable Graph via the linear CSR fast path, so the rest of the
+// library (repair, ConflictIndex, the oracles) sees the ordinary read-only
+// graph type with edge ids sorted lexicographically — which is what keeps
+// the incremental ConflictIndex remap monotone.
+//
+// Two modes share the machinery:
+//   * geometric ("udg" family) — node positions are hashed plan points;
+//     a link exists iff both endpoints are alive, within the transmission
+//     radius, and not forced down. Moves advance waypoints; link churn
+//     toggles a forced-down set.
+//   * combinatorial (every other family) — the link set is explicit, seeded
+//     from the family generator; a move event rewires a node (mobility
+//     analogue) instead of relocating it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/geometry.h"
+#include "graph/graph.h"
+#include "soak/event.h"
+
+namespace fdlsp {
+
+/// The evolving topology of one soak run.
+class DynamicTopology {
+ public:
+  /// Builds the event-0 state (initial alive set, positions, seed links)
+  /// and freezes the initial graph.
+  explicit DynamicTopology(const SoakSpec& spec);
+
+  /// Current frozen topology. Dead nodes are present but isolated, so node
+  /// ids (and colorings indexed by arc id) stay dense across events.
+  const Graph& graph() const noexcept { return graph_; }
+
+  const SoakSpec& spec() const noexcept { return spec_; }
+
+  bool alive(NodeId v) const { return alive_[v] != 0; }
+  std::size_t num_alive() const noexcept { return num_alive_; }
+
+  /// Plan coordinates (geometric mode; meaningless but stable otherwise).
+  const std::vector<Point>& positions() const noexcept { return pos_; }
+
+  /// Links currently forced down (u < v pairs, ascending).
+  const std::vector<Edge>& down_links() const noexcept { return down_; }
+
+  /// One applied event: the class actually executed (a class whose pick set
+  /// is empty deterministically falls back to kMove) and the touched nodes.
+  struct Applied {
+    SoakEventKind kind = SoakEventKind::kMove;
+    NodeId primary = kNoNode;
+    NodeId secondary = kNoNode;  ///< second endpoint for link events
+  };
+
+  /// Applies event `index` of the spec's stream and refreezes the graph.
+  /// Deterministic in (spec, sequence of applied indices).
+  Applied apply(std::uint64_t index);
+
+ private:
+  SoakEventKind pick_kind(std::uint64_t index) const;
+  Applied apply_join(std::uint64_t index);
+  Applied apply_leave(std::uint64_t index);
+  Applied apply_move(std::uint64_t index);
+  Applied apply_link_down(std::uint64_t index);
+  Applied apply_link_up(std::uint64_t index);
+
+  Point hashed_point(std::uint64_t stream, std::uint64_t index) const;
+  NodeId pick_alive(std::uint64_t hash) const;
+
+  /// Re-derives v's link set (geometric: radius query; combinatorial:
+  /// rewire to `degree` hashed targets) and patches both endpoints'
+  /// adjacency rows. Also drops invalidated forced-down entries.
+  void refresh_geometric_links(NodeId v);
+  void rewire_links(NodeId v, std::size_t degree, std::uint64_t index);
+  void drop_links_of(NodeId v);
+  void add_link(NodeId u, NodeId v);
+  void remove_link(NodeId u, NodeId v);
+  bool has_link(NodeId u, NodeId v) const;
+  bool is_down(NodeId u, NodeId v) const;
+
+  void grid_insert(NodeId v);
+  void grid_erase(NodeId v);
+  std::size_t grid_cell(const Point& p) const;
+
+  void freeze_graph();
+
+  SoakSpec spec_;
+  bool geometric_ = true;
+  std::vector<Point> pos_;       ///< per node (geometric mode)
+  std::vector<Point> waypoint_;  ///< per node mobility target
+  std::vector<char> alive_;
+  std::size_t num_alive_ = 0;
+  std::vector<std::vector<NodeId>> adj_;  ///< live links, rows sorted
+  std::size_t num_links_ = 0;
+  std::vector<Edge> down_;  ///< forced-down links, ascending
+  std::size_t grid_dim_ = 1;              ///< cells per plan side
+  std::vector<std::vector<NodeId>> cells_;  ///< node buckets (geometric)
+  Graph graph_;
+};
+
+}  // namespace fdlsp

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Bench-regression smoke: runs the coloring and engine micro suites in
-# Release mode and writes google-benchmark JSON to BENCH_coloring.json and
-# BENCH_sim.json at the repo root.
+# Bench-regression smoke: runs the coloring, engine, and soak micro suites
+# in Release mode and writes google-benchmark JSON to BENCH_coloring.json,
+# BENCH_sim.json, and BENCH_soak.json at the repo root.
 #
 #   tools/bench_smoke.sh                 # default build dir build-bench
 #   tools/bench_smoke.sh build           # reuse an existing build dir
@@ -10,9 +10,11 @@
 # The committed JSON files are the regression references for later PRs:
 # BENCH_coloring.json documents the ConflictIndex speedup; BENCH_sim.json
 # documents the zero-alloc message path and parallel-round throughput
-# (payload-size sweep, thread sweep, DistMIS-on-UDG wall times). Compare a
-# fresh run against them with `tools/ci.sh bench-compare` before merging
-# perf changes.
+# (payload-size sweep, thread sweep, DistMIS-on-UDG wall times);
+# BENCH_soak.json documents the churn pipeline (repair-latency percentiles,
+# slots churned per event, incremental-index patch vs fresh rebuild).
+# Compare a fresh run against them with `tools/ci.sh bench-compare` before
+# merging perf changes.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,7 +22,8 @@ build_dir="${1:-build-bench}"
 min_time="${FDLSP_BENCH_MIN_TIME:-0.1}"
 
 cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "${build_dir}" -j --target micro_coloring micro_engines
+cmake --build "${build_dir}" -j --target micro_coloring micro_engines \
+  micro_soak
 
 "./${build_dir}/bench/micro_coloring" \
   --benchmark_min_time="${min_time}" \
@@ -34,4 +37,11 @@ cmake --build "${build_dir}" -j --target micro_coloring micro_engines
   --benchmark_out_format=json \
   --benchmark_format=console
 
-echo "=== bench_smoke.sh: wrote BENCH_coloring.json BENCH_sim.json ==="
+"./${build_dir}/bench/micro_soak" \
+  --benchmark_min_time="${min_time}" \
+  --benchmark_out=BENCH_soak.json \
+  --benchmark_out_format=json \
+  --benchmark_format=console
+
+echo "=== bench_smoke.sh: wrote BENCH_coloring.json BENCH_sim.json" \
+  "BENCH_soak.json ==="

@@ -7,6 +7,9 @@
 #   tools/ci.sh tsan       # TSan build, proptest-labeled suite
 #   tools/ci.sh faults     # fault-injection gate: faulttest-labeled suite,
 #                          # plain and under ASan+UBSan
+#   tools/ci.sh soak       # continuous-operation gate: soaktest-labeled
+#                          # suite, plain (full streams) and under
+#                          # ASan+UBSan (capped via FDLSP_SOAK_EVENTS)
 #   tools/ci.sh lint       # fdlsp-lint over src/ (determinism/isolation)
 #   tools/ci.sh tidy       # clang-tidy (skipped when not installed)
 #   tools/ci.sh bench      # Release build + micro suites (capped min-time;
@@ -49,6 +52,20 @@ run_faults() {
     -j "$(nproc)"
 }
 
+run_soak() {
+  echo "=== soak: continuous-operation suite (plain + ASan+UBSan) ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build -j
+  ctest --test-dir build -L soaktest --output-on-failure -j "$(nproc)"
+  # Sanitizer instrumentation makes long streams slow; cap the per-test
+  # event count so the gate stays minutes, not hours.
+  cmake --preset asan-ubsan
+  cmake --build --preset asan-ubsan -j
+  FDLSP_SOAK_EVENTS="${FDLSP_SOAK_EVENTS:-200}" \
+    ctest --test-dir build-asan-ubsan -L soaktest --output-on-failure \
+    -j "$(nproc)"
+}
+
 run_lint() {
   echo "=== lint: fdlsp-lint over src/ ==="
   cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
@@ -83,15 +100,18 @@ run_bench_compare() {
   # run fresh, then diff with the tolerance band.
   local stash
   stash="$(mktemp -d)"
-  cp BENCH_coloring.json BENCH_sim.json "${stash}/"
+  cp BENCH_coloring.json BENCH_sim.json BENCH_soak.json "${stash}/"
   FDLSP_BENCH_MIN_TIME="${FDLSP_BENCH_MIN_TIME:-0.05}" tools/bench_smoke.sh
   local status=0
   python3 tools/bench_compare.py "${stash}/BENCH_coloring.json" \
     BENCH_coloring.json || status=1
   python3 tools/bench_compare.py "${stash}/BENCH_sim.json" \
     BENCH_sim.json || status=1
+  python3 tools/bench_compare.py "${stash}/BENCH_soak.json" \
+    BENCH_soak.json || status=1
   # Restore the committed baselines: the gate compares, it does not rebase.
-  cp "${stash}/BENCH_coloring.json" "${stash}/BENCH_sim.json" .
+  cp "${stash}/BENCH_coloring.json" "${stash}/BENCH_sim.json" \
+    "${stash}/BENCH_soak.json" .
   rm -rf "${stash}"
   return "${status}"
 }
@@ -101,6 +121,7 @@ case "${jobs}" in
   asan) run_sanitizer asan-ubsan ;;
   tsan) run_sanitizer tsan ;;
   faults) run_faults ;;
+  soak) run_soak ;;
   lint) run_lint ;;
   tidy) run_tidy ;;
   bench) run_bench ;;
@@ -111,12 +132,13 @@ case "${jobs}" in
     run_sanitizer asan-ubsan
     run_sanitizer tsan
     run_faults
+    run_soak
     run_tidy
     run_bench
     ;;
   *)
     echo "usage: tools/ci.sh" \
-      "[tier1|asan|tsan|faults|lint|tidy|bench|bench-compare|all]" >&2
+      "[tier1|asan|tsan|faults|soak|lint|tidy|bench|bench-compare|all]" >&2
     exit 2
     ;;
 esac
