@@ -15,6 +15,7 @@
 #include "graph/generators.h"
 #include "sim/async_engine.h"
 #include "sim/sync_engine.h"
+#include "support/alloc_audit.h"
 #include "support/rng.h"
 #include "support/thread_pool.h"
 
@@ -130,14 +131,24 @@ void BM_DistMisUdg(benchmark::State& state) {
   std::unique_ptr<ThreadPool> pool;
   if (threads > 0) pool = std::make_unique<ThreadPool>(threads);
   for (auto _ : state) {
+    AllocAudit audit;
     DistMisOptions options;
     options.variant = DistMisVariant::kGbg;
     options.seed = 42;
     options.pool = pool.get();
+    options.audit = &audit;
     const ScheduleResult result = run_dist_mis(graph, options);
     benchmark::DoNotOptimize(result.num_slots);
     state.counters["msgs"] = static_cast<double>(result.messages);
     state.counters["rounds"] = static_cast<double>(result.rounds);
+    // Steady-state allocation profile (support/alloc_audit.h): total
+    // in-round allocations and the count of rounds that allocated at all.
+    // Both are 0 under sanitizers (hooks compiled out); the regression
+    // gate on these counters lives in tests/engine_alloc_test.cpp — here
+    // they document the warm-up share next to the timing numbers.
+    state.counters["allocs"] = static_cast<double>(audit.total_allocations());
+    state.counters["alloc_rounds"] =
+        static_cast<double>(audit.allocating_rounds());
   }
 }
 BENCHMARK(BM_DistMisUdg)

@@ -1,7 +1,6 @@
 #include "algos/dfs_schedule.h"
 
 #include <algorithm>
-#include <map>
 #include <memory>
 #include <optional>
 #include <utility>
@@ -12,6 +11,7 @@
 #include "graph/arcs.h"
 #include "sim/reliable.h"
 #include "support/check.h"
+#include "support/flat_hash.h"
 
 namespace fdlsp {
 
@@ -147,7 +147,7 @@ class DfsProgram final : public AsyncProgram {
   /// All REPs in: greedily color uncolored incident arcs, broadcast.
   void color_and_announce(AsyncContext& ctx) {
     for (ArcId a : view_->incident_arcs(self_)) {
-      if (knowledge_.count(a)) continue;
+      if (knowledge_.contains(a)) continue;
       const Color c = smallest_known_feasible(a);
       knowledge_[a] = c;
       assignments_.emplace_back(a, c);
@@ -167,12 +167,12 @@ class DfsProgram final : public AsyncProgram {
     std::size_t next_degree = 0;
     for (const NeighborEntry& entry : ctx.neighbors()) {
       if (visited_[entry.to]) continue;
-      const auto it = neighbor_degree_.find(entry.to);
-      FDLSP_REQUIRE(it != neighbor_degree_.end(), "degree not yet known");
-      if (next == kNoNode || it->second > next_degree ||
-          (it->second == next_degree && entry.to < next)) {
+      const std::size_t* degree = neighbor_degree_.find(entry.to);
+      FDLSP_REQUIRE(degree != nullptr, "degree not yet known");
+      if (next == kNoNode || *degree > next_degree ||
+          (*degree == next_degree && entry.to < next)) {
         next = entry.to;
-        next_degree = it->second;
+        next_degree = *degree;
       }
     }
     Message token;
@@ -191,10 +191,10 @@ class DfsProgram final : public AsyncProgram {
   std::vector<std::int64_t> own_incident_pairs() const {
     std::vector<std::int64_t> pairs;
     for (ArcId a : view_->incident_arcs(self_)) {
-      const auto it = knowledge_.find(a);
-      if (it == knowledge_.end()) continue;
+      const Color* color = knowledge_.find(a);
+      if (color == nullptr) continue;
       pairs.push_back(static_cast<std::int64_t>(a));
-      pairs.push_back(static_cast<std::int64_t>(it->second));
+      pairs.push_back(static_cast<std::int64_t>(*color));
     }
     return pairs;
   }
@@ -217,8 +217,8 @@ class DfsProgram final : public AsyncProgram {
   Color smallest_known_feasible(ArcId a) const {
     std::vector<Color> used;
     for_each_conflicting_arc(*view_, a, [&](ArcId b) {
-      const auto it = knowledge_.find(b);
-      if (it != knowledge_.end()) used.push_back(it->second);
+      const Color* color = knowledge_.find(b);
+      if (color != nullptr) used.push_back(*color);
     });
     std::sort(used.begin(), used.end());
     used.erase(std::unique(used.begin(), used.end()), used.end());
@@ -235,8 +235,10 @@ class DfsProgram final : public AsyncProgram {
   bool is_root_;
   std::size_t degree_ = 0;
 
-  std::map<NodeId, std::size_t> neighbor_degree_;
-  std::map<NodeId, bool> visited_;
+  // Point-access only (no observed ordering): flat hashes keep the
+  // per-message cost allocation-free — see support/flat_hash.h.
+  FlatHashMap<NodeId, std::size_t> neighbor_degree_;
+  FlatHashMap<NodeId, bool> visited_;
   NodeId parent_ = kNoNode;
   bool colored_ = false;
   bool token_pending_ = false;
@@ -247,7 +249,7 @@ class DfsProgram final : public AsyncProgram {
   NodeId rep_target_ = kNoNode;
   std::vector<std::int64_t> collected_pairs_;
 
-  std::map<ArcId, Color> knowledge_;
+  FlatHashMap<ArcId, Color> knowledge_;
   std::vector<std::pair<ArcId, Color>> assignments_;
 };
 

@@ -30,14 +30,35 @@ enum class LubyState { kUndecided, kInSet, kDominated };
 
 class DistMisProgram final : public SyncProgram {
  public:
+  /// `max_degree` is the graph's Δ — global static knowledge, like the
+  /// seed: the paper's algorithms assume it for the slot bound, and here it
+  /// sizes scratch buffers so steady-state rounds allocate nothing.
   DistMisProgram(const ArcView& view, NodeId self, DistMisVariant variant,
-                 std::uint64_t seed)
+                 std::uint64_t seed, std::size_t max_degree)
       : view_(&view),
         self_(self),
         variant_(variant),
         flood_radius_(variant == DistMisVariant::kGbg ? 3 : 2),
         rng_(seed) {
     if (view_->graph().degree(self_) == 0) retired_ = true;
+    // Win-time work is pre-sized at construction so the one win() this node
+    // ever performs — which can land in any round — stays allocation-free:
+    // the arc list is hoisted out of win(), and the win flood's payload
+    // (3 header words + 2 per colored arc) is spilled once, here.
+    arcs_to_color_ = variant_ == DistMisVariant::kGbg
+                         ? view_->incident_arcs(self_)
+                         : view_->out_arcs(self_);
+    assignments_.reserve(arcs_to_color_.size());
+    win_scratch_.data.reserve(3 + 2 * arcs_to_color_.size());
+    // The largest flood this node can ever relay is a win flood from a
+    // degree-Δ origin: 3 header words + 2 per incident arc (≤ 2Δ arcs).
+    relay_scratch_.data.reserve(3 + 4 * max_degree);
+    round_values_.reserve(view_->graph().degree(self_));
+    // Win floods teach this node the colors of arcs incident to winners
+    // within the flood radius; sizing the table to a ball-volume estimate
+    // (O(Δ²) arcs) up front avoids rehash bursts in late compete phases,
+    // which would otherwise be the only steady-state allocations left.
+    known_colors_.reserve(4 * max_degree * max_degree);
   }
 
   bool finished() const override { return retired_; }
@@ -58,6 +79,14 @@ class DistMisProgram final : public SyncProgram {
     }
     round_values_.clear();
     rivals_.clear();
+    // Flood dedup keys are dead across the barrier: the (origin, block)
+    // pair of a flood is unique to one compete phase (a node competes in at
+    // most one phase — it retires when it wins, and the phase only advances
+    // once every member has), and the barrier requires zero messages in
+    // flight. Dropping them caps seen_ at its single-phase high-water mark
+    // (clear() keeps the table storage), so the monotone key stream cannot
+    // force table doublings arbitrarily late into the run.
+    seen_.clear();
   }
 
   void on_round(SyncContext& ctx, std::span<const Message> inbox) override {
@@ -117,19 +146,17 @@ class DistMisProgram final : public SyncProgram {
     }
   }
 
-  /// Relays a flooded message with a decremented TTL.
+  /// Relays a flooded message with a decremented TTL. The relay goes
+  /// through a member scratch and the copying broadcast overload, so a
+  /// warmed node relays even spilled win floods with zero allocations.
   void forward(SyncContext& ctx, const Message& message) {
-    if (message.data[2 /* ttl for kCompValue */] <= 1 &&
-        message.tag == kTagCompValue)
-      return;
-    if (message.tag == kTagCompWin && message.data[2] <= 1) return;
-    Message copy = message;
-    const std::size_t ttl_index = message.tag == kTagCompValue ? 3 : 2;
     // kCompValue layout: [origin, block, value, ttl];
     // kCompWin layout:   [origin, block, ttl, ...].
-    copy.data[ttl_index] = message.data[ttl_index] - 1;
+    const std::size_t ttl_index = message.tag == kTagCompValue ? 3 : 2;
     if (message.data[ttl_index] <= 1) return;
-    ctx.broadcast(std::move(copy));
+    relay_scratch_ = message;  // copy-assign: scratch capacity is reused
+    relay_scratch_.data[ttl_index] = message.data[ttl_index] - 1;
+    ctx.broadcast(relay_scratch_);
   }
 
   /// Competition priority: degree-major, random-minor. High-degree nodes
@@ -151,7 +178,9 @@ class DistMisProgram final : public SyncProgram {
       Message message;
       message.tag = kTagMisValue;
       message.data = {luby_value_};
-      ctx.broadcast(std::move(message));
+      // Lvalue broadcast = the engine's copying path: payloads land in
+      // recycled inbox slots without evicting their spilled capacity.
+      ctx.broadcast(message);
     } else {
       const std::pair<std::int64_t, std::int64_t> mine{
           luby_value_, static_cast<std::int64_t>(self_)};
@@ -162,7 +191,7 @@ class DistMisProgram final : public SyncProgram {
         luby_state_ = LubyState::kInSet;
         Message message;
         message.tag = kTagMisJoin;
-        ctx.broadcast(std::move(message));
+        ctx.broadcast(message);
       }
     }
   }
@@ -181,7 +210,7 @@ class DistMisProgram final : public SyncProgram {
                       static_cast<std::int64_t>(own_block_), comp_value_,
                       static_cast<std::int64_t>(flood_radius_)};
       mark_seen(kTagCompValue, self_, own_block_);
-      ctx.broadcast(std::move(message));
+      ctx.broadcast(message);
     } else if (offset == flood_radius_) {
       const std::pair<std::int64_t, std::int64_t> mine{
           comp_value_, static_cast<std::int64_t>(self_)};
@@ -195,15 +224,13 @@ class DistMisProgram final : public SyncProgram {
   /// Joins S': greedily colors this node's arcs with distance-2 knowledge,
   /// retires, and floods the assignment.
   void win(SyncContext& ctx) {
-    const std::vector<ArcId> arcs = variant_ == DistMisVariant::kGbg
-                                        ? view_->incident_arcs(self_)
-                                        : view_->out_arcs(self_);
-    Message message;
+    Message& message = win_scratch_;  // pre-sized at construction
     message.tag = kTagCompWin;
-    message.data = {static_cast<std::int64_t>(self_),
-                    static_cast<std::int64_t>(own_block_),
-                    static_cast<std::int64_t>(flood_radius_)};
-    for (ArcId a : arcs) {
+    message.data.clear();
+    message.data.push_back(static_cast<std::int64_t>(self_));
+    message.data.push_back(static_cast<std::int64_t>(own_block_));
+    message.data.push_back(static_cast<std::int64_t>(flood_radius_));
+    for (ArcId a : arcs_to_color_) {
       if (known_colors_.contains(a)) continue;  // colored by a neighbor
       const Color c = smallest_known_feasible(a);
       known_colors_[a] = c;
@@ -212,7 +239,7 @@ class DistMisProgram final : public SyncProgram {
       message.data.push_back(static_cast<std::int64_t>(c));
     }
     mark_seen(kTagCompWin, self_, own_block_);
-    ctx.broadcast(std::move(message));
+    ctx.broadcast(message);
     retired_ = true;
   }
 
@@ -262,6 +289,9 @@ class DistMisProgram final : public SyncProgram {
   std::vector<std::pair<ArcId, Color>> assignments_;
   FlatHashSet<std::uint64_t> seen_;
   EpochMarks used_colors_;  // scratch of smallest_known_feasible
+  std::vector<ArcId> arcs_to_color_;  // fixed at construction
+  Message relay_scratch_;  // recycled flood-relay buffer (see forward)
+  Message win_scratch_;    // recycled win-flood buffer (see win)
 };
 
 }  // namespace
@@ -271,10 +301,13 @@ ScheduleResult run_dist_mis(const Graph& graph,
   const ArcView view(graph);
   std::vector<std::unique_ptr<SyncProgram>> programs;
   programs.reserve(graph.num_nodes());
+  std::size_t max_degree = 0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v)
+    max_degree = std::max<std::size_t>(max_degree, graph.degree(v));
   Rng seeder(options.seed);
   for (NodeId v = 0; v < graph.num_nodes(); ++v) {
     programs.push_back(std::make_unique<DistMisProgram>(
-        view, v, options.variant, seeder()));
+        view, v, options.variant, seeder(), max_degree));
   }
   const FaultSpec spec = options.faults != nullptr ? *options.faults
                                                   : FaultSpec{};
@@ -288,6 +321,7 @@ ScheduleResult run_dist_mis(const Graph& graph,
   SyncEngine engine(graph, std::move(programs));
   engine.set_trace(options.trace);
   engine.set_thread_pool(options.pool);
+  engine.set_alloc_audit(options.audit);
   std::optional<FaultPlan> plan;
   if (options.faults != nullptr && options.faults->any()) {
     plan.emplace(spec, graph);

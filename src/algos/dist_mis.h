@@ -36,6 +36,7 @@
 
 namespace fdlsp {
 
+class AllocAudit;
 class SimTrace;
 class ThreadPool;
 
@@ -64,6 +65,10 @@ struct DistMisOptions {
   /// byte-identical to the serial run for any thread count). Not owned, may
   /// be null. Ignored — serial fallback — when trace/faults are attached.
   ThreadPool* pool = nullptr;
+  /// Optional per-round allocation auditor (support/alloc_audit.h); not
+  /// owned, may be null. Unlike trace/faults it never forces the serial
+  /// path — it only samples process-global allocation counters.
+  AllocAudit* audit = nullptr;
 };
 
 /// Runs DistMIS over the synchronous engine and returns the schedule plus

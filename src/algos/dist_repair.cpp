@@ -1,7 +1,6 @@
 #include "algos/dist_repair.h"
 
 #include <algorithm>
-#include <map>
 #include <memory>
 #include <optional>
 #include <utility>
@@ -76,9 +75,9 @@ class DistRepairProgram final : public SyncProgram {
   std::vector<std::pair<ArcId, Color>> surviving_colors() const {
     std::vector<std::pair<ArcId, Color>> result;
     for (ArcId a : out_arcs_) {
-      const auto it = known_colors_.find(a);
-      if (it == known_colors_.end()) continue;
-      result.emplace_back(a, it->second);
+      const Color* color = known_colors_.find(a);
+      if (color == nullptr) continue;
+      result.emplace_back(a, *color);
     }
     return result;
   }
@@ -159,11 +158,11 @@ class DistRepairProgram final : public SyncProgram {
       state.data.push_back(static_cast<std::int64_t>(kFloodRadius));
       state.data.push_back(static_cast<std::int64_t>(self_));
       for (ArcId a : out_arcs_) {
-        const auto it = known_colors_.find(a);
-        if (it == known_colors_.end()) continue;
+        const Color* color = known_colors_.find(a);
+        if (color == nullptr) continue;
         state.data.push_back(static_cast<std::int64_t>(a));
-        state.data.push_back(it->second);
-        snapshot_[a] = it->second;
+        state.data.push_back(*color);
+        snapshot_[a] = *color;
       }
       mark_seen(kTagState, self_, 0);
       if (state.data.size() > 2) ctx.broadcast(std::move(state));
@@ -183,13 +182,13 @@ class DistRepairProgram final : public SyncProgram {
     clear.data.push_back(static_cast<std::int64_t>(kFloodRadius));
     clear.data.push_back(static_cast<std::int64_t>(self_));
     for (ArcId a : out_arcs_) {
-      const auto my_color = snapshot_.find(a);
-      if (my_color == snapshot_.end()) continue;
+      const Color* my_color = snapshot_.find(a);
+      if (my_color == nullptr) continue;
       bool lost = false;
       for_each_conflicting_arc(*view_, a, [&](ArcId b) {
         if (lost || b >= a) return;
-        const auto other = snapshot_.find(b);
-        lost = other != snapshot_.end() && other->second == my_color->second;
+        const Color* other = snapshot_.find(b);
+        lost = other != nullptr && *other == *my_color;
       });
       if (lost) {
         known_colors_.erase(a);
@@ -203,7 +202,7 @@ class DistRepairProgram final : public SyncProgram {
   std::vector<ArcId> dirty_arcs() const {
     std::vector<ArcId> dirty;
     for (ArcId a : out_arcs_)
-      if (!known_colors_.count(a)) dirty.push_back(a);
+      if (!known_colors_.contains(a)) dirty.push_back(a);
     return dirty;
   }
 
@@ -255,8 +254,8 @@ class DistRepairProgram final : public SyncProgram {
   Color smallest_known_feasible(ArcId a) const {
     std::vector<Color> used;
     for_each_conflicting_arc(*view_, a, [&](ArcId b) {
-      const auto it = known_colors_.find(b);
-      if (it != known_colors_.end()) used.push_back(it->second);
+      const Color* color = known_colors_.find(b);
+      if (color != nullptr) used.push_back(*color);
     });
     std::sort(used.begin(), used.end());
     used.erase(std::unique(used.begin(), used.end()), used.end());
@@ -290,8 +289,10 @@ class DistRepairProgram final : public SyncProgram {
   std::int64_t comp_value_ = 0;
   std::vector<std::pair<std::int64_t, std::int64_t>> rivals_;
 
-  std::map<ArcId, Color> known_colors_;
-  std::map<ArcId, Color> snapshot_;  // phase-0 initial colors
+  // Point-access only (find/[]/erase, never iterated): flat hashes keep
+  // the per-message cost allocation-free — see support/flat_hash.h.
+  FlatHashMap<ArcId, Color> known_colors_;
+  FlatHashMap<ArcId, Color> snapshot_;  // phase-0 initial colors
   std::vector<std::pair<ArcId, Color>> assignments_;
   FlatHashSet<std::uint64_t> seen_;  // dedup only — see flat_hash.h
 };

@@ -1,5 +1,11 @@
 #include "algos/randomized.h"
 
+// remembered_finals_ and the per-round veto batches are *iterated* to build
+// outgoing messages, so their key order is part of the wire format: a
+// std::map's sorted order is exactly the determinism contract needed here,
+// and a flat hash (which exposes no iteration) cannot express it.
+// fdlsp-lint: allow(ordered-in-protocol-state)
+
 #include <algorithm>
 #include <map>
 #include <memory>

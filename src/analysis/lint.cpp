@@ -26,10 +26,31 @@ constexpr LintRuleInfo kRules[] = {
     {"cross-node-state",
      "inside SyncProgram/AsyncProgram classes: naming an engine or calling "
      ".program()/->program() reads peer state outside the message API"},
+    {"ordered-in-protocol-state",
+     "std::map/std::set in protocol-state paths (src/sim, src/algos) or "
+     "program classes: point-queried state on red-black trees allocates per "
+     "insert; use FlatHashMap/FlatHashSet (support/flat_hash.h) or justify "
+     "with allow() when iteration order is load-bearing"},
+    {"heap-in-hot-path",
+     "new/make_unique/make_shared/.resize()/.reserve() inside a function "
+     "annotated '// fdlsp-lint: hot' — the per-message engine seams must not "
+     "touch the allocator in steady state (see support/alloc_audit.h)"},
+    {"unjustified-allow",
+     "an allow() directive with no justifying comment on its own or the "
+     "preceding line, or naming a rule that is not in the catalog; allows "
+     "cannot suppress this rule"},
+    {"layer-dag",
+     "project mode: an #include crosses the declared include-layer DAG "
+     "upward, or same-layer includes form a module cycle "
+     "(analysis/project.h)"},
 };
 
 bool ident_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool alpha_char(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0;
 }
 
 /// Position of `token` as a whole identifier in `line` at or after `from`;
@@ -70,6 +91,17 @@ bool preceded_by_scope(std::string_view line, std::size_t pos) {
   return pos >= 2 && line[pos - 1] == ':' && line[pos - 2] == ':';
 }
 
+/// True when the token starting at `pos` is qualified as std:: (spaces
+/// tolerated around the "::").
+bool preceded_by_std(std::string_view line, std::size_t pos) {
+  while (pos > 0 && (line[pos - 1] == ' ' || line[pos - 1] == '\t')) --pos;
+  if (pos < 2 || line[pos - 1] != ':' || line[pos - 2] != ':') return false;
+  pos -= 2;
+  while (pos > 0 && (line[pos - 1] == ' ' || line[pos - 1] == '\t')) --pos;
+  return pos >= 3 && line.substr(pos - 3, 3) == "std" &&
+         (pos == 3 || !ident_char(line[pos - 4]));
+}
+
 /// True when the token starting at `pos` is preceded by "." or "->"
 /// (ignoring spaces), i.e. it is a member access.
 bool preceded_by_member_access(std::string_view line, std::size_t pos) {
@@ -97,31 +129,79 @@ std::string_view first_template_arg(std::string_view line, std::size_t angle) {
   return {};
 }
 
-/// Collects the rules suppressed by `// fdlsp-lint: allow(...)` directives.
-/// Scans the raw text (directives live inside comments).
-std::set<std::string, std::less<>> parse_allows(std::string_view text) {
+/// True when `name` looks like a rule name: nonempty, only [a-z0-9-].
+/// Anything else (e.g. the `<rule>` placeholder in documentation) is prose,
+/// not a directive operand.
+bool rule_name_shaped(std::string_view name) {
+  if (name.empty()) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool known_rule(std::string_view name) {
+  for (const LintRuleInfo& rule : kRules)
+    if (rule.name == name) return true;
+  return false;
+}
+
+/// Splits the comma-separated operand list of one allow(...) directive into
+/// trimmed names, appending to `out`.
+void split_rule_list(std::string_view list, std::vector<std::string>& out) {
+  while (!list.empty()) {
+    const std::size_t comma = list.find(',');
+    std::string_view rule = list.substr(0, comma);
+    while (!rule.empty() && (rule.front() == ' ' || rule.front() == '\t'))
+      rule.remove_prefix(1);
+    while (!rule.empty() && (rule.back() == ' ' || rule.back() == '\t'))
+      rule.remove_suffix(1);
+    if (!rule.empty()) out.emplace_back(rule);
+    if (comma == std::string_view::npos) break;
+    list.remove_prefix(comma + 1);
+  }
+}
+
+// The directive marker and its operand keywords. Kept on separate source
+// lines deliberately: the unjustified-allow scan is line-oriented, so this
+// file's own string literals must never look like a directive.
+constexpr std::string_view kDirective = "fdlsp-lint:";
+constexpr std::string_view kAllowKeyword = "allow(";
+constexpr std::string_view kHotKeyword = "hot";
+
+/// Parses one raw line for an allow(...) directive. Returns true and fills
+/// `names` (rule-name-shaped operands only) and `directive_span` (the byte
+/// range of the directive within the line) when one is found.
+bool parse_allow_line(std::string_view line, std::vector<std::string>& names,
+                      std::pair<std::size_t, std::size_t>* directive_span) {
+  const std::size_t pos = line.find(kDirective);
+  if (pos == std::string_view::npos) return false;
+  std::size_t cursor = skip_spaces(line, pos + kDirective.size());
+  if (line.compare(cursor, kAllowKeyword.size(), kAllowKeyword) != 0)
+    return false;
+  cursor += kAllowKeyword.size();
+  const std::size_t close = line.find(')', cursor);
+  if (close == std::string_view::npos) return false;
+  std::vector<std::string> all;
+  split_rule_list(line.substr(cursor, close - cursor), all);
+  for (std::string& name : all)
+    if (rule_name_shaped(name)) names.push_back(std::move(name));
+  if (directive_span != nullptr) *directive_span = {pos, close + 1};
+  return true;
+}
+
+/// Collects the rules suppressed by allow(...) directives anywhere in the
+/// raw text (directives live inside comments, so this scans unsanitized
+/// lines).
+std::set<std::string, std::less<>> parse_allows(
+    const std::vector<std::string_view>& raw_lines) {
   std::set<std::string, std::less<>> allows;
-  constexpr std::string_view kDirective = "fdlsp-lint:";
-  for (std::size_t pos = text.find(kDirective); pos != std::string_view::npos;
-       pos = text.find(kDirective, pos + kDirective.size())) {
-    std::size_t cursor = skip_spaces(text, pos + kDirective.size());
-    constexpr std::string_view kAllow = "allow(";
-    if (text.compare(cursor, kAllow.size(), kAllow) != 0) continue;
-    cursor += kAllow.size();
-    const std::size_t close = text.find(')', cursor);
-    if (close == std::string_view::npos) continue;
-    std::string_view list = text.substr(cursor, close - cursor);
-    while (!list.empty()) {
-      const std::size_t comma = list.find(',');
-      std::string_view rule = list.substr(0, comma);
-      while (!rule.empty() && (rule.front() == ' ' || rule.front() == '\t'))
-        rule.remove_prefix(1);
-      while (!rule.empty() && (rule.back() == ' ' || rule.back() == '\t'))
-        rule.remove_suffix(1);
-      if (!rule.empty()) allows.emplace(rule);
-      if (comma == std::string_view::npos) break;
-      list.remove_prefix(comma + 1);
-    }
+  for (const std::string_view line : raw_lines) {
+    std::vector<std::string> names;
+    if (parse_allow_line(line, names, nullptr))
+      for (std::string& name : names) allows.insert(std::move(name));
   }
   return allows;
 }
@@ -187,6 +267,60 @@ std::vector<char> program_regions(const std::vector<std::string_view>& lines) {
   return in_region;
 }
 
+/// True when the raw line carries a `hot` annotation directive.
+bool is_hot_directive(std::string_view raw_line) {
+  const std::size_t pos = raw_line.find(kDirective);
+  if (pos == std::string_view::npos) return false;
+  const std::size_t cursor = skip_spaces(raw_line, pos + kDirective.size());
+  return find_token(raw_line, kHotKeyword, cursor) == cursor;
+}
+
+/// Marks the lines of each function body annotated with a `hot` directive:
+/// from the line after the directive through the close of the next brace
+/// balance. A declaration with no body (`;` before any `{`) ends the region
+/// immediately, so annotating a prototype is harmless.
+std::vector<char> hot_regions(const std::vector<std::string_view>& raw_lines,
+                              const std::vector<std::string_view>& lines) {
+  std::vector<char> hot(lines.size(), 0);
+  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+    if (!is_hot_directive(raw_lines[i])) continue;
+    int depth = 0;
+    bool started = false;
+    for (std::size_t j = i + 1; j < lines.size(); ++j) {
+      hot[j] = 1;
+      bool ended = false;
+      for (const char c : lines[j]) {
+        if (c == '{') {
+          ++depth;
+          started = true;
+        } else if (c == '}') {
+          if (--depth <= 0 && started) {
+            ended = true;
+            break;
+          }
+        } else if (c == ';' && !started) {
+          ended = true;  // prototype: no body follows
+          break;
+        }
+      }
+      if (ended) break;
+    }
+  }
+  return hot;
+}
+
+/// Count of alphabetic characters in `line` outside [skip_begin, skip_end)
+/// and not part of a comment marker.
+std::size_t justification_chars(std::string_view line, std::size_t skip_begin,
+                                std::size_t skip_end) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (i >= skip_begin && i < skip_end) continue;
+    if (alpha_char(line[i])) ++count;
+  }
+  return count;
+}
+
 constexpr std::string_view kAmbientRandomTokens[] = {
     "rand",    "srand",          "random_device",
     "mt19937", "mt19937_64",     "default_random_engine",
@@ -202,7 +336,23 @@ constexpr std::string_view kKeyedContainerTokens[] = {
     "multiset",      "unordered_map", "unordered_set",
     "unordered_multimap", "unordered_multiset"};
 
+constexpr std::string_view kOrderedTokens[] = {"map", "set", "multimap",
+                                               "multiset"};
+
+constexpr std::string_view kHeapCallTokens[] = {"make_unique", "make_shared"};
+
+constexpr std::string_view kHeapMemberTokens[] = {"resize", "reserve"};
+
 constexpr std::string_view kEngineTokens[] = {"SyncEngine", "AsyncEngine"};
+
+bool path_has_root(std::string_view path, std::span<const std::string_view> roots) {
+  for (const std::string_view root : roots) {
+    if (path.substr(0, root.size()) == root) return true;
+    const std::string needle = "/" + std::string(root);
+    if (path.find(needle) != std::string_view::npos) return true;
+  }
+  return false;
+}
 
 }  // namespace
 
@@ -216,12 +366,12 @@ std::span<const LintRuleInfo> lint_rules() { return kRules; }
 bool lint_deterministic_path(std::string_view path) {
   constexpr std::string_view kRoots[] = {"algos/", "sim/", "coloring/",
                                          "graph/"};
-  for (const std::string_view root : kRoots) {
-    if (path.substr(0, root.size()) == root) return true;
-    const std::string needle = "/" + std::string(root);
-    if (path.find(needle) != std::string_view::npos) return true;
-  }
-  return false;
+  return path_has_root(path, kRoots);
+}
+
+bool lint_protocol_state_path(std::string_view path) {
+  constexpr std::string_view kRoots[] = {"algos/", "sim/"};
+  return path_has_root(path, kRoots);
 }
 
 std::string lint_sanitize(std::string_view text) {
@@ -240,8 +390,43 @@ std::string lint_sanitize(std::string_view text) {
           state = State::kBlockComment;
           out[i] = ' ';
         } else if (c == '"') {
-          state = State::kString;
-          out[i] = ' ';
+          // Raw string literal: the quote is preceded by an R prefix
+          // (R, uR, UR, LR, u8R) that is itself not part of a longer
+          // identifier. Blank through the matching )delim" — escapes are
+          // inert inside raw strings.
+          bool raw = false;
+          if (i >= 1 && text[i - 1] == 'R') {
+            std::size_t prefix = i - 1;
+            if (prefix >= 2 && text[prefix - 2] == 'u' &&
+                text[prefix - 1] == '8') {
+              prefix -= 2;
+            } else if (prefix >= 1 &&
+                       (text[prefix - 1] == 'u' || text[prefix - 1] == 'U' ||
+                        text[prefix - 1] == 'L')) {
+              prefix -= 1;
+            }
+            raw = prefix == 0 || !ident_char(text[prefix - 1]);
+          }
+          if (raw) {
+            const std::size_t paren = text.find('(', i + 1);
+            if (paren == std::string_view::npos) {
+              for (std::size_t j = i; j < text.size(); ++j)
+                if (text[j] != '\n') out[j] = ' ';
+              return out;
+            }
+            const std::string closer =
+                ")" + std::string(text.substr(i + 1, paren - i - 1)) + "\"";
+            std::size_t close = text.find(closer, paren + 1);
+            const std::size_t last = close == std::string_view::npos
+                                         ? text.size()
+                                         : close + closer.size();
+            for (std::size_t j = i; j < last; ++j)
+              if (text[j] != '\n') out[j] = ' ';
+            i = last - 1;
+          } else {
+            state = State::kString;
+            out[i] = ' ';
+          }
         } else if (c == '\'' && (i == 0 || !ident_char(text[i - 1]))) {
           // An apostrophe after an identifier character is a digit
           // separator (1'000'000) or literal suffix, not a char literal.
@@ -287,11 +472,14 @@ std::string lint_sanitize(std::string_view text) {
 
 std::vector<LintDiagnostic> lint_source(std::string_view path,
                                         std::string_view text) {
-  const auto allows = parse_allows(text);
+  const std::vector<std::string_view> raw_lines = split_lines(text);
+  const auto allows = parse_allows(raw_lines);
   const std::string sanitized = lint_sanitize(text);
   const std::vector<std::string_view> lines = split_lines(sanitized);
   const bool deterministic = lint_deterministic_path(path);
+  const bool protocol_state = lint_protocol_state_path(path);
   const std::vector<char> in_program = program_regions(lines);
+  const std::vector<char> in_hot = hot_regions(raw_lines, lines);
 
   std::vector<LintDiagnostic> diagnostics;
   const auto emit = [&](std::size_t line_index, std::string_view rule,
@@ -301,9 +489,51 @@ std::vector<LintDiagnostic> lint_source(std::string_view path,
                                          std::string(rule),
                                          std::move(message)});
   };
+  // unjustified-allow findings skip the allows filter: the escape hatch
+  // must not be able to excuse its own misuse.
+  const auto emit_unconditional = [&](std::size_t line_index,
+                                      std::string message) {
+    diagnostics.push_back(LintDiagnostic{std::string(path), line_index + 1,
+                                         "unjustified-allow",
+                                         std::move(message)});
+  };
 
   for (std::size_t i = 0; i < lines.size(); ++i) {
     const std::string_view line = lines[i];
+
+    // unjustified-allow: scans the raw line (directives live in comments).
+    {
+      std::vector<std::string> names;
+      std::pair<std::size_t, std::size_t> span{0, 0};
+      // A directive with no rule-name-shaped operand (e.g. the `<rule>`
+      // placeholder in documentation) suppresses nothing and is skipped.
+      if (parse_allow_line(raw_lines[i], names, &span) && !names.empty()) {
+        for (const std::string& name : names) {
+          if (!known_rule(name)) {
+            emit_unconditional(
+                i, "allow() names unknown rule '" + name +
+                       "' — see fdlsp-lint --list-rules for the catalog");
+          }
+        }
+        const std::size_t same_line =
+            justification_chars(raw_lines[i], span.first, span.second);
+        std::size_t prev_line = 0;
+        if (i > 0) {
+          std::pair<std::size_t, std::size_t> prev_span{0, 0};
+          std::vector<std::string> ignored;
+          const bool prev_is_directive =
+              parse_allow_line(raw_lines[i - 1], ignored, &prev_span);
+          prev_line = justification_chars(
+              raw_lines[i - 1], prev_is_directive ? prev_span.first : 0,
+              prev_is_directive ? prev_span.second : 0);
+        }
+        if (same_line < 3 && prev_line < 3) {
+          emit_unconditional(
+              i, "allow() without a justifying comment on this line or the "
+                 "line above — say why the suppression is safe");
+        }
+      }
+    }
 
     // unseeded-rng: ambient randomness sources, everywhere.
     for (const std::string_view token : kAmbientRandomTokens) {
@@ -385,6 +615,53 @@ std::vector<LintDiagnostic> lint_source(std::string_view path,
         emit(i, "cross-node-state",
              "'.program()' call inside a node program — peer program state "
              "is off-limits outside the message API");
+      }
+    }
+
+    // ordered-in-protocol-state: protocol paths, and program class bodies
+    // anywhere deterministic. Only std::-qualified names fire — bare `map`
+    // or `set` are common identifiers.
+    if (protocol_state || in_program[i] != 0) {
+      for (const std::string_view token : kOrderedTokens) {
+        for (std::size_t pos = find_token(line, token);
+             pos != std::string_view::npos;
+             pos = find_token(line, token, pos + 1)) {
+          if (!preceded_by_std(line, pos)) continue;
+          emit(i, "ordered-in-protocol-state",
+               "'std::" + std::string(token) +
+                   "' in protocol state — point-queried state should use "
+                   "FlatHashMap/FlatHashSet (support/flat_hash.h); allow() "
+                   "with a justification if iteration order is load-bearing");
+        }
+      }
+    }
+
+    // heap-in-hot-path: functions annotated hot.
+    if (in_hot[i] != 0) {
+      const std::size_t new_pos = find_token(line, "new");
+      if (new_pos != std::string_view::npos) {
+        emit(i, "heap-in-hot-path",
+             "'new' in a hot-annotated function — the per-message path must "
+             "not allocate in steady state");
+      }
+      for (const std::string_view token : kHeapCallTokens) {
+        if (has_token(line, token)) {
+          emit(i, "heap-in-hot-path",
+               "'" + std::string(token) +
+                   "' in a hot-annotated function — the per-message path "
+                   "must not allocate in steady state");
+        }
+      }
+      for (const std::string_view token : kHeapMemberTokens) {
+        const std::size_t pos = find_token(line, token);
+        if (pos != std::string_view::npos &&
+            preceded_by_member_access(line, pos) &&
+            next_char_is(line, pos + token.size(), '(')) {
+          emit(i, "heap-in-hot-path",
+               "'." + std::string(token) +
+                   "()' in a hot-annotated function — growth belongs in "
+                   "construction/warm-up, not the per-message path");
+        }
       }
     }
   }

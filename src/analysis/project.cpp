@@ -1,0 +1,179 @@
+#include "analysis/project.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace fdlsp {
+
+namespace {
+
+constexpr LintLayer kLayers[] = {
+    {"support", 0}, {"graph", 1},  {"sim", 2}, {"coloring", 3},
+    {"algos", 3},   {"tdma", 3},   {"soak", 4}, {"verify", 4},
+    {"ilp", 4},     {"exp", 4},    {"io", 4},   {"analysis", 4},
+};
+
+/// A quoted include parsed out of one source line.
+struct IncludeRef {
+  std::string_view target;  // text between the quotes
+  std::size_t line = 0;     // 1-based
+};
+
+/// Quoted #include directives of `text`, parsed from raw lines (the quoted
+/// path is a string literal, so the sanitizer would blank it). Only lines
+/// whose first non-space character is '#' count — a commented-out include
+/// does not start the line with '#'.
+std::vector<IncludeRef> parse_includes(std::string_view text) {
+  std::vector<IncludeRef> includes;
+  std::size_t line_number = 0;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    ++line_number;
+    std::size_t end = text.find('\n', begin);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(begin, end - begin);
+    begin = end + 1;
+    std::size_t pos = 0;
+    while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
+    if (pos >= line.size() || line[pos] != '#') {
+      if (begin > text.size()) break;
+      continue;
+    }
+    const std::size_t keyword = line.find("include", pos + 1);
+    if (keyword == std::string_view::npos) continue;
+    const std::size_t open = line.find('"', keyword + 7);
+    if (open == std::string_view::npos) continue;
+    const std::size_t close = line.find('"', open + 1);
+    if (close == std::string_view::npos) continue;
+    includes.push_back(
+        IncludeRef{line.substr(open + 1, close - open - 1), line_number});
+    if (begin > text.size()) break;
+  }
+  return includes;
+}
+
+/// Module-level include graph edge.
+struct ModuleEdge {
+  std::string_view from;
+  std::string_view to;
+
+  bool operator<(const ModuleEdge& other) const {
+    return std::tie(from, to) < std::tie(other.from, other.to);
+  }
+};
+
+/// True when `to` can reach `from` through the module edge set (i.e. the
+/// edge from→to closes a cycle).
+bool closes_cycle(const std::set<ModuleEdge>& edges, std::string_view from,
+                  std::string_view to) {
+  std::vector<std::string_view> stack{to};
+  std::set<std::string_view> visited;
+  while (!stack.empty()) {
+    const std::string_view node = stack.back();
+    stack.pop_back();
+    if (node == from) return true;
+    if (!visited.insert(node).second) continue;
+    for (auto it = edges.lower_bound(ModuleEdge{node, {}});
+         it != edges.end() && it->from == node; ++it)
+      stack.push_back(it->to);
+  }
+  return false;
+}
+
+}  // namespace
+
+std::span<const LintLayer> lint_layers() { return kLayers; }
+
+int lint_layer_rank(std::string_view module) noexcept {
+  for (const LintLayer& layer : kLayers)
+    if (layer.module == module) return layer.rank;
+  return -1;
+}
+
+std::string_view lint_module_of(std::string_view path) {
+  std::string_view previous;
+  std::string_view rest = path;
+  std::string_view first;
+  bool have_first = false;
+  while (!rest.empty()) {
+    const std::size_t slash = rest.find('/');
+    const std::string_view component = rest.substr(0, slash);
+    if (!have_first && !component.empty() && component != ".") {
+      first = component;
+      have_first = true;
+    }
+    if (previous == "src" && lint_layer_rank(component) >= 0) return component;
+    previous = component;
+    if (slash == std::string_view::npos) break;
+    rest.remove_prefix(slash + 1);
+  }
+  if (have_first && lint_layer_rank(first) >= 0) return first;
+  return {};
+}
+
+std::vector<LintDiagnostic> lint_layer_dag(
+    std::span<const ProjectFile> files) {
+  struct EdgeSite {
+    const ProjectFile* file;
+    std::size_t line;
+    std::string_view to_header;
+  };
+  // First occurrence of each module-level edge, for anchoring cycle
+  // diagnostics; the full edge set drives reachability.
+  std::map<ModuleEdge, EdgeSite> first_site;
+  std::set<ModuleEdge> edges;
+  std::vector<LintDiagnostic> diagnostics;
+
+  for (const ProjectFile& file : files) {
+    const std::string_view from = lint_module_of(file.path);
+    if (from.empty()) continue;
+    const int from_rank = lint_layer_rank(from);
+    for (const IncludeRef& include : parse_includes(file.text)) {
+      const std::size_t slash = include.target.find('/');
+      if (slash == std::string_view::npos) continue;
+      const std::string_view to = include.target.substr(0, slash);
+      const int to_rank = lint_layer_rank(to);
+      if (to_rank < 0 || to == from) continue;
+      if (to_rank > from_rank) {
+        diagnostics.push_back(LintDiagnostic{
+            file.path, include.line, "layer-dag",
+            "upward include: module '" + std::string(from) + "' (layer " +
+                std::to_string(from_rank) + ") includes '" +
+                std::string(include.target) + "' from layer " +
+                std::to_string(to_rank) +
+                " — dependencies must point down the layer DAG"});
+        continue;
+      }
+      const ModuleEdge edge{from, to};
+      if (edges.insert(edge).second)
+        first_site.emplace(edge,
+                           EdgeSite{&file, include.line, include.target});
+    }
+  }
+
+  // Same-layer (or downward) edges must stay acyclic at module
+  // granularity. Each edge that closes a cycle gets one diagnostic at its
+  // first include site.
+  for (const auto& [edge, site] : first_site) {
+    std::set<ModuleEdge> others = edges;
+    others.erase(edge);
+    if (closes_cycle(others, edge.from, edge.to)) {
+      diagnostics.push_back(LintDiagnostic{
+          site.file->path, site.line, "layer-dag",
+          "module cycle: '" + std::string(edge.from) + "' includes '" +
+              std::string(site.to_header) + "' while '" +
+              std::string(edge.to) + "' (transitively) includes '" +
+              std::string(edge.from) + "' — break the cycle or merge the "
+              "modules"});
+    }
+  }
+
+  std::sort(diagnostics.begin(), diagnostics.end(),
+            [](const LintDiagnostic& a, const LintDiagnostic& b) {
+              return std::tie(a.file, a.line) < std::tie(b.file, b.line);
+            });
+  return diagnostics;
+}
+
+}  // namespace fdlsp

@@ -1,0 +1,57 @@
+// Project-wide lint: the include-layer DAG (rule `layer-dag`).
+//
+// Modules are the first-level directories under src/. Each is assigned a
+// layer rank; a quoted #include may only point at the same or a lower
+// layer, and same-layer includes must stay acyclic at module granularity:
+//
+//   layer 0  support                      (freestanding utilities)
+//   layer 1  graph                        (graph model & generators)
+//   layer 2  sim                          (engines & message fabric)
+//   layer 3  coloring, algos, tdma        (algorithms over the fabric)
+//   layer 4  soak, verify, ilp, exp,      (harnesses, oracles, drivers)
+//            io, analysis
+//
+// The DAG is the repo's dependency contract: protocol code must never
+// reach up into harnesses, and support must stay freestanding. Violations
+// are reported as `layer-dag` diagnostics anchored at the include line.
+// System includes (<...>) and includes outside src/ modules are exempt.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/lint.h"
+
+namespace fdlsp {
+
+/// One module and its layer rank, for --list-rules style documentation.
+struct LintLayer {
+  std::string_view module;
+  int rank;
+};
+
+/// The declared layer table, in rank order.
+std::span<const LintLayer> lint_layers();
+
+/// Layer rank of `module`; -1 when the module is not in the table.
+int lint_layer_rank(std::string_view module) noexcept;
+
+/// The module owning `path`: the path component following a "src"
+/// component, or the leading component when the path is already
+/// module-relative ("sim/x.cpp"). Empty when neither names a known module.
+std::string_view lint_module_of(std::string_view path);
+
+/// One file handed to the project checker.
+struct ProjectFile {
+  std::string path;
+  std::string text;
+};
+
+/// Checks every quoted #include in `files` against the layer DAG. Returns
+/// one `layer-dag` diagnostic per upward include, plus one per include
+/// edge that participates in a same-layer module cycle.
+std::vector<LintDiagnostic> lint_layer_dag(std::span<const ProjectFile> files);
+
+}  // namespace fdlsp

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <utility>
 
+#include "support/alloc_audit.h"
 #include "support/check.h"
 
 namespace fdlsp {
 
+// fdlsp-lint: hot — per-event steady-state path, no allocator traffic
 void AsyncContext::send(NodeId to, Message message) {
   message.from = self_;
   if (sink_ != nullptr) {
@@ -16,6 +18,7 @@ void AsyncContext::send(NodeId to, Message message) {
   engine_->post(self_, to, std::move(message), now_);
 }
 
+// fdlsp-lint: hot — per-event steady-state path, no allocator traffic
 void AsyncContext::broadcast(Message message) {
   if (neighbors_.empty()) return;
   for (std::size_t i = 0; i + 1 < neighbors_.size(); ++i)
@@ -54,6 +57,7 @@ AsyncEngine::AsyncEngine(const Graph& graph,
   channels_.build(graph_);
 }
 
+// fdlsp-lint: hot — per-event steady-state path, no allocator traffic
 void AsyncEngine::post(NodeId from, NodeId to, Message message, double now) {
   const ArcId channel = channels_.channel(graph_, from, to);
   FDLSP_REQUIRE(channel != kNoArc, "nodes may only message direct neighbors");
@@ -90,6 +94,7 @@ void AsyncEngine::post(NodeId from, NodeId to, Message message, double now) {
   FDLSP_REQUIRE(false, "unknown fault action");
 }
 
+// fdlsp-lint: hot — per-event steady-state path, no allocator traffic
 void AsyncEngine::enqueue(NodeId to, ArcId channel, Message message,
                           double now) {
   // on_send fires once per copy actually scheduled (dropped messages emit no
@@ -204,6 +209,9 @@ AsyncMetrics AsyncEngine::run(std::size_t max_messages) {
     }
     ++events;
     metrics.completion_time = std::max(metrics.completion_time, event.time);
+    // One audited "round" is one dispatched event: the handler plus the
+    // queue traffic it generates (posts land inside the bracket).
+    if (alloc_audit_ != nullptr) alloc_audit_->begin_round();
     AsyncContext ctx(*this, event.to, graph_.neighbors(event.to), event.time);
     if (event.channel == kNoArc) {
       ++metrics.timer_events;
@@ -211,6 +219,7 @@ AsyncMetrics AsyncEngine::run(std::size_t max_messages) {
       current_node_ = event.to;
       programs_[event.to]->on_timer(ctx, event.cookie);
       current_node_ = kNoNode;
+      if (alloc_audit_ != nullptr) alloc_audit_->end_round();
       continue;
     }
     ++metrics.messages;
@@ -228,6 +237,7 @@ AsyncMetrics AsyncEngine::run(std::size_t max_messages) {
     current_node_ = event.to;
     programs_[event.to]->on_message(ctx, event.message);
     current_node_ = kNoNode;
+    if (alloc_audit_ != nullptr) alloc_audit_->end_round();
   }
   if (!queue_.empty()) metrics.stall_diagnosis = diagnose_stall();
   bool all_done = true;

@@ -26,6 +26,7 @@
 
 namespace fdlsp {
 
+class AllocAudit;
 class AsyncEngine;
 
 /// Capture target for a reframed context's sends (see AsyncContext::reframed).
@@ -151,6 +152,13 @@ class AsyncEngine {
   /// owned; must outlive the run.
   void set_fault_plan(FaultPlan* plan) noexcept { faults_ = plan; }
 
+  /// Attaches an allocation auditor (nullptr detaches): each dispatched
+  /// event — a message delivery or a timer callback — is bracketed with
+  /// begin_round/end_round, so the "round" granularity of the profile is
+  /// one handler invocation (support/alloc_audit.h). Not owned; must
+  /// outlive the run.
+  void set_alloc_audit(AllocAudit* audit) noexcept { alloc_audit_ = audit; }
+
   /// Program of node v (for extracting results after the run). Calling this
   /// from inside a handler for a node other than the one executing is a
   /// cross-node state read and is reported to the attached trace.
@@ -199,6 +207,7 @@ class AsyncEngine {
   std::uint64_t next_sequence_ = 0;
   SimTrace* trace_ = nullptr;
   FaultPlan* faults_ = nullptr;
+  AllocAudit* alloc_audit_ = nullptr;  // non-null: bracket each event
   std::vector<std::uint64_t> fault_posts_;  // fault-decision index per channel
   NodeId current_node_ = kNoNode;  // node whose handler is executing
 };

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <utility>
 
+#include "support/alloc_audit.h"
 #include "support/check.h"
 #include "support/thread_pool.h"
 
 namespace fdlsp {
 
+// fdlsp-lint: hot — per-message steady-state path, no allocator traffic
 void SyncContext::send(NodeId to, Message message) {
   message.from = self_;
   if (sink_ != nullptr) {
@@ -19,12 +21,13 @@ void SyncContext::send(NodeId to, Message message) {
     // send for the post-barrier merge; shared engine state is untouched.
     FDLSP_REQUIRE(engine_->graph_.has_edge(self_, to),
                   "nodes may only message direct neighbors");
-    out_->push_back(SyncBufferedSend{to, std::move(message)});
+    out_->add(to, std::move(message));
     return;
   }
   engine_->deliver(self_, to, std::move(message));
 }
 
+// fdlsp-lint: hot — per-message steady-state path, no allocator traffic
 void SyncContext::send_trusted(NodeId to, Message message) {
   message.from = self_;
   if (sink_ != nullptr) {
@@ -32,19 +35,43 @@ void SyncContext::send_trusted(NodeId to, Message message) {
     return;
   }
   if (out_ != nullptr) {
-    out_->push_back(SyncBufferedSend{to, std::move(message)});
+    out_->add(to, std::move(message));
     return;
   }
   engine_->deliver_trusted(self_, to, std::move(message));
 }
 
-void SyncContext::broadcast(Message message) {
+// fdlsp-lint: hot — per-message steady-state path, no allocator traffic
+void SyncContext::send_trusted_copy(NodeId to, const Message& message) {
+  if (sink_ != nullptr) {
+    // Sinks take ownership; materialize the copy they expect (the reliable
+    // wrapper's framing path, never the zero-alloc hot path).
+    Message copy = message;
+    copy.from = self_;
+    (*sink_)(to, std::move(copy));
+    return;
+  }
+  if (out_ != nullptr) {
+    out_->add_copy(to, message, self_);
+    return;
+  }
+  engine_->deliver_trusted_copy(self_, to, message);
+}
+
+// fdlsp-lint: hot — per-message steady-state path, no allocator traffic
+void SyncContext::broadcast(Message&& message) {
   if (neighbors_.empty()) return;
   for (std::size_t i = 0; i + 1 < neighbors_.size(); ++i)
-    send_trusted(neighbors_[i].to, message);
+    send_trusted_copy(neighbors_[i].to, message);
   // The last copy is the original: move instead of copy, so a broadcast
   // to d neighbors performs d-1 payload copies, not d.
   send_trusted(neighbors_.back().to, std::move(message));
+}
+
+// fdlsp-lint: hot — per-message steady-state path, no allocator traffic
+void SyncContext::broadcast(const Message& message) {
+  for (const NeighborEntry& neighbor : neighbors_)
+    send_trusted_copy(neighbor.to, message);
 }
 
 SyncEngine::SyncEngine(const Graph& graph,
@@ -54,9 +81,12 @@ SyncEngine::SyncEngine(const Graph& graph,
                 "one program per node required");
   inbox_.resize(programs_.size());
   next_inbox_.resize(programs_.size());
+  inbox_count_.assign(programs_.size(), 0);
+  next_count_.assign(programs_.size(), 0);
 }
 
-void SyncEngine::deliver(NodeId from, NodeId to, Message message) {
+// fdlsp-lint: hot — per-message steady-state path, no allocator traffic
+void SyncEngine::deliver(NodeId from, NodeId to, Message&& message) {
   if (faults_ != nullptr) {
     // One CSR row search resolves the directed channel and validates
     // neighbor-ness at once — the old path did a has_edge binary search
@@ -72,7 +102,8 @@ void SyncEngine::deliver(NodeId from, NodeId to, Message message) {
   enqueue(from, to, std::move(message));
 }
 
-void SyncEngine::deliver_trusted(NodeId from, NodeId to, Message message) {
+// fdlsp-lint: hot — per-message steady-state path, no allocator traffic
+void SyncEngine::deliver_trusted(NodeId from, NodeId to, Message&& message) {
   if (faults_ != nullptr) {
     // The channel lookup subsumes the neighbor-ness proof, so the fault
     // path costs the same whether the sender was validated or trusted.
@@ -84,20 +115,76 @@ void SyncEngine::deliver_trusted(NodeId from, NodeId to, Message message) {
   enqueue(from, to, std::move(message));
 }
 
-void SyncEngine::enqueue(NodeId from, NodeId to, Message message) {
+// fdlsp-lint: hot — per-message steady-state path, no allocator traffic
+void SyncEngine::deliver_trusted_copy(NodeId from, NodeId to,
+                                      const Message& message) {
+  if (faults_ != nullptr) {
+    const ArcId channel = channels_.channel(graph_, from, to);
+    FDLSP_ASSERT(channel != kNoArc, "trusted send to a non-neighbor");
+    // The fault path mutates per-copy (corruption) and forces serial
+    // execution anyway; materialize the copy it expects.
+    Message copy = message;
+    copy.from = from;
+    deliver_faulted(channel, from, to, std::move(copy));
+    return;
+  }
+  enqueue_copy(from, to, message);
+}
+
+/// The next recycled slot of `to`'s next-round inbox; grows the slab only
+/// until it reaches the box's high-water mark. `words` is the payload size
+/// about to be copy-assigned in (0 for the swapping move path): when the
+/// next slot's capacity is too small, a dead slot past the live count with
+/// enough capacity is swapped into position first. Dead slots are
+/// unordered — only [0, count) is ever observed — so this recycles the
+/// box's total spilled capacity instead of requiring every slot *index* to
+/// independently grow to the largest payload that ever lands there.
+// fdlsp-lint: hot — per-message steady-state path, no allocator traffic
+Message& SyncEngine::next_slot(NodeId to, std::size_t words) {
+  std::vector<Message>& box = next_inbox_[to];
+  std::size_t& count = next_count_[to];
+  // Invariant: a box with live messages is always listed in dirty_next_, so
+  // the round swap rewinds only boxes that actually held messages.
+  if (count == 0) dirty_next_.push_back(to);
+  if (count == box.size()) {
+    box.emplace_back();
+  } else if (words > box[count].data.capacity()) {
+    for (std::size_t j = count + 1; j < box.size(); ++j) {
+      if (box[j].data.capacity() >= words) {
+        box[count].data.swap(box[j].data);
+        break;
+      }
+    }
+  }
+  return box[count++];
+}
+
+// fdlsp-lint: hot — per-message steady-state path, no allocator traffic
+void SyncEngine::enqueue(NodeId from, NodeId to, Message&& message) {
   // on_send fires once per copy actually enqueued (dropped messages emit no
   // event, duplicates emit two), keeping the per-channel send/deliver
   // pairing the happens-before checker relies on exact under faults.
   if (trace_ != nullptr) trace_->on_send(from, to);
-  std::vector<Message>& box = next_inbox_[to];
-  // Invariant: a non-empty box is always listed in dirty_next_, so the
-  // round swap clears only boxes that actually held messages.
-  if (box.empty()) dirty_next_.push_back(to);
-  box.push_back(std::move(message));
+  // Swap-based move-assignment: the slot's previous payload capacity
+  // migrates into the (expiring) source instead of being freed here.
+  next_slot(to, 0) = std::move(message);
   ++pending_messages_;
   ++total_messages_;
 }
 
+// fdlsp-lint: hot — per-message steady-state path, no allocator traffic
+void SyncEngine::enqueue_copy(NodeId from, NodeId to, const Message& message) {
+  if (trace_ != nullptr) trace_->on_send(from, to);
+  // Copy-assignment reuses the recycled slot's payload capacity — the
+  // zero-alloc landing pad for broadcast(const Message&).
+  Message& slot = next_slot(to, message.data.size());
+  slot = message;
+  slot.from = from;
+  ++pending_messages_;
+  ++total_messages_;
+}
+
+// fdlsp-lint: hot — per-message steady-state path, no allocator traffic
 void SyncEngine::deliver_faulted(ArcId channel, NodeId from, NodeId to,
                                  Message message) {
   const double now = static_cast<double>(current_round_);
@@ -116,7 +203,7 @@ void SyncEngine::deliver_faulted(ArcId channel, NodeId from, NodeId to,
     case FaultAction::kDrop:
       return;
     case FaultAction::kDuplicate:
-      enqueue(from, to, message);
+      enqueue_copy(from, to, message);
       enqueue(from, to, std::move(message));
       return;
     case FaultAction::kCorrupt:
@@ -212,16 +299,17 @@ SyncMetrics SyncEngine::run(std::size_t max_rounds) {
   };
   const auto round_shard = [&](std::size_t s, std::size_t round_no,
                                std::size_t phase_no) {
-    std::vector<SyncBufferedSend>& out = shard_sends_[s];
+    SyncSendSlab& out = shard_sends_[s];
     std::ptrdiff_t dfin = 0;
     std::ptrdiff_t drdy = 0;
     const std::size_t hi = shard_lo(s + 1);
     for (std::size_t i = shard_lo(s); i < hi; ++i) {
       const NodeId v = static_cast<NodeId>(i);
-      if (finished[v] != 0 && inbox_[v].empty()) continue;
+      if (finished[v] != 0 && inbox_count_[v] == 0) continue;
       SyncContext ctx(*this, v, graph_.neighbors(v), round_no, phase_no);
       ctx.out_ = &out;
-      programs_[v]->on_round(ctx, inbox_[v]);
+      programs_[v]->on_round(
+          ctx, std::span<const Message>(inbox_[v].data(), inbox_count_[v]));
       refresh_local(v, dfin, drdy);
     }
     shard_fin[s] = dfin;
@@ -254,9 +342,11 @@ SyncMetrics SyncEngine::run(std::size_t max_rounds) {
           static_cast<std::ptrdiff_t>(ready_count) + shard_rdy[s]);
       shard_fin[s] = 0;
       shard_rdy[s] = 0;
-      for (SyncBufferedSend& send : shard_sends_[s])
+      // Swap-moving out of the slab slot circulates payload capacities
+      // between the shard slab and the inbox slab — nothing is freed.
+      for (SyncBufferedSend& send : shard_sends_[s].entries())
         enqueue(send.message.from, send.to, std::move(send.message));
-      shard_sends_[s].clear();  // reset, not freed: capacity is reused
+      shard_sends_[s].reset();  // rewind, not freed: capacity is reused
     }
   };
 
@@ -273,6 +363,12 @@ SyncMetrics SyncEngine::run(std::size_t max_rounds) {
       metrics.completed = true;
       break;
     }
+
+    // One audited "round" spans the phase barrier, the slab swap, and the
+    // node callbacks — everything the dispatch of round r executes. A
+    // completion break inside the barrier leaves the bracket unclosed,
+    // which simply drops that partial round from the profile.
+    if (alloc_audit_ != nullptr) alloc_audit_->begin_round();
 
     // Barrier: when nothing is in flight and everyone votes ready, advance
     // the phase counter instead of burning an idle round.
@@ -299,12 +395,14 @@ SyncMetrics SyncEngine::run(std::size_t max_rounds) {
     }
 
     // Swap slabs: messages sent last round become this round's inboxes.
-    // Only the boxes that actually held messages are cleared (dirty lists),
-    // and clearing retains vector and payload capacity — steady-state
-    // rounds perform no allocator traffic.
+    // Only the counts of boxes that actually held messages are rewound
+    // (dirty lists); the consumed Message elements stay alive in the slab,
+    // so vector and payload capacity survive — steady-state rounds perform
+    // no allocator traffic.
     inbox_.swap(next_inbox_);
+    inbox_count_.swap(next_count_);
     dirty_inbox_.swap(dirty_next_);
-    for (NodeId v : dirty_next_) next_inbox_[v].clear();
+    for (NodeId v : dirty_next_) next_count_[v] = 0;
     dirty_next_.clear();
     pending_messages_ = 0;
 
@@ -314,26 +412,29 @@ SyncMetrics SyncEngine::run(std::size_t max_rounds) {
       merge_shards();
     } else {
       for (NodeId v = 0; v < n; ++v) {
+        const std::span<const Message> inbox(inbox_[v].data(),
+                                             inbox_count_[v]);
         if (is_down(v)) {
           // Mail queued for a dead node dies with it.
           if (faults_ != nullptr)
-            faults_->stats().crash_drops += inbox_[v].size();
-          inbox_[v].clear();
+            faults_->stats().crash_drops += inbox.size();
+          inbox_count_[v] = 0;
           continue;
         }
-        if (finished[v] != 0 && inbox_[v].empty()) continue;
+        if (finished[v] != 0 && inbox.empty()) continue;
         if (trace_ != nullptr) {
-          for (const Message& message : inbox_[v])
+          for (const Message& message : inbox)
             trace_->on_deliver(message.from, v);
           trace_->on_local_step(v);
         }
         SyncContext ctx(*this, v, graph_.neighbors(v), metrics.rounds, phase);
         current_node_ = v;
-        programs_[v]->on_round(ctx, inbox_[v]);
+        programs_[v]->on_round(ctx, inbox);
         current_node_ = kNoNode;
         refresh(v);
       }
     }
+    if (alloc_audit_ != nullptr) alloc_audit_->end_round();
     ++metrics.rounds;
   }
 

@@ -38,6 +38,7 @@
 
 namespace fdlsp {
 
+class AllocAudit;
 class SyncEngine;
 class ThreadPool;
 
@@ -49,6 +50,66 @@ using SyncSendSink = std::function<void(NodeId to, Message message)>;
 struct SyncBufferedSend {
   NodeId to;
   Message message;
+};
+
+/// Per-shard slab of buffered sends (engine internal). Slots are recycled —
+/// reset() rewinds the live count without destroying elements — so message
+/// payload capacities survive across rounds and the steady state buffers
+/// without allocating, mirroring the engine's inbox slabs.
+class SyncSendSlab {
+ public:
+  /// Appends by move; the displaced slot payload migrates into the source
+  /// (SmallPayload's swapping move-assignment), never freed here.
+  void add(NodeId to, Message&& message) {
+    if (count_ < sends_.size()) {
+      SyncBufferedSend& slot = sends_[count_];
+      slot.to = to;
+      slot.message = std::move(message);
+    } else {
+      sends_.push_back(SyncBufferedSend{to, std::move(message)});
+    }
+    ++count_;
+  }
+
+  /// Appends by copy-assign — the slot's payload capacity is reused, so a
+  /// warmed slab buffers broadcast copies with zero allocator traffic. The
+  /// stored copy's `from` field is stamped with `from` (the source message
+  /// is shared by all receivers and never mutated).
+  void add_copy(NodeId to, const Message& message, NodeId from) {
+    if (count_ < sends_.size()) {
+      SyncBufferedSend& slot = sends_[count_];
+      // Dead slots past the live count are unordered; when this slot's
+      // payload capacity is too small, borrow a big-enough one from the
+      // dead region so the slab's total spilled capacity is recycled
+      // instead of every slot index growing independently.
+      if (message.data.size() > slot.message.data.capacity()) {
+        for (std::size_t j = count_ + 1; j < sends_.size(); ++j) {
+          if (sends_[j].message.data.capacity() >= message.data.size()) {
+            slot.message.data.swap(sends_[j].message.data);
+            break;
+          }
+        }
+      }
+      slot.to = to;
+      slot.message = message;
+    } else {
+      sends_.push_back(SyncBufferedSend{to, message});
+    }
+    sends_[count_].message.from = from;
+    ++count_;
+  }
+
+  /// The live entries, in send order.
+  std::span<SyncBufferedSend> entries() noexcept {
+    return {sends_.data(), count_};
+  }
+
+  /// Rewinds the live count; elements (and their capacities) stay alive.
+  void reset() noexcept { count_ = 0; }
+
+ private:
+  std::vector<SyncBufferedSend> sends_;
+  std::size_t count_ = 0;
 };
 
 /// Per-round context handed to a node program; valid only during on_round.
@@ -71,9 +132,17 @@ class SyncContext {
   /// Sends a message to a direct neighbor, delivered next round.
   void send(NodeId to, Message message);
 
-  /// Sends a copy of the message to every neighbor (the last copy is moved,
-  /// not copied — broadcast costs degree-1 payload copies).
-  void broadcast(Message message);
+  /// Broadcasts a message the caller is done with: d-1 payload copies plus
+  /// one move for the final neighbor.
+  void broadcast(Message&& message);
+
+  /// Broadcasts a message the caller keeps (e.g. a reusable scratch): the
+  /// engine copy-assigns into its recycled inbox slots, so a warmed run
+  /// broadcasts with zero allocator traffic even for spilled payloads —
+  /// the zero-alloc seam DistMIS's flood relays ride (DESIGN.md §11). The
+  /// message's `from` field is left untouched; the delivered copies carry
+  /// this node's id regardless.
+  void broadcast(const Message& message);
 
   /// A copy of this context for a protocol layered *inside* another program
   /// (sim/reliable.h): round() reports the wrapped protocol's own round
@@ -104,6 +173,11 @@ class SyncContext {
   // that holds by construction. Direct send() keeps the check.
   void send_trusted(NodeId to, Message message);
 
+  // Copying twin of send_trusted for broadcast(const Message&): the payload
+  // is copy-assigned into a recycled slot instead of materializing a
+  // temporary Message per receiver.
+  void send_trusted_copy(NodeId to, const Message& message);
+
   SyncEngine* engine_;
   NodeId self_;
   std::span<const NeighborEntry> neighbors_;
@@ -112,7 +186,7 @@ class SyncContext {
   const SyncSendSink* sink_ = nullptr;  // non-null: capture instead of send
   // Non-null on parallel rounds: buffer sends for the post-barrier merge
   // instead of touching shared engine state from a worker thread.
-  std::vector<SyncBufferedSend>* out_ = nullptr;
+  SyncSendSlab* out_ = nullptr;
 };
 
 /// A node program for the synchronous engine.
@@ -177,6 +251,14 @@ class SyncEngine {
   /// ordering contracts are untouched. Not owned; must outlive the run.
   void set_thread_pool(ThreadPool* pool) noexcept { pool_ = pool; }
 
+  /// Attaches an allocation auditor (nullptr detaches): each communication
+  /// round is bracketed with begin_round/end_round so per-round allocator
+  /// traffic lands in the auditor's profile (support/alloc_audit.h). Unlike
+  /// trace/fault seams the auditor only samples process-global counters, so
+  /// it does NOT force the serial path — pooled rounds are audited too.
+  /// Not owned; must outlive the run.
+  void set_alloc_audit(AllocAudit* audit) noexcept { alloc_audit_ = audit; }
+
   /// Program of node v (for extracting results after the run). Calling this
   /// from inside a program callback for a node other than the one executing
   /// is a cross-node state read and is reported to the attached trace.
@@ -191,10 +273,13 @@ class SyncEngine {
 
  private:
   friend class SyncContext;
-  void deliver(NodeId from, NodeId to, Message message);
-  void deliver_trusted(NodeId from, NodeId to, Message message);
+  void deliver(NodeId from, NodeId to, Message&& message);
+  void deliver_trusted(NodeId from, NodeId to, Message&& message);
+  void deliver_trusted_copy(NodeId from, NodeId to, const Message& message);
   void deliver_faulted(ArcId channel, NodeId from, NodeId to, Message message);
-  void enqueue(NodeId from, NodeId to, Message message);
+  void enqueue(NodeId from, NodeId to, Message&& message);
+  void enqueue_copy(NodeId from, NodeId to, const Message& message);
+  Message& next_slot(NodeId to, std::size_t words);
 
   void note_program_access(NodeId v) const {
     if (trace_ != nullptr && current_node_ != kNoNode && current_node_ != v)
@@ -203,12 +288,17 @@ class SyncEngine {
 
   const Graph& graph_;
   std::vector<std::unique_ptr<SyncProgram>> programs_;
-  // Inbox slabs: per-node message vectors that are reset, not freed,
-  // between rounds — only the boxes named in the dirty lists are cleared,
-  // and clearing keeps both the vector capacity and any spilled payload
-  // capacity, so steady-state rounds allocate nothing.
+  // Inbox slabs: per-node message vectors with a separately tracked live
+  // count. Between rounds only the counts of the boxes named in the dirty
+  // lists are rewound — the Message elements beyond the count stay alive,
+  // so both the vector capacity and any spilled payload capacity survive
+  // and steady-state rounds allocate nothing. Messages are copy-assigned
+  // (broadcast const&) or swap-moved into the recycled slots; the slab
+  // never destroys an element until the engine itself dies.
   std::vector<std::vector<Message>> inbox_;       // delivered this round
   std::vector<std::vector<Message>> next_inbox_;  // sent this round
+  std::vector<std::size_t> inbox_count_;  // live messages per inbox_ slab
+  std::vector<std::size_t> next_count_;   // live messages per next_ slab
   std::vector<NodeId> dirty_inbox_;  // boxes of inbox_ holding messages
   std::vector<NodeId> dirty_next_;   // boxes of next_inbox_ holding messages
   std::size_t pending_messages_ = 0;
@@ -216,7 +306,8 @@ class SyncEngine {
   SimTrace* trace_ = nullptr;
   FaultPlan* faults_ = nullptr;
   ThreadPool* pool_ = nullptr;  // non-null: shard rounds across workers
-  std::vector<std::vector<SyncBufferedSend>> shard_sends_;  // per shard
+  AllocAudit* alloc_audit_ = nullptr;  // non-null: bracket rounds
+  std::vector<SyncSendSlab> shard_sends_;  // per shard
   ChannelTable channels_;                     // fault path only
   std::vector<std::uint64_t> channel_posts_;  // fault path only
   std::size_t current_round_ = 0;             // fault path only

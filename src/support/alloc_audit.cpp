@@ -1,0 +1,159 @@
+#include "support/alloc_audit.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#if FDLSP_ALLOC_AUDIT
+
+namespace {
+
+// Constant-initialized, so counting is valid even for allocations performed
+// during static initialization, before main().
+std::atomic<std::uint64_t> g_allocations{0};
+std::atomic<std::uint64_t> g_deallocations{0};
+std::atomic<std::uint64_t> g_bytes{0};
+
+void* counted_alloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  return std::malloc(size);
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (align < sizeof(void*)) align = sizeof(void*);
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  const std::size_t rounded = (size + align - 1) / align * align;
+  return std::aligned_alloc(align, rounded == 0 ? align : rounded);
+}
+
+void counted_free(void* p) noexcept {
+  if (p != nullptr) g_deallocations.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+}  // namespace
+
+// Replaceable global allocation functions. The standard routes the default
+// nothrow and array forms through these, but the compiler may also call any
+// form directly, so the whole family is replaced. All heap traffic in the
+// process — engines, programs, the standard library — is counted.
+void* operator new(std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = counted_aligned_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = counted_aligned_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+
+namespace fdlsp {
+
+bool alloc_audit_enabled() noexcept { return true; }
+
+AllocCounts alloc_audit_counts() noexcept {
+  AllocCounts counts;
+  counts.allocations = g_allocations.load(std::memory_order_relaxed);
+  counts.deallocations = g_deallocations.load(std::memory_order_relaxed);
+  counts.bytes = g_bytes.load(std::memory_order_relaxed);
+  return counts;
+}
+
+}  // namespace fdlsp
+
+#else  // !FDLSP_ALLOC_AUDIT — sanitizer builds interpose operator new
+
+namespace fdlsp {
+
+bool alloc_audit_enabled() noexcept { return false; }
+
+AllocCounts alloc_audit_counts() noexcept { return AllocCounts{}; }
+
+}  // namespace fdlsp
+
+#endif  // FDLSP_ALLOC_AUDIT
+
+namespace fdlsp {
+
+AllocCounts AllocAuditRegion::delta() const noexcept {
+  const AllocCounts now = alloc_audit_counts();
+  AllocCounts d;
+  d.allocations = now.allocations - start_.allocations;
+  d.deallocations = now.deallocations - start_.deallocations;
+  d.bytes = now.bytes - start_.bytes;
+  return d;
+}
+
+void AllocAudit::begin_round() noexcept {
+  round_start_ = alloc_audit_counts().allocations;
+}
+
+void AllocAudit::end_round() noexcept {
+  const std::uint64_t delta =
+      alloc_audit_counts().allocations - round_start_;
+  total_ += delta;
+  if (delta > 0) {
+    ++allocating_rounds_;
+    last_allocating_ = rounds_;
+    if (delta > peak_) peak_ = delta;
+  }
+  if (history_ != nullptr) history_->push_back(delta);
+  ++rounds_;
+}
+
+}  // namespace fdlsp

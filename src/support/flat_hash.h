@@ -41,8 +41,9 @@ constexpr std::uint64_t mix_hash(std::uint64_t x) noexcept {
 }  // namespace detail
 
 /// Flat open-addressed map from an unsigned integer key to a trivially
-/// copyable value. Point access only — no iteration, no erase (the
-/// protocol tables are insert-only within a run).
+/// copyable value. Point access only — no iteration. erase() uses
+/// backward-shift deletion, so lookups stay tombstone-free and the table
+/// never degrades however many entries come and go.
 template <typename Key, typename Value>
 class FlatHashMap {
   static_assert(std::is_unsigned_v<Key>, "keys must be unsigned integers");
@@ -81,6 +82,48 @@ class FlatHashMap {
 
   /// Value for `key`, default-constructed on first access.
   Value& operator[](Key key) { return slot_for(key).value; }
+
+  /// Removes `key` if present; returns whether it was. Backward-shift
+  /// deletion: entries probing through the hole are slid back, so no
+  /// tombstones accumulate and find() keeps its stop-at-empty contract.
+  bool erase(Key key) {
+    if (slots_.empty()) return false;
+    std::size_t hole = probe_start(key);
+    for (;; hole = (hole + 1) & mask_) {
+      if (slots_[hole].key == key) break;
+      if (slots_[hole].key == kEmpty) return false;
+    }
+    for (std::size_t j = (hole + 1) & mask_; slots_[j].key != kEmpty;
+         j = (j + 1) & mask_) {
+      // Slide j back into the hole only if its home slot does not lie
+      // strictly after the hole on the (cyclic) probe path — i.e. the probe
+      // from home would have passed through the hole.
+      const std::size_t home = probe_start(slots_[j].key);
+      if (((j - home) & mask_) >= ((j - hole) & mask_)) {
+        slots_[hole] = slots_[j];
+        hole = j;
+      }
+    }
+    slots_[hole].key = kEmpty;
+    --size_;
+    return true;
+  }
+
+  /// Pre-sizes the table for at least `expected` entries without exceeding
+  /// the half-full load factor — inserts up to that count then allocate
+  /// nothing. Existing entries are preserved.
+  void reserve(std::size_t expected) {
+    if (expected == 0) return;
+    std::size_t target = 16;
+    while (target < expected * 2) target *= 2;
+    if (target <= slots_.size()) return;
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(target, Slot{});
+    mask_ = slots_.size() - 1;
+    size_ = 0;
+    for (const Slot& slot : old)
+      if (slot.key != kEmpty) slot_for(slot.key).value = slot.value;
+  }
 
  private:
   struct Slot {
@@ -137,6 +180,12 @@ class FlatHashSet {
     map_[key] = true;
     return map_.size() != before;
   }
+
+  /// Removes `key` if present; returns whether it was.
+  bool erase(Key key) { return map_.erase(key); }
+
+  /// Pre-sizes for at least `expected` keys (see FlatHashMap::reserve).
+  void reserve(std::size_t expected) { map_.reserve(expected); }
 
  private:
   FlatHashMap<Key, bool> map_;

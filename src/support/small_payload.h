@@ -60,11 +60,14 @@ class SmallPayload {
     return *this;
   }
 
+  /// Move-assignment SWAPS buffers instead of freeing the destination's:
+  /// the moved-from payload walks away with our old capacity, so in the
+  /// engines' recycling loops (inbox slabs, scratch messages) spilled
+  /// buffers circulate between slots instead of being freed and
+  /// reallocated — the steady state allocates nothing. The moved-from
+  /// object is still valid-but-unspecified, exactly as std::vector's.
   SmallPayload& operator=(SmallPayload&& other) noexcept {
-    if (this != &other) {
-      release();
-      steal(other);
-    }
+    if (this != &other) swap(other);
     return *this;
   }
 
@@ -116,6 +119,33 @@ class SmallPayload {
 
   /// Drops the contents but keeps any spilled buffer for reuse.
   void clear() noexcept { size_ = 0; }
+
+  /// Swaps contents and capacities with `other`; never allocates.
+  void swap(SmallPayload& other) noexcept {
+    if (heap_ == nullptr && other.heap_ == nullptr) {
+      for (std::size_t i = 0; i < kInlineCapacity; ++i)
+        std::swap(inline_[i], other.inline_[i]);
+      std::swap(size_, other.size_);
+      return;
+    }
+    if (heap_ != nullptr && other.heap_ != nullptr) {
+      std::swap(heap_, other.heap_);
+      std::swap(capacity_, other.capacity_);
+      std::swap(size_, other.size_);
+      return;
+    }
+    // Mixed: the inline side's words move into the spilled side's inline
+    // array (dead storage while it owned a heap buffer), then the heap
+    // buffer changes hands.
+    SmallPayload* spilled = heap_ != nullptr ? this : &other;
+    SmallPayload* local = heap_ != nullptr ? &other : this;
+    std::copy(local->inline_, local->inline_ + local->size_, spilled->inline_);
+    local->heap_ = spilled->heap_;
+    local->capacity_ = spilled->capacity_;
+    spilled->heap_ = nullptr;
+    spilled->capacity_ = kInlineCapacity;
+    std::swap(size_, other.size_);
+  }
 
   void push_back(value_type value) {
     if (size_ == capacity_) grow(size_ + 1);

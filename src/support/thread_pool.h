@@ -5,7 +5,6 @@
 
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -50,11 +49,21 @@ class ThreadPool {
 
  private:
   void worker_loop();
+  void push_task(std::function<void()>&& task);
+  std::function<void()> pop_task();
 
   std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
+  // FIFO ring over a capacity-retaining vector instead of a deque: a deque
+  // allocates and frees blocks as the head crosses block boundaries, which
+  // shows up as steady per-round allocator traffic in the pooled engines'
+  // zero-alloc profile (tests/engine_alloc_test.cpp). The ring reaches its
+  // high-water capacity once and then cycles allocation-free; slots hold
+  // moved-from std::function shells whose small-buffer storage is reused.
+  std::vector<std::function<void()>> ring_;
+  std::size_t ring_head_ = 0;   // index of the oldest queued task
+  std::size_t ring_count_ = 0;  // queued (not yet popped) tasks
   std::vector<std::thread> workers_;
   std::exception_ptr first_error_;
   std::size_t in_flight_ = 0;

@@ -1,0 +1,130 @@
+// Machine-checks DESIGN.md §11's zero-alloc claim for the steady-state
+// message path: a full DistMIS-GBG run on the paper-scale UDG fixture
+// (n=1000, average degree ~6 — the headline BM_DistMisUdg row) must reach a
+// state where rounds stop touching the allocator entirely, on the serial
+// engine AND the sharded pooled engine.
+//
+// The assertions are margin-based rather than exact counts so that benign
+// library-version drift in container growth policies does not break the
+// gate, while a regression that reintroduces per-message allocator traffic
+// (~250 allocations/round on this fixture, ~113k per run before the
+// zero-alloc work) blows through every bound at once. Measured profile at
+// the time of writing: ~30k total allocations, warm-up confined to the
+// first ~430 of 451 rounds, and a 20+ round allocation-free tail.
+//
+// Under sanitizers the counting operator new hooks are compiled out
+// (support/alloc_audit.h) and the whole suite skips.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "algos/dist_mis.h"
+#include "graph/generators.h"
+#include "support/alloc_audit.h"
+#include "support/rng.h"
+#include "support/thread_pool.h"
+
+namespace fdlsp {
+namespace {
+
+/// The BM_DistMisUdg fixture: n nodes on a square sized for average degree
+/// ~6 at transmission radius 0.5.
+Graph paper_udg(std::size_t n) {
+  const double radius = 0.5;
+  const double side =
+      std::sqrt(static_cast<double>(n) * 3.14159265 * radius * radius / 6.0);
+  Rng rng(42);
+  return generate_udg(n, side, radius, rng).graph;
+}
+
+/// Runs DistMIS-GBG with the auditor attached and asserts the steady-state
+/// allocation profile. `pool` may be null (serial engine).
+void assert_steady_state_profile(const Graph& graph, ThreadPool* pool) {
+  AllocAudit audit;
+  std::vector<std::uint64_t> history;
+  history.reserve(2048);
+  audit.set_history(&history);
+
+  DistMisOptions options;
+  options.variant = DistMisVariant::kGbg;
+  options.seed = 42;
+  options.pool = pool;
+  options.audit = &audit;
+  const ScheduleResult result = run_dist_mis(graph, options);
+
+  ASSERT_TRUE(result.completed);
+  EXPECT_GT(result.num_slots, 0U);
+  // The auditor bracketed every engine round, and the history is its
+  // per-round expansion.
+  ASSERT_EQ(audit.rounds(), result.rounds);
+  ASSERT_EQ(history.size(), result.rounds);
+  EXPECT_EQ(std::accumulate(history.begin(), history.end(), std::uint64_t{0}),
+            audit.total_allocations());
+  ASSERT_GT(audit.rounds(), 100U) << "fixture too small to have a steady state";
+
+  // The core invariant: allocator traffic is warm-up, not steady state.
+  // (1) The run ends with a real allocation-free tail.
+  ASSERT_NE(audit.last_allocating_round(), AllocAudit::kNoRound);
+  EXPECT_LE(audit.last_allocating_round() + 20, audit.rounds())
+      << "no allocation-free tail — the steady-state path allocates";
+  // (2) Most rounds never allocate at all.
+  EXPECT_LE(audit.allocating_rounds(), 2 * audit.rounds() / 3);
+  // (3) Total traffic stays an order of magnitude under the ~113k a
+  // per-message-allocating path produces on this fixture.
+  EXPECT_LT(audit.total_allocations(), 60'000U);
+}
+
+TEST(AllocAuditRegion, CountsHeapTraffic) {
+  if (!alloc_audit_enabled())
+    GTEST_SKIP() << "allocation hooks compiled out (sanitizer build)";
+  AllocAuditRegion region;
+  {
+    std::vector<std::uint64_t> v(1024);
+    ASSERT_EQ(v.size(), 1024U);
+  }
+  const AllocCounts delta = region.delta();
+  EXPECT_GE(delta.allocations, 1U);
+  EXPECT_GE(delta.deallocations, 1U);
+  EXPECT_GE(delta.bytes, 1024 * sizeof(std::uint64_t));
+}
+
+TEST(EngineAllocProfile, SerialDistMisReachesZeroAllocSteadyState) {
+  if (!alloc_audit_enabled())
+    GTEST_SKIP() << "allocation hooks compiled out (sanitizer build)";
+  assert_steady_state_profile(paper_udg(1000), nullptr);
+}
+
+TEST(EngineAllocProfile, PooledDistMisReachesZeroAllocSteadyState) {
+  if (!alloc_audit_enabled())
+    GTEST_SKIP() << "allocation hooks compiled out (sanitizer build)";
+  ThreadPool pool(2);
+  assert_steady_state_profile(paper_udg(1000), &pool);
+}
+
+TEST(EngineAllocProfile, SerialAndPooledAgreeOnTheResult) {
+  // Independent of the audit hooks: attaching an auditor must not change
+  // the schedule, and the pooled engine stays byte-identical to serial.
+  const Graph graph = paper_udg(300);
+  DistMisOptions serial;
+  serial.seed = 42;
+  const ScheduleResult base = run_dist_mis(graph, serial);
+
+  AllocAudit audit;
+  ThreadPool pool(2);
+  DistMisOptions audited;
+  audited.seed = 42;
+  audited.pool = &pool;
+  audited.audit = &audit;
+  const ScheduleResult pooled = run_dist_mis(graph, audited);
+
+  EXPECT_EQ(base.rounds, pooled.rounds);
+  EXPECT_EQ(base.messages, pooled.messages);
+  EXPECT_EQ(base.num_slots, pooled.num_slots);
+  EXPECT_EQ(audit.rounds(), pooled.rounds);
+}
+
+}  // namespace
+}  // namespace fdlsp

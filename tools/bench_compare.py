@@ -3,11 +3,17 @@
 
 Usage:
     tools/bench_compare.py BASELINE.json FRESH.json [--tolerance 0.30]
+    tools/bench_compare.py --self-test
 
 For every benchmark present in both files, compares real_time (after
 normalizing time units) and fails — exit 1 — if the fresh run regressed by
 more than the tolerance band. Benchmarks present on only one side are
 reported but never fail the gate (suites are allowed to grow).
+
+Malformed input (missing file, invalid JSON, entries without the
+name/real_time keys) exits 2 with a one-line diagnostic naming the file and
+the defect, so a truncated bench run reads as "bad input", not a Python
+traceback or a silently empty comparison.
 
 The default tolerance is deliberately loose (30%): micro timings on shared
 CI machines jitter, and the gate exists to catch order-of-magnitude
@@ -19,33 +25,55 @@ import argparse
 import json
 import sys
 
+
+class BenchFileError(Exception):
+    """A benchmark JSON file that cannot be compared, with the reason."""
+
+
 _UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
 def load_times(path):
-    """name -> real_time in ns, aggregates and error runs excluded."""
-    with open(path) as fh:
-        data = json.load(fh)
+    """name -> real_time in ns, aggregates and error runs excluded.
+
+    Raises BenchFileError (never KeyError/JSONDecodeError) on any defect.
+    """
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except OSError as err:
+        raise BenchFileError(f"{path}: cannot read ({err.strerror})")
+    except json.JSONDecodeError as err:
+        raise BenchFileError(f"{path}: invalid JSON at line {err.lineno}")
+    if not isinstance(data, dict) or not isinstance(
+            data.get("benchmarks"), list):
+        raise BenchFileError(
+            f"{path}: not a google-benchmark report (no 'benchmarks' list)")
     times = {}
-    for entry in data.get("benchmarks", []):
+    for index, entry in enumerate(data["benchmarks"]):
+        if not isinstance(entry, dict):
+            raise BenchFileError(
+                f"{path}: benchmarks[{index}] is not an object")
         if entry.get("run_type") == "aggregate" or "error_occurred" in entry:
             continue
+        missing = [key for key in ("name", "real_time") if key not in entry]
+        if missing:
+            raise BenchFileError(
+                f"{path}: benchmarks[{index}] lacks {'/'.join(missing)} — "
+                "truncated or non-benchmark JSON?")
+        try:
+            real_time = float(entry["real_time"])
+        except (TypeError, ValueError):
+            raise BenchFileError(
+                f"{path}: benchmarks[{index}] ({entry['name']}) has "
+                f"non-numeric real_time {entry['real_time']!r}")
         unit = _UNIT_TO_NS.get(entry.get("time_unit", "ns"), 1.0)
-        times[entry["name"]] = float(entry["real_time"]) * unit
+        times[entry["name"]] = real_time * unit
     return times
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline")
-    parser.add_argument("fresh")
-    parser.add_argument("--tolerance", type=float, default=0.30,
-                        help="allowed relative slowdown (default 0.30)")
-    args = parser.parse_args()
-
-    base = load_times(args.baseline)
-    fresh = load_times(args.fresh)
-
+def compare(base, fresh, tolerance):
+    """Prints the per-benchmark table; returns the regressions list."""
     regressions = []
     for name in sorted(base):
         if name not in fresh:
@@ -54,14 +82,105 @@ def main():
         old, new = base[name], fresh[name]
         ratio = new / old if old > 0 else float("inf")
         marker = " "
-        if ratio > 1.0 + args.tolerance:
+        if ratio > 1.0 + tolerance:
             marker = "!"
             regressions.append((name, ratio))
         print(f"  [{marker}] {name}: {old:12.0f}ns -> {new:12.0f}ns "
               f"({ratio:6.2f}x)")
     for name in sorted(set(fresh) - set(base)):
         print(f"  [only-fresh] {name}")
+    return regressions
 
+
+def self_test():
+    """Exercises the load/compare paths against in-process fixtures.
+
+    Run by tools/ci.sh before the real comparison so a hardening regression
+    in this script fails the gate on its own, without needing a malformed
+    bench file to show up organically.
+    """
+    import os
+    import tempfile
+
+    def write(content):
+        handle = tempfile.NamedTemporaryFile(
+            "w", suffix=".json", delete=False)
+        handle.write(content)
+        handle.close()
+        return handle.name
+
+    good = write(json.dumps({"benchmarks": [
+        {"name": "BM_A", "real_time": 100.0, "time_unit": "ns"},
+        {"name": "BM_B", "real_time": 2.0, "time_unit": "us"},
+        {"name": "BM_agg", "real_time": 1.0, "run_type": "aggregate"},
+    ]}))
+    cases = [
+        ("missing file", os.path.join(tempfile.gettempdir(),
+                                      "fdlsp-no-such-bench.json"),
+         "cannot read"),
+        ("invalid JSON", write("{not json"), "invalid JSON"),
+        ("wrong shape", write('{"context": {}}'), "no 'benchmarks' list"),
+        ("missing keys", write('{"benchmarks": [{"iterations": 3}]}'),
+         "lacks name/real_time"),
+        ("bad real_time", write(
+            '{"benchmarks": [{"name": "BM_X", "real_time": "fast"}]}'),
+         "non-numeric real_time"),
+    ]
+    failures = []
+    for label, path, needle in cases:
+        try:
+            load_times(path)
+            failures.append(f"{label}: accepted malformed input")
+        except BenchFileError as err:
+            if needle not in str(err):
+                failures.append(f"{label}: diagnostic {str(err)!r} "
+                                f"lacks {needle!r}")
+    times = load_times(good)
+    if times != {"BM_A": 100.0, "BM_B": 2000.0}:
+        failures.append(f"good file parsed to {times!r}")
+    if compare({"BM_A": 100.0}, {"BM_A": 140.0}, 0.30) != \
+            [("BM_A", 1.4)]:
+        failures.append("30% tolerance failed to flag a 1.4x slowdown")
+    if compare({"BM_A": 100.0}, {"BM_A": 120.0}, 0.30):
+        failures.append("30% tolerance flagged a 1.2x slowdown")
+    if compare({"BM_A": 100.0}, {"BM_B": 100.0}, 0.30):
+        failures.append("disjoint benchmark sets treated as a regression")
+    for label, path, _ in cases[1:]:
+        os.unlink(path)
+    os.unlink(good)
+    if failures:
+        print("self-test FAILED:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("self-test OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("fresh", nargs="?")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed relative slowdown (default 0.30)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the malformed-input handling and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.baseline is None or args.fresh is None:
+        parser.error("baseline and fresh files are required "
+                     "(or use --self-test)")
+
+    try:
+        base = load_times(args.baseline)
+        fresh = load_times(args.fresh)
+    except BenchFileError as err:
+        print(f"bench_compare: {err}", file=sys.stderr)
+        return 2
+
+    regressions = compare(base, fresh, args.tolerance)
     if regressions:
         print(f"\n{len(regressions)} regression(s) beyond "
               f"{args.tolerance:.0%} tolerance:")

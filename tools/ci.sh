@@ -39,6 +39,12 @@ run_sanitizer() {  # $1 = preset name (asan-ubsan | tsan)
   cmake --build --preset "${preset}" -j
   ctest --test-dir "build-${preset}" -L proptest --output-on-failure \
     -j "$(nproc)"
+  # The zero-alloc gate also runs under the sanitizer build: the counting
+  # operator new hooks are compiled out there (support/alloc_audit.h), so
+  # this verifies the GTEST_SKIP seam and keeps the fixture itself
+  # sanitizer-clean.
+  ctest --test-dir "build-${preset}" -R '^engine_alloc_test$' \
+    --output-on-failure
 }
 
 run_faults() {
@@ -67,10 +73,19 @@ run_soak() {
 }
 
 run_lint() {
-  echo "=== lint: fdlsp-lint over src/ ==="
+  echo "=== lint: fdlsp-lint --project over src/ ==="
   cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build -j --target fdlsp-lint
-  ./build/tools/fdlsp-lint src/
+  # Machine-readable reports first (for the CI artifact upload), then the
+  # human-readable gate run. Project mode adds the include-layer DAG check
+  # on top of the per-file rules.
+  local status=0
+  ./build/tools/fdlsp-lint --project --format=sarif src/ \
+    > build/lint-report.sarif || status=$?
+  [ "${status}" -le 1 ] || { echo "fdlsp-lint failed to run"; return 2; }
+  ./build/tools/fdlsp-lint --project --format=json src/ \
+    > build/lint-report.json || true
+  ./build/tools/fdlsp-lint --project src/
 }
 
 run_tidy() {
@@ -96,6 +111,9 @@ run_bench() {
 
 run_bench_compare() {
   echo "=== bench-compare: fresh run vs committed baselines ==="
+  # The comparator guards its own malformed-input handling; a hardening
+  # regression there fails the gate before any benchmark runs.
+  python3 tools/bench_compare.py --self-test
   # Save the committed baselines aside (bench_smoke.sh overwrites them),
   # run fresh, then diff with the tolerance band.
   local stash

@@ -1,13 +1,17 @@
 // fdlsp-lint CLI: determinism & protocol-isolation linter for this repo.
 //
-//   fdlsp-lint src/                 # lint a tree (the CI invocation)
+//   fdlsp-lint --project src        # file rules + include-layer DAG (CI)
 //   fdlsp-lint src/algos/foo.cpp    # lint individual files
-//   fdlsp-lint --list-rules         # print the rule catalog
+//   fdlsp-lint --list-rules         # print the rule catalog and layers
+//   fdlsp-lint --format=json ...    # machine-readable report
+//   fdlsp-lint --format=sarif ...   # SARIF 2.1.0 (code-scanning upload)
 //
 // Exit codes: 0 clean, 1 diagnostics found, 2 usage or I/O error.
 // Rule semantics, path scoping and the allow() escape hatch are documented
-// in src/analysis/lint.h and DESIGN.md §8.
+// in src/analysis/lint.h; the layer DAG in src/analysis/project.h; both in
+// DESIGN.md §8 and §13.
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -16,6 +20,7 @@
 #include <vector>
 
 #include "analysis/lint.h"
+#include "analysis/project.h"
 
 namespace fs = std::filesystem;
 
@@ -51,20 +56,111 @@ std::vector<std::string> collect_files(const fs::path& root) {
   return files;
 }
 
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void print_json(const std::vector<fdlsp::LintDiagnostic>& diagnostics,
+                std::size_t files_scanned) {
+  std::cout << "{\n  \"files_scanned\": " << files_scanned
+            << ",\n  \"diagnostics\": [";
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    const fdlsp::LintDiagnostic& d = diagnostics[i];
+    std::cout << (i == 0 ? "\n" : ",\n")
+              << "    {\"file\": \"" << json_escape(d.file)
+              << "\", \"line\": " << d.line << ", \"rule\": \""
+              << json_escape(d.rule) << "\", \"message\": \""
+              << json_escape(d.message) << "\"}";
+  }
+  std::cout << (diagnostics.empty() ? "]" : "\n  ]") << "\n}\n";
+}
+
+void print_sarif(const std::vector<fdlsp::LintDiagnostic>& diagnostics) {
+  std::cout << "{\n"
+            << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+            << "  \"version\": \"2.1.0\",\n"
+            << "  \"runs\": [{\n"
+            << "    \"tool\": {\"driver\": {\"name\": \"fdlsp-lint\", "
+               "\"rules\": [";
+  const auto rules = fdlsp::lint_rules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    std::cout << (i == 0 ? "\n" : ",\n") << "      {\"id\": \""
+              << json_escape(rules[i].name)
+              << "\", \"shortDescription\": {\"text\": \""
+              << json_escape(rules[i].summary) << "\"}}";
+  }
+  std::cout << "\n    ]}},\n    \"results\": [";
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    const fdlsp::LintDiagnostic& d = diagnostics[i];
+    std::cout << (i == 0 ? "\n" : ",\n")
+              << "      {\"ruleId\": \"" << json_escape(d.rule)
+              << "\", \"level\": \"error\", \"message\": {\"text\": \""
+              << json_escape(d.message)
+              << "\"}, \"locations\": [{\"physicalLocation\": "
+                 "{\"artifactLocation\": {\"uri\": \""
+              << json_escape(d.file) << "\"}, \"region\": {\"startLine\": "
+              << d.line << "}}}]}";
+  }
+  std::cout << (diagnostics.empty() ? "]" : "\n    ]") << "\n  }]\n}\n";
+}
+
+void print_usage(std::ostream& out) {
+  out << "usage: fdlsp-lint [--project] [--format=text|json|sarif] "
+         "[--list-rules] <path>...\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> roots;
+  bool project_mode = false;
+  std::string format = "text";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list-rules") {
       for (const fdlsp::LintRuleInfo& rule : fdlsp::lint_rules())
         std::cout << rule.name << "\n    " << rule.summary << "\n";
+      std::cout << "include layers (layer-dag, --project mode):\n";
+      for (const fdlsp::LintLayer& layer : fdlsp::lint_layers())
+        std::cout << "    " << layer.rank << "  " << layer.module << "\n";
       return 0;
     }
     if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: fdlsp-lint [--list-rules] <path>...\n";
+      print_usage(std::cout);
       return 0;
+    }
+    if (arg == "--project") {
+      project_mode = true;
+      continue;
+    }
+    if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json" && format != "sarif") {
+        std::cerr << "fdlsp-lint: unknown format '" << format
+                  << "' (expected text, json or sarif)\n";
+        return 2;
+      }
+      continue;
     }
     if (arg.rfind("--", 0) == 0) {
       std::cerr << "fdlsp-lint: unknown flag " << arg << "\n";
@@ -73,12 +169,11 @@ int main(int argc, char** argv) {
     roots.push_back(arg);
   }
   if (roots.empty()) {
-    std::cerr << "usage: fdlsp-lint [--list-rules] <path>...\n";
+    print_usage(std::cerr);
     return 2;
   }
 
-  std::size_t files_scanned = 0;
-  std::vector<fdlsp::LintDiagnostic> diagnostics;
+  std::vector<fdlsp::ProjectFile> files;
   for (const std::string& root : roots) {
     if (!fs::exists(root)) {
       std::cerr << "fdlsp-lint: no such path: " << root << "\n";
@@ -92,16 +187,30 @@ int main(int argc, char** argv) {
       }
       std::ostringstream buffer;
       buffer << in.rdbuf();
-      ++files_scanned;
-      for (fdlsp::LintDiagnostic& d :
-           fdlsp::lint_source(file, buffer.str()))
-        diagnostics.push_back(std::move(d));
+      files.push_back(fdlsp::ProjectFile{file, buffer.str()});
     }
   }
 
-  for (const fdlsp::LintDiagnostic& d : diagnostics)
-    std::cout << fdlsp::to_string(d) << "\n";
-  std::cout << "fdlsp-lint: " << files_scanned << " files, "
-            << diagnostics.size() << " diagnostic(s)\n";
+  std::vector<fdlsp::LintDiagnostic> diagnostics;
+  for (const fdlsp::ProjectFile& file : files)
+    for (fdlsp::LintDiagnostic& d : fdlsp::lint_source(file.path, file.text))
+      diagnostics.push_back(std::move(d));
+  if (project_mode)
+    for (fdlsp::LintDiagnostic& d : fdlsp::lint_layer_dag(files))
+      diagnostics.push_back(std::move(d));
+
+  if (format == "json") {
+    print_json(diagnostics, files.size());
+  } else if (format == "sarif") {
+    print_sarif(diagnostics);
+  } else {
+    for (const fdlsp::LintDiagnostic& d : diagnostics)
+      std::cout << fdlsp::to_string(d) << "\n";
+    std::cout << "fdlsp-lint: " << files.size() << " files, "
+              << diagnostics.size() << " diagnostic(s)"
+              << (project_mode ? " (project mode: file rules + layer DAG)"
+                               : "")
+              << "\n";
+  }
   return diagnostics.empty() ? 0 : 1;
 }
