@@ -7,9 +7,13 @@
 // regression baseline; tools/ci.sh bench-compare diffs fresh runs against
 // it with a tolerance band.
 #include <benchmark/benchmark.h>
+#include <sys/resource.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <memory>
+#include <string>
+#include <thread>
 
 #include "algos/dist_mis.h"
 #include "graph/generators.h"
@@ -161,6 +165,58 @@ BENCHMARK(BM_DistMisUdg)
     ->Args({1000, 8})
     ->Unit(benchmark::kMillisecond);
 
+/// Shard-scaling rows (DESIGN.md §14, EXPERIMENTS.md "Shard scaling"):
+/// DistMIS-GBG on the paper UDG with engine *state* sharded via
+/// DistMisOptions::shards. Args: {nodes, shards}. Registered from main()
+/// according to FDLSP_BENCH_SCALE rather than statically, so the default
+/// suite stays CI-sized: scale "1" (the default) runs the n=10^5 smoke at
+/// 1 vs 2 shards, scale "full" runs the n=10^6 curve at 1/2/4/8 shards.
+/// Both cap at one iteration — at these sizes a single run is seconds to
+/// minutes and the sweep exists for the scaling *curve*, not ns precision.
+///
+/// The pool is sized min(shards, hardware_concurrency): shards beyond the
+/// core count still partition state (and are byte-identical — the curve is
+/// about wall time only), they just time-slice. peak_rss_mb is getrusage's
+/// process-wide high-water mark, which is monotone across rows within one
+/// binary run: the first row of a scale is the honest peak for that
+/// configuration, later rows are lower bounds.
+void BM_DistMisUdgSharded(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto shards = static_cast<std::size_t>(state.range(1));
+  const double radius = 0.5;
+  const double side =
+      std::sqrt(static_cast<double>(n) * 3.14159265 * radius * radius / 6.0);
+  Rng rng(42);
+  const Graph graph = generate_udg(n, side, radius, rng).graph;
+  const auto hardware =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  ThreadPool pool(std::min(shards, hardware));
+  for (auto _ : state) {
+    AllocAudit audit;
+    DistMisOptions options;
+    options.variant = DistMisVariant::kGbg;
+    options.seed = 42;
+    options.pool = &pool;
+    options.shards = shards;
+    options.audit = &audit;
+    const ScheduleResult result = run_dist_mis(graph, options);
+    benchmark::DoNotOptimize(result.num_slots);
+    state.counters["msgs"] = static_cast<double>(result.messages);
+    state.counters["rounds"] = static_cast<double>(result.rounds);
+    // The audit seam does not force the serial engine, so these counters
+    // really describe the sharded path: lane recycling must keep the
+    // steady state allocation-free per shard (tests/engine_alloc_test.cpp
+    // gates this at n=1000; here the numbers ride along at scale).
+    state.counters["allocs"] = static_cast<double>(audit.total_allocations());
+    state.counters["alloc_rounds"] =
+        static_cast<double>(audit.allocating_rounds());
+  }
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0)
+    state.counters["peak_rss_mb"] =
+        static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
 /// Ping-pong along a random ring for a fixed hop count.
 class HopProgram final : public AsyncProgram {
  public:
@@ -203,4 +259,27 @@ BENCHMARK(BM_AsyncEngineRingHops)->Arg(64);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Manual main so the scale rows can be registered conditionally on the
+// FDLSP_BENCH_SCALE environment variable (see BM_DistMisUdgSharded). The
+// statically BENCHMARK()-registered suite above is unaffected.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  const char* scale_env = std::getenv("FDLSP_BENCH_SCALE");
+  const std::string scale = scale_env != nullptr ? scale_env : "1";
+  auto* sharded = benchmark::RegisterBenchmark("BM_DistMisUdgSharded",
+                                               BM_DistMisUdgSharded);
+  sharded->Unit(benchmark::kMillisecond)->Iterations(1);
+  if (scale == "full") {
+    for (const long shards : {1, 2, 4, 8})
+      sharded->Args({1'000'000, shards});
+  } else {
+    for (const long shards : {1, 2})
+      sharded->Args({100'000, shards});
+  }
+
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

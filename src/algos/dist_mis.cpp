@@ -1,6 +1,7 @@
 #include "algos/dist_mis.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <utility>
@@ -9,6 +10,7 @@
 #include "coloring/conflict.h"
 #include "graph/arcs.h"
 #include "sim/reliable.h"
+#include "sim/shard.h"
 #include "sim/sync_engine.h"
 #include "support/check.h"
 #include "support/epoch_marks.h"
@@ -26,59 +28,128 @@ constexpr std::int32_t kTagCompValue = 3; // data: [origin, block, value, ttl]
 constexpr std::int32_t kTagCompWin = 4;   // data: [origin, block, ttl,
                                           //        arc0, color0, arc1, ...]
 
-enum class LubyState { kUndecided, kInSet, kDominated };
+enum class LubyState : std::uint8_t { kUndecided, kInSet, kDominated };
 
-class DistMisProgram final : public SyncProgram {
+/// The whole DistMIS node population in structure-of-arrays form
+/// (DESIGN.md §14). The old per-node DistMisProgram kept every node's state
+/// in its own heap object — pointer-chasing per callback, and per-node hash
+/// tables scattered across the heap. Here the hot per-node scalars live in
+/// parallel arrays indexed by node id, so a shard's round walks dense
+/// memory, and the heavyweight tables (learned colors, greedy scratch,
+/// relay buffers) are kept *per shard*, indexed by ctx.shard(): one worker
+/// drives one shard, so shard scratch needs no synchronization, and the
+/// learned-color table for a whole shard is one flat probe array instead of
+/// thousands of small ones.
+class DistMisSet final : public SyncProgramSet {
  public:
-  /// `max_degree` is the graph's Δ — global static knowledge, like the
-  /// seed: the paper's algorithms assume it for the slot bound, and here it
-  /// sizes scratch buffers so steady-state rounds allocate nothing.
-  DistMisProgram(const ArcView& view, NodeId self, DistMisVariant variant,
-                 std::uint64_t seed, std::size_t max_degree)
-      : view_(&view),
-        self_(self),
+  DistMisSet(const Graph& graph, DistMisVariant variant, std::uint64_t seed)
+      : view_(graph),
         variant_(variant),
         flood_radius_(variant == DistMisVariant::kGbg ? 3 : 2),
-        rng_(seed) {
-    if (view_->graph().degree(self_) == 0) retired_ = true;
-    // Win-time work is pre-sized at construction so the one win() this node
-    // ever performs — which can land in any round — stays allocation-free:
-    // the arc list is hoisted out of win(), and the win flood's payload
-    // (3 header words + 2 per colored arc) is spilled once, here.
-    arcs_to_color_ = variant_ == DistMisVariant::kGbg
-                         ? view_->incident_arcs(self_)
-                         : view_->out_arcs(self_);
-    assignments_.reserve(arcs_to_color_.size());
-    win_scratch_.data.reserve(3 + 2 * arcs_to_color_.size());
-    // The largest flood this node can ever relay is a win flood from a
-    // degree-Δ origin: 3 header words + 2 per incident arc (≤ 2Δ arcs).
-    relay_scratch_.data.reserve(3 + 4 * max_degree);
-    round_values_.reserve(view_->graph().degree(self_));
-    // Win floods teach this node the colors of arcs incident to winners
-    // within the flood radius; sizing the table to a ball-volume estimate
-    // (O(Δ²) arcs) up front avoids rehash bursts in late compete phases,
-    // which would otherwise be the only steady-state allocations left.
-    known_colors_.reserve(4 * max_degree * max_degree);
-  }
-
-  bool finished() const override { return retired_; }
-
-  bool ready_for_phase_advance() const override {
-    if (retired_) return true;
-    if (in_luby_phase_) return luby_state_ != LubyState::kUndecided;
-    // Compete phase: S members must finish; everyone else just relays.
-    return luby_state_ != LubyState::kInSet;
-  }
-
-  void on_phase(std::size_t new_phase) override {
-    rounds_in_phase_ = 0;
-    in_luby_phase_ = (new_phase % 2 == 0);
-    if (retired_) return;
-    if (in_luby_phase_) {
-      luby_state_ = LubyState::kUndecided;
+        max_degree_(graph.max_degree()) {
+    const std::size_t n = graph.num_nodes();
+    // Per-node streams drawn from one seeded sequence, in node order — the
+    // same seeding the per-node-program layout used, so serial results are
+    // unchanged by the SoA refactor.
+    Rng seeder(seed);
+    rng_.reserve(n);
+    for (std::size_t v = 0; v < n; ++v) rng_.emplace_back(seeder());
+    retired_.assign(n, 0);
+    in_luby_phase_.assign(n, 1);
+    rounds_in_phase_.assign(n, 0);
+    luby_state_.assign(n, LubyState::kUndecided);
+    luby_value_.assign(n, 0);
+    own_block_.assign(n, 0);
+    comp_value_.assign(n, 0);
+    rivals_.resize(n);
+    seen_.resize(n);
+    // Arcs each node colors on a win, as a CSR (kGbg: all incident arcs,
+    // out then in; kGeneral: outgoing only) — fixed at construction so the
+    // one win() a node ever performs stays allocation-free.
+    arc_offsets_.assign(n + 1, 0);
+    for (NodeId v = 0; v < n; ++v) {
+      const std::size_t degree = graph.degree(v);
+      arc_offsets_[v + 1] =
+          arc_offsets_[v] +
+          (variant_ == DistMisVariant::kGbg ? 2 * degree : degree);
+      if (degree == 0) retired_[v] = 1;
     }
-    round_values_.clear();
-    rivals_.clear();
+    arcs_.resize(arc_offsets_[n]);
+    for (NodeId v = 0; v < n; ++v) {
+      std::size_t pos = arc_offsets_[v];
+      for (const NeighborEntry& entry : graph.neighbors(v))
+        arcs_[pos++] = view_.arc_from(entry.edge, v);
+      if (variant_ == DistMisVariant::kGbg) {
+        for (const NeighborEntry& entry : graph.neighbors(v))
+          arcs_[pos++] = ArcView::reverse(view_.arc_from(entry.edge, v));
+      }
+    }
+  }
+
+  /// Sizes per-shard scratch. A set prepared once must not be re-sharded:
+  /// learned colors live in per-shard tables, and a new partition would
+  /// orphan them — the engine calls this with the same count it runs with,
+  /// and every run of one set uses one engine configuration.
+  void prepare_shards(std::size_t shards) override {
+    FDLSP_REQUIRE(shards > 0, "shard count must be positive");
+    if (shards == prepared_) return;
+    FDLSP_REQUIRE(prepared_ == 0,
+                  "DistMIS state cannot be re-sharded once prepared");
+    prepared_ = shards;
+    shards_.resize(shards);
+    const std::size_t n = size();
+    const ShardPlan plan{n, shards};
+    const std::size_t m = view_.graph().num_edges();
+    const std::size_t avg_ceil = n > 0 ? (2 * m + n - 1) / n : 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+      ShardScratch& scratch = shards_[s];
+      const std::size_t lo = plan.lo(s);
+      const std::size_t hi = plan.hi(s);
+      // Win floods teach a node the colors of arcs colored by winners
+      // within the flood radius. Every node eventually wins and every arc
+      // is colored exactly once, so node v ends up knowing roughly
+      // |ball_D(v)| * (2m/n) arcs. The per-node envelope below is the
+      // geometric-density form of that (ball_3 of a UDG holds ~9*(deg+1)
+      // nodes), capped by the O(Δ²) ball bound for dense graphs; an
+      // under-estimate only costs a mid-run table growth, never
+      // correctness. Sizing up front keeps rehash bursts out of the
+      // steady-state rounds (the zero-alloc tail of engine_alloc_test).
+      std::size_t expected = 0;
+      for (std::size_t v = lo; v < hi; ++v) {
+        const std::size_t degree =
+            view_.graph().degree(static_cast<NodeId>(v));
+        expected += std::min(4 * max_degree_ * max_degree_,
+                             9 * (degree + 1) * (avg_ceil + 1));
+      }
+      scratch.known_colors.reserve(expected);
+      scratch.assignments.reserve(arc_offsets_[hi] - arc_offsets_[lo]);
+      scratch.round_values.reserve(max_degree_);
+      // The largest flood relayed or emitted is a win flood from a
+      // degree-Δ origin: 3 header words + 2 per incident arc (≤ 2Δ arcs).
+      scratch.relay_scratch.data.reserve(3 + 4 * max_degree_);
+      scratch.win_scratch.data.reserve(3 + 4 * max_degree_);
+    }
+  }
+
+  std::size_t size() const override { return retired_.size(); }
+
+  bool finished(NodeId v) const override { return retired_[v] != 0; }
+
+  bool ready_for_phase_advance(NodeId v) const override {
+    if (retired_[v] != 0) return true;
+    if (in_luby_phase_[v] != 0) return luby_state_[v] != LubyState::kUndecided;
+    // Compete phase: S members must finish; everyone else just relays.
+    return luby_state_[v] != LubyState::kInSet;
+  }
+
+  void on_phase(NodeId v, std::size_t new_phase) override {
+    rounds_in_phase_[v] = 0;
+    in_luby_phase_[v] = (new_phase % 2 == 0) ? 1 : 0;
+    if (retired_[v] != 0) return;
+    if (in_luby_phase_[v] != 0) {
+      luby_state_[v] = LubyState::kUndecided;
+    }
+    rivals_[v].clear();
     // Flood dedup keys are dead across the barrier: the (origin, block)
     // pair of a flood is unique to one compete phase (a node competes in at
     // most one phase — it retires when it wins, and the phase only advances
@@ -86,59 +157,92 @@ class DistMisProgram final : public SyncProgram {
     // flight. Dropping them caps seen_ at its single-phase high-water mark
     // (clear() keeps the table storage), so the monotone key stream cannot
     // force table doublings arbitrarily late into the run.
-    seen_.clear();
+    seen_[v].clear();
   }
 
-  void on_round(SyncContext& ctx, std::span<const Message> inbox) override {
-    round_values_.clear();
-    for (const Message& message : inbox) process(ctx, message);
-    if (!retired_) {
-      if (in_luby_phase_) {
-        luby_step(ctx);
-      } else if (luby_state_ == LubyState::kInSet) {
-        compete_step(ctx);
+  // fdlsp-lint: hot — per-round steady-state path, no allocator traffic
+  void on_round(NodeId v, SyncContext& ctx,
+                std::span<const Message> inbox) override {
+    ShardScratch& scratch = shards_[ctx.shard()];
+    scratch.round_values.clear();
+    for (const Message& message : inbox) process(v, scratch, ctx, message);
+    if (retired_[v] == 0) {
+      if (in_luby_phase_[v] != 0) {
+        luby_step(v, scratch, ctx);
+      } else if (luby_state_[v] == LubyState::kInSet) {
+        compete_step(v, scratch, ctx);
       }
     }
-    ++rounds_in_phase_;
+    ++rounds_in_phase_[v];
   }
 
-  /// Arc colors this node assigned (collected by the driver).
-  const std::vector<std::pair<ArcId, Color>>& assignments() const {
-    return assignments_;
+  /// Shard count prepare_shards() was called with (0 before any run).
+  std::size_t prepared_shards() const noexcept { return prepared_; }
+
+  /// Arc colors assigned by the nodes of shard s (collected by the driver).
+  const std::vector<std::pair<ArcId, Color>>& assignments(
+      std::size_t s) const {
+    return shards_[s].assignments;
   }
+
+  std::size_t num_arcs() const noexcept { return view_.num_arcs(); }
 
  private:
-  void process(SyncContext& ctx, const Message& message) {
+  /// Scratch owned by one shard: exactly one worker executes a shard's
+  /// callbacks, so nothing here needs synchronization, and the serial
+  /// engine reports shard 0 for everyone.
+  struct ShardScratch {
+    // Colors learned from win floods, keyed (node << 32) | arc: the
+    // knowledge is still strictly per node — a node only "knows" colors
+    // from floods that reached *it* — but one flat table per shard replaces
+    // one per node.
+    FlatHashMap<std::uint64_t, Color> known_colors;
+    std::vector<std::pair<ArcId, Color>> assignments;  // by this shard's wins
+    // Same-round scratch (cleared at every on_round entry).
+    std::vector<std::pair<std::int64_t, std::int64_t>> round_values;
+    EpochMarks used_colors;  // scratch of smallest_known_feasible
+    Message relay_scratch;   // recycled flood-relay buffer (see forward)
+    Message win_scratch;     // recycled win-flood buffer (see win)
+  };
+
+  static std::uint64_t color_key(NodeId v, ArcId a) noexcept {
+    return (static_cast<std::uint64_t>(v) << 32) | a;
+  }
+
+  // fdlsp-lint: hot — per-message steady-state path, no allocator traffic
+  void process(NodeId v, ShardScratch& scratch, SyncContext& ctx,
+               const Message& message) {
     switch (message.tag) {
       case kTagMisValue:
-        round_values_.push_back(
+        scratch.round_values.push_back(
             {message.data[0], static_cast<std::int64_t>(message.from)});
         break;
       case kTagMisJoin:
-        if (luby_state_ == LubyState::kUndecided)
-          luby_state_ = LubyState::kDominated;
+        if (luby_state_[v] == LubyState::kUndecided)
+          luby_state_[v] = LubyState::kDominated;
         break;
       case kTagCompValue: {
         const auto origin = static_cast<NodeId>(message.data[0]);
         const auto block = static_cast<std::uint64_t>(message.data[1]);
-        if (!mark_seen(message.tag, origin, block)) break;
-        if (!retired_ && luby_state_ == LubyState::kInSet &&
-            block == own_block_ && origin != self_) {
-          rivals_.push_back(
+        if (!mark_seen(v, message.tag, origin, block)) break;
+        if (retired_[v] == 0 && luby_state_[v] == LubyState::kInSet &&
+            block == own_block_[v] && origin != v) {
+          rivals_[v].push_back(
               {message.data[2], static_cast<std::int64_t>(origin)});
         }
-        forward(ctx, message);
+        forward(scratch, ctx, message);
         break;
       }
       case kTagCompWin: {
         const auto origin = static_cast<NodeId>(message.data[0]);
         const auto block = static_cast<std::uint64_t>(message.data[1]);
-        if (!mark_seen(message.tag, origin, block)) break;
+        if (!mark_seen(v, message.tag, origin, block)) break;
         for (std::size_t i = 3; i + 1 < message.data.size(); i += 2) {
-          known_colors_[static_cast<ArcId>(message.data[i])] =
+          scratch.known_colors[color_key(
+              v, static_cast<ArcId>(message.data[i]))] =
               static_cast<Color>(message.data[i + 1]);
         }
-        forward(ctx, message);
+        forward(scratch, ctx, message);
         break;
       }
       default:
@@ -147,48 +251,50 @@ class DistMisProgram final : public SyncProgram {
   }
 
   /// Relays a flooded message with a decremented TTL. The relay goes
-  /// through a member scratch and the copying broadcast overload, so a
-  /// warmed node relays even spilled win floods with zero allocations.
-  void forward(SyncContext& ctx, const Message& message) {
+  /// through a shard scratch and the copying broadcast overload, so a
+  /// warmed shard relays even spilled win floods with zero allocations.
+  // fdlsp-lint: hot — per-message steady-state path, no allocator traffic
+  void forward(ShardScratch& scratch, SyncContext& ctx,
+               const Message& message) {
     // kCompValue layout: [origin, block, value, ttl];
     // kCompWin layout:   [origin, block, ttl, ...].
     const std::size_t ttl_index = message.tag == kTagCompValue ? 3 : 2;
     if (message.data[ttl_index] <= 1) return;
-    relay_scratch_ = message;  // copy-assign: scratch capacity is reused
-    relay_scratch_.data[ttl_index] = message.data[ttl_index] - 1;
-    ctx.broadcast(relay_scratch_);
+    Message& relay = scratch.relay_scratch;
+    relay = message;  // copy-assign: scratch capacity is reused
+    relay.data[ttl_index] = message.data[ttl_index] - 1;
+    ctx.broadcast(relay);
   }
 
   /// Competition priority: degree-major, random-minor. High-degree nodes
   /// win early and color first — the same heuristic the DFS algorithm's
   /// max-degree token rule uses, and the reason both match the paper's
   /// slot counts (a random priority costs ~10-15% more slots).
-  std::int64_t draw_priority() {
-    const auto degree =
-        static_cast<std::uint64_t>(view_->graph().degree(self_));
-    return static_cast<std::int64_t>((degree << 40) | (rng_() >> 25));
+  std::int64_t draw_priority(NodeId v) {
+    const auto degree = static_cast<std::uint64_t>(view_.graph().degree(v));
+    return static_cast<std::int64_t>((degree << 40) | (rng_[v]() >> 25));
   }
 
   /// One round of Luby's MIS: even offsets broadcast values, odd offsets
   /// decide on local maxima.
-  void luby_step(SyncContext& ctx) {
-    if (luby_state_ != LubyState::kUndecided) return;
-    if (rounds_in_phase_ % 2 == 0) {
-      luby_value_ = draw_priority();
+  void luby_step(NodeId v, ShardScratch& scratch, SyncContext& ctx) {
+    if (luby_state_[v] != LubyState::kUndecided) return;
+    if (rounds_in_phase_[v] % 2 == 0) {
+      luby_value_[v] = draw_priority(v);
       Message message;
       message.tag = kTagMisValue;
-      message.data = {luby_value_};
+      message.data = {luby_value_[v]};
       // Lvalue broadcast = the engine's copying path: payloads land in
       // recycled inbox slots without evicting their spilled capacity.
       ctx.broadcast(message);
     } else {
       const std::pair<std::int64_t, std::int64_t> mine{
-          luby_value_, static_cast<std::int64_t>(self_)};
+          luby_value_[v], static_cast<std::int64_t>(v)};
       const bool is_max = std::all_of(
-          round_values_.begin(), round_values_.end(),
+          scratch.round_values.begin(), scratch.round_values.end(),
           [&](const auto& other) { return mine > other; });
       if (is_max) {
-        luby_state_ = LubyState::kInSet;
+        luby_state_[v] = LubyState::kInSet;
         Message message;
         message.tag = kTagMisJoin;
         ctx.broadcast(message);
@@ -197,137 +303,145 @@ class DistMisProgram final : public SyncProgram {
   }
 
   /// One round of the competition phase (block length 2D+1).
-  void compete_step(SyncContext& ctx) {
+  void compete_step(NodeId v, ShardScratch& scratch, SyncContext& ctx) {
     const std::size_t block_length = 2 * flood_radius_ + 1;
-    const std::size_t offset = rounds_in_phase_ % block_length;
+    const std::size_t offset = rounds_in_phase_[v] % block_length;
     if (offset == 0) {
-      own_block_ = rounds_in_phase_ / block_length;
-      comp_value_ = draw_priority();
-      rivals_.clear();
+      own_block_[v] = rounds_in_phase_[v] / block_length;
+      comp_value_[v] = draw_priority(v);
+      rivals_[v].clear();
       Message message;
       message.tag = kTagCompValue;
-      message.data = {static_cast<std::int64_t>(self_),
-                      static_cast<std::int64_t>(own_block_), comp_value_,
+      message.data = {static_cast<std::int64_t>(v),
+                      static_cast<std::int64_t>(own_block_[v]), comp_value_[v],
                       static_cast<std::int64_t>(flood_radius_)};
-      mark_seen(kTagCompValue, self_, own_block_);
+      mark_seen(v, kTagCompValue, v, own_block_[v]);
       ctx.broadcast(message);
     } else if (offset == flood_radius_) {
       const std::pair<std::int64_t, std::int64_t> mine{
-          comp_value_, static_cast<std::int64_t>(self_)};
+          comp_value_[v], static_cast<std::int64_t>(v)};
       const bool is_max =
-          std::all_of(rivals_.begin(), rivals_.end(),
+          std::all_of(rivals_[v].begin(), rivals_[v].end(),
                       [&](const auto& other) { return mine > other; });
-      if (is_max) win(ctx);
+      if (is_max) win(v, scratch, ctx);
     }
   }
 
   /// Joins S': greedily colors this node's arcs with distance-2 knowledge,
   /// retires, and floods the assignment.
-  void win(SyncContext& ctx) {
-    Message& message = win_scratch_;  // pre-sized at construction
+  void win(NodeId v, ShardScratch& scratch, SyncContext& ctx) {
+    Message& message = scratch.win_scratch;  // pre-sized by prepare_shards
     message.tag = kTagCompWin;
     message.data.clear();
-    message.data.push_back(static_cast<std::int64_t>(self_));
-    message.data.push_back(static_cast<std::int64_t>(own_block_));
+    message.data.push_back(static_cast<std::int64_t>(v));
+    message.data.push_back(static_cast<std::int64_t>(own_block_[v]));
     message.data.push_back(static_cast<std::int64_t>(flood_radius_));
-    for (ArcId a : arcs_to_color_) {
-      if (known_colors_.contains(a)) continue;  // colored by a neighbor
-      const Color c = smallest_known_feasible(a);
-      known_colors_[a] = c;
-      assignments_.emplace_back(a, c);
+    const std::size_t arcs_end = arc_offsets_[v + 1];
+    for (std::size_t i = arc_offsets_[v]; i < arcs_end; ++i) {
+      const ArcId a = arcs_[i];
+      if (scratch.known_colors.contains(color_key(v, a)))
+        continue;  // colored by a neighbor
+      const Color c = smallest_known_feasible(v, scratch, a);
+      scratch.known_colors[color_key(v, a)] = c;
+      scratch.assignments.emplace_back(a, c);
       message.data.push_back(static_cast<std::int64_t>(a));
       message.data.push_back(static_cast<std::int64_t>(c));
     }
-    mark_seen(kTagCompWin, self_, own_block_);
+    mark_seen(v, kTagCompWin, v, own_block_[v]);
     ctx.broadcast(message);
-    retired_ = true;
+    retired_[v] = 1;
   }
 
   /// Smallest color not used by any known-colored conflicting arc. The
   /// conflict enumeration stays on the fly (see coloring/conflict_index.h on
   /// why node programs do not prebuild); the used-set is an epoch-stamped
   /// sweep instead of a per-call vector + sort + unique.
-  Color smallest_known_feasible(ArcId a) {
-    used_colors_.begin();
-    for_each_conflicting_arc(*view_, a, [&](ArcId b) {
-      const Color* color = known_colors_.find(b);
+  Color smallest_known_feasible(NodeId v, ShardScratch& scratch, ArcId a) {
+    scratch.used_colors.begin();
+    for_each_conflicting_arc(view_, a, [&](ArcId b) {
+      const Color* color = scratch.known_colors.find(color_key(v, b));
       if (color != nullptr)
-        used_colors_.mark(static_cast<std::size_t>(*color));
+        scratch.used_colors.mark(static_cast<std::size_t>(*color));
     });
-    return static_cast<Color>(used_colors_.first_unmarked());
+    return static_cast<Color>(scratch.used_colors.first_unmarked());
   }
 
-  /// Returns true the first time a (tag, origin, block) flood is seen.
-  bool mark_seen(std::int32_t tag, NodeId origin, std::uint64_t block) {
+  /// Returns true the first time node v sees a (tag, origin, block) flood.
+  // fdlsp-lint: hot — per-message steady-state path, no allocator traffic
+  bool mark_seen(NodeId v, std::int32_t tag, NodeId origin,
+                 std::uint64_t block) {
     const std::uint64_t key = (static_cast<std::uint64_t>(origin) << 34) |
                               (block << 2) |
                               static_cast<std::uint64_t>(tag & 3);
-    return seen_.insert(key);
+    return seen_[v].insert(key);
   }
 
-  const ArcView* view_;
-  NodeId self_;
+  const ArcView view_;
   DistMisVariant variant_;
   std::size_t flood_radius_;
-  Rng rng_;
+  std::size_t max_degree_;
+  std::size_t prepared_ = 0;  // shard count scratch is sized for
 
-  bool retired_ = false;
-  bool in_luby_phase_ = true;
-  std::size_t rounds_in_phase_ = 0;
+  // --- per-node state, parallel arrays indexed by node id ---
+  std::vector<Rng> rng_;
+  std::vector<char> retired_;
+  std::vector<char> in_luby_phase_;
+  std::vector<std::size_t> rounds_in_phase_;
+  std::vector<LubyState> luby_state_;
+  std::vector<std::int64_t> luby_value_;
+  std::vector<std::uint64_t> own_block_;
+  std::vector<std::int64_t> comp_value_;
+  // Rival lists persist across the rounds of one compete block and dedup
+  // sets across one phase, so both stay per node (cleared, never freed).
+  std::vector<std::vector<std::pair<std::int64_t, std::int64_t>>> rivals_;
+  std::vector<FlatHashSet<std::uint64_t>> seen_;
+  // CSR of the arcs each node colors on a win (fixed at construction).
+  std::vector<std::size_t> arc_offsets_;
+  std::vector<ArcId> arcs_;
 
-  LubyState luby_state_ = LubyState::kUndecided;
-  std::int64_t luby_value_ = 0;
-  std::vector<std::pair<std::int64_t, std::int64_t>> round_values_;
-
-  std::uint64_t own_block_ = 0;
-  std::int64_t comp_value_ = 0;
-  std::vector<std::pair<std::int64_t, std::int64_t>> rivals_;
-
-  // Point-access only (no observed ordering): flat hashes keep the
-  // per-message cost allocation-free — see support/flat_hash.h.
-  FlatHashMap<ArcId, Color> known_colors_;
-  std::vector<std::pair<ArcId, Color>> assignments_;
-  FlatHashSet<std::uint64_t> seen_;
-  EpochMarks used_colors_;  // scratch of smallest_known_feasible
-  std::vector<ArcId> arcs_to_color_;  // fixed at construction
-  Message relay_scratch_;  // recycled flood-relay buffer (see forward)
-  Message win_scratch_;    // recycled win-flood buffer (see win)
+  std::vector<ShardScratch> shards_;  // indexed by ctx.shard()
 };
 
 }  // namespace
 
 ScheduleResult run_dist_mis(const Graph& graph,
                             const DistMisOptions& options) {
-  const ArcView view(graph);
-  std::vector<std::unique_ptr<SyncProgram>> programs;
-  programs.reserve(graph.num_nodes());
-  std::size_t max_degree = 0;
-  for (NodeId v = 0; v < graph.num_nodes(); ++v)
-    max_degree = std::max<std::size_t>(max_degree, graph.degree(v));
-  Rng seeder(options.seed);
-  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
-    programs.push_back(std::make_unique<DistMisProgram>(
-        view, v, options.variant, seeder(), max_degree));
-  }
+  DistMisSet set(graph, options.variant, options.seed);
   const FaultSpec spec = options.faults != nullptr ? *options.faults
                                                   : FaultSpec{};
   std::size_t round_budget = options.max_rounds;
+  std::optional<SyncEngine> engine;
   if (options.reliable) {
-    for (auto& program : programs)
-      program = std::make_unique<ReliableSyncProgram>(std::move(program),
-                                                      spec);
+    // Hardened nodes need the per-node wrapper, so the set rides behind
+    // one SetNodeProgram adapter per node.
+    std::vector<std::unique_ptr<SyncProgram>> programs;
+    programs.reserve(graph.num_nodes());
+    for (NodeId v = 0; v < graph.num_nodes(); ++v)
+      programs.push_back(std::make_unique<ReliableSyncProgram>(
+          std::make_unique<SetNodeProgram>(set, v), spec));
     round_budget *= ReliableSyncProgram::round_dilation(spec);
+    engine.emplace(graph, std::move(programs));
+  } else {
+    engine.emplace(graph, set);
   }
-  SyncEngine engine(graph, std::move(programs));
-  engine.set_trace(options.trace);
-  engine.set_thread_pool(options.pool);
-  engine.set_alloc_audit(options.audit);
+  engine->set_trace(options.trace);
+  engine->set_thread_pool(options.pool);
+  engine->set_alloc_audit(options.audit);
+  engine->set_shards(options.shards);
   std::optional<FaultPlan> plan;
   if (options.faults != nullptr && options.faults->any()) {
     plan.emplace(spec, graph);
-    engine.set_fault_plan(&*plan);
+    engine->set_fault_plan(&*plan);
   }
-  const SyncMetrics metrics = engine.run(round_budget);
+  if (options.reliable) {
+    // On this path the engine prepares the program set it drives — the
+    // vector of reliable wrappers — so the underlying SoA set must be
+    // prepared by hand, with the engine's own shard decision. This has to
+    // happen after every seam is configured: an attached fault plan or
+    // trace forces planned_shards() == 1.
+    set.prepare_shards(engine->planned_shards());
+  }
+  const SyncMetrics metrics = engine->run(round_budget);
   // Crashed nodes cannot color their arcs, and lossy channels without the
   // reliable wrapper void the algorithm's knowledge guarantees — such runs
   // report what happened instead of aborting, and the fault oracles judge
@@ -343,15 +457,9 @@ ScheduleResult run_dist_mis(const Graph& graph,
   ScheduleResult result;
   result.completed = metrics.completed;
   result.faults = metrics.faults;
-  result.coloring = ArcColoring(view.num_arcs());
-  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
-    const SyncProgram& top = engine.program(v);
-    const auto& program =
-        options.reliable
-            ? static_cast<const DistMisProgram&>(
-                  static_cast<const ReliableSyncProgram&>(top).inner())
-            : static_cast<const DistMisProgram&>(top);
-    for (const auto& [arc, color] : program.assignments()) {
+  result.coloring = ArcColoring(set.num_arcs());
+  for (std::size_t s = 0; s < set.prepared_shards(); ++s) {
+    for (const auto& [arc, color] : set.assignments(s)) {
       if (!relaxed)
         FDLSP_REQUIRE(!result.coloring.is_colored(arc),
                       "arc colored by two nodes");

@@ -61,10 +61,14 @@ struct DistMisOptions {
   /// preserves the feasibility guarantee under lossy plans at a round cost
   /// of ReliableSyncProgram::round_dilation(*faults) per algorithm round.
   bool reliable = false;
-  /// Shard engine rounds across this pool (see SyncEngine::set_thread_pool;
-  /// byte-identical to the serial run for any thread count). Not owned, may
-  /// be null. Ignored — serial fallback — when trace/faults are attached.
+  /// Shard engine state and rounds across this pool (see
+  /// SyncEngine::set_thread_pool; byte-identical to the serial run for any
+  /// thread or shard count). Not owned, may be null. Ignored — serial
+  /// fallback — when trace/faults are attached.
   ThreadPool* pool = nullptr;
+  /// Explicit shard count for pooled runs (SyncEngine::set_shards); 0
+  /// derives the count from the pool size. Meaningless without `pool`.
+  std::size_t shards = 0;
   /// Optional per-round allocation auditor (support/alloc_audit.h); not
   /// owned, may be null. Unlike trace/faults it never forces the serial
   /// path — it only samples process-global allocation counters.

@@ -306,7 +306,8 @@ DistRepairResult run_distributed_repair(const Graph& graph,
                                         SimTrace* trace,
                                         const FaultSpec* faults,
                                         bool reliable,
-                                        ThreadPool* pool) {
+                                        ThreadPool* pool,
+                                        std::size_t shards) {
   const ArcView view(graph);
   FDLSP_REQUIRE(stale.num_arcs() == view.num_arcs(),
                 "stale coloring does not match graph");
@@ -327,6 +328,7 @@ DistRepairResult run_distributed_repair(const Graph& graph,
   SyncEngine engine(graph, std::move(programs));
   engine.set_trace(trace);
   engine.set_thread_pool(pool);
+  engine.set_shards(shards);
   std::optional<FaultPlan> plan;
   if (faults != nullptr && faults->any()) {
     plan.emplace(spec, graph);

@@ -54,8 +54,9 @@ struct DistRepairResult {
 /// flood-and-compete structure always terminates, so an unhardened lossy
 /// repair is the canonical *terminating but wrong* fault case the shrinker
 /// exercises.
-/// `pool`, when non-null, shards engine rounds across its workers (see
-/// SyncEngine::set_thread_pool; byte-identical for any thread count).
+/// `pool`, when non-null, shards engine state and rounds across its workers
+/// (see SyncEngine::set_thread_pool; byte-identical for any thread or shard
+/// count); `shards` optionally fixes the shard count (0 = pool-derived).
 DistRepairResult run_distributed_repair(const Graph& graph,
                                         const ArcColoring& stale,
                                         std::uint64_t seed = 1,
@@ -63,6 +64,7 @@ DistRepairResult run_distributed_repair(const Graph& graph,
                                         SimTrace* trace = nullptr,
                                         const FaultSpec* faults = nullptr,
                                         bool reliable = false,
-                                        ThreadPool* pool = nullptr);
+                                        ThreadPool* pool = nullptr,
+                                        std::size_t shards = 0);
 
 }  // namespace fdlsp

@@ -233,6 +233,7 @@ ScheduleResult run_randomized(const Graph& graph,
   SyncEngine engine(graph, std::move(programs));
   engine.set_trace(options.trace);
   engine.set_thread_pool(options.pool);
+  engine.set_shards(options.shards);
   std::optional<FaultPlan> plan;
   if (options.faults != nullptr && options.faults->any()) {
     plan.emplace(spec, graph);

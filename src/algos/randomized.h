@@ -44,10 +44,14 @@ struct RandomizedOptions {
   const FaultSpec* faults = nullptr;
   /// Harden every node with the ack/retransmit wrapper (sim/reliable.h).
   bool reliable = false;
-  /// Shard engine rounds across this pool (see SyncEngine::set_thread_pool;
-  /// byte-identical to the serial run for any thread count). Not owned, may
-  /// be null. Ignored — serial fallback — when trace/faults are attached.
+  /// Shard engine state and rounds across this pool (see
+  /// SyncEngine::set_thread_pool; byte-identical to the serial run for any
+  /// thread or shard count). Not owned, may be null. Ignored — serial
+  /// fallback — when trace/faults are attached.
   ThreadPool* pool = nullptr;
+  /// Explicit shard count for pooled runs (SyncEngine::set_shards); 0
+  /// derives the count from the pool size. Meaningless without `pool`.
+  std::size_t shards = 0;
 };
 
 /// Runs the randomized distance-1 algorithm; returns a complete feasible

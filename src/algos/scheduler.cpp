@@ -34,7 +34,7 @@ namespace {
 ScheduleResult dispatch(SchedulerKind kind, const Graph& graph,
                         std::uint64_t seed, SimTrace* trace,
                         const FaultSpec* faults, bool reliable,
-                        ThreadPool* pool = nullptr) {
+                        ThreadPool* pool = nullptr, std::size_t shards = 0) {
   switch (kind) {
     case SchedulerKind::kDistMisGbg: {
       DistMisOptions options;
@@ -44,6 +44,7 @@ ScheduleResult dispatch(SchedulerKind kind, const Graph& graph,
       options.faults = faults;
       options.reliable = reliable;
       options.pool = pool;
+      options.shards = shards;
       return run_dist_mis(graph, options);
     }
     case SchedulerKind::kDistMisGeneral: {
@@ -54,6 +55,7 @@ ScheduleResult dispatch(SchedulerKind kind, const Graph& graph,
       options.faults = faults;
       options.reliable = reliable;
       options.pool = pool;
+      options.shards = shards;
       return run_dist_mis(graph, options);
     }
     case SchedulerKind::kDfs: {
@@ -80,6 +82,7 @@ ScheduleResult dispatch(SchedulerKind kind, const Graph& graph,
       options.faults = faults;
       options.reliable = reliable;
       options.pool = pool;
+      options.shards = shards;
       return run_randomized(graph, options);
     }
   }
@@ -102,6 +105,12 @@ ScheduleResult run_scheduler_traced(SchedulerKind kind, const Graph& graph,
 ScheduleResult run_scheduler_parallel(SchedulerKind kind, const Graph& graph,
                                       std::uint64_t seed, ThreadPool& pool) {
   return dispatch(kind, graph, seed, nullptr, nullptr, false, &pool);
+}
+
+ScheduleResult run_scheduler_sharded(SchedulerKind kind, const Graph& graph,
+                                     std::uint64_t seed, ThreadPool& pool,
+                                     std::size_t shards) {
+  return dispatch(kind, graph, seed, nullptr, nullptr, false, &pool, shards);
 }
 
 ScheduleResult run_scheduler_faulted(SchedulerKind kind, const Graph& graph,

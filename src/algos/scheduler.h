@@ -58,12 +58,20 @@ ScheduleResult run_scheduler(SchedulerKind kind, const Graph& graph,
 ScheduleResult run_scheduler_traced(SchedulerKind kind, const Graph& graph,
                                     std::uint64_t seed, SimTrace* trace);
 
-/// Same as run_scheduler, with the synchronous engine's rounds sharded
-/// across `pool` (see SyncEngine::set_thread_pool). Byte-identical to
-/// run_scheduler for any thread count; algorithms without a synchronous
+/// Same as run_scheduler, with the synchronous engine's state and rounds
+/// sharded across `pool` (see SyncEngine::set_thread_pool). Byte-identical
+/// to run_scheduler for any thread count; algorithms without a synchronous
 /// engine (DFS, D-MGC, greedy) ignore the pool and run as usual.
 ScheduleResult run_scheduler_parallel(SchedulerKind kind, const Graph& graph,
                                       std::uint64_t seed, ThreadPool& pool);
+
+/// Same as run_scheduler_parallel with an explicit shard count (see
+/// SyncEngine::set_shards; 0 = pool-derived). Byte-identical to
+/// run_scheduler for any shard count — the contract the sharded-state suite
+/// of engine_parallel_test pins across scenario families.
+ScheduleResult run_scheduler_sharded(SchedulerKind kind, const Graph& graph,
+                                     std::uint64_t seed, ThreadPool& pool,
+                                     std::size_t shards);
 
 /// Runs the algorithm under a deterministic fault model (sim/fault.h).
 /// `reliable` additionally hardens every node with the ack/retransmit

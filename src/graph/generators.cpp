@@ -11,8 +11,7 @@ namespace fdlsp {
 Graph udg_from_positions(const std::vector<Point>& positions, double radius) {
   FDLSP_REQUIRE(radius > 0.0, "radius must be positive");
   const std::size_t n = positions.size();
-  GraphBuilder builder(n);
-  if (n == 0) return builder.build();
+  if (n == 0) return GraphBuilder(0).build();
 
   // Bucket points into a grid of cell size = radius; only neighboring cells
   // can contain linked points.
@@ -28,6 +27,7 @@ Graph udg_from_positions(const std::vector<Point>& positions, double radius) {
       static_cast<std::size_t>((max_x - min_x) / radius) + 1;
   const auto cells_y =
       static_cast<std::size_t>((max_y - min_y) / radius) + 1;
+  const std::size_t num_cells = cells_x * cells_y;
   auto cell_of = [&](const Point& p) {
     auto cx = static_cast<std::size_t>((p.x - min_x) / radius);
     auto cy = static_cast<std::size_t>((p.y - min_y) / radius);
@@ -36,17 +36,26 @@ Graph udg_from_positions(const std::vector<Point>& positions, double radius) {
     return cy * cells_x + cx;
   };
 
-  std::vector<std::vector<NodeId>> buckets(cells_x * cells_y);
-  for (NodeId v = 0; v < n; ++v) buckets[cell_of(positions[v])].push_back(v);
+  // Counting-sort the nodes into their cells (flat CSR layout — no
+  // per-cell vectors). Within one cell, nodes stay in ascending id order.
+  std::vector<std::size_t> cell_index(n);
+  std::vector<std::size_t> cell_start(num_cells + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    cell_index[v] = cell_of(positions[v]);
+    ++cell_start[cell_index[v] + 1];
+  }
+  for (std::size_t c = 0; c < num_cells; ++c)
+    cell_start[c + 1] += cell_start[c];
+  std::vector<NodeId> cell_nodes(n);
+  {
+    std::vector<std::size_t> cursor(cell_start.begin(), cell_start.end() - 1);
+    for (NodeId v = 0; v < n; ++v) cell_nodes[cursor[cell_index[v]]++] = v;
+  }
 
   const double radius_sq = radius * radius;
-  for (NodeId v = 0; v < n; ++v) {
-    const auto cx = static_cast<std::ptrdiff_t>(
-        std::min(static_cast<std::size_t>((positions[v].x - min_x) / radius),
-                 cells_x - 1));
-    const auto cy = static_cast<std::ptrdiff_t>(
-        std::min(static_cast<std::size_t>((positions[v].y - min_y) / radius),
-                 cells_y - 1));
+  const auto for_each_near = [&](NodeId v, auto&& fn) {
+    const auto cx = static_cast<std::ptrdiff_t>(cell_index[v] % cells_x);
+    const auto cy = static_cast<std::ptrdiff_t>(cell_index[v] / cells_x);
     for (std::ptrdiff_t dy = -1; dy <= 1; ++dy) {
       for (std::ptrdiff_t dx = -1; dx <= 1; ++dx) {
         const std::ptrdiff_t nx = cx + dx;
@@ -54,16 +63,40 @@ Graph udg_from_positions(const std::vector<Point>& positions, double radius) {
         if (nx < 0 || ny < 0 || nx >= static_cast<std::ptrdiff_t>(cells_x) ||
             ny >= static_cast<std::ptrdiff_t>(cells_y))
           continue;
-        for (NodeId w : buckets[static_cast<std::size_t>(ny) * cells_x +
-                                static_cast<std::size_t>(nx)]) {
-          if (w <= v) continue;  // each unordered pair once
-          if (distance_sq(positions[v], positions[w]) <= radius_sq)
-            builder.add_edge(v, w);
+        const std::size_t c = static_cast<std::size_t>(ny) * cells_x +
+                              static_cast<std::size_t>(nx);
+        for (std::size_t i = cell_start[c]; i < cell_start[c + 1]; ++i) {
+          const NodeId w = cell_nodes[i];
+          if (w == v) continue;
+          if (distance_sq(positions[v], positions[w]) <= radius_sq) fn(w);
         }
       }
     }
+  };
+
+  // Two streaming passes build the symmetric CSR adjacency directly —
+  // degree count, prefix sum, row fill — and hand it to the linear-pass
+  // Graph constructor. Nothing here is quadratic in n, and nothing pays
+  // GraphBuilder::add_edge's per-edge duplicate scan: building the n=10^6
+  // plan is O(n + m) plus the per-row sorts. Rows are emitted sorted, so
+  // edge ids come out in lexicographic (u, v) order — exactly the order a
+  // brute-force all-pairs GraphBuilder loop produces (pinned byte-for-byte
+  // by generators_test).
+  std::vector<std::size_t> offsets(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    std::size_t degree = 0;
+    for_each_near(v, [&](NodeId) { ++degree; });
+    offsets[v + 1] = degree;
   }
-  return builder.build();
+  for (std::size_t v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+  std::vector<NodeId> adjacency(offsets[n]);
+  for (NodeId v = 0; v < n; ++v) {
+    std::size_t pos = offsets[v];
+    for_each_near(v, [&](NodeId w) { adjacency[pos++] = w; });
+    std::sort(adjacency.begin() + static_cast<std::ptrdiff_t>(offsets[v]),
+              adjacency.begin() + static_cast<std::ptrdiff_t>(pos));
+  }
+  return GraphBuilder::build_from_symmetric_csr(n, offsets, adjacency);
 }
 
 GeometricGraph generate_udg(std::size_t n, double side, double radius,

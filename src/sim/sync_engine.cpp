@@ -16,12 +16,14 @@ void SyncContext::send(NodeId to, Message message) {
     (*sink_)(to, std::move(message));
     return;
   }
-  if (out_ != nullptr) {
-    // Parallel round: validate here (read-only graph lookup) and buffer the
-    // send for the post-barrier merge; shared engine state is untouched.
-    FDLSP_REQUIRE(engine_->graph_.has_edge(self_, to),
+  if (lanes_ != nullptr) {
+    // Parallel round: validate against this shard's ChannelTable slice
+    // (shard-local memory, doubles as the neighbor proof) and buffer the
+    // send in the lane of the destination's shard for the post-barrier
+    // merge; shared engine state is untouched.
+    FDLSP_REQUIRE(channels_->channel(engine_->graph_, self_, to) != kNoArc,
                   "nodes may only message direct neighbors");
-    out_->add(to, std::move(message));
+    lanes_[plan_.shard_of(to)].add(to, std::move(message));
     return;
   }
   engine_->deliver(self_, to, std::move(message));
@@ -34,8 +36,8 @@ void SyncContext::send_trusted(NodeId to, Message message) {
     (*sink_)(to, std::move(message));
     return;
   }
-  if (out_ != nullptr) {
-    out_->add(to, std::move(message));
+  if (lanes_ != nullptr) {
+    lanes_[plan_.shard_of(to)].add(to, std::move(message));
     return;
   }
   engine_->deliver_trusted(self_, to, std::move(message));
@@ -51,8 +53,8 @@ void SyncContext::send_trusted_copy(NodeId to, const Message& message) {
     (*sink_)(to, std::move(copy));
     return;
   }
-  if (out_ != nullptr) {
-    out_->add_copy(to, message, self_);
+  if (lanes_ != nullptr) {
+    lanes_[plan_.shard_of(to)].add_copy(to, message, self_);
     return;
   }
   engine_->deliver_trusted_copy(self_, to, message);
@@ -76,13 +78,42 @@ void SyncContext::broadcast(const Message& message) {
 
 SyncEngine::SyncEngine(const Graph& graph,
                        std::vector<std::unique_ptr<SyncProgram>> programs)
-    : graph_(graph), programs_(std::move(programs)) {
-  FDLSP_REQUIRE(programs_.size() == graph_.num_nodes(),
+    : graph_(graph),
+      owned_(std::make_unique<VectorProgramSet>(std::move(programs))),
+      set_(owned_.get()) {
+  FDLSP_REQUIRE(set_->size() == graph_.num_nodes(),
                 "one program per node required");
-  inbox_.resize(programs_.size());
-  next_inbox_.resize(programs_.size());
-  inbox_count_.assign(programs_.size(), 0);
-  next_count_.assign(programs_.size(), 0);
+  const std::size_t n = graph_.num_nodes();
+  inbox_.resize(n);
+  next_inbox_.resize(n);
+  inbox_count_.assign(n, 0);
+  next_count_.assign(n, 0);
+  dirty_inbox_.resize(1);  // serial path uses bucket 0
+  dirty_next_.resize(1);
+}
+
+SyncEngine::SyncEngine(const Graph& graph, SyncProgramSet& set)
+    : graph_(graph), set_(&set) {
+  FDLSP_REQUIRE(set_->size() == graph_.num_nodes(),
+                "one program per node required");
+  const std::size_t n = graph_.num_nodes();
+  inbox_.resize(n);
+  next_inbox_.resize(n);
+  inbox_count_.assign(n, 0);
+  next_count_.assign(n, 0);
+  dirty_inbox_.resize(1);
+  dirty_next_.resize(1);
+}
+
+std::size_t SyncEngine::planned_shards() const noexcept {
+  const std::size_t n = graph_.num_nodes();
+  if (pool_ == nullptr || trace_ != nullptr || faults_ != nullptr || n == 0 ||
+      pool_->on_worker_thread())
+    return 1;
+  const std::size_t requested =
+      shards_config_ != 0 ? shards_config_
+                          : std::max<std::size_t>(pool_->size(), 1) * 4;
+  return std::min(n, std::max<std::size_t>(1, requested));
 }
 
 // fdlsp-lint: hot — per-message steady-state path, no allocator traffic
@@ -139,13 +170,18 @@ void SyncEngine::deliver_trusted_copy(NodeId from, NodeId to,
 /// unordered — only [0, count) is ever observed — so this recycles the
 /// box's total spilled capacity instead of requiring every slot *index* to
 /// independently grow to the largest payload that ever lands there.
+/// `dirty` is the dirty-list bucket recording first-touched boxes: the
+/// serial path passes bucket 0, the parallel lane merge for destination
+/// shard d passes bucket d (so concurrent merges never share a bucket).
 // fdlsp-lint: hot — per-message steady-state path, no allocator traffic
-Message& SyncEngine::next_slot(NodeId to, std::size_t words) {
+Message& SyncEngine::next_slot(NodeId to, std::size_t words,
+                               std::vector<NodeId>& dirty) {
   std::vector<Message>& box = next_inbox_[to];
   std::size_t& count = next_count_[to];
-  // Invariant: a box with live messages is always listed in dirty_next_, so
-  // the round swap rewinds only boxes that actually held messages.
-  if (count == 0) dirty_next_.push_back(to);
+  // Invariant: a box with live messages is always listed in some dirty
+  // bucket, so the round swap rewinds only boxes that actually held
+  // messages.
+  if (count == 0) dirty.push_back(to);
   if (count == box.size()) {
     box.emplace_back();
   } else if (words > box[count].data.capacity()) {
@@ -167,7 +203,7 @@ void SyncEngine::enqueue(NodeId from, NodeId to, Message&& message) {
   if (trace_ != nullptr) trace_->on_send(from, to);
   // Swap-based move-assignment: the slot's previous payload capacity
   // migrates into the (expiring) source instead of being freed here.
-  next_slot(to, 0) = std::move(message);
+  next_slot(to, 0, dirty_next_[0]) = std::move(message);
   ++pending_messages_;
   ++total_messages_;
 }
@@ -177,7 +213,7 @@ void SyncEngine::enqueue_copy(NodeId from, NodeId to, const Message& message) {
   if (trace_ != nullptr) trace_->on_send(from, to);
   // Copy-assignment reuses the recycled slot's payload capacity — the
   // zero-alloc landing pad for broadcast(const Message&).
-  Message& slot = next_slot(to, message.data.size());
+  Message& slot = next_slot(to, message.data.size(), dirty_next_[0]);
   slot = message;
   slot.from = from;
   ++pending_messages_;
@@ -231,16 +267,17 @@ SyncMetrics SyncEngine::run(std::size_t max_rounds) {
   // Parallel rounds need protocol isolation *and* silent seams: a trace
   // observes callback/send order and a fault plan mutates per-message
   // state, so either forces the serial path (they are observation and
-  // adversary channels, not hot paths).
+  // adversary channels, not hot paths). planned_shards() folds the whole
+  // predicate: it returns 1 whenever a seam forces serial.
   // (The on_worker_thread check keeps a pooled engine nested inside a
   // pooled sweep on the same pool from waiting for its own task.)
   const bool parallel =
       pool_ != nullptr && trace_ == nullptr && faults_ == nullptr && n > 0 &&
       !pool_->on_worker_thread();
-  const std::size_t shards =
-      parallel
-          ? std::min(n, std::max<std::size_t>(pool_->size(), 1) * 4)
-          : 0;
+  const std::size_t shards = parallel ? planned_shards() : 1;
+  // Program sets size per-shard scratch here, before any callback runs.
+  // The serial path prepares for exactly one shard (ctx.shard() == 0).
+  set_->prepare_shards(shards);
 
   // A program's finished/ready state only changes inside its own callbacks
   // (cross-node mutation would be a protocol-isolation violation, flagged by
@@ -258,8 +295,8 @@ SyncMetrics SyncEngine::run(std::size_t max_rounds) {
            faults_->node_down(v, static_cast<double>(current_round_));
   };
   const auto refresh = [&](NodeId v) {
-    const bool fin = is_down(v) || programs_[v]->finished();
-    const bool rdy = fin || programs_[v]->ready_for_phase_advance();
+    const bool fin = is_down(v) || set_->finished(v);
+    const bool rdy = fin || set_->ready_for_phase_advance(v);
     if (fin != (finished[v] != 0)) {
       finished[v] = fin ? 1 : 0;
       if (fin) ++finished_count; else --finished_count;
@@ -272,22 +309,42 @@ SyncMetrics SyncEngine::run(std::size_t max_rounds) {
   current_round_ = 0;
   for (NodeId v = 0; v < n; ++v) refresh(v);
 
-  // --- parallel-round machinery (unused on the serial path) ---
-  // Shards are contiguous node ranges; concatenating their buffered sends
-  // in shard order therefore reproduces the serial (sender id, send order)
-  // enqueue order exactly, for any shard count — which is what makes the
-  // parallel engine byte-identical to the serial one.
+  // --- sharded-run machinery (unused on the serial path) ---
+  // Shards are contiguous node ranges. Each shard's callbacks buffer their
+  // sends in a row of S lanes, one per destination shard; after the
+  // barrier, the merge for destination d drains column d in ascending
+  // source-shard order. Contiguity makes that order the serial (sender id,
+  // send order) enqueue order exactly, for any shard count — which is what
+  // makes the sharded engine byte-identical to the serial one.
   std::vector<std::ptrdiff_t> shard_fin(shards, 0);
   std::vector<std::ptrdiff_t> shard_rdy(shards, 0);
-  if (parallel && shard_sends_.size() < shards) shard_sends_.resize(shards);
-  const auto shard_lo = [&](std::size_t s) { return s * n / shards; };
+  if (parallel) {
+    plan_ = ShardPlan{n, shards};
+    // Sized-once, recycled-forever, like the inbox slabs: a later run with
+    // fewer shards leaves the extra lanes and buckets empty (lanes are
+    // always reset after a merge, buckets cleared by the round swap).
+    if (lanes_.size() < shards * shards) lanes_.resize(shards * shards);
+    if (shard_enqueued_.size() < shards) shard_enqueued_.assign(shards, 0);
+    if (dirty_next_.size() < shards) {
+      dirty_next_.resize(shards);
+      dirty_inbox_.resize(shards);
+    }
+    if (sliced_shards_ != shards) {
+      shard_channels_.resize(shards);
+      for (std::size_t s = 0; s < shards; ++s)
+        shard_channels_[s].build_slice(graph_,
+                                       static_cast<NodeId>(plan_.lo(s)),
+                                       static_cast<NodeId>(plan_.hi(s)));
+      sliced_shards_ = shards;
+    }
+  }
   // Refresh of one node from a worker: per-node flags are distinct memory
   // locations, counters are accumulated per shard and merged after the
   // barrier. No faults on this path, so is_down never applies.
   const auto refresh_local = [&](NodeId v, std::ptrdiff_t& dfin,
                                  std::ptrdiff_t& drdy) {
-    const bool fin = programs_[v]->finished();
-    const bool rdy = fin || programs_[v]->ready_for_phase_advance();
+    const bool fin = set_->finished(v);
+    const bool rdy = fin || set_->ready_for_phase_advance(v);
     if (fin != (finished[v] != 0)) {
       finished[v] = fin ? 1 : 0;
       dfin += fin ? 1 : -1;
@@ -299,17 +356,20 @@ SyncMetrics SyncEngine::run(std::size_t max_rounds) {
   };
   const auto round_shard = [&](std::size_t s, std::size_t round_no,
                                std::size_t phase_no) {
-    SyncSendSlab& out = shard_sends_[s];
+    SyncSendSlab* lanes = lanes_.data() + s * shards;
     std::ptrdiff_t dfin = 0;
     std::ptrdiff_t drdy = 0;
-    const std::size_t hi = shard_lo(s + 1);
-    for (std::size_t i = shard_lo(s); i < hi; ++i) {
+    const std::size_t hi = plan_.hi(s);
+    for (std::size_t i = plan_.lo(s); i < hi; ++i) {
       const NodeId v = static_cast<NodeId>(i);
       if (finished[v] != 0 && inbox_count_[v] == 0) continue;
       SyncContext ctx(*this, v, graph_.neighbors(v), round_no, phase_no);
-      ctx.out_ = &out;
-      programs_[v]->on_round(
-          ctx, std::span<const Message>(inbox_[v].data(), inbox_count_[v]));
+      ctx.lanes_ = lanes;
+      ctx.plan_ = plan_;
+      ctx.shard_ = s;
+      ctx.channels_ = &shard_channels_[s];
+      set_->on_round(
+          v, ctx, std::span<const Message>(inbox_[v].data(), inbox_count_[v]));
       refresh_local(v, dfin, drdy);
     }
     shard_fin[s] = dfin;
@@ -318,10 +378,10 @@ SyncMetrics SyncEngine::run(std::size_t max_rounds) {
   const auto phase_shard = [&](std::size_t s, std::size_t new_phase) {
     std::ptrdiff_t dfin = 0;
     std::ptrdiff_t drdy = 0;
-    const std::size_t hi = shard_lo(s + 1);
-    for (std::size_t i = shard_lo(s); i < hi; ++i) {
+    const std::size_t hi = plan_.hi(s);
+    for (std::size_t i = plan_.lo(s); i < hi; ++i) {
       const NodeId v = static_cast<NodeId>(i);
-      programs_[v]->on_phase(new_phase);
+      set_->on_phase(v, new_phase);
       refresh_local(v, dfin, drdy);
     }
     shard_fin[s] = dfin;
@@ -332,9 +392,29 @@ SyncMetrics SyncEngine::run(std::size_t max_rounds) {
       pool_->submit([&body, s] { body(s); });
     pool_->wait_idle();
   };
-  // Applies the shard count deltas and enqueues the buffered sends in shard
-  // (= canonical) order. Runs on the driving thread, after the barrier.
-  const auto merge_shards = [&] {
+  // Merge for destination shard d: drain column d of the lane matrix in
+  // ascending source-shard order into the recycled next-round inboxes.
+  // Runs one worker per destination shard — worker d only touches shard
+  // d's boxes/counts, its own dirty bucket, and its own enqueued counter,
+  // so the merges are disjoint by construction. Swap-moving out of a lane
+  // slot circulates payload capacities between the lane and the inbox
+  // slab — nothing is freed, the steady state stays allocation-free.
+  const auto merge_column = [&](std::size_t d) {
+    std::vector<NodeId>& dirty = dirty_next_[d];
+    std::size_t count = 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+      SyncSendSlab& lane = lanes_[s * shards + d];
+      for (SyncBufferedSend& send : lane.entries()) {
+        next_slot(send.to, 0, dirty) = std::move(send.message);
+        ++count;
+      }
+      lane.reset();  // rewind, not freed: capacity is reused
+    }
+    shard_enqueued_[d] = count;
+  };
+  // Applies the buffered finished/ready deltas and message counts on the
+  // driving thread, after a barrier.
+  const auto apply_shard_deltas = [&] {
     for (std::size_t s = 0; s < shards; ++s) {
       finished_count = static_cast<std::size_t>(
           static_cast<std::ptrdiff_t>(finished_count) + shard_fin[s]);
@@ -342,11 +422,6 @@ SyncMetrics SyncEngine::run(std::size_t max_rounds) {
           static_cast<std::ptrdiff_t>(ready_count) + shard_rdy[s]);
       shard_fin[s] = 0;
       shard_rdy[s] = 0;
-      // Swap-moving out of the slab slot circulates payload capacities
-      // between the shard slab and the inbox slab — nothing is freed.
-      for (SyncBufferedSend& send : shard_sends_[s].entries())
-        enqueue(send.message.from, send.to, std::move(send.message));
-      shard_sends_[s].reset();  // rewind, not freed: capacity is reused
     }
   };
 
@@ -377,13 +452,13 @@ SyncMetrics SyncEngine::run(std::size_t max_rounds) {
       ++metrics.phases;
       if (parallel) {
         run_sharded([&](std::size_t s) { phase_shard(s, phase); });
-        merge_shards();  // on_phase cannot send; this applies the deltas
+        apply_shard_deltas();  // on_phase cannot send; no lanes to merge
       } else {
         for (NodeId v = 0; v < n; ++v) {
           if (is_down(v)) continue;
           if (trace_ != nullptr) trace_->on_local_step(v);
           current_node_ = v;
-          programs_[v]->on_phase(phase);
+          set_->on_phase(v, phase);
           current_node_ = kNoNode;
           refresh(v);
         }
@@ -396,20 +471,28 @@ SyncMetrics SyncEngine::run(std::size_t max_rounds) {
 
     // Swap slabs: messages sent last round become this round's inboxes.
     // Only the counts of boxes that actually held messages are rewound
-    // (dirty lists); the consumed Message elements stay alive in the slab,
-    // so vector and payload capacity survive — steady-state rounds perform
-    // no allocator traffic.
+    // (dirty buckets); the consumed Message elements stay alive in the
+    // slab, so vector and payload capacity survive — steady-state rounds
+    // perform no allocator traffic.
     inbox_.swap(next_inbox_);
     inbox_count_.swap(next_count_);
     dirty_inbox_.swap(dirty_next_);
-    for (NodeId v : dirty_next_) next_count_[v] = 0;
-    dirty_next_.clear();
+    for (std::vector<NodeId>& bucket : dirty_next_) {
+      for (NodeId v : bucket) next_count_[v] = 0;
+      bucket.clear();
+    }
     pending_messages_ = 0;
 
     if (parallel) {
       run_sharded(
           [&](std::size_t s) { round_shard(s, metrics.rounds, phase); });
-      merge_shards();
+      run_sharded(merge_column);
+      apply_shard_deltas();
+      for (std::size_t d = 0; d < shards; ++d) {
+        pending_messages_ += shard_enqueued_[d];
+        total_messages_ += shard_enqueued_[d];
+        shard_enqueued_[d] = 0;
+      }
     } else {
       for (NodeId v = 0; v < n; ++v) {
         const std::span<const Message> inbox(inbox_[v].data(),
@@ -429,7 +512,7 @@ SyncMetrics SyncEngine::run(std::size_t max_rounds) {
         }
         SyncContext ctx(*this, v, graph_.neighbors(v), metrics.rounds, phase);
         current_node_ = v;
-        programs_[v]->on_round(ctx, inbox);
+        set_->on_round(v, ctx, inbox);
         current_node_ = kNoNode;
         refresh(v);
       }

@@ -14,17 +14,23 @@
 // substitution; round counts reported by the engine are the communication
 // rounds actually consumed.
 //
-// Parallel rounds (DESIGN.md §11): node callbacks are protocol-isolated —
-// a program only touches its own state and the read-only graph (enforced by
-// fdlsp-lint and the happens-before checker) — so with a ThreadPool
-// attached the engine shards the on_round/on_phase loops across workers.
-// Sends are buffered per shard and merged into the next-round inboxes in
-// canonical (sender id, send order) order, so the run is byte-identical to
-// the serial engine for any thread count. Trace and fault seams force the
+// Sharded parallel rounds (DESIGN.md §11, §14): node callbacks are
+// protocol-isolated — a program only touches its own state and the
+// read-only graph (enforced by fdlsp-lint and the happens-before checker) —
+// so with a ThreadPool attached the engine partitions the node id space
+// into contiguous shards and runs each shard's callbacks on a worker. Each
+// shard owns its slice of state: its nodes' inbox slabs, a ChannelTable
+// slice for send-side validation, and an S-lane row of send slabs, one
+// lane per destination shard. After the round barrier a second parallel
+// dispatch merges, per destination shard, the lanes addressed to it in
+// ascending source-shard order — which reproduces the serial (sender id,
+// send order) enqueue order exactly, so the run is byte-identical to the
+// serial engine for any shard count. Trace and fault seams force the
 // serial path: they are observation/adversary channels, not hot paths, and
 // their event ordering contracts stay exactly as documented.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <span>
@@ -34,6 +40,7 @@
 #include "sim/channel_table.h"
 #include "sim/fault.h"
 #include "sim/message.h"
+#include "sim/shard.h"
 #include "sim/trace.h"
 
 namespace fdlsp {
@@ -52,7 +59,7 @@ struct SyncBufferedSend {
   Message message;
 };
 
-/// Per-shard slab of buffered sends (engine internal). Slots are recycled —
+/// Per-lane slab of buffered sends (engine internal). Slots are recycled —
 /// reset() rewinds the live count without destroying elements — so message
 /// payload capacities survive across rounds and the steady state buffers
 /// without allocating, mirroring the engine's inbox slabs.
@@ -81,9 +88,18 @@ class SyncSendSlab {
       // Dead slots past the live count are unordered; when this slot's
       // payload capacity is too small, borrow a big-enough one from the
       // dead region so the slab's total spilled capacity is recycled
-      // instead of every slot index growing independently.
+      // instead of every slot index growing independently. The scan is
+      // windowed: per-node inbox rows are degree-sized so a window covers
+      // them entirely, but a shard lane holds a whole shard's sends for
+      // the round, and an unbounded scan that mostly finds nothing (cold
+      // slots hold no spilled capacity yet) turns the warm-up quadratic
+      // in the lane size. Beyond the window the slot grows its own
+      // capacity — a bounded number of times, so the allocation-free
+      // steady state is unchanged.
       if (message.data.size() > slot.message.data.capacity()) {
-        for (std::size_t j = count_ + 1; j < sends_.size(); ++j) {
+        const std::size_t window =
+            std::min(sends_.size(), count_ + 1 + kBorrowWindow);
+        for (std::size_t j = count_ + 1; j < window; ++j) {
           if (sends_[j].message.data.capacity() >= message.data.size()) {
             slot.message.data.swap(sends_[j].message.data);
             break;
@@ -108,6 +124,9 @@ class SyncSendSlab {
   void reset() noexcept { count_ = 0; }
 
  private:
+  /// Dead-region capacity-borrow scan bound (see add_copy).
+  static constexpr std::size_t kBorrowWindow = 32;
+
   std::vector<SyncBufferedSend> sends_;
   std::size_t count_ = 0;
 };
@@ -123,6 +142,12 @@ class SyncContext {
 
   /// Current phase counter (incremented by barriers).
   std::size_t phase() const noexcept { return phase_; }
+
+  /// Index of the engine shard executing this callback; 0 on the serial
+  /// path. Program sets (SyncProgramSet) may index per-shard scratch by
+  /// this value race-free: exactly one worker drives a shard's callbacks,
+  /// and the serial engine always reports shard 0.
+  std::size_t shard() const noexcept { return shard_; }
 
   /// Direct neighbors of this node (local topology knowledge).
   std::span<const NeighborEntry> neighbors() const noexcept {
@@ -184,9 +209,14 @@ class SyncContext {
   std::size_t round_;
   std::size_t phase_;
   const SyncSendSink* sink_ = nullptr;  // non-null: capture instead of send
-  // Non-null on parallel rounds: buffer sends for the post-barrier merge
-  // instead of touching shared engine state from a worker thread.
-  SyncSendSlab* out_ = nullptr;
+  // Non-null on parallel rounds: the executing shard's row of per-
+  // destination-shard send lanes. Sends are buffered in
+  // lanes_[plan_.shard_of(to)] for the post-barrier merge instead of
+  // touching shared engine state from a worker thread.
+  SyncSendSlab* lanes_ = nullptr;
+  ShardPlan plan_{};                        // parallel rounds only
+  std::size_t shard_ = 0;                   // executing shard (0 = serial)
+  const ChannelTable* channels_ = nullptr;  // shard-local send validation
 };
 
 /// A node program for the synchronous engine.
@@ -211,6 +241,91 @@ class SyncProgram {
   virtual bool finished() const = 0;
 };
 
+/// A whole population of node programs behind one object — the
+/// structure-of-arrays seam (DESIGN.md §14). Where the per-node SyncProgram
+/// interface forces one heap object per node, a set keeps hot per-node
+/// state in parallel arrays indexed by node id and per-shard scratch
+/// indexed by ctx.shard(), so a shard's round touches dense shard-local
+/// memory. The engine calls exactly the same callbacks, just with the node
+/// id made explicit.
+class SyncProgramSet {
+ public:
+  virtual ~SyncProgramSet() = default;
+
+  /// Number of nodes (must equal the graph's).
+  virtual std::size_t size() const = 0;
+
+  /// Called once at the start of every run() with the shard count the run
+  /// will execute with (1 on the serial path), before any other callback.
+  /// Sets that keep per-shard scratch size it here. A set prepared for one
+  /// shard count must not silently be run at another — per-shard state
+  /// (e.g. learned colors) would be invisible to the new partition — so
+  /// implementations are expected to treat a changed count as a contract
+  /// error once real state exists.
+  virtual void prepare_shards(std::size_t shards) { (void)shards; }
+
+  /// Per-node callbacks; semantics exactly as in SyncProgram.
+  virtual void on_round(NodeId v, SyncContext& ctx,
+                        std::span<const Message> inbox) = 0;
+  virtual bool ready_for_phase_advance(NodeId v) const = 0;
+  virtual void on_phase(NodeId v, std::size_t new_phase) = 0;
+  virtual bool finished(NodeId v) const = 0;
+};
+
+/// Adapter: the classic one-heap-object-per-node program vector behind the
+/// SyncProgramSet interface. The engine's per-node-program constructor
+/// wraps its vector in one of these, so every existing protocol runs on
+/// the sharded engine unchanged.
+class VectorProgramSet final : public SyncProgramSet {
+ public:
+  explicit VectorProgramSet(std::vector<std::unique_ptr<SyncProgram>> programs)
+      : programs_(std::move(programs)) {}
+
+  std::size_t size() const override { return programs_.size(); }
+  void on_round(NodeId v, SyncContext& ctx,
+                std::span<const Message> inbox) override {
+    programs_[v]->on_round(ctx, inbox);
+  }
+  bool ready_for_phase_advance(NodeId v) const override {
+    return programs_[v]->ready_for_phase_advance();
+  }
+  void on_phase(NodeId v, std::size_t new_phase) override {
+    programs_[v]->on_phase(new_phase);
+  }
+  bool finished(NodeId v) const override { return programs_[v]->finished(); }
+
+  SyncProgram& program(NodeId v) { return *programs_[v]; }
+  const SyncProgram& program(NodeId v) const { return *programs_[v]; }
+
+ private:
+  std::vector<std::unique_ptr<SyncProgram>> programs_;
+};
+
+/// Adapter in the other direction: one node's view of a SyncProgramSet as
+/// a standalone SyncProgram. This is how a set-backed protocol composes
+/// with per-node wrappers (sim/reliable.h hardens each node separately);
+/// the set must outlive the adapter.
+class SetNodeProgram final : public SyncProgram {
+ public:
+  SetNodeProgram(SyncProgramSet& set, NodeId self)
+      : set_(&set), self_(self) {}
+
+  void on_round(SyncContext& ctx, std::span<const Message> inbox) override {
+    set_->on_round(self_, ctx, inbox);
+  }
+  bool ready_for_phase_advance() const override {
+    return set_->ready_for_phase_advance(self_);
+  }
+  void on_phase(std::size_t new_phase) override {
+    set_->on_phase(self_, new_phase);
+  }
+  bool finished() const override { return set_->finished(self_); }
+
+ private:
+  SyncProgramSet* set_;
+  NodeId self_;
+};
+
 /// Metrics of a synchronous run.
 struct SyncMetrics {
   std::size_t rounds = 0;    ///< communication rounds consumed
@@ -226,6 +341,11 @@ class SyncEngine {
   /// The graph must outlive the engine. One program per node, same order.
   SyncEngine(const Graph& graph,
              std::vector<std::unique_ptr<SyncProgram>> programs);
+
+  /// Structure-of-arrays form: the set is not owned and must outlive the
+  /// engine. program() is unavailable on this path — extract results from
+  /// the set itself.
+  SyncEngine(const Graph& graph, SyncProgramSet& set);
 
   /// Runs until every program reports finished() or the round cap is hit.
   SyncMetrics run(std::size_t max_rounds = 1'000'000);
@@ -243,32 +363,51 @@ class SyncEngine {
   /// outlive the run.
   void set_fault_plan(FaultPlan* plan) noexcept { faults_ = plan; }
 
-  /// Shards on_round/on_phase across `pool` (nullptr detaches → serial).
-  /// The result is byte-identical to the serial engine for any thread
-  /// count: sends are buffered per contiguous node shard and merged in
-  /// (sender id, send order) — exactly the serial enqueue order. An
-  /// attached trace or fault plan forces serial execution so their event
-  /// ordering contracts are untouched. Not owned; must outlive the run.
+  /// Shards state and rounds across `pool` (nullptr detaches → serial).
+  /// The result is byte-identical to the serial engine for any shard or
+  /// thread count: each contiguous node shard buffers its sends per
+  /// destination shard, and the post-barrier merge drains each
+  /// destination's lanes in ascending source-shard order — exactly the
+  /// serial enqueue order. An attached trace or fault plan forces serial
+  /// execution so their event ordering contracts are untouched. Not owned;
+  /// must outlive the run.
   void set_thread_pool(ThreadPool* pool) noexcept { pool_ = pool; }
+
+  /// Explicit shard count for pooled runs; 0 (the default) derives the
+  /// count from the pool size. Capped at the node count. Ignored — like
+  /// the pool itself — whenever a seam forces the serial path.
+  void set_shards(std::size_t shards) noexcept { shards_config_ = shards; }
+
+  /// Number of state shards the next run() will execute with: 1 whenever a
+  /// seam forces the serial path (no pool, trace or faults attached, empty
+  /// graph, nested on a pool worker), otherwise the set_shards() override
+  /// or the automatic pool-derived count, capped at the node count.
+  std::size_t planned_shards() const noexcept;
 
   /// Attaches an allocation auditor (nullptr detaches): each communication
   /// round is bracketed with begin_round/end_round so per-round allocator
   /// traffic lands in the auditor's profile (support/alloc_audit.h). Unlike
   /// trace/fault seams the auditor only samples process-global counters, so
-  /// it does NOT force the serial path — pooled rounds are audited too.
+  /// it does NOT force the serial path — sharded rounds are audited too.
   /// Not owned; must outlive the run.
   void set_alloc_audit(AllocAudit* audit) noexcept { alloc_audit_ = audit; }
 
-  /// Program of node v (for extracting results after the run). Calling this
-  /// from inside a program callback for a node other than the one executing
-  /// is a cross-node state read and is reported to the attached trace.
+  /// Program of node v (for extracting results after the run). Only valid
+  /// with the per-node-program constructor; a set-backed engine has no
+  /// per-node program objects. Calling this from inside a program callback
+  /// for a node other than the one executing is a cross-node state read and
+  /// is reported to the attached trace.
   SyncProgram& program(NodeId v) {
+    FDLSP_REQUIRE(owned_ != nullptr,
+                  "program() requires the per-node-program constructor");
     note_program_access(v);
-    return *programs_[v];
+    return owned_->program(v);
   }
   const SyncProgram& program(NodeId v) const {
+    FDLSP_REQUIRE(owned_ != nullptr,
+                  "program() requires the per-node-program constructor");
     note_program_access(v);
-    return *programs_[v];
+    return owned_->program(v);
   }
 
  private:
@@ -279,7 +418,7 @@ class SyncEngine {
   void deliver_faulted(ArcId channel, NodeId from, NodeId to, Message message);
   void enqueue(NodeId from, NodeId to, Message&& message);
   void enqueue_copy(NodeId from, NodeId to, const Message& message);
-  Message& next_slot(NodeId to, std::size_t words);
+  Message& next_slot(NodeId to, std::size_t words, std::vector<NodeId>& dirty);
 
   void note_program_access(NodeId v) const {
     if (trace_ != nullptr && current_node_ != kNoNode && current_node_ != v)
@@ -287,7 +426,8 @@ class SyncEngine {
   }
 
   const Graph& graph_;
-  std::vector<std::unique_ptr<SyncProgram>> programs_;
+  std::unique_ptr<VectorProgramSet> owned_;  // per-node-program ctor only
+  SyncProgramSet* set_;                      // the programs driving the run
   // Inbox slabs: per-node message vectors with a separately tracked live
   // count. Between rounds only the counts of the boxes named in the dirty
   // lists are rewound — the Message elements beyond the count stay alive,
@@ -299,15 +439,25 @@ class SyncEngine {
   std::vector<std::vector<Message>> next_inbox_;  // sent this round
   std::vector<std::size_t> inbox_count_;  // live messages per inbox_ slab
   std::vector<std::size_t> next_count_;   // live messages per next_ slab
-  std::vector<NodeId> dirty_inbox_;  // boxes of inbox_ holding messages
-  std::vector<NodeId> dirty_next_;   // boxes of next_inbox_ holding messages
+  // Dirty lists are bucketed per destination shard so the parallel lane
+  // merge appends without sharing: serial rounds use bucket 0, merge
+  // worker d uses bucket d. The round swap rewinds every bucket, so which
+  // bucket recorded a box never matters for correctness.
+  std::vector<std::vector<NodeId>> dirty_inbox_;  // inbox_ boxes w/ messages
+  std::vector<std::vector<NodeId>> dirty_next_;   // next_inbox_ boxes
   std::size_t pending_messages_ = 0;
   std::size_t total_messages_ = 0;
   SimTrace* trace_ = nullptr;
   FaultPlan* faults_ = nullptr;
-  ThreadPool* pool_ = nullptr;  // non-null: shard rounds across workers
+  ThreadPool* pool_ = nullptr;  // non-null: shard state across workers
   AllocAudit* alloc_audit_ = nullptr;  // non-null: bracket rounds
-  std::vector<SyncSendSlab> shard_sends_;  // per shard
+  std::size_t shards_config_ = 0;      // set_shards(); 0 = automatic
+  // --- sharded-run state (sized on the first parallel run) ---
+  ShardPlan plan_{};                       // partition of the current run
+  std::vector<SyncSendSlab> lanes_;        // S*S lanes, index src*S + dst
+  std::vector<std::size_t> shard_enqueued_;   // per-dst-shard merge counts
+  std::vector<ChannelTable> shard_channels_;  // per-shard send slices
+  std::size_t sliced_shards_ = 0;  // shard count the slices were built for
   ChannelTable channels_;                     // fault path only
   std::vector<std::uint64_t> channel_posts_;  // fault path only
   std::size_t current_round_ = 0;             // fault path only

@@ -115,4 +115,28 @@ ScenarioSweep run_scenarios(std::span<const Scenario> scenarios,
   return sweep;
 }
 
+ScenarioOutcome check_shard_determinism(
+    SchedulerKind kind, const Scenario& scenario,
+    std::span<const std::size_t> shard_counts, ThreadPool& pool) {
+  ScenarioOutcome outcome;
+  const Graph graph = materialize(scenario);
+  const ScheduleResult serial = run_scheduler(kind, graph, scenario.seed);
+  for (const std::size_t shards : shard_counts) {
+    ++outcome.checks;
+    const ScheduleResult sharded =
+        run_scheduler_sharded(kind, graph, scenario.seed, pool, shards);
+    const bool identical = serial.coloring.raw() == sharded.coloring.raw() &&
+                           serial.num_slots == sharded.num_slots &&
+                           serial.rounds == sharded.rounds &&
+                           serial.messages == sharded.messages &&
+                           serial.completed == sharded.completed;
+    if (!identical) {
+      outcome.failures.push_back(
+          "sharded run diverged from serial at shards=" +
+          std::to_string(shards) + ": " + repro_command(scenario, kind));
+    }
+  }
+  return outcome;
+}
+
 }  // namespace fdlsp

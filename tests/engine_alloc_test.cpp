@@ -41,8 +41,10 @@ Graph paper_udg(std::size_t n) {
 }
 
 /// Runs DistMIS-GBG with the auditor attached and asserts the steady-state
-/// allocation profile. `pool` may be null (serial engine).
-void assert_steady_state_profile(const Graph& graph, ThreadPool* pool) {
+/// allocation profile. `pool` may be null (serial engine); `shards` is the
+/// explicit engine shard count (0 = pool-derived).
+void assert_steady_state_profile(const Graph& graph, ThreadPool* pool,
+                                 std::size_t shards = 0) {
   AllocAudit audit;
   std::vector<std::uint64_t> history;
   history.reserve(2048);
@@ -52,6 +54,7 @@ void assert_steady_state_profile(const Graph& graph, ThreadPool* pool) {
   options.variant = DistMisVariant::kGbg;
   options.seed = 42;
   options.pool = pool;
+  options.shards = shards;
   options.audit = &audit;
   const ScheduleResult result = run_dist_mis(graph, options);
 
@@ -102,6 +105,20 @@ TEST(EngineAllocProfile, PooledDistMisReachesZeroAllocSteadyState) {
     GTEST_SKIP() << "allocation hooks compiled out (sanitizer build)";
   ThreadPool pool(2);
   assert_steady_state_profile(paper_udg(1000), &pool);
+}
+
+TEST(EngineAllocProfile, ShardedDistMisKeepsZeroAllocTailPerShardCount) {
+  // Sharded *state* must preserve the allocation-free tail: per-shard send
+  // lanes recycle slot capacity exactly like the inbox slabs, the lane
+  // merge swap-moves payloads (never frees), and the SoA per-shard scratch
+  // is pre-sized by prepare_shards. The audit does not force the serial
+  // path, so these runs really exercise the lanes.
+  if (!alloc_audit_enabled())
+    GTEST_SKIP() << "allocation hooks compiled out (sanitizer build)";
+  const Graph graph = paper_udg(1000);
+  ThreadPool pool(2);
+  for (const std::size_t shards : {2u, 8u})
+    assert_steady_state_profile(graph, &pool, shards);
 }
 
 TEST(EngineAllocProfile, SerialAndPooledAgreeOnTheResult) {

@@ -13,10 +13,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "algos/dist_mis.h"
 #include "algos/dist_repair.h"
 #include "algos/scheduler.h"
 #include "coloring/coloring.h"
@@ -24,6 +26,8 @@
 #include "exp/workloads.h"
 #include "graph/arcs.h"
 #include "graph/generators.h"
+#include "sim/shard.h"
+#include "sim/sync_engine.h"
 #include "support/rng.h"
 #include "support/small_payload.h"
 #include "support/thread_pool.h"
@@ -213,6 +217,129 @@ TEST(ParallelEngine, PoolReusableAcrossRuns) {
   EXPECT_EQ(first.coloring.raw(), second.coloring.raw());
   EXPECT_EQ(first.rounds, second.rounds);
   EXPECT_EQ(first.messages, second.messages);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded state: byte-identical to serial for any shard count
+// ---------------------------------------------------------------------------
+
+TEST(ShardedEngine, ShardPlanPartitionsContiguouslyAndInvertsExactly) {
+  for (const std::size_t n : {1u, 2u, 7u, 24u, 1000u}) {
+    for (const std::size_t count : {1u, 2u, 4u, 8u}) {
+      if (count > n) continue;
+      const ShardPlan plan{n, count};
+      std::size_t covered = 0;
+      for (std::size_t s = 0; s < count; ++s) {
+        ASSERT_EQ(plan.lo(s), covered) << "gap at shard " << s;
+        ASSERT_LE(plan.lo(s), plan.hi(s));
+        for (std::size_t v = plan.lo(s); v < plan.hi(s); ++v)
+          ASSERT_EQ(plan.shard_of(static_cast<NodeId>(v)), s)
+              << "n=" << n << " count=" << count << " v=" << v;
+        covered = plan.hi(s);
+      }
+      EXPECT_EQ(covered, n);  // shards cover [0, n) exactly
+    }
+  }
+}
+
+// The tentpole contract: with engine *state* partitioned into 1/2/4/8
+// contiguous shards — per-shard send lanes, ChannelTable slices, SoA
+// protocol scratch — every engine-backed scheduler must stay byte-identical
+// to the serial run across all six scenario families. The probe lives in
+// src/verify so other batteries can sweep it too.
+TEST(ShardedEngine, ByteIdenticalToSerialForAnyShardCount) {
+  const std::vector<Scenario> scenarios = sample_scenarios(18, 0x9a11e1, 24);
+  constexpr std::size_t kShardCounts[] = {1, 2, 4, 8};
+  ThreadPool pool(4);
+  for (const SchedulerKind kind : kEngineKinds) {
+    const ScenarioCheckFn check = [&](const Scenario& scenario, std::size_t) {
+      return check_shard_determinism(kind, scenario, kShardCounts, pool);
+    };
+    const ScenarioSweep sweep = run_scenarios(scenarios, check, nullptr);
+    EXPECT_EQ(sweep.checks, scenarios.size() * std::size(kShardCounts));
+    EXPECT_TRUE(sweep.ok()) << sweep.failure_digest();
+  }
+}
+
+// A crash-fault plan is an adversary channel: it must force the serial path
+// even when a pool and an explicit shard count are configured (mirrors the
+// trace-seam check), and the faulted result must be byte-identical to the
+// serial faulted run — crash drops included.
+TEST(ShardedEngine, FaultPlanForcesSerialPathWithShardingConfigured) {
+  const std::vector<Scenario> scenarios = sample_scenarios(6, 0xc7a54, 20);
+  FaultSpec spec;
+  spec.crash_fraction = 0.2;
+  ThreadPool pool(4);
+  for (const Scenario& scenario : scenarios) {
+    const Graph graph = materialize(scenario);
+    DistMisOptions serial_options;
+    serial_options.seed = scenario.seed;
+    serial_options.faults = &spec;
+    const ScheduleResult serial = run_dist_mis(graph, serial_options);
+    DistMisOptions sharded_options = serial_options;
+    sharded_options.pool = &pool;
+    sharded_options.shards = 4;
+    const ScheduleResult sharded = run_dist_mis(graph, sharded_options);
+    ASSERT_EQ(serial.coloring.raw(), sharded.coloring.raw())
+        << repro_command(scenario, SchedulerKind::kDistMisGbg);
+    EXPECT_EQ(serial.rounds, sharded.rounds);
+    EXPECT_EQ(serial.messages, sharded.messages);
+    EXPECT_EQ(serial.completed, sharded.completed);
+    EXPECT_EQ(serial.faults.crash_drops, sharded.faults.crash_drops);
+  }
+  // The seam decision itself, stated directly on the engine: pool + shards
+  // configured, but an installed fault plan pins the plan to one shard.
+  const Graph graph = materialize(scenarios.front());
+  std::vector<std::unique_ptr<SyncProgram>> none;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) none.push_back(nullptr);
+  SyncEngine engine(graph, std::move(none));
+  engine.set_thread_pool(&pool);
+  engine.set_shards(4);
+  EXPECT_EQ(engine.planned_shards(), 4u);
+  FaultPlan plan(spec, graph);
+  engine.set_fault_plan(&plan);
+  EXPECT_EQ(engine.planned_shards(), 1u);
+}
+
+TEST(ShardedEngine, ReliableWrapperRunsShardedAndMatchesSerial) {
+  // The reliable path drives the SoA set through per-node adapters; the
+  // sharded run must still match the serial one byte-for-byte.
+  const std::vector<Scenario> scenarios = sample_scenarios(4, 0xab1e, 16);
+  ThreadPool pool(4);
+  for (const Scenario& scenario : scenarios) {
+    const Graph graph = materialize(scenario);
+    DistMisOptions serial_options;
+    serial_options.seed = scenario.seed;
+    serial_options.reliable = true;
+    const ScheduleResult serial = run_dist_mis(graph, serial_options);
+    DistMisOptions sharded_options = serial_options;
+    sharded_options.pool = &pool;
+    sharded_options.shards = 4;
+    const ScheduleResult sharded = run_dist_mis(graph, sharded_options);
+    ASSERT_EQ(serial.coloring.raw(), sharded.coloring.raw())
+        << repro_command(scenario, SchedulerKind::kDistMisGbg);
+    EXPECT_EQ(serial.rounds, sharded.rounds);
+    EXPECT_EQ(serial.messages, sharded.messages);
+  }
+}
+
+TEST(ShardedEngine, RepairMatchesSerialForExplicitShardCounts) {
+  Rng rng(0x5eed);
+  const Graph graph = generate_gnm(40, 110, rng);
+  const ArcView view(graph);
+  ArcColoring stale = greedy_coloring(view);
+  for (ArcId a = 0; a < stale.num_arcs(); a += 3) stale.clear(a);
+  const DistRepairResult serial = run_distributed_repair(graph, stale, 11);
+  ThreadPool pool(4);
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    const DistRepairResult sharded = run_distributed_repair(
+        graph, stale, 11, 1'000'000, nullptr, nullptr, false, &pool, shards);
+    ASSERT_EQ(serial.coloring.raw(), sharded.coloring.raw())
+        << "shards=" << shards;
+    EXPECT_EQ(serial.recolored_arcs, sharded.recolored_arcs);
+    EXPECT_EQ(serial.rounds, sharded.rounds);
+    EXPECT_EQ(serial.messages, sharded.messages);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -40,6 +40,40 @@ TEST(Udg, MatchesBruteForceOnRandomInstances) {
   }
 }
 
+TEST(Udg, StreamingGridPathMatchesQuadraticReferenceByteForByte) {
+  // The grid-bucketed streaming builder must produce the exact same graph
+  // as the obvious quadratic all-pairs construction — not just the same
+  // edge set, but the same EdgeId order (lexicographic by (min, max)
+  // endpoint), because EdgeIds seed downstream RNG draws and any
+  // renumbering would silently change every schedule. This pin lets the
+  // O(n+m) path replace the quadratic one everywhere, including the
+  // n=10^6 plan build.
+  Rng rng(0x5ca1ab1e);
+  for (const std::size_t n : {1u, 2u, 37u, 250u}) {
+    std::vector<Point> positions;
+    positions.reserve(n);
+    const double side = 6.0;
+    for (std::size_t i = 0; i < n; ++i)
+      positions.push_back(
+          {rng.next_double() * side, rng.next_double() * side});
+
+    const double radius = 0.5;
+    const Graph streamed = udg_from_positions(positions, radius);
+
+    GraphBuilder reference(n);
+    for (NodeId u = 0; u < n; ++u)
+      for (NodeId v = u + 1; v < n; ++v)
+        if (distance(positions[u], positions[v]) <= radius)
+          reference.add_edge(u, v);
+    const Graph quadratic = reference.build();
+
+    ASSERT_EQ(streamed.num_edges(), quadratic.num_edges()) << "n=" << n;
+    for (EdgeId e = 0; e < streamed.num_edges(); ++e)
+      ASSERT_EQ(streamed.edge(e), quadratic.edge(e))
+          << "n=" << n << " EdgeId " << e;
+  }
+}
+
 TEST(Udg, PositionsInsidePlan) {
   Rng rng(7);
   const auto geo = generate_udg(200, 15.0, 0.5, rng);

@@ -19,6 +19,13 @@ The default tolerance is deliberately loose (30%): micro timings on shared
 CI machines jitter, and the gate exists to catch order-of-magnitude
 regressions (an accidental O(n^2), a lost zero-alloc path), not percent
 noise. Speedups never fail.
+
+Each comparison is annotated with the recorded machine context (num_cpus,
+load_avg) from both files' google-benchmark "context" blocks. When the two
+runs disagree on num_cpus the script prints a warning — but does not fail —
+because timing ratios between machines of different widths are not
+comparable for the parallel/sharded rows (a 1-CPU runner cannot show the
+multi-core shard-scaling curve at all; see EXPERIMENTS.md "Shard scaling").
 """
 
 import argparse
@@ -70,6 +77,50 @@ def load_times(path):
         unit = _UNIT_TO_NS.get(entry.get("time_unit", "ns"), 1.0)
         times[entry["name"]] = real_time * unit
     return times
+
+
+def load_context(path):
+    """Machine context ({"num_cpus": int, "load_avg": [..]}) recorded in the
+    report, best-effort: missing/odd context yields an empty dict rather
+    than an error, since old baselines predate the annotation."""
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return {}
+    context = data.get("context") if isinstance(data, dict) else None
+    if not isinstance(context, dict):
+        return {}
+    out = {}
+    if isinstance(context.get("num_cpus"), int):
+        out["num_cpus"] = context["num_cpus"]
+    load_avg = context.get("load_avg")
+    if isinstance(load_avg, list) and all(
+            isinstance(x, (int, float)) for x in load_avg):
+        out["load_avg"] = [float(x) for x in load_avg]
+    return out
+
+
+def describe_context(label, context):
+    """One annotation line per side, e.g. 'baseline: 8 cpus, load 0.12'."""
+    cpus = context.get("num_cpus")
+    load = context.get("load_avg")
+    parts = [f"{cpus} cpus" if cpus is not None else "cpus unrecorded",
+             "load " + "/".join(f"{x:.2f}" for x in load) if load
+             else "load unrecorded"]
+    return f"  [{label}] {', '.join(parts)}"
+
+
+def cpu_mismatch_warning(base_context, fresh_context):
+    """The warning line when both sides recorded num_cpus and they differ;
+    None otherwise. Advisory only — never turns into an exit code."""
+    base_cpus = base_context.get("num_cpus")
+    fresh_cpus = fresh_context.get("num_cpus")
+    if base_cpus is None or fresh_cpus is None or base_cpus == fresh_cpus:
+        return None
+    return (f"WARNING: num_cpus mismatch (baseline {base_cpus}, fresh "
+            f"{fresh_cpus}) — parallel/sharded timings are not comparable "
+            "across machine widths; treat those rows as informational")
 
 
 def compare(base, fresh, tolerance):
@@ -145,6 +196,29 @@ def self_test():
         failures.append("30% tolerance flagged a 1.2x slowdown")
     if compare({"BM_A": 100.0}, {"BM_B": 100.0}, 0.30):
         failures.append("disjoint benchmark sets treated as a regression")
+
+    # Machine-context annotation path.
+    with_context = write(json.dumps({
+        "context": {"num_cpus": 4, "load_avg": [0.25, 0.5, 0.75]},
+        "benchmarks": [],
+    }))
+    context = load_context(with_context)
+    if context != {"num_cpus": 4, "load_avg": [0.25, 0.5, 0.75]}:
+        failures.append(f"context parsed to {context!r}")
+    if load_context(good) != {}:
+        failures.append("file without context did not yield empty context")
+    if "4 cpus" not in describe_context("fresh", context):
+        failures.append("describe_context omits the cpu count")
+    if "unrecorded" not in describe_context("baseline", {}):
+        failures.append("describe_context hides missing context")
+    if cpu_mismatch_warning({"num_cpus": 1}, {"num_cpus": 4}) is None:
+        failures.append("1-vs-4 cpu mismatch produced no warning")
+    if cpu_mismatch_warning({"num_cpus": 4}, {"num_cpus": 4}) is not None:
+        failures.append("matching cpu counts produced a spurious warning")
+    if cpu_mismatch_warning({}, {"num_cpus": 4}) is not None:
+        failures.append("unrecorded baseline cpus produced a warning")
+    os.unlink(with_context)
+
     for label, path, _ in cases[1:]:
         os.unlink(path)
     os.unlink(good)
@@ -179,6 +253,16 @@ def main():
     except BenchFileError as err:
         print(f"bench_compare: {err}", file=sys.stderr)
         return 2
+
+    base_context = load_context(args.baseline)
+    fresh_context = load_context(args.fresh)
+    print("machine context:")
+    print(describe_context("baseline", base_context))
+    print(describe_context("fresh", fresh_context))
+    warning = cpu_mismatch_warning(base_context, fresh_context)
+    if warning:
+        print(warning)
+    print()
 
     regressions = compare(base, fresh, args.tolerance)
     if regressions:

@@ -6,6 +6,16 @@
 #   tools/bench_smoke.sh                 # default build dir build-bench
 #   tools/bench_smoke.sh build           # reuse an existing build dir
 #   FDLSP_BENCH_MIN_TIME=0.05 tools/bench_smoke.sh   # faster smoke (CI)
+#   FDLSP_BENCH_SCALE=full tools/bench_smoke.sh      # n=10^6 shard curve
+#
+# FDLSP_BENCH_SCALE selects the BM_DistMisUdgSharded scale rows that
+# micro_engines registers at startup (bench/micro_engines.cpp): the default
+# "1" is a capped smoke — n=10^5 at 1 vs 2 shards, one iteration — sized so
+# `tools/ci.sh bench` stays in CI budget while still feeding the sharded
+# rows into BENCH_sim.json for bench-compare. "full" swaps in the n=10^6
+# curve at 1/2/4/8 shards (the EXPERIMENTS.md "Shard scaling" table); that
+# scale runs for tens of minutes and is meant for manual reruns on a
+# multi-core box, not CI.
 #
 # The committed JSON files are the regression references for later PRs:
 # BENCH_coloring.json documents the ConflictIndex speedup; BENCH_sim.json
@@ -20,6 +30,7 @@ cd "$(dirname "$0")/.."
 
 build_dir="${1:-build-bench}"
 min_time="${FDLSP_BENCH_MIN_TIME:-0.1}"
+export FDLSP_BENCH_SCALE="${FDLSP_BENCH_SCALE:-1}"
 
 cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "${build_dir}" -j --target micro_coloring micro_engines \
