@@ -148,11 +148,14 @@ int main(int argc, char** argv) {
     if (args.has("help") || !args.has("scheduler")) {
       std::cout << "usage: replay --family=udg|gnm|tree|grid|ring|star --n=N "
                    "--density=D --seed=S --scheduler=NAME\n"
-                   "       [--faults=drop=0.1,crash=0.25,... | --faults=none]"
-                   " [--reliable=0|1]\n"
+                   "       [--faults=drop=0.1,bp=0.05,crash=0.25,... |"
+                   " --faults=none] [--reliable=0|1]\n"
+                   "       [--tuning=adaptive|fixed] [--prr-trace=FILE]\n"
                    "   or: replay --soak=SPEC [--soak-band=B]"
                    " [--distributed=1] [--faults=...] [--reliable=0]\n"
-                   "Paste the repro line a failing property test prints.\n";
+                   "Paste the repro line a failing property test prints.\n"
+                   "--prr-trace loads packet-reception ratios from a "
+                   "measurement file into the fault plan's PRR matrix.\n";
       return args.has("help") ? 0 : 2;
     }
 
@@ -169,18 +172,27 @@ int main(int argc, char** argv) {
               << graph.num_edges() << " edges\n";
 
     if (args.has("faults")) {
-      const FaultSpec spec = parse_fault_spec(args.get("faults", "none"));
+      FaultSpec spec = parse_fault_spec(args.get("faults", "none"));
+      if (args.has("prr-trace"))
+        spec.prr_levels = load_prr_levels(args.get("prr-trace", ""));
       const bool reliable = args.get_int("reliable", 1) != 0;
+      const std::string tuning_name = args.get("tuning", "adaptive");
+      FDLSP_REQUIRE(tuning_name == "adaptive" || tuning_name == "fixed",
+                    "unknown --tuning: " + tuning_name);
+      const TransportTuning tuning = tuning_name == "fixed"
+                                         ? TransportTuning::kFixed
+                                         : TransportTuning::kAdaptive;
       std::cout << "faults: " << format_fault_spec(spec)
-                << (reliable ? " (reliable wrapper on)"
+                << (reliable ? " (reliable wrapper on, " + tuning_name +
+                                   " transport)"
                              : " (reliable wrapper OFF)")
                 << "\n"
                 << "repro: "
                 << fault_repro_command(scenario, scheduler_name(kind), spec)
                 << (reliable ? "" : " --reliable=0") << "\n";
 
-      const ScheduleResult faulted =
-          run_scheduler_faulted(kind, graph, scenario.seed, spec, reliable);
+      const ScheduleResult faulted = run_scheduler_faulted(
+          kind, graph, scenario.seed, spec, reliable, tuning);
       std::cout << scheduler_name(kind) << ": " << faulted.num_slots
                 << " slots, " << faulted.rounds << " rounds, "
                 << faulted.messages << " messages, "
@@ -188,8 +200,25 @@ int main(int argc, char** argv) {
                 << "injected: " << faulted.faults.dropped << " dropped, "
                 << faulted.faults.duplicated << " duplicated, "
                 << faulted.faults.corrupted << " corrupted, "
+                << faulted.faults.burst_dropped << " burst drops, "
+                << faulted.faults.prr_dropped << " PRR drops, "
+                << faulted.faults.region_drops << " region drops, "
                 << faulted.faults.link_down_drops << " churn drops, "
                 << faulted.faults.crash_drops << " crash drops\n";
+      if (reliable) {
+        std::cout << "transport: " << faulted.transport.retransmits
+                  << " retransmits, " << faulted.transport.probes
+                  << " probes, " << faulted.transport.suspicions
+                  << " suspicions, " << faulted.transport.retrusts
+                  << " re-trusts, " << faulted.transport.abandoned
+                  << " abandoned, max backoff "
+                  << faulted.transport.max_backoff << "\n";
+        if (!faulted.suspected.empty()) {
+          std::cout << "suspected peers:";
+          for (const NodeId v : faulted.suspected) std::cout << " " << v;
+          std::cout << "\n";
+        }
+      }
       if (!faulted.stall_diagnosis.empty())
         std::cout << "stall diagnosis: " << faulted.stall_diagnosis << "\n";
 
@@ -203,6 +232,25 @@ int main(int argc, char** argv) {
         std::cout << "fault-quiescence: FAIL — " << verdict.failure << "\n";
       else
         std::cout << "fault-quiescence: ok\n";
+
+      if (reliable && spec.correlated()) {
+        const OracleVerdict burst =
+            check_burst_quiescence(kind, graph, scenario.seed, spec);
+        if (!burst.ok) {
+          std::cout << "burst-quiescence: FAIL — " << burst.failure << "\n";
+          ok = false;
+        } else {
+          std::cout << "burst-quiescence: ok\n";
+        }
+        const OracleVerdict detector =
+            check_detector(kind, graph, scenario.seed, spec);
+        if (!detector.ok) {
+          std::cout << "detector: FAIL — " << detector.failure << "\n";
+          ok = false;
+        } else {
+          std::cout << "detector: ok\n";
+        }
+      }
 
       if (spec.crash_fraction > 0.0 || spec.link_down_fraction > 0.0) {
         const CrashRecoveryReport recovery =

@@ -277,7 +277,8 @@ ScheduleResult run_dfs_schedule(const Graph& graph, const DfsOptions& options) {
   if (options.reliable) {
     for (auto& program : programs)
       program = std::make_unique<ReliableAsyncProgram>(std::move(program),
-                                                       spec);
+                                                       spec,
+                                                       options.transport);
   }
   AsyncEngine engine(graph, std::move(programs), options.delay_model,
                      options.seed);
@@ -306,6 +307,13 @@ ScheduleResult run_dfs_schedule(const Graph& graph, const DfsOptions& options) {
   result.coloring = ArcColoring(view.num_arcs());
   for (NodeId v = 0; v < graph.num_nodes(); ++v) {
     const AsyncProgram& top = engine.program(v);
+    if (options.reliable) {
+      const auto& wrapper = static_cast<const ReliableAsyncProgram&>(top);
+      result.transport.merge(wrapper.transport_stats());
+      result.suspected.insert(result.suspected.end(),
+                              wrapper.suspected_peers().begin(),
+                              wrapper.suspected_peers().end());
+    }
     const auto& program =
         options.reliable
             ? static_cast<const DfsProgram&>(
@@ -320,6 +328,10 @@ ScheduleResult run_dfs_schedule(const Graph& graph, const DfsOptions& options) {
   }
   if (!relaxed)
     FDLSP_REQUIRE(result.coloring.complete(), "DFS left arcs uncolored");
+  std::sort(result.suspected.begin(), result.suspected.end());
+  result.suspected.erase(
+      std::unique(result.suspected.begin(), result.suspected.end()),
+      result.suspected.end());
   result.num_slots = result.coloring.num_colors_used();
   result.messages = metrics.messages;
   result.async_time = metrics.completion_time;

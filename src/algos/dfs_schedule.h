@@ -42,6 +42,9 @@ struct DfsOptions {
   const FaultSpec* faults = nullptr;
   /// Harden every node with the ack/retransmit wrapper (sim/reliable.h).
   bool reliable = false;
+  /// Transport generation for the reliable wrapper (see sim/reliable.h);
+  /// meaningless without `reliable`.
+  TransportTuning transport = TransportTuning::kAdaptive;
 };
 
 /// Runs the asynchronous DFS algorithm. Requires a connected graph (the

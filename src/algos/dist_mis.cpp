@@ -418,8 +418,9 @@ ScheduleResult run_dist_mis(const Graph& graph,
     programs.reserve(graph.num_nodes());
     for (NodeId v = 0; v < graph.num_nodes(); ++v)
       programs.push_back(std::make_unique<ReliableSyncProgram>(
-          std::make_unique<SetNodeProgram>(set, v), spec));
-    round_budget *= ReliableSyncProgram::round_dilation(spec);
+          std::make_unique<SetNodeProgram>(set, v), spec, options.transport));
+    round_budget *=
+        ReliableSyncProgram::round_dilation(spec, options.transport);
     engine.emplace(graph, std::move(programs));
   } else {
     engine.emplace(graph, set);
@@ -471,6 +472,20 @@ ScheduleResult run_dist_mis(const Graph& graph,
   result.num_slots = result.coloring.num_colors_used();
   result.rounds = metrics.rounds;
   result.messages = metrics.messages;
+  if (options.reliable) {
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      const auto& wrapper =
+          static_cast<const ReliableSyncProgram&>(engine->program(v));
+      result.transport.merge(wrapper.transport_stats());
+      result.suspected.insert(result.suspected.end(),
+                              wrapper.suspected_peers().begin(),
+                              wrapper.suspected_peers().end());
+    }
+    std::sort(result.suspected.begin(), result.suspected.end());
+    result.suspected.erase(
+        std::unique(result.suspected.begin(), result.suspected.end()),
+        result.suspected.end());
+  }
   return result;
 }
 

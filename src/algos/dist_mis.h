@@ -61,6 +61,9 @@ struct DistMisOptions {
   /// preserves the feasibility guarantee under lossy plans at a round cost
   /// of ReliableSyncProgram::round_dilation(*faults) per algorithm round.
   bool reliable = false;
+  /// Transport generation for the reliable wrapper (see sim/reliable.h);
+  /// meaningless without `reliable`.
+  TransportTuning transport = TransportTuning::kAdaptive;
   /// Shard engine state and rounds across this pool (see
   /// SyncEngine::set_thread_pool; byte-identical to the serial run for any
   /// thread or shard count). Not owned, may be null. Ignored — serial

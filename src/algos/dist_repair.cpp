@@ -307,7 +307,8 @@ DistRepairResult run_distributed_repair(const Graph& graph,
                                         const FaultSpec* faults,
                                         bool reliable,
                                         ThreadPool* pool,
-                                        std::size_t shards) {
+                                        std::size_t shards,
+                                        TransportTuning transport) {
   const ArcView view(graph);
   FDLSP_REQUIRE(stale.num_arcs() == view.num_arcs(),
                 "stale coloring does not match graph");
@@ -322,8 +323,8 @@ DistRepairResult run_distributed_repair(const Graph& graph,
   if (reliable) {
     for (auto& program : programs)
       program = std::make_unique<ReliableSyncProgram>(std::move(program),
-                                                      spec);
-    round_budget *= ReliableSyncProgram::round_dilation(spec);
+                                                      spec, transport);
+    round_budget *= ReliableSyncProgram::round_dilation(spec, transport);
   }
   SyncEngine engine(graph, std::move(programs));
   engine.set_trace(trace);
@@ -349,6 +350,9 @@ DistRepairResult run_distributed_repair(const Graph& graph,
   result.coloring = ArcColoring(view.num_arcs());
   for (NodeId v = 0; v < graph.num_nodes(); ++v) {
     const SyncProgram& top = engine.program(v);
+    if (reliable)
+      result.transport.merge(
+          static_cast<const ReliableSyncProgram&>(top).transport_stats());
     const auto& program =
         reliable ? static_cast<const DistRepairProgram&>(
                        static_cast<const ReliableSyncProgram&>(top).inner())

@@ -227,8 +227,10 @@ ScheduleResult run_randomized(const Graph& graph,
   if (options.reliable) {
     for (auto& program : programs)
       program = std::make_unique<ReliableSyncProgram>(std::move(program),
-                                                      spec);
-    round_budget *= ReliableSyncProgram::round_dilation(spec);
+                                                      spec,
+                                                      options.transport);
+    round_budget *=
+        ReliableSyncProgram::round_dilation(spec, options.transport);
   }
   SyncEngine engine(graph, std::move(programs));
   engine.set_trace(options.trace);
@@ -256,6 +258,13 @@ ScheduleResult run_randomized(const Graph& graph,
   result.coloring = ArcColoring(view.num_arcs());
   for (NodeId v = 0; v < graph.num_nodes(); ++v) {
     const SyncProgram& top = engine.program(v);
+    if (options.reliable) {
+      const auto& wrapper = static_cast<const ReliableSyncProgram&>(top);
+      result.transport.merge(wrapper.transport_stats());
+      result.suspected.insert(result.suspected.end(),
+                              wrapper.suspected_peers().begin(),
+                              wrapper.suspected_peers().end());
+    }
     const auto& program =
         options.reliable
             ? static_cast<const RandomizedProgram&>(
@@ -270,6 +279,10 @@ ScheduleResult run_randomized(const Graph& graph,
   if (!relaxed)
     FDLSP_REQUIRE(result.coloring.complete(),
                   "randomized left arcs uncolored");
+  std::sort(result.suspected.begin(), result.suspected.end());
+  result.suspected.erase(
+      std::unique(result.suspected.begin(), result.suspected.end()),
+      result.suspected.end());
   result.num_slots = result.coloring.num_colors_used();
   result.rounds = metrics.rounds;
   result.messages = metrics.messages;

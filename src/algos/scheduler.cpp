@@ -34,6 +34,7 @@ namespace {
 ScheduleResult dispatch(SchedulerKind kind, const Graph& graph,
                         std::uint64_t seed, SimTrace* trace,
                         const FaultSpec* faults, bool reliable,
+                        TransportTuning tuning = TransportTuning::kAdaptive,
                         ThreadPool* pool = nullptr, std::size_t shards = 0) {
   switch (kind) {
     case SchedulerKind::kDistMisGbg: {
@@ -43,6 +44,7 @@ ScheduleResult dispatch(SchedulerKind kind, const Graph& graph,
       options.trace = trace;
       options.faults = faults;
       options.reliable = reliable;
+      options.transport = tuning;
       options.pool = pool;
       options.shards = shards;
       return run_dist_mis(graph, options);
@@ -54,6 +56,7 @@ ScheduleResult dispatch(SchedulerKind kind, const Graph& graph,
       options.trace = trace;
       options.faults = faults;
       options.reliable = reliable;
+      options.transport = tuning;
       options.pool = pool;
       options.shards = shards;
       return run_dist_mis(graph, options);
@@ -64,6 +67,7 @@ ScheduleResult dispatch(SchedulerKind kind, const Graph& graph,
       options.trace = trace;
       options.faults = faults;
       options.reliable = reliable;
+      options.transport = tuning;
       return run_dfs_schedule(graph, options);
     }
     case SchedulerKind::kDmgc:
@@ -81,6 +85,7 @@ ScheduleResult dispatch(SchedulerKind kind, const Graph& graph,
       options.trace = trace;
       options.faults = faults;
       options.reliable = reliable;
+      options.transport = tuning;
       options.pool = pool;
       options.shards = shards;
       return run_randomized(graph, options);
@@ -104,20 +109,22 @@ ScheduleResult run_scheduler_traced(SchedulerKind kind, const Graph& graph,
 
 ScheduleResult run_scheduler_parallel(SchedulerKind kind, const Graph& graph,
                                       std::uint64_t seed, ThreadPool& pool) {
-  return dispatch(kind, graph, seed, nullptr, nullptr, false, &pool);
+  return dispatch(kind, graph, seed, nullptr, nullptr, false,
+                  TransportTuning::kAdaptive, &pool);
 }
 
 ScheduleResult run_scheduler_sharded(SchedulerKind kind, const Graph& graph,
                                      std::uint64_t seed, ThreadPool& pool,
                                      std::size_t shards) {
-  return dispatch(kind, graph, seed, nullptr, nullptr, false, &pool, shards);
+  return dispatch(kind, graph, seed, nullptr, nullptr, false,
+                  TransportTuning::kAdaptive, &pool, shards);
 }
 
 ScheduleResult run_scheduler_faulted(SchedulerKind kind, const Graph& graph,
                                      std::uint64_t seed,
                                      const FaultSpec& faults, bool reliable,
-                                     SimTrace* trace) {
-  return dispatch(kind, graph, seed, trace, &faults, reliable);
+                                     TransportTuning tuning, SimTrace* trace) {
+  return dispatch(kind, graph, seed, trace, &faults, reliable, tuning);
 }
 
 }  // namespace fdlsp

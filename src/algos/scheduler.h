@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "coloring/coloring.h"
 #include "graph/graph.h"
 #include "sim/fault.h"
+#include "sim/reliable.h"
 
 namespace fdlsp {
 
@@ -31,6 +33,13 @@ struct ScheduleResult {
   double async_time = 0.0;    ///< asynchronous completion time (time units)
   bool completed = true;      ///< engine ran to quiescence within budget
   FaultStats faults;          ///< injected faults (all zero without a plan)
+  /// Transport-layer work summed across all reliable wrappers (all zero
+  /// without `reliable`): retransmits, probes, detector transitions.
+  TransportStats transport;
+  /// Union of every node's failure-detector suspicions (sorted, unique;
+  /// empty without `reliable`). Under crash plans the detector's
+  /// completeness/accuracy oracles compare this against the crash schedule.
+  std::vector<NodeId> suspected;
   std::string stall_diagnosis;  ///< async watchdog dump; empty when clean
 };
 
@@ -76,12 +85,15 @@ ScheduleResult run_scheduler_sharded(SchedulerKind kind, const Graph& graph,
 /// Runs the algorithm under a deterministic fault model (sim/fault.h).
 /// `reliable` additionally hardens every node with the ack/retransmit
 /// wrapper (sim/reliable.h) — required for the run to keep its feasibility
-/// guarantee under lossy plans. Centralized algorithms (D-MGC, greedy) have
-/// no engine and execute fault-free; their result is the clean one.
-/// `trace` may be null.
-ScheduleResult run_scheduler_faulted(SchedulerKind kind, const Graph& graph,
-                                     std::uint64_t seed,
-                                     const FaultSpec& faults, bool reliable,
-                                     SimTrace* trace = nullptr);
+/// guarantee under lossy plans. `tuning` selects the transport generation
+/// (fixed-cadence legacy vs adaptive backoff + failure detection); it only
+/// matters with `reliable`. Centralized algorithms (D-MGC, greedy) have no
+/// engine and execute fault-free; their result is the clean one. `trace`
+/// may be null.
+ScheduleResult run_scheduler_faulted(
+    SchedulerKind kind, const Graph& graph, std::uint64_t seed,
+    const FaultSpec& faults, bool reliable,
+    TransportTuning tuning = TransportTuning::kAdaptive,
+    SimTrace* trace = nullptr);
 
 }  // namespace fdlsp

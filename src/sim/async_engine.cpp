@@ -75,8 +75,13 @@ void AsyncEngine::post(NodeId from, NodeId to, Message message, double now) {
     ++faults_->stats().link_down_drops;
     return;
   }
+  // fdlsp-lint: hot — region outage test is a per-edge bitmask probe
+  if (faults_->region_down(channel, now)) {
+    ++faults_->stats().region_drops;
+    return;
+  }
   const std::uint64_t index = fault_posts_[channel]++;
-  switch (faults_->channel_action(channel, index)) {
+  switch (faults_->channel_action(channel, index, now)) {
     case FaultAction::kDrop:
       return;
     case FaultAction::kDuplicate:
@@ -179,7 +184,10 @@ std::string AsyncEngine::diagnose_stall() {
 
 AsyncMetrics AsyncEngine::run(std::size_t max_messages) {
   AsyncMetrics metrics;
-  if (faults_ != nullptr) fault_posts_.assign(2 * graph_.num_edges(), 0);
+  if (faults_ != nullptr) {
+    faults_->on_run_start();
+    fault_posts_.assign(2 * graph_.num_edges(), 0);
+  }
   for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
     // A node whose crash time is <= 0 never wakes up at all.
     if (faults_ != nullptr && faults_->node_down(v, 0.0)) continue;

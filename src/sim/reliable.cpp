@@ -14,7 +14,7 @@ namespace {
 // The async wrapper has no rounds and stores 0 in the inner_round slot.
 constexpr std::size_t kHeaderWords = 4;
 
-// Ack payload layout: [checksum, cumulative_ack].
+// Ack and heartbeat payload layout: [checksum, cumulative_ack].
 constexpr std::size_t kAckWords = 2;
 
 /// Checksum over a wire message's payload past the checksum slot, keyed by
@@ -78,30 +78,111 @@ Message make_ack(NodeId from, NodeId to, std::int64_t cumulative) {
   return ack;
 }
 
+Message make_heartbeat(NodeId from, NodeId to, std::int64_t cumulative) {
+  Message probe;
+  probe.from = from;
+  probe.tag = kReliableHeartbeatTag;
+  probe.data = {0, cumulative};
+  probe.data[0] = wire_checksum(from, to, probe.data.data() + 1, 1);
+  return probe;
+}
+
+/// Deterministic per-(self, peer, attempt) jitter bits: backoff pacing must
+/// desynchronize neighbors without touching any RNG stream the algorithms
+/// own.
+std::uint64_t jitter_hash(NodeId self, NodeId peer, std::size_t attempt) {
+  std::uint64_t state = (static_cast<std::uint64_t>(self) << 32) ^
+                        static_cast<std::uint64_t>(peer) ^
+                        (static_cast<std::uint64_t>(attempt) *
+                         0x9e3779b97f4a7c15ULL);
+  return splitmix64(state);
+}
+
+/// Worst-case failed deliveries on ONE directed channel: the i.i.d.+PRR cap
+/// plus the per-edge burst budget when bursts are armed.
+std::size_t one_way_budget(const FaultSpec& spec) {
+  std::size_t budget = static_cast<std::size_t>(spec.max_losses_per_channel);
+  if (spec.burst_rate > 0.0)
+    budget += static_cast<std::size_t>(spec.burst_cap);
+  return budget;
+}
+
+/// Worst-case rounds/time a channel can sit inside down windows: one churn
+/// window plus every region disc that can cover the edge.
+std::size_t stall_bound(const FaultSpec& spec) {
+  std::size_t stall = 0;
+  if (spec.link_down_fraction > 0.0)
+    stall += static_cast<std::size_t>(spec.link_down_duration) + 2;
+  if (spec.region_count > 0)
+    stall += static_cast<std::size_t>(
+                 static_cast<double>(spec.region_count) *
+                 spec.region_duration) +
+             2;
+  return stall;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
 // Synchronous wrapper: round dilation.
 // ---------------------------------------------------------------------------
 
-std::size_t ReliableSyncProgram::round_dilation(const FaultSpec& spec) {
-  // Go-back-N retransmits every other outer round; each failed attempt
-  // consumes at least one unit of the per-channel loss cap, so at most
-  // cap+1 attempts are needed once a channel's cap is exhausted — frames
-  // land within 2*cap+2 outer rounds. One finite link-down window can
-  // additionally stall the channel for its whole duration. The +4 margin
-  // covers the delivery round offset and keeps the window even.
-  std::size_t dilation = 2 * static_cast<std::size_t>(
-                                 spec.max_losses_per_channel) + 4;
-  if (spec.link_down_fraction > 0.0)
-    dilation += static_cast<std::size_t>(spec.link_down_duration) + 2;
+namespace {
+
+// Adaptive sync pacing: retransmit intervals grow 2 -> 4 outer rounds plus
+// one hashed jitter round, so the worst spacing between attempts is 5.
+constexpr std::size_t kSyncBaseInterval = 2;
+constexpr std::size_t kSyncMaxInterval = 4;
+constexpr std::size_t kSyncWorstSpacing = kSyncMaxInterval + 1;
+// Heartbeat cadence while a peer is suspected.
+constexpr std::size_t kSyncProbeInterval = 4;
+
+}  // namespace
+
+std::size_t ReliableSyncProgram::round_dilation(const FaultSpec& spec,
+                                                TransportTuning tuning) {
+  const std::size_t one_way = one_way_budget(spec);
+  const std::size_t stall = stall_bound(spec);
+  if (tuning == TransportTuning::kFixed) {
+    // Go-back-N retransmits every other outer round; each failed attempt
+    // consumes at least one unit of the frame channel's loss budget, so at
+    // most one_way+1 attempts are needed — frames land within 2*one_way+2
+    // outer rounds. Down windows can additionally stall the channel for
+    // their whole duration. The +4 margin covers the delivery round offset
+    // and keeps the window even.
+    return 2 * one_way + 4 + stall;
+  }
+  // Adaptive pacing spaces attempts up to kSyncWorstSpacing rounds apart,
+  // and each failed attempt still consumes frame-channel loss budget, so
+  // delivery needs at most kSyncWorstSpacing*(one_way+1) rounds plus
+  // margin. Under churn/outage plans one suspect/probe/retrust cycle can
+  // additionally shelve a frame: the stall itself, plus a probe phase in
+  // which every heartbeat or its reply may burn remaining round-trip loss
+  // budget at the probe cadence. Loss-only plans can never reach
+  // kSuspected (the suspicion threshold exceeds the whole round-trip loss
+  // budget), so they pay no detector term.
+  std::size_t dilation = kSyncWorstSpacing * (one_way + 1) + 12;
+  if (stall > 0)
+    dilation += stall + kSyncProbeInterval * (2 * one_way + 2) + 8;
+  dilation += dilation % 2;  // keep the window even
   return dilation;
 }
 
 ReliableSyncProgram::ReliableSyncProgram(std::unique_ptr<SyncProgram> inner,
-                                         const FaultSpec& spec)
-    : inner_(std::move(inner)), dilation_(round_dilation(spec)) {
+                                         const FaultSpec& spec,
+                                         TransportTuning tuning)
+    : inner_(std::move(inner)),
+      tuning_(tuning),
+      dilation_(round_dilation(spec, tuning)) {
   FDLSP_REQUIRE(inner_ != nullptr, "reliable wrapper needs a program");
+  // A live peer acks every delivered frame within two rounds, so failed
+  // attempts past the *round-trip* loss budget cannot be explained by
+  // bounded loss alone — only by a down window or a dead peer. Probing must
+  // outlast the longest legitimate outage plus the loss budget before the
+  // verdict hardens to dead.
+  const std::size_t round_trip = 2 * one_way_budget(spec);
+  suspect_after_ = round_trip + 4;
+  probe_budget_ = stall_bound(spec) / kSyncProbeInterval + round_trip + 4;
 }
 
 ReliableSyncProgram::PeerState& ReliableSyncProgram::peer_state(NodeId peer) {
@@ -117,8 +198,22 @@ ReliableSyncProgram::PeerState& ReliableSyncProgram::peer_state(NodeId peer) {
 
 bool ReliableSyncProgram::channels_idle() const {
   for (const PeerState& state : peers_)
-    if (!state.pending.empty() || !state.buffered.empty()) return false;
+    if (!state.pending.empty() || !state.parked.empty() ||
+        !state.buffered.empty())
+      return false;
   return true;
+}
+
+void ReliableSyncProgram::heard(PeerState& state, std::size_t round) {
+  state.fails = 0;
+  if (state.health != PeerHealth::kSuspected) return;
+  // Recovery: the peer answered a probe (or simply spoke) — re-trust it and
+  // resume the parked traffic on this round's sweep.
+  state.health = PeerHealth::kTrusted;
+  ++stats_.retrusts;
+  state.pending = std::move(state.parked);
+  state.parked.clear();
+  state.next_retx = round;
 }
 
 void ReliableSyncProgram::handle_frame(SyncContext& ctx,
@@ -127,6 +222,7 @@ void ReliableSyncProgram::handle_frame(SyncContext& ctx,
                 "reliable frame too short");
   if (!checksum_ok(message.from, ctx.self(), message)) return;  // corrupted
   PeerState& state = peer_state(message.from);
+  heard(state, ctx.round());
   if (std::find(ack_due_.begin(), ack_due_.end(), message.from) ==
       ack_due_.end())
     ack_due_.push_back(message.from);
@@ -138,9 +234,11 @@ void ReliableSyncProgram::handle_frame(SyncContext& ctx,
                                          unframe(message)});
 }
 
-void ReliableSyncProgram::handle_ack(const Message& message) {
+void ReliableSyncProgram::handle_ack(const Message& message,
+                                     std::size_t round) {
   // Size and checksum already verified at the call site.
   PeerState& state = peer_state(message.from);
+  heard(state, round);
   const std::int64_t cumulative = message.data[1];
   if (cumulative <= state.acked) return;
   state.acked = cumulative;
@@ -152,12 +250,106 @@ void ReliableSyncProgram::handle_ack(const Message& message) {
 void ReliableSyncProgram::capture_send(SyncContext& ctx, NodeId to,
                                        Message message) {
   PeerState& state = peer_state(to);
+  if (state.health == PeerHealth::kDead) {
+    // The detector already declared this peer dead; the inner program's
+    // message can never be delivered, so it is dropped like the rest.
+    ++stats_.abandoned;
+    ++state.next_seq;
+    return;
+  }
   Message frame = make_frame(ctx.self(), to, state.next_seq,
                              static_cast<std::int64_t>(next_inner_round_),
                              message);
+  if (state.health == PeerHealth::kSuspected) {
+    state.parked.push_back(PendingFrame{state.next_seq, ctx.round(), frame});
+    ++state.next_seq;
+    return;
+  }
+  if (state.pending.empty())
+    state.next_retx = ctx.round() + kSyncBaseInterval;
   state.pending.push_back(PendingFrame{state.next_seq, ctx.round(), frame});
   ++state.next_seq;
   ctx.send(to, std::move(frame));
+}
+
+std::size_t ReliableSyncProgram::backoff_interval(const SyncContext& ctx,
+                                                  const PeerState& state) {
+  const std::size_t shift = std::min<std::size_t>(state.fails / 2, 4);
+  const std::size_t base =
+      std::min<std::size_t>(kSyncBaseInterval << shift, kSyncMaxInterval);
+  const std::size_t jitter =
+      jitter_hash(ctx.self(), state.peer, state.fails) & 1;
+  const std::size_t interval = base + jitter;
+  if (static_cast<double>(interval) > stats_.max_backoff)
+    stats_.max_backoff = static_cast<double>(interval);
+  return interval;
+}
+
+void ReliableSyncProgram::sweep_adaptive(SyncContext& ctx, std::size_t round) {
+  for (PeerState& state : peers_) {
+    if (state.health == PeerHealth::kDead) continue;
+    if (state.health == PeerHealth::kSuspected) {
+      if (round < state.next_retx) continue;
+      if (state.probes_sent >= probe_budget_) {
+        // Probing outlasted every finite outage the spec allows plus the
+        // loss budget — the peer is dead. Drop its traffic so the run can
+        // quiesce; the inner algorithms degrade as under a crash.
+        state.health = PeerHealth::kDead;
+        stats_.abandoned += state.pending.size() + state.parked.size();
+        state.pending.clear();
+        state.parked.clear();
+        continue;
+      }
+      ctx.send(state.peer,
+               make_heartbeat(ctx.self(), state.peer, state.received));
+      ++state.probes_sent;
+      ++stats_.probes;
+      state.next_retx = round + kSyncProbeInterval;
+      continue;
+    }
+    if (state.pending.empty() || round < state.next_retx) continue;
+    ++state.fails;
+    if (state.fails > suspect_after_) {
+      // Bounded loss alone cannot explain this much silence: suspect the
+      // peer, shelve its data, and fall back to heartbeat probing.
+      state.health = PeerHealth::kSuspected;
+      ++stats_.suspicions;
+      auto it = std::lower_bound(ever_suspected_.begin(),
+                                 ever_suspected_.end(), state.peer);
+      if (it == ever_suspected_.end() || *it != state.peer)
+        ever_suspected_.insert(it, state.peer);
+      state.parked = std::move(state.pending);
+      state.pending.clear();
+      state.probes_sent = 1;
+      ctx.send(state.peer,
+               make_heartbeat(ctx.self(), state.peer, state.received));
+      ++stats_.probes;
+      state.next_retx = round + kSyncProbeInterval;
+      continue;
+    }
+    for (const PendingFrame& frame : state.pending) ctx.send(state.peer, frame.frame);
+    stats_.retransmits += state.pending.size();
+    state.next_retx = round + backoff_interval(ctx, state);
+  }
+}
+
+void ReliableSyncProgram::sweep_fixed(SyncContext& ctx, std::size_t round) {
+  // First-generation transport: resend everything unacked every other
+  // round, and abandon frames two full windows old — by then a live peer
+  // has provably received them (only the acks can still be missing), so an
+  // unacked survivor means the peer is dead.
+  if (round % 2 != 0) return;
+  for (PeerState& state : peers_) {
+    const std::size_t before = state.pending.size();
+    std::erase_if(state.pending,
+                  [this, round](const PendingFrame& frame) {
+                    return round >= frame.sent_round + 2 * dilation_;
+                  });
+    stats_.abandoned += before - state.pending.size();
+    for (const PendingFrame& frame : state.pending)
+      ctx.send(state.peer, frame.frame);
+    stats_.retransmits += state.pending.size();
+  }
 }
 
 void ReliableSyncProgram::on_round(SyncContext& ctx,
@@ -170,7 +362,18 @@ void ReliableSyncProgram::on_round(SyncContext& ctx,
     } else if (message.tag == kReliableAckTag) {
       FDLSP_REQUIRE(message.data.size() == kAckWords,
                     "reliable ack malformed");
-      if (checksum_ok(message.from, ctx.self(), message)) handle_ack(message);
+      if (checksum_ok(message.from, ctx.self(), message))
+        handle_ack(message, round);
+    } else if (message.tag == kReliableHeartbeatTag) {
+      FDLSP_REQUIRE(message.data.size() == kAckWords,
+                    "reliable heartbeat malformed");
+      if (!checksum_ok(message.from, ctx.self(), message)) continue;
+      // A heartbeat is an ack that demands an answer: absorb its
+      // cumulative ack, then queue a reply so the prober hears us.
+      handle_ack(message, round);
+      if (std::find(ack_due_.begin(), ack_due_.end(), message.from) ==
+          ack_due_.end())
+        ack_due_.push_back(message.from);
     } else {
       FDLSP_REQUIRE(false, "unexpected wire tag under reliable wrapper");
     }
@@ -178,19 +381,10 @@ void ReliableSyncProgram::on_round(SyncContext& ctx,
   for (NodeId peer : ack_due_)
     ctx.send(peer, make_ack(ctx.self(), peer, peer_state(peer).received));
 
-  // Retransmission sweep: resend everything unacked every other round, and
-  // abandon frames two full windows old — by then a live peer has provably
-  // received them (only the acks can still be missing), so an unacked
-  // survivor means the peer is dead.
-  if (round % 2 == 0) {
-    for (PeerState& state : peers_) {
-      std::erase_if(state.pending,
-                    [this, round](const PendingFrame& frame) {
-                      return round >= frame.sent_round + 2 * dilation_;
-                    });
-      for (const PendingFrame& frame : state.pending)
-        ctx.send(state.peer, frame.frame);
-    }
+  if (tuning_ == TransportTuning::kAdaptive) {
+    sweep_adaptive(ctx, round);
+  } else {
+    sweep_fixed(ctx, round);
   }
 
   // Window boundary: assemble the previous inner round's inbox and run the
@@ -219,8 +413,8 @@ void ReliableSyncProgram::on_round(SyncContext& ctx,
 
 bool ReliableSyncProgram::ready_for_phase_advance() const {
   // The engine's barrier promises "no messages in flight"; at this layer
-  // that means no unacked outbound frames and no buffered inbound frames
-  // the wrapped program has not consumed yet.
+  // that means no unacked or shelved outbound frames and no buffered
+  // inbound frames the wrapped program has not consumed yet.
   return inner_->ready_for_phase_advance() && channels_idle();
 }
 
@@ -238,9 +432,16 @@ bool ReliableSyncProgram::finished() const {
 
 namespace {
 
-/// Retransmission period in simulated time. Delays are at most one unit, so
-/// one period covers a frame and its ack round trip.
+/// Base retransmission period in simulated time. Delays are at most one
+/// unit, so one period covers a frame and its ack round trip; the adaptive
+/// RTO never drops below this (an earlier timer would count phantom
+/// failures against live peers).
 constexpr double kRetransmitPeriod = 2.0;
+/// Adaptive RTO clamp before backoff, and the hard ceiling after it.
+constexpr double kMaxBaseRto = 6.0;
+constexpr double kMaxRto = 8.0;
+/// Heartbeat cadence while a peer is suspected.
+constexpr double kProbePeriod = 4.0;
 
 std::int64_t peer_cookie(NodeId peer) {
   return -static_cast<std::int64_t>(peer) - 1;
@@ -253,18 +454,32 @@ NodeId cookie_peer(std::int64_t cookie) {
 }  // namespace
 
 ReliableAsyncProgram::ReliableAsyncProgram(std::unique_ptr<AsyncProgram> inner,
-                                           const FaultSpec& spec)
-    : inner_(std::move(inner)) {
+                                           const FaultSpec& spec,
+                                           TransportTuning tuning)
+    : inner_(std::move(inner)), tuning_(tuning) {
   FDLSP_REQUIRE(inner_ != nullptr, "reliable wrapper needs a program");
-  // Each failed retransmission round consumes loss budget on the frame or
-  // the ack channel; once both caps are exhausted the next attempt
-  // succeeds. Churn can stall attempts for one window on each path.
-  give_up_attempts_ =
-      2 * static_cast<std::size_t>(spec.max_losses_per_channel) + 8;
+  const std::size_t one_way = one_way_budget(spec);
+  const std::size_t round_trip = 2 * one_way;
+  // kFixed: each failed retransmission attempt consumes loss budget on the
+  // frame or the ack channel; once both budgets are exhausted the next
+  // attempt succeeds. Down windows can stall attempts on each path.
+  give_up_attempts_ = round_trip + 8;
   if (spec.link_down_fraction > 0.0)
     give_up_attempts_ +=
         static_cast<std::size_t>(spec.link_down_duration / kRetransmitPeriod) +
         2;
+  if (spec.region_count > 0)
+    give_up_attempts_ += static_cast<std::size_t>(
+                             static_cast<double>(spec.region_count) *
+                             spec.region_duration / kRetransmitPeriod) +
+                         2;
+  // kAdaptive: a live peer acks within one RTO unless loss burned budget,
+  // so suspicion needs more silence than the round-trip budget explains;
+  // the probe budget additionally outlasts every finite outage window.
+  suspect_after_ = round_trip + 4;
+  probe_budget_ = static_cast<std::size_t>(
+                      static_cast<double>(stall_bound(spec)) / kProbePeriod) +
+                  round_trip + 4;
 }
 
 ReliableAsyncProgram::PeerState& ReliableAsyncProgram::peer_state(
@@ -279,20 +494,71 @@ ReliableAsyncProgram::PeerState& ReliableAsyncProgram::peer_state(
   return *it;
 }
 
-void ReliableAsyncProgram::arm_timer(AsyncContext& ctx, PeerState& state) {
+void ReliableAsyncProgram::arm_timer(AsyncContext& ctx, PeerState& state,
+                                     double delay) {
   if (state.timer_armed) return;
   state.timer_armed = true;
-  ctx.set_timer(kRetransmitPeriod, peer_cookie(state.peer));
+  ctx.set_timer(delay, peer_cookie(state.peer));
+}
+
+double ReliableAsyncProgram::retransmit_interval(const AsyncContext& ctx,
+                                                 const PeerState& state) {
+  // Adaptive RTO: smoothed RTT scaled by the EWMA loss estimate, clamped,
+  // then doubled every other failed attempt up to the hard ceiling, plus a
+  // deterministic fractional jitter so neighbors never retransmit in
+  // lockstep.
+  const double srtt = state.srtt > 0.0 ? state.srtt : kRetransmitPeriod;
+  double base = srtt * (1.0 + 3.0 * state.loss_hat);
+  base = std::min(std::max(base, kRetransmitPeriod), kMaxBaseRto);
+  const std::size_t shift = std::min<std::size_t>(state.attempts / 2, 2);
+  double rto = std::min(base * static_cast<double>(std::size_t{1} << shift),
+                        kMaxRto);
+  const std::uint64_t h = jitter_hash(ctx.self(), state.peer, state.attempts);
+  rto += 0.5 * (static_cast<double>(h >> 11) * 0x1.0p-53);
+  return rto;
+}
+
+void ReliableAsyncProgram::heard(AsyncContext& ctx, PeerState& state) {
+  state.attempts = 0;
+  if (state.health != PeerHealth::kSuspected) return;
+  state.health = PeerHealth::kTrusted;
+  ++stats_.retrusts;
+  state.pending = std::move(state.parked);
+  state.parked.clear();
+  if (state.pending.empty()) return;
+  // Resume shelved traffic immediately; Karn's rule applies (these frames
+  // waited, so their eventual acks must not pollute the RTT estimate).
+  for (PendingFrame& frame : state.pending) {
+    frame.retransmitted = true;
+    ctx.send(state.peer, frame.frame);
+  }
+  stats_.retransmits += state.pending.size();
+  arm_timer(ctx, state, retransmit_interval(ctx, state));
 }
 
 void ReliableAsyncProgram::capture_send(AsyncContext& ctx, NodeId to,
                                         Message message) {
   PeerState& state = peer_state(to);
+  if (state.health == PeerHealth::kDead) {
+    ++stats_.abandoned;
+    ++state.next_seq;
+    return;
+  }
   Message frame = make_frame(ctx.self(), to, state.next_seq, 0, message);
-  state.pending.push_back(PendingFrame{state.next_seq, frame});
+  if (state.health == PeerHealth::kSuspected) {
+    state.parked.push_back(
+        PendingFrame{state.next_seq, std::move(frame), ctx.now(), true});
+    ++state.next_seq;
+    return;
+  }
+  state.pending.push_back(
+      PendingFrame{state.next_seq, frame, ctx.now(), false});
   ++state.next_seq;
   ctx.send(to, std::move(frame));
-  arm_timer(ctx, state);
+  arm_timer(ctx, state,
+            tuning_ == TransportTuning::kAdaptive
+                ? retransmit_interval(ctx, state)
+                : kRetransmitPeriod);
 }
 
 void ReliableAsyncProgram::on_start(AsyncContext& ctx) {
@@ -336,6 +602,7 @@ void ReliableAsyncProgram::handle_frame(AsyncContext& ctx,
   Message original;
   {
     PeerState& state = peer_state(peer);
+    heard(ctx, state);
     if (seq == state.received + 1) {
       state.received = seq;
       original = unframe(message);
@@ -357,22 +624,50 @@ void ReliableAsyncProgram::handle_frame(AsyncContext& ctx,
   ctx.send(peer, make_ack(ctx.self(), peer, peer_state(peer).received));
 }
 
-void ReliableAsyncProgram::handle_ack(const Message& message) {
+void ReliableAsyncProgram::handle_ack(AsyncContext& ctx,
+                                      const Message& message) {
   const std::int64_t cumulative = message.data[1];
   PeerState& state = peer_state(message.from);
-  if (cumulative <= state.acked) return;
-  state.acked = cumulative;
-  state.attempts = 0;  // progress: the peer is alive and hearing us
-  std::erase_if(state.pending, [cumulative](const PendingFrame& frame) {
-    return frame.seq <= cumulative;
-  });
+  if (cumulative > state.acked) {
+    state.acked = cumulative;
+    // RTT sample from the newest frame this ack covers, unless it was ever
+    // retransmitted (Karn's rule: the sample would be ambiguous). Progress
+    // also decays the loss estimate.
+    const PendingFrame* newest = nullptr;
+    for (const PendingFrame& frame : state.pending)
+      if (frame.seq <= cumulative) newest = &frame;
+    if (newest != nullptr && !newest->retransmitted &&
+        tuning_ == TransportTuning::kAdaptive) {
+      const double sample = ctx.now() - newest->sent_at;
+      state.srtt = state.srtt > 0.0
+                       ? state.srtt + (sample - state.srtt) * 0.125
+                       : sample;
+    }
+    state.loss_hat *= 0.75;
+    std::erase_if(state.pending, [cumulative](const PendingFrame& frame) {
+      return frame.seq <= cumulative;
+    });
+  }
+  heard(ctx, state);  // any valid ack proves the peer is alive and hearing us
 }
 
 void ReliableAsyncProgram::on_message(AsyncContext& ctx,
                                       const Message& message) {
   if (message.tag == kReliableAckTag) {
     FDLSP_REQUIRE(message.data.size() == kAckWords, "reliable ack malformed");
-    if (checksum_ok(message.from, ctx.self(), message)) handle_ack(message);
+    if (checksum_ok(message.from, ctx.self(), message))
+      handle_ack(ctx, message);
+    return;
+  }
+  if (message.tag == kReliableHeartbeatTag) {
+    FDLSP_REQUIRE(message.data.size() == kAckWords,
+                  "reliable heartbeat malformed");
+    if (!checksum_ok(message.from, ctx.self(), message)) return;
+    // A heartbeat is an ack that demands an answer.
+    handle_ack(ctx, message);
+    ctx.send(message.from,
+             make_ack(ctx.self(), message.from,
+                      peer_state(message.from).received));
     return;
   }
   FDLSP_REQUIRE(message.tag == kReliableFrameTag,
@@ -393,24 +688,76 @@ void ReliableAsyncProgram::on_timer(AsyncContext& ctx, std::int64_t cookie) {
   const NodeId peer = cookie_peer(cookie);
   PeerState& state = peer_state(peer);
   state.timer_armed = false;
-  if (state.pending.empty()) return;
-  ++state.attempts;
-  if (state.attempts > give_up_attempts_) {
-    // A live peer would have acked within the attempt budget: either these
-    // frames were delivered (acks lost past the cap is impossible) or the
-    // peer is dead. Stop resending so the run can quiesce.
-    state.pending.clear();
+  if (tuning_ == TransportTuning::kFixed) {
+    if (state.pending.empty()) return;
+    ++state.attempts;
+    if (state.attempts > give_up_attempts_) {
+      // A live peer would have acked within the attempt budget: either
+      // these frames were delivered (acks lost past the cap is impossible)
+      // or the peer is dead. Stop resending so the run can quiesce.
+      stats_.abandoned += state.pending.size();
+      state.pending.clear();
+      return;
+    }
+    for (const PendingFrame& frame : state.pending)
+      ctx.send(peer, frame.frame);
+    stats_.retransmits += state.pending.size();
+    arm_timer(ctx, state, kRetransmitPeriod);
     return;
   }
-  for (const PendingFrame& frame : state.pending)
+  if (state.health == PeerHealth::kDead) return;
+  if (state.health == PeerHealth::kSuspected) {
+    if (state.probes_sent >= probe_budget_) {
+      // Probing outlasted every finite outage plus the loss budget — the
+      // peer is dead. Drop its traffic so the run can quiesce.
+      state.health = PeerHealth::kDead;
+      stats_.abandoned += state.pending.size() + state.parked.size();
+      state.pending.clear();
+      state.parked.clear();
+      return;
+    }
+    ctx.send(peer, make_heartbeat(ctx.self(), peer, state.received));
+    ++state.probes_sent;
+    ++stats_.probes;
+    arm_timer(ctx, state, kProbePeriod);
+    return;
+  }
+  if (state.pending.empty()) return;
+  ++state.attempts;
+  // Each failed attempt nudges the loss estimate up; acked progress decays
+  // it again, so the RTO tracks the channel's recent behavior.
+  state.loss_hat += (1.0 - state.loss_hat) * 0.25;
+  if (state.attempts > suspect_after_) {
+    state.health = PeerHealth::kSuspected;
+    ++stats_.suspicions;
+    auto it = std::lower_bound(ever_suspected_.begin(), ever_suspected_.end(),
+                               peer);
+    if (it == ever_suspected_.end() || *it != peer)
+      ever_suspected_.insert(it, peer);
+    state.parked = std::move(state.pending);
+    state.pending.clear();
+    state.probes_sent = 1;
+    ctx.send(peer, make_heartbeat(ctx.self(), peer, state.received));
+    ++stats_.probes;
+    arm_timer(ctx, state, kProbePeriod);
+    return;
+  }
+  for (PendingFrame& frame : state.pending) {
+    frame.retransmitted = true;
     ctx.send(peer, frame.frame);
-  arm_timer(ctx, state);
+  }
+  stats_.retransmits += state.pending.size();
+  const double rto = retransmit_interval(ctx, state);
+  if (rto > stats_.max_backoff) stats_.max_backoff = rto;
+  arm_timer(ctx, state, rto);
 }
 
 bool ReliableAsyncProgram::finished() const {
   if (!inner_->finished()) return false;
   for (const PeerState& state : peers_)
-    if (!state.pending.empty() || !state.reordered.empty()) return false;
+    if (!state.pending.empty() || !state.parked.empty() ||
+        !state.reordered.empty())
+      return false;
   return true;
 }
 

@@ -1,7 +1,7 @@
 // Ack/retransmit hardening: reliable-delivery wrappers for both engines.
 //
-// A FaultPlan (sim/fault.h) with drop/duplicate/corrupt rates breaks the
-// perfect-channel assumption every algorithm in src/algos is written
+// A FaultPlan (sim/fault.h) with drop/duplicate/corrupt/burst rates breaks
+// the perfect-channel assumption every algorithm in src/algos is written
 // against. These wrappers restore it *inside the protocol stack*, the way a
 // deployment would: each original message is framed with a checksum and a
 // per-peer sequence number, retransmitted until cumulatively acked, verified
@@ -11,22 +11,49 @@
 // captures, frames, and schedules.
 //
 // Why this terminates under a FaultPlan: losses per channel are bounded
-// (FaultSpec::max_losses_per_channel) and link-down windows are finite, so
-// a frame retransmitted every other round/time-unit is delivered within a
-// computable window; see round_dilation() below. Crashed peers never ack,
-// so retransmission gives up after the window in which a live peer would
-// provably have answered — a frame abandoned by give-up was either
-// delivered already (only its ack was lost) or addressed to a dead node.
+// (FaultSpec::max_losses_per_channel i.i.d.+PRR, FaultSpec::burst_cap for
+// bursts) and link-down/region-outage windows are finite, so a
+// retransmitted frame is delivered within a computable window; see
+// round_dilation() below.
+//
+// Transport tuning. TransportTuning::kFixed is the first-generation
+// transport: retransmit on a fixed cadence, give up unconditionally after a
+// budget sized so a live peer would provably have answered. kAdaptive (the
+// default) replaces both halves:
+//
+//   * Pacing — retransmits back off exponentially (sync: 2 -> 4 rounds;
+//     async: an RTT/loss-adaptive RTO, clamped) with a deterministic jitter
+//     hashed from (self, peer, attempt), so a burst does not trigger a
+//     synchronized retransmit storm and the paced run stays reproducible.
+//     The async wrapper estimates per-peer smoothed RTT (Karn's rule:
+//     retransmitted frames contribute no sample) and an EWMA loss rate that
+//     scales the timeout.
+//
+//   * Failure detection — the binary give-up becomes a per-peer
+//     trusted / suspected / dead state machine. A peer unheard for more
+//     failed attempts than bounded loss alone could explain (suspect_after:
+//     the full round-trip loss budget plus margin) becomes *suspected*:
+//     data frames for it are parked and the wrapper probes with heartbeats
+//     on a fixed cadence. Any checksum-valid message from the peer
+//     re-trusts it (parked frames resume). Only when the probe budget —
+//     sized to outlast every finite churn/outage window plus the loss
+//     budget — is also exhausted is the peer declared *dead*: parked and
+//     pending frames are dropped (counted as `abandoned`) and the channel
+//     quiesces. Under loss-only plans a live peer is never even suspected;
+//     under churn/outage plans it may be suspected transiently but is never
+//     declared dead. Suspicions are exported (suspected_peers) so the
+//     verify layer can hold the detector to completeness (crashed peers get
+//     suspected) and accuracy (nobody else does).
 //
 // Synchronous wrapper — round dilation. Lock-step rounds are the engine's
 // semantic, so reliability must preserve "all round-k messages arrive
 // before round k+1". The wrapper runs inner round k at outer round k*R
-// (R = round_dilation(spec)) and uses the R-1 outer rounds in between as
-// the retransmission window: frames carry their inner round number,
-// receivers buffer them per peer, and the inner inbox for round k is
-// assembled — sorted by (peer, sequence) for determinism — once the window
-// guarantees every round-k frame has landed. A frame surfacing after its
-// assembly point would mean the window math is wrong and fails loudly.
+// (R = round_dilation(spec, tuning)) and uses the R-1 outer rounds in
+// between as the retransmission window: frames carry their inner round
+// number, receivers buffer them per peer, and the inner inbox for round k
+// is assembled — sorted by (peer, sequence) for determinism — once the
+// window guarantees every round-k frame has landed. A frame surfacing after
+// its assembly point would mean the window math is wrong and fails loudly.
 //
 // Asynchronous wrapper — timer retransmit. No rounds to piggyback on, so
 // unacked frames are retransmitted on a timer (AsyncContext::set_timer);
@@ -48,25 +75,71 @@ namespace fdlsp {
 
 /// Wire tags of the wrapper protocol. Inner tags travel inside the frame
 /// payload, so the wrapped program's own tags can never collide with these.
-inline constexpr std::int32_t kReliableFrameTag = 0x52464C46;  // "RFLF"
-inline constexpr std::int32_t kReliableAckTag = 0x52464C41;    // "RFLA"
+inline constexpr std::int32_t kReliableFrameTag = 0x52464C46;      // "RFLF"
+inline constexpr std::int32_t kReliableAckTag = 0x52464C41;        // "RFLA"
+inline constexpr std::int32_t kReliableHeartbeatTag = 0x52464C48;  // "RFLH"
+
+/// Which transport generation a reliable wrapper runs.
+enum class TransportTuning {
+  kFixed,     ///< fixed retransmit cadence + unconditional give-up (legacy)
+  kAdaptive,  ///< backoff + EWMA estimation + suspect/trust failure detector
+};
+
+/// Per-peer verdict of the failure detector.
+enum class PeerHealth : std::uint8_t {
+  kTrusted,    ///< heard from recently enough; data flows normally
+  kSuspected,  ///< unheard past the loss budget; data parked, probing
+  kDead,       ///< probe budget exhausted too; traffic abandoned
+};
+
+/// Counters of one wrapper's transport-layer work during a run. The run
+/// functions aggregate them across nodes into ScheduleResult::transport.
+struct TransportStats {
+  std::uint64_t retransmits = 0;  ///< data frames re-sent
+  std::uint64_t probes = 0;       ///< heartbeat probes sent while suspected
+  std::uint64_t suspicions = 0;   ///< trusted -> suspected transitions
+  std::uint64_t retrusts = 0;     ///< suspected -> trusted recoveries
+  std::uint64_t abandoned = 0;    ///< frames dropped on a dead peer
+  double max_backoff = 0.0;       ///< largest retransmit interval reached
+
+  void merge(const TransportStats& other) {
+    retransmits += other.retransmits;
+    probes += other.probes;
+    suspicions += other.suspicions;
+    retrusts += other.retrusts;
+    abandoned += other.abandoned;
+    if (other.max_backoff > max_backoff) max_backoff = other.max_backoff;
+  }
+};
 
 /// Reliable-delivery wrapper for the synchronous engine (round dilation).
 class ReliableSyncProgram final : public SyncProgram {
  public:
   /// `spec` must be the spec of the FaultPlan installed on the engine: the
-  /// dilation factor is derived from its loss bounds.
+  /// dilation factor and the detector budgets are derived from its loss
+  /// bounds. `tuning` selects the transport generation.
   ReliableSyncProgram(std::unique_ptr<SyncProgram> inner,
-                      const FaultSpec& spec);
+                      const FaultSpec& spec,
+                      TransportTuning tuning = TransportTuning::kAdaptive);
 
   /// Outer rounds per inner round: the retransmission window sized so that
-  /// bounded per-channel loss plus one finite link-down window cannot delay
-  /// a frame past its assembly point.
-  static std::size_t round_dilation(const FaultSpec& spec);
+  /// bounded per-channel loss (i.i.d. + PRR + burst budgets), every finite
+  /// churn/outage window, and — under kAdaptive — one suspect/probe/retrust
+  /// cycle cannot delay a frame past its assembly point.
+  static std::size_t round_dilation(
+      const FaultSpec& spec, TransportTuning tuning = TransportTuning::kAdaptive);
 
   /// The wrapped program (result extraction after a run).
   SyncProgram& inner() noexcept { return *inner_; }
   const SyncProgram& inner() const noexcept { return *inner_; }
+
+  /// Transport-layer work counters for this node.
+  const TransportStats& transport_stats() const noexcept { return stats_; }
+
+  /// Peers this node's detector ever moved to kSuspected, ascending.
+  const std::vector<NodeId>& suspected_peers() const noexcept {
+    return ever_suspected_;
+  }
 
   void on_round(SyncContext& ctx, std::span<const Message> inbox) override;
   bool ready_for_phase_advance() const override;
@@ -89,34 +162,57 @@ class ReliableSyncProgram final : public SyncProgram {
     std::int64_t next_seq = 1;   // next outbound sequence number
     std::int64_t acked = 0;      // highest cumulative ack received
     std::int64_t received = 0;   // highest contiguous inbound seq accepted
-    std::vector<PendingFrame> pending;   // unacked, seq ascending
+    PeerHealth health = PeerHealth::kTrusted;
+    std::size_t fails = 0;       // retransmit sweeps since last heard
+    std::size_t probes_sent = 0; // heartbeats since this suspicion began
+    std::size_t next_retx = 0;   // outer round of the next retransmit/probe
+    std::vector<PendingFrame> pending;    // unacked, seq ascending
+    std::vector<PendingFrame> parked;     // shelved while suspected
     std::vector<BufferedFrame> buffered;  // awaiting inner-round assembly
   };
 
   PeerState& peer_state(NodeId peer);
   void capture_send(SyncContext& ctx, NodeId to, Message message);
   void handle_frame(SyncContext& ctx, const Message& message);
-  void handle_ack(const Message& message);
+  void handle_ack(const Message& message, std::size_t round);
+  void heard(PeerState& state, std::size_t round);
+  void sweep_adaptive(SyncContext& ctx, std::size_t round);
+  void sweep_fixed(SyncContext& ctx, std::size_t round);
+  std::size_t backoff_interval(const SyncContext& ctx, const PeerState& state);
   bool channels_idle() const;
 
   std::unique_ptr<SyncProgram> inner_;
+  TransportTuning tuning_;
   std::size_t dilation_;
+  std::size_t suspect_after_;  // failed sweeps before kSuspected
+  std::size_t probe_budget_;   // heartbeats before kDead
   std::size_t next_inner_round_ = 0;  // next inner round to execute
   std::vector<PeerState> peers_;      // sorted by peer id
   std::vector<NodeId> ack_due_;       // peers to ack this round
+  std::vector<NodeId> ever_suspected_;  // sorted, deduplicated
+  TransportStats stats_;
 };
 
 /// Reliable-delivery wrapper for the asynchronous engine (timer retransmit).
 class ReliableAsyncProgram final : public AsyncProgram {
  public:
   /// `spec` must be the spec of the FaultPlan installed on the engine: the
-  /// retransmission give-up budget is derived from its loss bounds.
+  /// retransmission and detector budgets are derived from its loss bounds.
   ReliableAsyncProgram(std::unique_ptr<AsyncProgram> inner,
-                       const FaultSpec& spec);
+                       const FaultSpec& spec,
+                       TransportTuning tuning = TransportTuning::kAdaptive);
 
   /// The wrapped program (result extraction after a run).
   AsyncProgram& inner() noexcept { return *inner_; }
   const AsyncProgram& inner() const noexcept { return *inner_; }
+
+  /// Transport-layer work counters for this node.
+  const TransportStats& transport_stats() const noexcept { return stats_; }
+
+  /// Peers this node's detector ever moved to kSuspected, ascending.
+  const std::vector<NodeId>& suspected_peers() const noexcept {
+    return ever_suspected_;
+  }
 
   void on_start(AsyncContext& ctx) override;
   void on_message(AsyncContext& ctx, const Message& message) override;
@@ -127,6 +223,8 @@ class ReliableAsyncProgram final : public AsyncProgram {
   struct PendingFrame {
     std::int64_t seq;
     Message frame;
+    double sent_at = 0.0;        // first-transmission time (RTT sampling)
+    bool retransmitted = false;  // Karn's rule: no RTT sample once resent
   };
   struct ReorderedFrame {
     std::int64_t seq;
@@ -137,23 +235,35 @@ class ReliableAsyncProgram final : public AsyncProgram {
     std::int64_t next_seq = 1;
     std::int64_t acked = 0;
     std::int64_t received = 0;
-    std::size_t attempts = 0;     // retransmission rounds since last progress
+    std::size_t attempts = 0;     // retransmission timers since last progress
+    PeerHealth health = PeerHealth::kTrusted;
+    std::size_t probes_sent = 0;  // heartbeats since this suspicion began
+    double srtt = 0.0;            // smoothed RTT (0 until first sample)
+    double loss_hat = 0.0;        // EWMA loss estimate driving the RTO
     bool timer_armed = false;
-    std::vector<PendingFrame> pending;     // unacked, seq ascending
+    std::vector<PendingFrame> pending;      // unacked, seq ascending
+    std::vector<PendingFrame> parked;       // shelved while suspected
     std::vector<ReorderedFrame> reordered;  // accepted out of order
   };
 
   PeerState& peer_state(NodeId peer);
   void capture_send(AsyncContext& ctx, NodeId to, Message message);
   void handle_frame(AsyncContext& ctx, const Message& message);
-  void handle_ack(const Message& message);
-  void arm_timer(AsyncContext& ctx, PeerState& state);
+  void handle_ack(AsyncContext& ctx, const Message& message);
+  void heard(AsyncContext& ctx, PeerState& state);
+  void arm_timer(AsyncContext& ctx, PeerState& state, double delay);
+  double retransmit_interval(const AsyncContext& ctx, const PeerState& state);
   void deliver_in_order(AsyncContext& ctx, PeerState& state,
                         Message original);
 
   std::unique_ptr<AsyncProgram> inner_;
-  std::size_t give_up_attempts_;
+  TransportTuning tuning_;
+  std::size_t give_up_attempts_;  // kFixed: attempts before abandoning
+  std::size_t suspect_after_;     // kAdaptive: attempts before kSuspected
+  std::size_t probe_budget_;      // kAdaptive: heartbeats before kDead
   std::vector<PeerState> peers_;  // sorted by peer id
+  std::vector<NodeId> ever_suspected_;  // sorted, deduplicated
+  TransportStats stats_;
 };
 
 }  // namespace fdlsp

@@ -234,8 +234,13 @@ void SyncEngine::deliver_faulted(ArcId channel, NodeId from, NodeId to,
     ++faults_->stats().link_down_drops;
     return;
   }
+  // fdlsp-lint: hot — region outage test is a per-edge bitmask probe
+  if (faults_->region_down(channel, now)) {
+    ++faults_->stats().region_drops;
+    return;
+  }
   const std::uint64_t index = channel_posts_[channel]++;
-  switch (faults_->channel_action(channel, index)) {
+  switch (faults_->channel_action(channel, index, now)) {
     case FaultAction::kDrop:
       return;
     case FaultAction::kDuplicate:
@@ -258,6 +263,7 @@ SyncMetrics SyncEngine::run(std::size_t max_rounds) {
   std::size_t phase = 0;
   const std::size_t n = graph_.num_nodes();
   if (faults_ != nullptr) {
+    faults_->on_run_start();
     channel_posts_.assign(2 * graph_.num_edges(), 0);
     // Per-(neighbor-pair) channel ids, computed once and reused for every
     // faulted message.

@@ -147,6 +147,81 @@ OracleVerdict check_fault_quiescence(SchedulerKind kind, const Graph& graph,
   return verdict;
 }
 
+OracleVerdict check_burst_quiescence(SchedulerKind kind, const Graph& graph,
+                                     std::uint64_t seed,
+                                     const FaultSpec& spec) {
+  OracleVerdict verdict = check_fault_quiescence(kind, graph, seed, spec);
+  if (!verdict.ok) return verdict;
+  const ScheduleResult faulted =
+      run_scheduler_faulted(kind, graph, seed, spec, /*reliable=*/true);
+  // Round bound: the wrapper restores perfect-channel semantics, so the
+  // inner protocol consumes the same rounds as a clean run and the outer
+  // round count is bounded by clean rounds times the provisioned dilation,
+  // plus a drain margin for the final window and any detector probe tail.
+  // Crash plans change the inner protocol's behavior (dead nodes stop
+  // participating), so the clean run is no yardstick there; and async
+  // schedulers have no rounds — their anti-livelock statement is the event
+  // watchdog behind `completed`, already checked above.
+  if (faulted.rounds > 0 && spec.crash_fraction == 0.0) {
+    const ScheduleResult clean = run_scheduler(kind, graph, seed);
+    const std::size_t dilation = ReliableSyncProgram::round_dilation(spec);
+    const std::size_t bound = (clean.rounds + 8) * dilation;
+    if (faulted.rounds > bound) {
+      verdict.ok = false;
+      verdict.failure = describe(
+          "burst-quiescence",
+          "faulted run took " + std::to_string(faulted.rounds) +
+              " rounds, bound is " + std::to_string(bound) + " (clean " +
+              std::to_string(clean.rounds) + " rounds x dilation " +
+              std::to_string(dilation) + " + drain)");
+    }
+  }
+  return verdict;
+}
+
+OracleVerdict check_detector(SchedulerKind kind, const Graph& graph,
+                             std::uint64_t seed, const FaultSpec& spec) {
+  OracleVerdict verdict;
+  const ScheduleResult result =
+      run_scheduler_faulted(kind, graph, seed, spec, /*reliable=*/true);
+  // Consistency: under the adaptive transport, frames die only through the
+  // suspected -> dead path, so abandonment without a suspicion means the
+  // state machine was bypassed; and re-trusts consume prior suspicions.
+  if (result.transport.abandoned > 0 && result.transport.suspicions == 0) {
+    verdict.ok = false;
+    verdict.failure = describe(
+        "detector-consistency",
+        std::to_string(result.transport.abandoned) +
+            " frames abandoned without any suspicion");
+    return verdict;
+  }
+  if (result.transport.retrusts > result.transport.suspicions) {
+    verdict.ok = false;
+    verdict.failure = describe(
+        "detector-consistency",
+        std::to_string(result.transport.retrusts) + " re-trusts exceed " +
+            std::to_string(result.transport.suspicions) + " suspicions");
+    return verdict;
+  }
+  // Accuracy: only churn/outage windows can silence a live peer past the
+  // loss budget, so without them every suspicion must point at a crashed
+  // node (and under loss-only specs there are none to point at).
+  if (spec.link_down_fraction == 0.0 && spec.region_count == 0) {
+    const FaultPlan plan(spec, graph);
+    const std::vector<NodeId> crashed = plan.crashed_nodes();
+    for (NodeId v : result.suspected) {
+      if (std::binary_search(crashed.begin(), crashed.end(), v)) continue;
+      verdict.ok = false;
+      verdict.failure = describe(
+          "detector-accuracy",
+          "live node " + std::to_string(v) +
+              " was suspected under a bounded-loss spec");
+      return verdict;
+    }
+  }
+  return verdict;
+}
+
 CrashRecoveryReport check_crash_recovery(SchedulerKind kind,
                                          const Graph& graph,
                                          std::uint64_t seed,
@@ -276,13 +351,36 @@ FaultShrinkOutcome shrink_fault_case(const Graph& start, const FaultSpec& spec,
   bool progressed = true;
   while (progressed && budget_left() > 0) {
     progressed = false;
+    // Disarm whole classes first: the doubles...
     for (double FaultSpec::* rate :
          {&FaultSpec::drop_rate, &FaultSpec::duplicate_rate,
-          &FaultSpec::corrupt_rate, &FaultSpec::crash_fraction,
-          &FaultSpec::link_down_fraction}) {
+          &FaultSpec::corrupt_rate, &FaultSpec::burst_rate,
+          &FaultSpec::crash_fraction, &FaultSpec::link_down_fraction}) {
       if (outcome.spec.*rate == 0.0) continue;
       FaultSpec candidate = outcome.spec;
       candidate.*rate = 0.0;
+      // Disarming bursts also resets the knobs only bursts read, so the
+      // shrunk spec prints minimal.
+      if (rate == &FaultSpec::burst_rate) {
+        candidate.burst_recover = defaults.burst_recover;
+        candidate.burst_loss = defaults.burst_loss;
+        candidate.burst_max_run = defaults.burst_max_run;
+        candidate.burst_cap = defaults.burst_cap;
+      }
+      if (try_spec(candidate)) progressed = true;
+    }
+    // ...then the PRR matrix and the outage regions.
+    if (!outcome.spec.prr_levels.empty()) {
+      FaultSpec candidate = outcome.spec;
+      candidate.prr_levels.clear();
+      if (try_spec(candidate)) progressed = true;
+    }
+    if (outcome.spec.region_count > 0) {
+      FaultSpec candidate = outcome.spec;
+      candidate.region_count = 0;
+      candidate.region_radius = defaults.region_radius;
+      candidate.region_horizon = defaults.region_horizon;
+      candidate.region_duration = defaults.region_duration;
       if (try_spec(candidate)) progressed = true;
     }
     if (outcome.spec.seed != defaults.seed) {
@@ -296,10 +394,23 @@ FaultShrinkOutcome shrink_fault_case(const Graph& start, const FaultSpec& spec,
       candidate.max_losses_per_channel = defaults.max_losses_per_channel;
       if (try_spec(candidate)) progressed = true;
     }
+    for (std::uint64_t FaultSpec::* knob :
+         {&FaultSpec::burst_max_run, &FaultSpec::burst_cap}) {
+      if (outcome.spec.*knob == defaults.*knob) continue;
+      FaultSpec candidate = outcome.spec;
+      candidate.*knob = defaults.*knob;
+      if (try_spec(candidate)) progressed = true;
+    }
+    // Fewer regions beats a smaller radius: halve the disc count too.
+    if (outcome.spec.region_count > 1) {
+      FaultSpec candidate = outcome.spec;
+      candidate.region_count = outcome.spec.region_count / 2;
+      if (try_spec(candidate)) progressed = true;
+    }
     for (double FaultSpec::* rate :
          {&FaultSpec::drop_rate, &FaultSpec::duplicate_rate,
-          &FaultSpec::corrupt_rate, &FaultSpec::crash_fraction,
-          &FaultSpec::link_down_fraction}) {
+          &FaultSpec::corrupt_rate, &FaultSpec::burst_rate,
+          &FaultSpec::crash_fraction, &FaultSpec::link_down_fraction}) {
       if (outcome.spec.*rate <= 0.01) continue;
       FaultSpec candidate = outcome.spec;
       candidate.*rate = outcome.spec.*rate / 2.0;

@@ -62,6 +62,34 @@ OracleVerdict check_fault_quiescence(SchedulerKind kind, const Graph& graph,
                                      std::uint64_t seed,
                                      const FaultSpec& spec);
 
+/// The burst-quiescence oracle: graceful degradation under correlated loss.
+/// Runs `kind` hardened with the adaptive transport under `spec` (meant for
+/// specs with bursts / PRR / region outages armed), applies
+/// check_fault_result, re-runs for byte-determinism, and — for synchronous
+/// schedulers on crash-free specs — bounds the faulted round count by the
+/// clean run's rounds times the transport's provisioned dilation plus a
+/// drain margin: the executable form of "bounded bursts delay the schedule,
+/// they never livelock it". Asynchronous runs are bounded by the engine's
+/// event watchdog instead (a livelock fails `completed`).
+OracleVerdict check_burst_quiescence(SchedulerKind kind, const Graph& graph,
+                                     std::uint64_t seed,
+                                     const FaultSpec& spec);
+
+/// The failure-detector oracle. Runs `kind` hardened with the adaptive
+/// transport under `spec` and holds the detector to:
+///   * accuracy — with no churn/outage windows armed, bounded loss alone
+///     never gets a live peer suspected: under loss-only specs `suspected`
+///     must be empty, and with crashes armed it must be a subset of the
+///     crash schedule.
+///   * consistency — frames are abandoned only on peers that were suspected
+///     first (abandoned > 0 implies suspicions > 0), and every re-trust
+///     pairs with an earlier suspicion (retrusts <= suspicions).
+/// Completeness (a crashed peer with pending traffic is eventually
+/// suspected) is pinned by the targeted transport tests
+/// (reliable_channel_test), which control exactly who sends what.
+OracleVerdict check_detector(SchedulerKind kind, const Graph& graph,
+                             std::uint64_t seed, const FaultSpec& spec);
+
 /// Outcome of the crash-recovery workflow.
 struct CrashRecoveryReport {
   bool ok = true;

@@ -24,6 +24,7 @@
 #include "coloring/checker.h"
 #include "graph/algorithms.h"
 #include "graph/arcs.h"
+#include "graph/generators.h"
 #include "graph/graph.h"
 #include "sim/delay.h"
 #include "sim/fault.h"
@@ -66,6 +67,38 @@ std::vector<FaultSpec> fault_classes(std::uint64_t seed) {
   churn.link_down_duration = 3.0;
 
   return {loss, noise, crash, churn};
+}
+
+/// The correlated-loss classes (issue 9): Gilbert–Elliott bursts, the PRR
+/// matrix, region outages, and a mixed plan arming all three on top of
+/// i.i.d. loss. Judged by the graceful-degradation oracles below rather
+/// than plain quiescence.
+std::vector<FaultSpec> correlated_classes(std::uint64_t seed) {
+  FaultSpec burst;
+  burst.seed = seed;
+  burst.burst_rate = 0.25;
+  burst.burst_recover = 0.25;
+  burst.burst_loss = 0.9;
+
+  FaultSpec prr;
+  prr.seed = seed;
+  prr.prr_levels = {0.9, 0.7, 0.5};
+
+  FaultSpec region;
+  region.seed = seed;
+  region.region_count = 2;
+  region.region_radius = 0.4;
+  region.region_horizon = 12.0;
+  region.region_duration = 4.0;
+
+  FaultSpec mixed;
+  mixed.seed = seed;
+  mixed.drop_rate = 0.1;
+  mixed.burst_rate = 0.15;
+  mixed.prr_levels = {0.8};
+  mixed.region_count = 1;
+
+  return {burst, prr, region, mixed};
 }
 
 class FaultSweep : public ::testing::TestWithParam<SchedulerKind> {};
@@ -128,6 +161,57 @@ TEST_P(FaultSweep, HardenedRunsPassFaultOracles) {
 
 INSTANTIATE_TEST_SUITE_P(
     Sweep, FaultSweep,
+    ::testing::Values(SchedulerKind::kDistMisGbg,
+                      SchedulerKind::kDistMisGeneral,
+                      SchedulerKind::kRandomized, SchedulerKind::kDfs,
+                      SchedulerKind::kDmgc),
+    [](const auto& param_info) {
+      std::string name = scheduler_name(param_info.param);
+      for (char& ch : name)
+        if (ch == '-') ch = '_';
+      return name;
+    });
+
+// The correlated-loss sweep: every distributed scheduler × the burst /
+// PRR / region / mixed classes, judged by the graceful-degradation pair —
+// burst-quiescence (bounded correlated loss delays the schedule within the
+// provisioned dilation, never livelocks it) and the detector oracle
+// (suspicions stay accurate and consistent).
+class CorrelatedSweep : public ::testing::TestWithParam<SchedulerKind> {};
+
+TEST_P(CorrelatedSweep, AdaptiveTransportPassesDegradationOracles) {
+  const SchedulerKind kind = GetParam();
+  const bool needs_connected = kind == SchedulerKind::kDfs;
+  const std::uint64_t base_seed =
+      0xb1257ULL * (static_cast<std::uint64_t>(kind) + 1) + 9;
+  const std::vector<Scenario> scenarios =
+      sample_scenarios(12, base_seed, /*max_nodes=*/10);
+
+  const ScenarioCheckFn check = [kind, needs_connected](
+                                    const Scenario& scenario, std::size_t) {
+    ScenarioOutcome outcome;
+    const Graph graph = materialize(scenario);
+    if (needs_connected && !is_connected(graph)) return outcome;
+    for (const FaultSpec& spec : correlated_classes(scenario.seed + 3)) {
+      for (const auto& oracle : {check_burst_quiescence, check_detector}) {
+        const OracleVerdict verdict =
+            oracle(kind, graph, scenario.seed, spec);
+        if (!verdict.ok)
+          outcome.failures.push_back(
+              verdict.failure + "\nrepro: " +
+              fault_repro_command(scenario, scheduler_name(kind), spec));
+        ++outcome.checks;
+      }
+    }
+    return outcome;
+  };
+  const ScenarioSweep sweep = run_scenarios(scenarios, check, &sweep_pool());
+  EXPECT_TRUE(sweep.ok()) << sweep.failure_digest();
+  EXPECT_GE(sweep.checks, 8 * 12 / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CorrelatedSweep,
     ::testing::Values(SchedulerKind::kDistMisGbg,
                       SchedulerKind::kDistMisGeneral,
                       SchedulerKind::kRandomized, SchedulerKind::kDfs,
@@ -295,6 +379,45 @@ TEST(FaultInjectionTest, FailingFaultPlanShrinksToReplayableRepro) {
   EXPECT_NE(repro.find("--faults="), std::string::npos) << repro;
   EXPECT_NE(repro.find("--scheduler=dist_repair"), std::string::npos)
       << repro;
+}
+
+// Shrinking disarms the correlated classes wholesale: when a failure only
+// needs i.i.d. loss, the minimized spec must have shed its bursts, PRR
+// matrix, region outages, and their tuning knobs, so the replay line stays
+// one short --faults= string.
+TEST(FaultInjectionTest, CorrelatedSpecFieldsShrinkAway) {
+  const Graph graph = generate_cycle(8);
+  FaultSpec spec;
+  spec.seed = 77;
+  spec.drop_rate = 0.6;
+  spec.burst_rate = 0.3;
+  spec.burst_max_run = 16;
+  spec.burst_cap = 32;
+  spec.prr_levels = {0.5, 0.8};
+  spec.region_count = 2;
+  spec.region_duration = 6.0;
+  // The failure only depends on the i.i.d. drop rate: everything else is
+  // shrinkable noise.
+  const FaultFailingPredicate still_fails =
+      [](const Graph& candidate, const FaultSpec& candidate_spec) {
+        return candidate.num_edges() > 0 && candidate_spec.drop_rate >= 0.3;
+      };
+  const FaultShrinkOutcome shrunk =
+      shrink_fault_case(graph, spec, still_fails);
+  EXPECT_TRUE(still_fails(shrunk.graph, shrunk.spec));
+  EXPECT_EQ(shrunk.spec.burst_rate, 0.0);
+  EXPECT_TRUE(shrunk.spec.prr_levels.empty());
+  EXPECT_EQ(shrunk.spec.region_count, 0u);
+  const FaultSpec defaults;
+  EXPECT_EQ(shrunk.spec.burst_max_run, defaults.burst_max_run);
+  EXPECT_EQ(shrunk.spec.burst_cap, defaults.burst_cap);
+  EXPECT_EQ(shrunk.spec.region_duration, defaults.region_duration);
+  EXPECT_LE(shrunk.spec.drop_rate, spec.drop_rate);
+  const std::string repro = fault_repro_command(
+      scenario_from_graph(shrunk.graph), "distMIS", shrunk.spec);
+  EXPECT_NE(repro.find("--faults="), std::string::npos) << repro;
+  EXPECT_EQ(repro.find("bp="), std::string::npos) << repro;
+  EXPECT_EQ(repro.find("regions="), std::string::npos) << repro;
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 // the zero-fault byte-identity guarantee of the injection seam.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -140,6 +142,174 @@ TEST(FaultPlanTest, LinkDownWindowsAreFinite) {
     EXPECT_FALSE(plan.link_down(
         forward, spec.link_down_horizon + spec.link_down_duration + 1.0));
   }
+}
+
+TEST(FaultPlanTest, BurstChainIsDeterministicAndBounded) {
+  const Graph graph = test_graph();
+  FaultSpec spec;
+  spec.seed = 13;
+  spec.burst_rate = 0.9;      // chains go bad quickly...
+  spec.burst_recover = 0.1;   // ...and stay bad a while
+  spec.burst_loss = 1.0;
+  spec.burst_cap = 4;
+  FaultPlan a(spec, graph);
+  FaultPlan b(spec, graph);
+  std::uint64_t drops = 0;
+  std::uint64_t index = 0;
+  for (std::uint64_t step = 0; step < 200; ++step) {
+    const FaultAction action =
+        a.channel_action(/*channel=*/0, index, static_cast<double>(step));
+    ASSERT_EQ(action,
+              b.channel_action(0, index, static_cast<double>(step)))
+        << "step " << step;
+    ++index;
+    if (action == FaultAction::kDrop) ++drops;
+  }
+  // Bursts happen, but never beyond the per-edge budget.
+  EXPECT_GT(drops, 0u);
+  EXPECT_LE(drops, spec.burst_cap);
+  EXPECT_EQ(a.stats().burst_dropped, drops);
+  // Budget exhausted: the edge's chain is pinned good forever after.
+  for (std::uint64_t step = 200; step < 260; ++step)
+    EXPECT_EQ(a.channel_action(0, index++, static_cast<double>(step)),
+              FaultAction::kDeliver);
+}
+
+TEST(FaultPlanTest, BurstStateIsSharedAcrossEdgeDirections) {
+  const Graph graph = test_graph();
+  FaultSpec spec;
+  spec.seed = 21;
+  spec.burst_rate = 1.0;  // bad from step 1 onward
+  spec.burst_recover = 0.0;
+  spec.burst_loss = 1.0;
+  spec.burst_max_run = 64;
+  spec.burst_cap = 2;
+  FaultPlan plan(spec, graph);
+  // Both directions of edge 0 draw from the same chain and the same
+  // budget: two drops total, wherever they land.
+  EXPECT_EQ(plan.channel_action(0, 0, 1.0), FaultAction::kDrop);
+  EXPECT_EQ(plan.channel_action(1, 0, 1.0), FaultAction::kDrop);
+  EXPECT_EQ(plan.channel_action(0, 1, 2.0), FaultAction::kDeliver);
+  EXPECT_EQ(plan.channel_action(1, 1, 2.0), FaultAction::kDeliver);
+  EXPECT_EQ(plan.stats().burst_dropped, 2u);
+}
+
+TEST(FaultPlanTest, PrrDropsShareTheChannelLossCap) {
+  const Graph graph = test_graph();
+  FaultSpec spec;
+  spec.seed = 17;
+  spec.prr_levels = {0.25};  // every edge: 75% loss, absent the cap
+  spec.max_losses_per_channel = 3;
+  FaultPlan plan(spec, graph);
+  EXPECT_EQ(plan.link_prr(/*channel=*/0), 0.25);
+  std::uint64_t drops = 0;
+  for (std::uint64_t index = 0; index < 100; ++index)
+    if (plan.channel_action(0, index) == FaultAction::kDrop) ++drops;
+  EXPECT_GT(drops, 0u);
+  EXPECT_LE(drops, spec.max_losses_per_channel);
+  EXPECT_EQ(plan.stats().prr_dropped, drops);
+  // Cap consumed: lossless forever after.
+  EXPECT_EQ(plan.channel_action(0, 100), FaultAction::kDeliver);
+}
+
+TEST(FaultPlanTest, PrrLevelAssignmentIsDeterministic) {
+  const Graph graph = test_graph();
+  FaultSpec spec;
+  spec.seed = 23;
+  spec.prr_levels = {0.9, 0.6, 0.3};
+  const FaultPlan a(spec, graph);
+  const FaultPlan b(spec, graph);
+  for (ArcId channel = 0; channel < 2 * graph.num_edges(); ++channel) {
+    ASSERT_EQ(a.link_prr(channel), b.link_prr(channel));
+    // Both directions of an edge share the level.
+    ASSERT_EQ(a.link_prr(channel), a.link_prr(channel ^ 1u));
+  }
+}
+
+TEST(FaultPlanTest, RegionOutageWindowsAreFiniteAndShared) {
+  const Graph graph = test_graph();
+  FaultSpec spec;
+  spec.seed = 29;
+  spec.region_count = 2;
+  spec.region_radius = 2.0;  // covers the whole virtual unit square
+  spec.region_horizon = 8.0;
+  spec.region_duration = 3.0;
+  const FaultPlan plan(spec, graph);
+  EXPECT_EQ(plan.region_edges().size(), graph.num_edges());
+  bool ever_down = false;
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const ArcId forward = static_cast<ArcId>(e << 1);
+    const ArcId backward = static_cast<ArcId>((e << 1) | 1u);
+    for (double t = 0.0; t < spec.region_horizon + spec.region_duration;
+         t += 0.5) {
+      ASSERT_EQ(plan.region_down(forward, t), plan.region_down(backward, t));
+      ever_down = ever_down || plan.region_down(forward, t);
+    }
+    // Every window closes: outages are finite like churn windows.
+    EXPECT_FALSE(plan.region_down(
+        forward, spec.region_horizon + spec.region_duration + 1.0));
+  }
+  EXPECT_TRUE(ever_down);
+}
+
+TEST(FaultPlanTest, RegionDiscsUseProvidedPositions) {
+  const Graph graph = test_graph();
+  FaultSpec spec;
+  spec.seed = 31;
+  spec.region_count = 4;
+  spec.region_radius = 0.25;
+  // All nodes far outside the unit square the disc centers are hashed
+  // into: no edge can be covered.
+  const std::vector<Point> far(graph.num_nodes(), Point{100.0, 100.0});
+  const FaultPlan missed(spec, graph, &far);
+  EXPECT_TRUE(missed.region_edges().empty());
+  // All nodes in the middle of the square with a radius covering it: every
+  // edge is covered by every disc.
+  spec.region_radius = 2.0;
+  const std::vector<Point> centered(graph.num_nodes(), Point{0.5, 0.5});
+  const FaultPlan covered(spec, graph, &centered);
+  EXPECT_EQ(covered.region_edges().size(), graph.num_edges());
+}
+
+#ifndef NDEBUG
+TEST(FaultPlanTest, ReuseAcrossRunsAsserts) {
+  const Graph graph = test_graph();
+  FaultSpec spec;
+  spec.drop_rate = 0.1;
+  FaultPlan plan(spec, graph);
+  plan.on_run_start();  // first run claims the plan
+  EXPECT_THROW(plan.on_run_start(), contract_error);
+}
+#endif
+
+TEST(FaultPlanTest, LoadPrrLevelsParsesTraceFiles) {
+  const std::string path = testing::TempDir() + "fdlsp_prr_trace.txt";
+  {
+    std::ofstream out(path);
+    out << "0.9 0.75\n0.5\n";
+  }
+  const std::vector<double> levels = load_prr_levels(path);
+  ASSERT_EQ(levels.size(), 3u);
+  EXPECT_EQ(levels[0], 0.9);
+  EXPECT_EQ(levels[1], 0.75);
+  EXPECT_EQ(levels[2], 0.5);
+  // A loaded trace plugs straight into the spec grammar.
+  FaultSpec spec;
+  spec.prr_levels = levels;
+  EXPECT_EQ(parse_fault_spec(format_fault_spec(spec)), spec);
+
+  {
+    std::ofstream out(path);
+    out << "0.9 banana\n";
+  }
+  EXPECT_THROW(load_prr_levels(path), contract_error);
+  {
+    std::ofstream out(path);
+    out << "1.5\n";  // PRR above 1 is meaningless
+  }
+  EXPECT_THROW(load_prr_levels(path), contract_error);
+  EXPECT_THROW(load_prr_levels("/nonexistent/prr.txt"), contract_error);
+  std::remove(path.c_str());
 }
 
 TEST(FaultPlanTest, SpecFormatsAndParsesRoundTrip) {

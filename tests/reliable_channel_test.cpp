@@ -4,6 +4,7 @@
 // unhardened runs.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "algos/dfs_schedule.h"
@@ -174,6 +175,128 @@ TEST(ReliableChannelTest, LinkChurnIsRiddenOut) {
     const OracleVerdict verdict = check_fault_result(graph, result, &spec);
     EXPECT_TRUE(verdict.ok) << scheduler_name(kind) << ": "
                             << verdict.failure;
+  }
+}
+
+// Gilbert–Elliott bursts are ridden out like every other bounded class, on
+// both engines, and the injection actually fires.
+TEST(ReliableChannelTest, BurstLossIsRiddenOut) {
+  FaultSpec spec;
+  spec.seed = 37;
+  spec.burst_rate = 0.3;
+  spec.burst_recover = 0.2;
+  spec.burst_loss = 1.0;
+  for (const SchedulerKind kind :
+       {SchedulerKind::kDistMisGbg, SchedulerKind::kDfs}) {
+    const Graph graph = generate_grid(3, 3);
+    const ScheduleResult result =
+        run_scheduler_faulted(kind, graph, 6, spec, /*reliable=*/true);
+    EXPECT_TRUE(result.completed) << scheduler_name(kind);
+    EXPECT_GT(result.faults.burst_dropped, 0u) << scheduler_name(kind);
+    const ArcView view(graph);
+    EXPECT_TRUE(is_feasible_schedule(view, result.coloring))
+        << scheduler_name(kind);
+  }
+}
+
+// Under sustained loss the adaptive transport backs off: the recorded
+// maximum retransmit spacing must exceed the base interval on both the
+// round-paced (sync) and RTO-paced (async) wrappers.
+TEST(AdaptiveTransportTest, BackoffGrowsUnderSustainedLoss) {
+  FaultSpec spec;
+  spec.seed = 41;
+  spec.drop_rate = 0.5;
+  spec.burst_rate = 0.5;
+  spec.burst_recover = 0.1;
+  spec.burst_loss = 1.0;
+  for (const SchedulerKind kind :
+       {SchedulerKind::kDistMisGbg, SchedulerKind::kDfs}) {
+    const Graph graph = generate_cycle(8);
+    const ScheduleResult result =
+        run_scheduler_faulted(kind, graph, 7, spec, /*reliable=*/true);
+    EXPECT_TRUE(result.completed) << scheduler_name(kind);
+    EXPECT_GT(result.transport.retransmits, 0u) << scheduler_name(kind);
+    // Base spacing is 2 (rounds on the sync wrapper, time units on the
+    // async one); sustained failures must have pushed past it.
+    EXPECT_GT(result.transport.max_backoff, 2.0) << scheduler_name(kind);
+  }
+}
+
+// A peer that fail-stops with traffic pending exhausts the retransmit
+// budget: the detector suspects it, the probe budget runs dry, and its
+// frames are abandoned. Accuracy: every suspect actually crashed.
+TEST(AdaptiveTransportTest, BudgetExhaustionRaisesSuspicion) {
+  FaultSpec spec;
+  spec.seed = 43;
+  spec.crash_fraction = 0.2;
+  spec.crash_horizon = 2.0;  // die early, while traffic is still flowing
+  spec.max_losses_per_channel = 1;
+  for (const SchedulerKind kind :
+       {SchedulerKind::kDistMisGbg, SchedulerKind::kDfs}) {
+    const Graph graph = generate_cycle(8);
+    const ScheduleResult result =
+        run_scheduler_faulted(kind, graph, 9, spec, /*reliable=*/true);
+    // DistMIS survivors finish around the hole; DFS only degrades
+    // gracefully (the token dies with the crashed node) — but on both, the
+    // run terminates and the detector has convicted the dead peer.
+    if (kind != SchedulerKind::kDfs) {
+      EXPECT_TRUE(result.completed) << scheduler_name(kind);
+    }
+    EXPECT_FALSE(result.suspected.empty()) << scheduler_name(kind);
+    EXPECT_GT(result.transport.suspicions, 0u) << scheduler_name(kind);
+    EXPECT_GT(result.transport.abandoned, 0u) << scheduler_name(kind);
+    // No churn/outage windows armed: suspicion must never hit a live peer.
+    const FaultPlan plan(spec, graph);
+    const std::vector<NodeId> crashed = plan.crashed_nodes();
+    for (const NodeId v : result.suspected)
+      EXPECT_TRUE(std::binary_search(crashed.begin(), crashed.end(), v))
+          << scheduler_name(kind) << ": live node " << v << " suspected";
+  }
+}
+
+// A long region outage looks like death until it lifts: the detector
+// suspects stalled peers, keeps probing within its budget, and re-trusts
+// them once the window closes — the run still completes.
+TEST(AdaptiveTransportTest, RecoveryAfterOutageRetrusts) {
+  FaultSpec spec;
+  spec.seed = 47;
+  spec.region_count = 1;
+  spec.region_radius = 2.0;   // the disc covers every edge
+  spec.region_horizon = 1.0;    // the window opens immediately...
+  spec.region_duration = 60.0;  // ...and outlasts the suspicion threshold
+                                // even at the async wrapper's maximum RTO
+  spec.max_losses_per_channel = 1;
+  for (const SchedulerKind kind :
+       {SchedulerKind::kDistMisGbg, SchedulerKind::kDfs}) {
+    const Graph graph = generate_cycle(6);
+    const ScheduleResult result =
+        run_scheduler_faulted(kind, graph, 8, spec, /*reliable=*/true);
+    EXPECT_TRUE(result.completed) << scheduler_name(kind);
+    EXPECT_GT(result.faults.region_drops, 0u) << scheduler_name(kind);
+    EXPECT_GT(result.transport.suspicions, 0u) << scheduler_name(kind);
+    EXPECT_GT(result.transport.retrusts, 0u) << scheduler_name(kind);
+    // Nobody died: every suspicion was transient, nothing was abandoned.
+    EXPECT_EQ(result.transport.abandoned, 0u) << scheduler_name(kind);
+    const ArcView view(graph);
+    EXPECT_TRUE(is_feasible_schedule(view, result.coloring))
+        << scheduler_name(kind);
+  }
+}
+
+// The legacy fixed-timer tuning stays available behind the tuning knob and
+// still restores i.i.d. lossy runs (the bench harness compares the two).
+TEST(AdaptiveTransportTest, FixedTuningStillRestoresLossyRuns) {
+  const FaultSpec spec = lossy_spec();
+  for (const SchedulerKind kind :
+       {SchedulerKind::kDistMisGbg, SchedulerKind::kDfs}) {
+    const Graph graph = generate_grid(3, 3);
+    const ScheduleResult result = run_scheduler_faulted(
+        kind, graph, 5, spec, /*reliable=*/true, TransportTuning::kFixed);
+    EXPECT_TRUE(result.completed) << scheduler_name(kind);
+    EXPECT_GT(result.faults.dropped, 0u) << scheduler_name(kind);
+    const ArcView view(graph);
+    EXPECT_TRUE(is_feasible_schedule(view, result.coloring))
+        << scheduler_name(kind);
   }
 }
 

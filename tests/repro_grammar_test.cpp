@@ -51,10 +51,68 @@ TEST(FaultSpecGrammar, PartialSpecRoundTrips) {
   EXPECT_EQ(parse_fault_spec(text), spec);
 }
 
+TEST(FaultSpecGrammar, BurstSpecRoundTrips) {
+  FaultSpec spec;
+  spec.burst_rate = 0.05;
+  spec.burst_recover = 0.25;
+  spec.burst_loss = 0.9;
+  spec.burst_max_run = 6;
+  spec.burst_cap = 12;
+  const std::string text = format_fault_spec(spec);
+  EXPECT_EQ(text, "bp=0.05,bq=0.25,bloss=0.9,bmax=6,bcap=12");
+  EXPECT_EQ(parse_fault_spec(text), spec);
+  EXPECT_EQ(format_fault_spec(parse_fault_spec(text)), text);
+}
+
+TEST(FaultSpecGrammar, PrrLevelsRoundTripColonSeparated) {
+  FaultSpec spec;
+  spec.prr_levels = {0.9, 0.75, 0.5};
+  const std::string text = format_fault_spec(spec);
+  EXPECT_EQ(text, "prr=0.9:0.75:0.5");
+  EXPECT_EQ(parse_fault_spec(text), spec);
+  EXPECT_EQ(format_fault_spec(parse_fault_spec(text)), text);
+}
+
+TEST(FaultSpecGrammar, RegionOutageSpecRoundTrips) {
+  FaultSpec spec;
+  spec.region_count = 3;
+  spec.region_radius = 0.5;
+  spec.region_horizon = 24.0;
+  spec.region_duration = 6.0;
+  const std::string text = format_fault_spec(spec);
+  EXPECT_EQ(text, "regions=3,regionr=0.5,regionh=24,regiond=6");
+  EXPECT_EQ(parse_fault_spec(text), spec);
+  EXPECT_EQ(format_fault_spec(parse_fault_spec(text)), text);
+}
+
+TEST(FaultSpecGrammar, MixedCorrelatedSpecRoundTrips) {
+  FaultSpec spec;
+  spec.seed = 11;
+  spec.drop_rate = 0.05;
+  spec.burst_rate = 0.1;
+  spec.prr_levels = {0.8};
+  spec.region_count = 1;
+  spec.crash_fraction = 0.2;
+  const std::string text = format_fault_spec(spec);
+  EXPECT_EQ(parse_fault_spec(text), spec);
+  EXPECT_EQ(format_fault_spec(parse_fault_spec(text)), text);
+}
+
 TEST(FaultSpecGrammar, MalformedEntriesAreRejected) {
   EXPECT_THROW(parse_fault_spec("drop"), contract_error);         // no '='
   EXPECT_THROW(parse_fault_spec("drop=0.1,zzz=4"), contract_error);
   EXPECT_THROW(parse_fault_spec("frobnicate=1"), contract_error);
+  // Strict numeric parsing: trailing garbage and empty values fail loudly
+  // instead of silently replaying a different scenario.
+  EXPECT_THROW(parse_fault_spec("drop=0.1x"), contract_error);
+  EXPECT_THROW(parse_fault_spec("drop="), contract_error);
+  EXPECT_THROW(parse_fault_spec("bp=high"), contract_error);
+  EXPECT_THROW(parse_fault_spec("bmax=3.5"), contract_error);   // not a count
+  EXPECT_THROW(parse_fault_spec("bcap=-1"), contract_error);
+  EXPECT_THROW(parse_fault_spec("regions=two"), contract_error);
+  EXPECT_THROW(parse_fault_spec("prr=0.9:oops"), contract_error);
+  EXPECT_THROW(parse_fault_spec("prr="), contract_error);
+  EXPECT_THROW(parse_fault_spec("prr=0.9:"), contract_error);
 }
 
 TEST(SoakSpecGrammar, DefaultSpecFormatsAsDefault) {

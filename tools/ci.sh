@@ -49,13 +49,21 @@ run_sanitizer() {  # $1 = preset name (asan-ubsan | tsan)
 
 run_faults() {
   echo "=== faults: fault-injection suite (plain + ASan+UBSan) ==="
+  # The faulttest label includes the correlated-loss sweep (Gilbert–Elliott
+  # bursts, PRR matrix, region outages) judged by the burst-quiescence and
+  # failure-detector oracles; the replay smoke below additionally pins the
+  # burst --faults= grammar and the oracle CLI path end to end.
+  local burst_smoke=(--family=grid --n=12 --density=0.5 --seed=5
+    --scheduler=distMIS --faults=drop=0.05,bp=0.2,bq=0.25,bloss=0.9,regions=1)
   cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build -j
   ctest --test-dir build -L faulttest --output-on-failure -j "$(nproc)"
+  ./build/examples/replay "${burst_smoke[@]}"
   cmake --preset asan-ubsan
   cmake --build --preset asan-ubsan -j
   ctest --test-dir build-asan-ubsan -L faulttest --output-on-failure \
     -j "$(nproc)"
+  ./build-asan-ubsan/examples/replay "${burst_smoke[@]}"
 }
 
 run_soak() {
