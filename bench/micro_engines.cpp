@@ -15,6 +15,7 @@
 #include <string>
 #include <thread>
 
+#include "algos/dfs_schedule.h"
 #include "algos/dist_mis.h"
 #include "graph/generators.h"
 #include "sim/async_engine.h"
@@ -229,7 +230,7 @@ class HopProgram final : public AsyncProgram {
     message.data = {0};
     ctx.send(1 % static_cast<NodeId>(n_), std::move(message));
   }
-  void on_message(AsyncContext& ctx, const Message& message) override {
+  void on_message(AsyncContext& ctx, Message& message) override {
     if (static_cast<std::size_t>(message.data[0]) >= hops_) return;
     Message next;
     next.tag = 1;
@@ -256,6 +257,89 @@ void BM_AsyncEngineRingHops(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AsyncEngineRingHops)->Arg(64);
+
+/// Headline row of EXPERIMENTS.md's "Async engine throughput" table:
+/// DistMIS behind the α-synchronizer (sim/synchronizer.h) on the paper UDG,
+/// shard-parameterized. Args: {nodes, shards}; shards == 0 runs the serial
+/// event queue. msgs/timer_events are the *engine's* event counts (frames
+/// and polls, not DistMIS protocol messages) — the work the event queue
+/// actually dispatches. The result is byte-identical across the shard sweep
+/// (tests/async_sharded_test.cpp); this bench measures wall time and the
+/// steady-state allocation profile.
+void BM_AsyncDistMisUdg(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto shards = static_cast<std::size_t>(state.range(1));
+  const double radius = 0.5;
+  const double side =
+      std::sqrt(static_cast<double>(n) * 3.14159265 * radius * radius / 6.0);
+  Rng rng(42);
+  const Graph graph = generate_udg(n, side, radius, rng).graph;
+  for (auto _ : state) {
+    AllocAudit audit;
+    AsyncMetrics engine_metrics;
+    AsyncDistMisOptions options;
+    options.variant = DistMisVariant::kGbg;
+    options.seed = 42;
+    options.shards = shards;
+    options.audit = &audit;
+    options.engine_metrics = &engine_metrics;
+    const ScheduleResult result = run_dist_mis_async(graph, options);
+    benchmark::DoNotOptimize(result.num_slots);
+    state.counters["msgs"] = static_cast<double>(engine_metrics.messages);
+    state.counters["timer_events"] =
+        static_cast<double>(engine_metrics.timer_events);
+    state.counters["allocs"] = static_cast<double>(audit.total_allocations());
+    state.counters["alloc_rounds"] =
+        static_cast<double>(audit.allocating_rounds());
+  }
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0)
+    state.counters["peak_rss_mb"] =
+        static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+BENCHMARK(BM_AsyncDistMisUdg)
+    ->Args({1000, 0})
+    ->Args({1000, 8})
+    ->Unit(benchmark::kMillisecond);
+
+/// Timer-heavy row: reliable DFS under a bursty loss plan. Retransmit and
+/// heartbeat timers dominate the event mix here, so this row exercises the
+/// timer wheel the way the retransmission layer does in the soak harness.
+/// Faults force the serial event path by design, so there is no shard
+/// parameter.
+void BM_AsyncReliableBurst(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  // A grid is connected by construction (DFS needs the token to reach every
+  // node); rows x 20 keeps the row parameter a clean node-count dial.
+  const Graph graph = generate_grid(rows, 20);
+  FaultSpec spec;
+  spec.drop_rate = 0.05;
+  spec.burst_rate = 0.02;
+  spec.seed = 11;
+  for (auto _ : state) {
+    AllocAudit audit;
+    AsyncMetrics engine_metrics;
+    DfsOptions options;
+    options.seed = 7;
+    options.faults = &spec;
+    options.reliable = true;
+    options.audit = &audit;
+    options.engine_metrics = &engine_metrics;
+    const ScheduleResult result = run_dfs_schedule(graph, options);
+    benchmark::DoNotOptimize(result.num_slots);
+    state.counters["msgs"] = static_cast<double>(engine_metrics.messages);
+    state.counters["timer_events"] =
+        static_cast<double>(engine_metrics.timer_events);
+    state.counters["allocs"] = static_cast<double>(audit.total_allocations());
+    state.counters["retransmits"] =
+        static_cast<double>(result.transport.retransmits);
+  }
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0)
+    state.counters["peak_rss_mb"] =
+        static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+BENCHMARK(BM_AsyncReliableBurst)->Arg(15)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -28,6 +28,13 @@
 //
 // The spec string is exactly what soak_repro_command() prints; on a failure
 // the tool shrinks the stream and prints the minimized repro line.
+//
+// Either mode accepts --shards=N to replay on the sharded engine path
+// (AsyncEngine::set_shards for DFS fault repros, SyncEngine::set_shards for
+// the synchronizer-based schedulers and distributed soak repairs). Sharding
+// is byte-identical to serial for every count, so a repro line replays the
+// same verdict with the flag added or removed; the flag is echoed in the
+// printed repro lines so a sharded replay stays a one-line paste.
 #include <cstdint>
 #include <iostream>
 #include <string>
@@ -89,11 +96,19 @@ int run_soak_replay(const fdlsp::CliArgs& args) {
     driver_options.distributed = true;  // fault plans act on the radio
   }
   if (args.get_int("distributed", 0) != 0) driver_options.distributed = true;
+  // Replays the stream's distributed repairs on the sharded engine path
+  // (byte-identical to serial for any count, so the verdict is unchanged).
+  const std::size_t shards =
+      static_cast<std::size_t>(args.get_int("shards", 0));
+  driver_options.shards = shards;
 
   SoakOracleOptions oracle_options;
   oracle_options.drift_band = args.get_double("soak-band", 0.0);
 
+  const std::string shards_flag =
+      shards > 0 ? " --shards=" + std::to_string(shards) : "";
   std::cout << "soak: " << soak_repro_command(spec, &oracle_options)
+            << shards_flag
             << (driver_options.distributed ? " (distributed engine)" : "")
             << "\n";
   if (driver_options.faults != nullptr)
@@ -134,7 +149,7 @@ int run_soak_replay(const fdlsp::CliArgs& args) {
                     ? soak_repro_command(shrunk.spec, faults, reliable,
                                          &oracle_options)
                     : soak_repro_command(shrunk.spec, &oracle_options))
-            << "\n";
+            << shards_flag << "\n";
   return 1;
 }
 
@@ -150,9 +165,11 @@ int main(int argc, char** argv) {
                    "--density=D --seed=S --scheduler=NAME\n"
                    "       [--faults=drop=0.1,bp=0.05,crash=0.25,... |"
                    " --faults=none] [--reliable=0|1]\n"
-                   "       [--tuning=adaptive|fixed] [--prr-trace=FILE]\n"
+                   "       [--tuning=adaptive|fixed] [--prr-trace=FILE]"
+                   " [--shards=N]\n"
                    "   or: replay --soak=SPEC [--soak-band=B]"
-                   " [--distributed=1] [--faults=...] [--reliable=0]\n"
+                   " [--distributed=1] [--faults=...] [--reliable=0]"
+                   " [--shards=N]\n"
                    "Paste the repro line a failing property test prints.\n"
                    "--prr-trace loads packet-reception ratios from a "
                    "measurement file into the fault plan's PRR matrix.\n";
@@ -182,6 +199,11 @@ int main(int argc, char** argv) {
       const TransportTuning tuning = tuning_name == "fixed"
                                          ? TransportTuning::kFixed
                                          : TransportTuning::kAdaptive;
+      // Replays on the sharded engine path (async for DFS, synchronous for
+      // the synchronizer-based schedulers) — byte-identical to serial for
+      // any count, so the verdict below is unchanged.
+      const std::size_t shards =
+          static_cast<std::size_t>(args.get_int("shards", 0));
       std::cout << "faults: " << format_fault_spec(spec)
                 << (reliable ? " (reliable wrapper on, " + tuning_name +
                                    " transport)"
@@ -189,10 +211,13 @@ int main(int argc, char** argv) {
                 << "\n"
                 << "repro: "
                 << fault_repro_command(scenario, scheduler_name(kind), spec)
-                << (reliable ? "" : " --reliable=0") << "\n";
+                << (reliable ? "" : " --reliable=0")
+                << (shards > 0 ? " --shards=" + std::to_string(shards) : "")
+                << "\n";
 
-      const ScheduleResult faulted = run_scheduler_faulted(
-          kind, graph, scenario.seed, spec, reliable, tuning);
+      const ScheduleResult faulted =
+          run_scheduler_faulted(kind, graph, scenario.seed, spec, reliable,
+                                tuning, nullptr, shards);
       std::cout << scheduler_name(kind) << ": " << faulted.num_slots
                 << " slots, " << faulted.rounds << " rounds, "
                 << faulted.messages << " messages, "

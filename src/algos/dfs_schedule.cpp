@@ -48,7 +48,7 @@ class DfsProgram final : public AsyncProgram {
     ctx.broadcast(std::move(message));
   }
 
-  void on_message(AsyncContext& ctx, const Message& message) override {
+  void on_message(AsyncContext& ctx, Message& message) override {
     switch (message.tag) {
       case kTagDegree:
         neighbor_degree_[message.from] =
@@ -283,12 +283,15 @@ ScheduleResult run_dfs_schedule(const Graph& graph, const DfsOptions& options) {
   AsyncEngine engine(graph, std::move(programs), options.delay_model,
                      options.seed);
   engine.set_trace(options.trace);
+  engine.set_shards(options.shards);
+  engine.set_alloc_audit(options.audit);
   std::optional<FaultPlan> plan;
   if (options.faults != nullptr && options.faults->any()) {
     plan.emplace(spec, graph);
     engine.set_fault_plan(&*plan);
   }
   const AsyncMetrics metrics = engine.run(options.max_messages);
+  if (options.engine_metrics != nullptr) *options.engine_metrics = metrics;
   // See dist_mis.cpp: crash/churn plans and unhardened lossy runs report
   // their outcome for the fault oracles to judge instead of aborting.
   const bool relaxed =

@@ -45,6 +45,15 @@ struct DfsOptions {
   /// Transport generation for the reliable wrapper (see sim/reliable.h);
   /// meaningless without `reliable`.
   TransportTuning transport = TransportTuning::kAdaptive;
+  /// Shard count of the asynchronous engine (AsyncEngine::set_shards; byte-
+  /// identical to serial for any value). 0 picks the serial path.
+  std::size_t shards = 0;
+  /// Optional per-event allocation auditor (support/alloc_audit.h); not
+  /// owned, may be null. Does not force the serial path.
+  AllocAudit* audit = nullptr;
+  /// When non-null, receives the asynchronous engine's own metrics (frame
+  /// deliveries, timer events, completion time).
+  AsyncMetrics* engine_metrics = nullptr;
 };
 
 /// Runs the asynchronous DFS algorithm. Requires a connected graph (the

@@ -9,9 +9,11 @@
 
 #include "coloring/conflict.h"
 #include "graph/arcs.h"
+#include "sim/async_engine.h"
 #include "sim/reliable.h"
 #include "sim/shard.h"
 #include "sim/sync_engine.h"
+#include "sim/synchronizer.h"
 #include "support/check.h"
 #include "support/epoch_marks.h"
 #include "support/flat_hash.h"
@@ -476,6 +478,85 @@ ScheduleResult run_dist_mis(const Graph& graph,
     for (NodeId v = 0; v < graph.num_nodes(); ++v) {
       const auto& wrapper =
           static_cast<const ReliableSyncProgram&>(engine->program(v));
+      result.transport.merge(wrapper.transport_stats());
+      result.suspected.insert(result.suspected.end(),
+                              wrapper.suspected_peers().begin(),
+                              wrapper.suspected_peers().end());
+    }
+    std::sort(result.suspected.begin(), result.suspected.end());
+    result.suspected.erase(
+        std::unique(result.suspected.begin(), result.suspected.end()),
+        result.suspected.end());
+  }
+  return result;
+}
+
+ScheduleResult run_dist_mis_async(const Graph& graph,
+                                  const AsyncDistMisOptions& options) {
+  DistMisSet set(graph, options.variant, options.seed);
+  // External contexts always report shard 0 — the synchronizer's lockstep
+  // serializes node callbacks regardless of the engine's shard count.
+  set.prepare_shards(1);
+  RoundSynchronizer coordinator(set, options.max_rounds);
+  const FaultSpec spec =
+      options.faults != nullptr ? *options.faults : FaultSpec{};
+  std::vector<std::unique_ptr<AsyncProgram>> programs;
+  programs.reserve(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    auto node =
+        std::make_unique<SyncOverAsyncProgram>(graph, set, v, coordinator);
+    if (options.reliable)
+      programs.push_back(std::make_unique<ReliableAsyncProgram>(
+          std::move(node), spec, options.transport));
+    else
+      programs.push_back(std::move(node));
+  }
+  AsyncEngine engine(
+      graph, std::move(programs),
+      make_delay_schedule(options.delay_model, options.delay_seed));
+  engine.set_trace(options.trace);
+  engine.set_alloc_audit(options.audit);
+  engine.set_shards(options.shards);
+  std::optional<FaultPlan> plan;
+  if (options.faults != nullptr && options.faults->any()) {
+    plan.emplace(spec, graph);
+    engine.set_fault_plan(&*plan);
+  }
+  const AsyncMetrics async_metrics = engine.run(options.max_messages);
+  if (options.engine_metrics != nullptr)
+    *options.engine_metrics = async_metrics;
+  const SyncMetrics metrics = coordinator.metrics();
+
+  // Message faults without the reliable wrapper lose frames and stall the
+  // lockstep — such runs report what happened instead of aborting.
+  const bool relaxed = plan.has_value() && !options.reliable;
+  if (!relaxed) {
+    FDLSP_REQUIRE(async_metrics.completed && metrics.completed,
+                  "async DistMIS did not complete in budget");
+    FDLSP_REQUIRE(async_metrics.fifo_ok, "async engine violated channel FIFO");
+  }
+
+  ScheduleResult result;
+  result.completed = async_metrics.completed && metrics.completed;
+  result.faults = async_metrics.faults;
+  result.coloring = ArcColoring(set.num_arcs());
+  for (const auto& [arc, color] : set.assignments(0)) {
+    if (!relaxed)
+      FDLSP_REQUIRE(!result.coloring.is_colored(arc),
+                    "arc colored by two nodes");
+    result.coloring.set(arc, color);
+  }
+  if (!relaxed)
+    FDLSP_REQUIRE(result.coloring.complete(), "DistMIS left arcs uncolored");
+  result.num_slots = result.coloring.num_colors_used();
+  result.rounds = metrics.rounds;
+  result.messages = metrics.messages;
+  result.async_time = async_metrics.completion_time;
+  result.stall_diagnosis = async_metrics.stall_diagnosis;
+  if (options.reliable) {
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      const auto& wrapper =
+          static_cast<const ReliableAsyncProgram&>(engine.program(v));
       result.transport.merge(wrapper.transport_stats());
       result.suspected.insert(result.suspected.end(),
                               wrapper.suspected_peers().begin(),

@@ -33,12 +33,14 @@
 
 #include "algos/scheduler.h"
 #include "graph/graph.h"
+#include "sim/delay.h"
 
 namespace fdlsp {
 
 class AllocAudit;
 class SimTrace;
 class ThreadPool;
+struct AsyncMetrics;
 
 /// Which DistMIS variant to run.
 enum class DistMisVariant {
@@ -83,5 +85,48 @@ struct DistMisOptions {
 /// for any input graph (enforced by tests; the run aborts via contract_error
 /// on internal protocol violations).
 ScheduleResult run_dist_mis(const Graph& graph, const DistMisOptions& options);
+
+/// Tunables for an asynchronous DistMIS run (see run_dist_mis_async).
+struct AsyncDistMisOptions {
+  DistMisVariant variant = DistMisVariant::kGbg;
+  std::uint64_t seed = 1;
+  /// Delay model of the underlying asynchronous engine (sim/delay.h).
+  DelayModel delay_model = DelayModel::kUnit;
+  std::uint64_t delay_seed = 1;
+  std::size_t max_rounds = 1'000'000;
+  /// Event budget of the asynchronous engine. Frames, acks, retransmits and
+  /// poll timers all count, so this is much larger than the round budget.
+  std::size_t max_messages = 200'000'000;
+  /// Optional fault model (see sim/fault.h); not owned, may be null. The
+  /// synchronizer needs reliable in-order frame delivery, so lossy plans
+  /// additionally require `reliable`; crash/churn plans break lockstep and
+  /// are unsupported on this path.
+  const FaultSpec* faults = nullptr;
+  /// Harden every node with the async ack/retransmit wrapper
+  /// (sim/reliable.h), restoring exactly-once FIFO delivery under message
+  /// faults.
+  bool reliable = false;
+  TransportTuning transport = TransportTuning::kAdaptive;
+  /// Shard count of the asynchronous engine (AsyncEngine::set_shards; byte-
+  /// identical to serial for any value). 0 picks the serial path.
+  std::size_t shards = 0;
+  /// Optional event observer (sim/trace.h); forces the serial engine path.
+  SimTrace* trace = nullptr;
+  /// Optional per-event allocation auditor (support/alloc_audit.h).
+  AllocAudit* audit = nullptr;
+  /// When non-null, receives the asynchronous engine's own metrics (frame
+  /// deliveries, timer events, completion time) — the ScheduleResult's
+  /// rounds/messages report the *synchronous* metrics, which match
+  /// run_dist_mis exactly.
+  AsyncMetrics* engine_metrics = nullptr;
+};
+
+/// Runs DistMIS on the asynchronous engine behind the α-synchronizer
+/// (sim/synchronizer.h). The resulting coloring, slot count, rounds and
+/// messages are byte-identical to run_dist_mis with the same variant and
+/// seed — for every delay model and shard count — which makes the whole
+/// synchronous corpus an oracle for the asynchronous engine.
+ScheduleResult run_dist_mis_async(const Graph& graph,
+                                  const AsyncDistMisOptions& options);
 
 }  // namespace fdlsp

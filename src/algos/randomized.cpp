@@ -10,6 +10,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "graph/arcs.h"
@@ -42,68 +43,125 @@ struct SeenArc {
   bool toward_me;  ///< head == self (an in-arc of this node)
 };
 
-class RandomizedProgram final : public SyncProgram {
+/// All nodes' randomized-coloring state in structure-of-arrays form (the
+/// per-node-program layout this replaces lives on in git history). The
+/// out-arc slots and their reverse arcs are CSR-packed across nodes; the
+/// per-round detection buffer is per-shard scratch, reused every round.
+/// Seeding, message assembly order, and the veto tie-breaks are unchanged,
+/// so schedules are byte-identical to the per-node layout for every seed.
+class RandomizedSet final : public SyncProgramSet {
  public:
-  RandomizedProgram(const ArcView& view, NodeId self, std::uint64_t seed)
-      : self_(self), rng_(seed) {
-    for (ArcId a : view.out_arcs(self)) {
-      out_arcs_.push_back(OutArc{a});
-      reverse_of_mine_.push_back(ArcView::reverse(a));
+  RandomizedSet(const Graph& graph, std::uint64_t seed) : view_(graph) {
+    const std::size_t n = graph.num_nodes();
+    // Per-node streams drawn from one seeded sequence, in node order — the
+    // same seeding the per-node-program layout used.
+    Rng seeder(seed);
+    rng_.reserve(n);
+    for (std::size_t v = 0; v < n; ++v) rng_.emplace_back(seeder());
+    out_offsets_.assign(n + 1, 0);
+    for (NodeId v = 0; v < n; ++v) {
+      out_offsets_[v + 1] =
+          out_offsets_[v] + view_.out_arcs(v).size();
     }
-    base_range_ = 2 * view.graph().degree(self) + 2;
-    done_ = out_arcs_.empty();
-    announced_ = done_;
+    out_.resize(out_offsets_[n]);
+    rev_.resize(out_offsets_[n]);
+    base_range_.assign(n, 2);
+    done_.assign(n, 0);
+    announced_.assign(n, 0);
+    remembered_.resize(n);
+    for (NodeId v = 0; v < n; ++v) {
+      std::size_t pos = out_offsets_[v];
+      for (ArcId a : view_.out_arcs(v)) {
+        out_[pos] = OutArc{a};
+        rev_[pos] = ArcView::reverse(a);
+        ++pos;
+      }
+      base_range_[v] = 2 * graph.degree(v) + 2;
+      done_[v] = out_offsets_[v + 1] == out_offsets_[v] ? 1 : 0;
+      announced_[v] = done_[v];
+    }
+  }
+
+  std::size_t size() const override { return done_.size(); }
+
+  /// Sizes per-shard scratch; one prepared set sticks to one shard count
+  /// (same contract as DistMisSet, and all the reliable-composition path
+  /// needs — see run_randomized).
+  void prepare_shards(std::size_t shards) override {
+    FDLSP_REQUIRE(shards > 0, "shard count must be positive");
+    if (shards == prepared_) return;
+    FDLSP_REQUIRE(prepared_ == 0,
+                  "randomized state cannot be re-sharded once prepared");
+    prepared_ = shards;
+    shards_.resize(shards);
   }
 
   /// A node is finished once everything is final AND the final state has
   /// been broadcast — neighbors remember it for their later detections.
-  bool finished() const override { return done_ && announced_; }
-  bool ready_for_phase_advance() const override { return true; }
-  void on_phase(std::size_t) override {}
+  bool finished(NodeId v) const override {
+    return done_[v] != 0 && announced_[v] != 0;
+  }
+  bool ready_for_phase_advance(NodeId) const override { return true; }
+  void on_phase(NodeId, std::size_t) override {}
 
-  void on_round(SyncContext& ctx, std::span<const Message> inbox) override {
+  void on_round(NodeId v, SyncContext& ctx,
+                std::span<const Message> inbox) override {
     // Steps are aligned by the *global* round counter so relays and
     // late-finishing nodes never desynchronize.
     switch (ctx.round() % 3) {
       case 0:
-        draw_and_broadcast(ctx);
+        draw_and_broadcast(v, ctx);
         break;
       case 1:
-        detect_and_veto(ctx, inbox);
+        detect_and_veto(v, ctx, inbox);
         break;
       case 2:
-        finalize(inbox);
+        finalize(v, inbox);
         break;
     }
   }
 
-  const std::vector<OutArc>& out_arcs() const { return out_arcs_; }
+  /// Shard count prepare_shards() was called with (0 before any run).
+  std::size_t prepared_shards() const noexcept { return prepared_; }
+
+  std::span<const OutArc> out_arcs(NodeId v) const {
+    return {out_.data() + out_offsets_[v],
+            out_offsets_[v + 1] - out_offsets_[v]};
+  }
+
+  std::size_t num_arcs() const noexcept { return view_.num_arcs(); }
 
  private:
+  std::span<OutArc> outs(NodeId v) {
+    return {out_.data() + out_offsets_[v],
+            out_offsets_[v + 1] - out_offsets_[v]};
+  }
+
   /// Round 0: redraw vetoed colors, broadcast the out-arc state. After the
   /// node is done it broadcasts exactly once more (the final announcement)
   /// and then goes quiet.
-  void draw_and_broadcast(SyncContext& ctx) {
-    if (done_ && announced_) return;
-    for (OutArc& out : out_arcs_) {
+  void draw_and_broadcast(NodeId v, SyncContext& ctx) {
+    if (done_[v] != 0 && announced_[v] != 0) return;
+    for (OutArc& out : outs(v)) {
       if (out.final || out.color != kNoColor) continue;
-      const std::size_t range = base_range_ + 2 * out.retries;
-      out.color = static_cast<Color>(rng_.next_below(range));
+      const std::size_t range = base_range_[v] + 2 * out.retries;
+      out.color = static_cast<Color>(rng_[v].next_below(range));
     }
     Message state;
     state.tag = kTagState;
-    for (const OutArc& out : out_arcs_) {
+    for (const OutArc& out : outs(v)) {
       state.data.push_back(static_cast<std::int64_t>(out.arc));
       state.data.push_back(out.color);
       state.data.push_back(out.final ? 1 : 0);
     }
     ctx.broadcast(std::move(state));
-    if (done_) announced_ = true;
+    if (done_[v] != 0) announced_[v] = 1;
   }
 
-  bool arc_points_at_me(ArcId arc) const {
-    return std::find(reverse_of_mine_.begin(), reverse_of_mine_.end(), arc) !=
-           reverse_of_mine_.end();
+  bool arc_points_at_me(NodeId v, ArcId arc) const {
+    const auto* first = rev_.data() + out_offsets_[v];
+    const auto* last = rev_.data() + out_offsets_[v + 1];
+    return std::find(first, last, arc) != last;
   }
 
   /// Round 1: apply the four distance-1 witness rules and veto losers.
@@ -116,21 +174,24 @@ class RandomizedProgram final : public SyncProgram {
   ///
   /// Every Definition-2 conflict pair has some node for which one of these
   /// rules fires, so pairwise distance-1 observation is complete.
-  void detect_and_veto(SyncContext& ctx, std::span<const Message> inbox) {
-    std::vector<SeenArc> seen;
-    for (const OutArc& out : out_arcs_)
-      seen.push_back(SeenArc{out.arc, out.color, out.final, self_, false});
-    for (const auto& [arc, remembered] : remembered_finals_)
+  void detect_and_veto(NodeId v, SyncContext& ctx,
+                       std::span<const Message> inbox) {
+    std::vector<SeenArc>& seen = shards_[ctx.shard()].seen;
+    seen.clear();
+    for (const OutArc& out : outs(v))
+      seen.push_back(SeenArc{out.arc, out.color, out.final, v, false});
+    for (const auto& [arc, remembered] : remembered_[v])
       seen.push_back(remembered);
     for (const Message& message : inbox) {
       if (message.tag != kTagState) continue;
       for (std::size_t i = 0; i + 2 < message.data.size(); i += 3) {
         const auto arc = static_cast<ArcId>(message.data[i]);
-        if (remembered_finals_.count(arc)) continue;  // already listed
+        if (remembered_[v].count(arc)) continue;  // already listed
         const bool is_final = message.data[i + 2] != 0;
         const SeenArc entry{arc, static_cast<Color>(message.data[i + 1]),
-                            is_final, message.from, arc_points_at_me(arc)};
-        if (is_final) remembered_finals_[arc] = entry;
+                            is_final, message.from,
+                            arc_points_at_me(v, arc)};
+        if (is_final) remembered_[v][arc] = entry;
         seen.push_back(entry);
       }
     }
@@ -143,12 +204,12 @@ class RandomizedProgram final : public SyncProgram {
         if (a.color != b.color || a.arc == b.arc || a.color == kNoColor)
           continue;
         const bool shared_tail = a.owner == b.owner;
-        const bool tx_while_rx = (a.owner == self_ && b.toward_me) ||
-                                 (b.owner == self_ && a.toward_me);
+        const bool tx_while_rx = (a.owner == v && b.toward_me) ||
+                                 (b.owner == v && a.toward_me);
         const bool shared_head = a.toward_me && b.toward_me;
         const bool hidden =
-            (a.toward_me && b.owner != self_ && b.owner != a.owner) ||
-            (b.toward_me && a.owner != self_ && a.owner != b.owner);
+            (a.toward_me && b.owner != v && b.owner != a.owner) ||
+            (b.toward_me && a.owner != v && a.owner != b.owner);
         if (!(shared_tail || tx_while_rx || shared_head || hidden)) continue;
         FDLSP_REQUIRE(!(a.final && b.final),
                       "two finalized arcs conflict — protocol bug");
@@ -156,8 +217,8 @@ class RandomizedProgram final : public SyncProgram {
                                : b.final        ? a
                                : a.arc > b.arc  ? a
                                                 : b;
-        if (loser.owner == self_) {
-          local_veto(loser.arc);
+        if (loser.owner == v) {
+          local_veto(v, loser.arc);
         } else {
           vetoes[loser.owner].push_back(static_cast<std::int64_t>(loser.arc));
         }
@@ -173,15 +234,15 @@ class RandomizedProgram final : public SyncProgram {
   }
 
   /// Round 2: finalize arcs that drew no veto; vetoed arcs redraw next step.
-  void finalize(std::span<const Message> inbox) {
-    if (done_) return;
+  void finalize(NodeId v, std::span<const Message> inbox) {
+    if (done_[v] != 0) return;
     for (const Message& message : inbox) {
       if (message.tag != kTagVeto) continue;
       for (std::int64_t raw : message.data)
-        local_veto(static_cast<ArcId>(raw));
+        local_veto(v, static_cast<ArcId>(raw));
     }
     bool all_final = true;
-    for (OutArc& out : out_arcs_) {
+    for (OutArc& out : outs(v)) {
       if (out.final) continue;
       if (out.color == kNoColor) {
         all_final = false;
@@ -189,11 +250,11 @@ class RandomizedProgram final : public SyncProgram {
       }
       out.final = true;
     }
-    done_ = all_final;
+    done_[v] = all_final ? 1 : 0;
   }
 
-  void local_veto(ArcId arc) {
-    for (OutArc& out : out_arcs_) {
+  void local_veto(NodeId v, ArcId arc) {
+    for (OutArc& out : outs(v)) {
       if (out.arc == arc && !out.final && out.color != kNoColor) {
         out.color = kNoColor;
         ++out.retries;
@@ -201,47 +262,67 @@ class RandomizedProgram final : public SyncProgram {
     }
   }
 
-  NodeId self_;
-  Rng rng_;
-  std::vector<OutArc> out_arcs_;
-  std::vector<ArcId> reverse_of_mine_;
-  std::map<ArcId, SeenArc> remembered_finals_;
-  std::size_t base_range_ = 2;
-  bool done_ = false;
-  bool announced_ = false;
+  /// Detection buffer owned by one shard: exactly one worker executes a
+  /// shard's callbacks, and the buffer is dead between rounds (cleared,
+  /// never freed).
+  struct ShardScratch {
+    std::vector<SeenArc> seen;
+  };
+
+  const ArcView view_;
+  std::vector<Rng> rng_;
+  // Tentative out-arc slots and their reverse arcs, CSR-packed by node.
+  std::vector<std::size_t> out_offsets_;
+  std::vector<OutArc> out_;
+  std::vector<ArcId> rev_;
+  std::vector<std::map<ArcId, SeenArc>> remembered_;
+  std::vector<std::size_t> base_range_;
+  std::vector<char> done_;
+  std::vector<char> announced_;
+  std::size_t prepared_ = 0;  // shard count scratch is sized for
+
+  std::vector<ShardScratch> shards_;  // indexed by ctx.shard()
 };
 
 }  // namespace
 
 ScheduleResult run_randomized(const Graph& graph,
                               const RandomizedOptions& options) {
-  const ArcView view(graph);
-  std::vector<std::unique_ptr<SyncProgram>> programs;
-  programs.reserve(graph.num_nodes());
-  Rng seeder(options.seed);
-  for (NodeId v = 0; v < graph.num_nodes(); ++v)
-    programs.push_back(std::make_unique<RandomizedProgram>(view, v, seeder()));
+  RandomizedSet set(graph, options.seed);
   const FaultSpec spec = options.faults != nullptr ? *options.faults
                                                    : FaultSpec{};
   std::size_t round_budget = options.max_rounds;
+  std::optional<SyncEngine> engine;
   if (options.reliable) {
-    for (auto& program : programs)
-      program = std::make_unique<ReliableSyncProgram>(std::move(program),
-                                                      spec,
-                                                      options.transport);
+    // Hardened nodes need the per-node wrapper, so the set rides behind
+    // one SetNodeProgram adapter per node.
+    std::vector<std::unique_ptr<SyncProgram>> programs;
+    programs.reserve(graph.num_nodes());
+    for (NodeId v = 0; v < graph.num_nodes(); ++v)
+      programs.push_back(std::make_unique<ReliableSyncProgram>(
+          std::make_unique<SetNodeProgram>(set, v), spec, options.transport));
     round_budget *=
         ReliableSyncProgram::round_dilation(spec, options.transport);
+    engine.emplace(graph, std::move(programs));
+  } else {
+    engine.emplace(graph, set);
   }
-  SyncEngine engine(graph, std::move(programs));
-  engine.set_trace(options.trace);
-  engine.set_thread_pool(options.pool);
-  engine.set_shards(options.shards);
+  engine->set_trace(options.trace);
+  engine->set_thread_pool(options.pool);
+  engine->set_shards(options.shards);
   std::optional<FaultPlan> plan;
   if (options.faults != nullptr && options.faults->any()) {
     plan.emplace(spec, graph);
-    engine.set_fault_plan(&*plan);
+    engine->set_fault_plan(&*plan);
   }
-  const SyncMetrics metrics = engine.run(round_budget);
+  if (options.reliable) {
+    // On this path the engine prepares the program set it drives — the
+    // vector of reliable wrappers — so the underlying SoA set must be
+    // prepared by hand, with the engine's own shard decision, after every
+    // seam is configured (trace/faults force planned_shards() == 1).
+    set.prepare_shards(engine->planned_shards());
+  }
+  const SyncMetrics metrics = engine->run(round_budget);
   // See dist_mis.cpp: crash/churn plans and unhardened lossy runs report
   // their outcome for the fault oracles to judge instead of aborting.
   const bool relaxed =
@@ -255,22 +336,17 @@ ScheduleResult run_randomized(const Graph& graph,
   ScheduleResult result;
   result.completed = metrics.completed;
   result.faults = metrics.faults;
-  result.coloring = ArcColoring(view.num_arcs());
+  result.coloring = ArcColoring(set.num_arcs());
   for (NodeId v = 0; v < graph.num_nodes(); ++v) {
-    const SyncProgram& top = engine.program(v);
     if (options.reliable) {
-      const auto& wrapper = static_cast<const ReliableSyncProgram&>(top);
+      const auto& wrapper =
+          static_cast<const ReliableSyncProgram&>(engine->program(v));
       result.transport.merge(wrapper.transport_stats());
       result.suspected.insert(result.suspected.end(),
                               wrapper.suspected_peers().begin(),
                               wrapper.suspected_peers().end());
     }
-    const auto& program =
-        options.reliable
-            ? static_cast<const RandomizedProgram&>(
-                  static_cast<const ReliableSyncProgram&>(top).inner())
-            : static_cast<const RandomizedProgram&>(top);
-    for (const OutArc& out : program.out_arcs()) {
+    for (const OutArc& out : set.out_arcs(v)) {
       if (!relaxed)
         FDLSP_REQUIRE(out.final, "unfinalized arc after completion");
       if (out.final) result.coloring.set(out.arc, out.color);

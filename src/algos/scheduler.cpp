@@ -68,6 +68,7 @@ ScheduleResult dispatch(SchedulerKind kind, const Graph& graph,
       options.faults = faults;
       options.reliable = reliable;
       options.transport = tuning;
+      options.shards = shards;
       return run_dfs_schedule(graph, options);
     }
     case SchedulerKind::kDmgc:
@@ -123,8 +124,10 @@ ScheduleResult run_scheduler_sharded(SchedulerKind kind, const Graph& graph,
 ScheduleResult run_scheduler_faulted(SchedulerKind kind, const Graph& graph,
                                      std::uint64_t seed,
                                      const FaultSpec& faults, bool reliable,
-                                     TransportTuning tuning, SimTrace* trace) {
-  return dispatch(kind, graph, seed, trace, &faults, reliable, tuning);
+                                     TransportTuning tuning, SimTrace* trace,
+                                     std::size_t shards) {
+  return dispatch(kind, graph, seed, trace, &faults, reliable, tuning,
+                  nullptr, shards);
 }
 
 }  // namespace fdlsp

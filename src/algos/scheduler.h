@@ -89,11 +89,14 @@ ScheduleResult run_scheduler_sharded(SchedulerKind kind, const Graph& graph,
 /// (fixed-cadence legacy vs adaptive backoff + failure detection); it only
 /// matters with `reliable`. Centralized algorithms (D-MGC, greedy) have no
 /// engine and execute fault-free; their result is the clean one. `trace`
-/// may be null.
+/// may be null. `shards` replays the run on the sharded engine path
+/// (AsyncEngine::set_shards for DFS, SyncEngine::set_shards for the
+/// synchronizer-based schedulers; 0 = serial) — byte-identical to serial
+/// for any value, so fault repro lines replay unchanged on either path.
 ScheduleResult run_scheduler_faulted(
     SchedulerKind kind, const Graph& graph, std::uint64_t seed,
     const FaultSpec& faults, bool reliable,
     TransportTuning tuning = TransportTuning::kAdaptive,
-    SimTrace* trace = nullptr);
+    SimTrace* trace = nullptr, std::size_t shards = 0);
 
 }  // namespace fdlsp

@@ -8,11 +8,25 @@
 // completion "time" metric is the timestamp of the last delivery — the
 // standard asynchronous time measure where every message takes at most one
 // unit.
+//
+// Internals (DESIGN.md §16): events live in a recycling slab
+// (sim/event_queue.h) and the ordering structures hold only
+// (time, sequence, slot) keys. Nodes are partitioned into contiguous
+// shards (sim/shard.h); each shard owns a hierarchical calendar queue
+// (sim/timer_wheel.h) holding both its message events — O(1) bucket
+// insertion instead of O(log n) heap sifts — and its set_timer traffic.
+// Dispatch pops the globally minimal (time, sequence) key via a tournament
+// over the shard heads; sequences come from one global counter assigned at
+// post time, so the delivery order is provably identical to a single
+// serial heap for every shard count. Cross-shard posts raised inside a
+// handler are buffered in per-(source, destination) lanes and flushed
+// after the handler returns — the structure a parallel dispatcher needs,
+// exercised here under the serial determinism oracle. Trace and fault
+// seams force the serial path (one shard), exactly as SyncEngine.
 #pragma once
 
 #include <functional>
 #include <memory>
-#include <queue>
 #include <span>
 #include <string>
 #include <vector>
@@ -20,8 +34,11 @@
 #include "graph/graph.h"
 #include "sim/channel_table.h"
 #include "sim/delay.h"
+#include "sim/event_queue.h"
 #include "sim/fault.h"
 #include "sim/message.h"
+#include "sim/shard.h"
+#include "sim/timer_wheel.h"
 #include "sim/trace.h"
 
 namespace fdlsp {
@@ -30,7 +47,12 @@ class AllocAudit;
 class AsyncEngine;
 
 /// Capture target for a reframed context's sends (see AsyncContext::reframed).
-using AsyncSendSink = std::function<void(NodeId to, Message message)>;
+/// The sink borrows the message for the duration of the call — it must copy
+/// what it keeps — so a captured send of a recycled scratch message adds no
+/// allocator traffic (the reliable wrapper frames the payload into its own
+/// recycled buffers; sim/reliable.cpp). The message's `from` field is
+/// unspecified: the capturing layer knows which node it drives.
+using AsyncSendSink = std::function<void(NodeId to, const Message& message)>;
 
 /// Context handed to asynchronous handlers; valid only during the call.
 class AsyncContext {
@@ -47,6 +69,20 @@ class AsyncContext {
 
   /// Sends a message to a direct neighbor.
   void send(NodeId to, Message message);
+
+  /// Sends a message the caller keeps (e.g. a reusable scratch buffer): the
+  /// engine copy-assigns the payload into a recycled event slot, so a
+  /// warmed run sends with zero allocator traffic even for spilled
+  /// payloads — the async twin of SyncContext::broadcast(const Message&).
+  /// The message's `from` field is left untouched; the scheduled copy
+  /// carries this node's id regardless.
+  void send_copy(NodeId to, const Message& message);
+
+  /// send_copy addressed by position in neighbors() instead of node id:
+  /// the channel resolves by direct adjacency-row lookup, skipping the
+  /// per-send neighbor search — the natural call for programs that iterate
+  /// their neighbor span anyway (the synchronizer's frame fan-out).
+  void send_copy_at(std::size_t neighbor_index, const Message& message);
 
   /// Sends a copy of the message to every neighbor.
   void broadcast(Message message);
@@ -89,8 +125,14 @@ class AsyncProgram {
   /// initiator nodes typically act).
   virtual void on_start(AsyncContext& ctx) = 0;
 
-  /// Called for each delivered message.
-  virtual void on_message(AsyncContext& ctx, const Message& message) = 0;
+  /// Called for each delivered message. The message borrows the engine's
+  /// dispatch scratch buffer: it is valid only for the duration of the
+  /// call, exactly as the context. The reference is mutable so a handler
+  /// that keeps the payload can move-assign it out (SmallPayload moves
+  /// swap buffers, so the scratch inherits the handler's recycled
+  /// capacity) instead of copying; the engine never reads the message
+  /// after the handler returns.
+  virtual void on_message(AsyncContext& ctx, Message& message) = 0;
 
   /// Called when a timer set via AsyncContext::set_timer expires. Default:
   /// ignore (plain message-driven programs never see timers).
@@ -156,8 +198,23 @@ class AsyncEngine {
   /// event — a message delivery or a timer callback — is bracketed with
   /// begin_round/end_round, so the "round" granularity of the profile is
   /// one handler invocation (support/alloc_audit.h). Not owned; must
-  /// outlive the run.
+  /// outlive the run. Unlike trace/fault seams, the auditor does NOT force
+  /// the serial path: the sharded dispatch is itself under the zero-alloc
+  /// contract.
   void set_alloc_audit(AllocAudit* audit) noexcept { alloc_audit_ = audit; }
+
+  /// Explicit shard count for the per-shard event queues (0 = serial). The
+  /// run is byte-identical to the serial engine for any value: sequences
+  /// are assigned from one global counter at post time and the dispatch
+  /// tournament pops the globally minimal (time, sequence) key. Ignored —
+  /// serial fallback — whenever a seam forces the serial path.
+  void set_shards(std::size_t shards) noexcept { shards_config_ = shards; }
+
+  /// Number of event-queue shards the next run() will execute with: 1
+  /// whenever a seam forces the serial path (trace or faults attached,
+  /// empty graph), otherwise the set_shards() value capped at the node
+  /// count.
+  std::size_t planned_shards() const noexcept;
 
   /// Program of node v (for extracting results after the run). Calling this
   /// from inside a handler for a node other than the one executing is a
@@ -174,8 +231,38 @@ class AsyncEngine {
  private:
   friend class AsyncContext;
   void post(NodeId from, NodeId to, Message message, double now);
+  void post_copy(NodeId from, NodeId to, const Message& message, double now);
+  /// post_copy with the channel already resolved (fault cascade onward).
+  void post_copy_resolved(NodeId from, NodeId to, ArcId channel,
+                          const Message& message, double now);
   void enqueue(NodeId to, ArcId channel, Message message, double now);
+  void enqueue_copy(NodeId from, NodeId to, ArcId channel,
+                    const Message& message, double now);
+  void schedule_slot(std::uint32_t slot, NodeId to, ArcId channel,
+                     double now);
+  void route(const AsyncEventKey& key, NodeId to);
   void post_timer(NodeId v, double delay, std::int64_t cookie, double now);
+  void init_shards(std::size_t count);
+  /// Minimal pending key of shard s. Returns false when the shard is idle.
+  bool shard_head(std::size_t s, AsyncEventKey& out);
+  /// Minimum head over every shard other than the dispatching one. `shard`
+  /// is the argmin (num_shards_ when every other shard is idle) — when a
+  /// batch ends because its shard no longer holds the global minimum, the
+  /// cursor already names the next tournament winner, so the full scan
+  /// runs once per batch, not twice.
+  struct ShardCursor {
+    AsyncEventKey key;
+    std::size_t shard;
+  };
+  /// Dispatches one popped event: fault screening, handler invocation,
+  /// lane flush. Folds every cross-shard key flushed into `other` so the
+  /// batch-continuation test in run() stays exact.
+  void dispatch_event(const AsyncEventKey& key, AsyncMetrics& metrics,
+                      std::size_t& events,
+                      std::vector<std::pair<double, std::uint64_t>>& delivered,
+                      ShardCursor& other);
+  void flush_lanes(ShardCursor& other);
+  std::size_t live_events() const;
   std::string diagnose_stall();
 
   void note_program_access(NodeId v) const {
@@ -183,33 +270,36 @@ class AsyncEngine {
       trace_->on_state_read(current_node_, v);
   }
 
-  struct Event {
-    double time;
-    std::uint64_t sequence;  // tie-break: deterministic FIFO order
-    NodeId to;
-    ArcId channel;  // directed sender->receiver arc; kNoArc marks a timer
-    std::int64_t cookie = 0;  // timer events only
-    Message message;
-  };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      return a.time != b.time ? a.time > b.time : a.sequence > b.sequence;
-    }
-  };
-
   const Graph& graph_;
   std::vector<std::unique_ptr<AsyncProgram>> programs_;
   ChannelTable channels_;  // (sender, receiver) -> arc id, built once
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  AsyncEventSlab slab_;  // event payloads; ordering structures hold keys
+  std::vector<EventWheel> wheels_;  // per-shard event calendar queues
+  /// Cross-shard post lanes, indexed [source shard * count + destination
+  /// shard]: keys a handler in the source shard posted toward the
+  /// destination shard, flushed into the destination heap after the
+  /// handler returns. Empty between dispatches.
+  std::vector<std::vector<AsyncEventKey>> lanes_;
+  /// Lane indices made nonempty by the running handler — the flush walks
+  /// these instead of scanning all destinations.
+  std::vector<std::uint32_t> touched_lanes_;
+  ShardPlan plan_;               // contiguous node partition
+  std::vector<std::uint32_t> shard_of_;  // node -> shard, built per run
+  std::size_t num_shards_ = 1;   // shards of the current/last run
   std::vector<double> channel_clock_;  // last scheduled time per directed edge
   std::vector<std::uint64_t> channel_posts_;  // messages posted per channel
   std::unique_ptr<DelaySchedule> schedule_;
+  bool unit_delay_ = false;  // schedule is the constant unit model
   std::uint64_t next_sequence_ = 0;
+  Message dispatch_scratch_;  // delivery buffer; swaps capacity with slots
   SimTrace* trace_ = nullptr;
   FaultPlan* faults_ = nullptr;
   AllocAudit* alloc_audit_ = nullptr;  // non-null: bracket each event
   std::vector<std::uint64_t> fault_posts_;  // fault-decision index per channel
   NodeId current_node_ = kNoNode;  // node whose handler is executing
+  std::size_t current_shard_ = 0;  // shard being dispatched (in_handler_)
+  bool in_handler_ = false;  // true while a handler runs: lane-buffer posts
+  std::size_t shards_config_ = 0;  // set_shards(); 0 = serial
 };
 
 }  // namespace fdlsp

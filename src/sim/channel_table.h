@@ -72,6 +72,18 @@ class ChannelTable {
     return channels_[offsets_[from - base_] + position];
   }
 
+  /// Channel of the `position`-th arc out of `from` (adjacency order) — the
+  /// O(1) lookup for senders that already know the neighbor's index, e.g.
+  /// because they iterate the neighbor span. For a slice, `from` must lie
+  /// inside the slice's node range.
+  // fdlsp-lint: hot — per-send steady-state path, no allocator traffic
+  ArcId channel_at(NodeId from, std::size_t position) const {
+    const std::size_t row = offsets_[from - base_];
+    FDLSP_ASSERT(row + position < offsets_[from - base_ + 1],
+                 "position outside the sender's adjacency row");
+    return channels_[row + position];
+  }
+
  private:
   NodeId base_ = 0;                   // first sender covered (slice lo)
   std::vector<std::size_t> offsets_;  // (hi - lo) + 1 entries

@@ -69,6 +69,33 @@ Message unframe(const Message& frame) {
   return original;
 }
 
+/// Buffer-reusing variants for the async wrapper's recycling pool: the
+/// destination's spilled capacity survives, so a recycled Message frames or
+/// unframes without touching the allocator.
+void make_frame_into(Message& frame, NodeId from, NodeId to, std::int64_t seq,
+                     std::int64_t inner_round, const Message& original) {
+  frame.from = from;
+  frame.tag = kReliableFrameTag;
+  frame.data.clear();
+  frame.data.reserve(kHeaderWords + original.data.size());
+  frame.data.push_back(0);  // checksum slot
+  frame.data.push_back(seq);
+  frame.data.push_back(inner_round);
+  frame.data.push_back(original.tag);
+  frame.data.insert(frame.data.end(), original.data.begin(),
+                    original.data.end());
+  frame.data[0] =
+      wire_checksum(from, to, frame.data.data() + 1, frame.data.size() - 1);
+}
+
+void unframe_into(Message& original, const Message& frame) {
+  original.from = frame.from;
+  original.tag = static_cast<std::int32_t>(frame.data[3]);
+  original.data.assign(frame.data.begin() +
+                           static_cast<std::ptrdiff_t>(kHeaderWords),
+                       frame.data.end());
+}
+
 Message make_ack(NodeId from, NodeId to, std::int64_t cumulative) {
   Message ack;
   ack.from = from;
@@ -482,6 +509,21 @@ ReliableAsyncProgram::ReliableAsyncProgram(std::unique_ptr<AsyncProgram> inner,
                   round_trip + 4;
 }
 
+// fdlsp-lint: hot — per-frame steady-state path, no allocator traffic
+Message ReliableAsyncProgram::take_frame() {
+  if (frame_pool_.empty()) return Message{};
+  Message frame = std::move(frame_pool_.back());
+  frame_pool_.pop_back();
+  return frame;
+}
+
+// fdlsp-lint: hot — per-ack steady-state path, no allocator traffic
+void ReliableAsyncProgram::recycle_frame(Message&& frame) {
+  // The pool never outgrows the peak number of simultaneously pending
+  // frames, so this push_back settles after the first congestion spike.
+  frame_pool_.push_back(std::move(frame));
+}
+
 ReliableAsyncProgram::PeerState& ReliableAsyncProgram::peer_state(
     NodeId peer) {
   auto it = std::lower_bound(
@@ -530,21 +572,26 @@ void ReliableAsyncProgram::heard(AsyncContext& ctx, PeerState& state) {
   // waited, so their eventual acks must not pollute the RTT estimate).
   for (PendingFrame& frame : state.pending) {
     frame.retransmitted = true;
-    ctx.send(state.peer, frame.frame);
+    ctx.send_copy(state.peer, frame.frame);
   }
   stats_.retransmits += state.pending.size();
   arm_timer(ctx, state, retransmit_interval(ctx, state));
 }
 
+// fdlsp-lint: hot — per-inner-send steady-state path, no allocator traffic
 void ReliableAsyncProgram::capture_send(AsyncContext& ctx, NodeId to,
-                                        Message message) {
+                                        const Message& message) {
   PeerState& state = peer_state(to);
   if (state.health == PeerHealth::kDead) {
     ++stats_.abandoned;
     ++state.next_seq;
     return;
   }
-  Message frame = make_frame(ctx.self(), to, state.next_seq, 0, message);
+  // Frame into a pooled buffer held by the pending list itself; the wire
+  // copy below goes straight from there into the engine's event slab, so
+  // the whole send path reuses recycled capacity end to end.
+  Message frame = take_frame();
+  make_frame_into(frame, ctx.self(), to, state.next_seq, 0, message);
   if (state.health == PeerHealth::kSuspected) {
     state.parked.push_back(
         PendingFrame{state.next_seq, std::move(frame), ctx.now(), true});
@@ -552,9 +599,9 @@ void ReliableAsyncProgram::capture_send(AsyncContext& ctx, NodeId to,
     return;
   }
   state.pending.push_back(
-      PendingFrame{state.next_seq, frame, ctx.now(), false});
+      PendingFrame{state.next_seq, std::move(frame), ctx.now(), false});
   ++state.next_seq;
-  ctx.send(to, std::move(frame));
+  ctx.send_copy(to, state.pending.back().frame);
   arm_timer(ctx, state,
             tuning_ == TransportTuning::kAdaptive
                 ? retransmit_interval(ctx, state)
@@ -562,18 +609,19 @@ void ReliableAsyncProgram::capture_send(AsyncContext& ctx, NodeId to,
 }
 
 void ReliableAsyncProgram::on_start(AsyncContext& ctx) {
-  const AsyncSendSink sink = [this, &ctx](NodeId to, Message message) {
-    capture_send(ctx, to, std::move(message));
+  const AsyncSendSink sink = [this, &ctx](NodeId to, const Message& message) {
+    capture_send(ctx, to, message);
   };
   AsyncContext inner_ctx = ctx.reframed(&sink);
   inner_->on_start(inner_ctx);
 }
 
+// fdlsp-lint: hot — per-delivery steady-state path, no allocator traffic
 void ReliableAsyncProgram::deliver_in_order(AsyncContext& ctx, PeerState& state,
-                                            Message original) {
+                                            Message& original) {
   const NodeId peer = state.peer;
-  const AsyncSendSink sink = [this, &ctx](NodeId to, Message message) {
-    capture_send(ctx, to, std::move(message));
+  const AsyncSendSink sink = [this, &ctx](NodeId to, const Message& message) {
+    capture_send(ctx, to, message);
   };
   AsyncContext inner_ctx = ctx.reframed(&sink);
   inner_->on_message(inner_ctx, original);
@@ -588,6 +636,9 @@ void ReliableAsyncProgram::deliver_in_order(AsyncContext& ctx, PeerState& state,
     Message next = std::move(fresh.reordered.front().original);
     fresh.reordered.erase(fresh.reordered.begin());
     inner_->on_message(inner_ctx, next);
+    // The buffer came out of the pool when the frame was parked out of
+    // order (see handle_frame); hand it back for the next frame.
+    recycle_frame(std::move(next));
   }
 }
 
@@ -599,28 +650,31 @@ void ReliableAsyncProgram::handle_frame(AsyncContext& ctx,
   const NodeId peer = message.from;
   const std::int64_t seq = message.data[1];
   bool deliver = false;
-  Message original;
   {
     PeerState& state = peer_state(peer);
     heard(ctx, state);
     if (seq == state.received + 1) {
       state.received = seq;
-      original = unframe(message);
+      unframe_into(unframe_scratch_, message);
       deliver = true;
     } else if (seq > state.received + 1) {
       // Out of order: hold until the gap fills (the sender retransmits the
-      // missing frames). Idempotent under duplication.
+      // missing frames). Idempotent under duplication. The held copy lives
+      // in a pooled buffer, recycled after its in-order delivery.
       auto it = std::lower_bound(
           state.reordered.begin(), state.reordered.end(), seq,
           [](const ReorderedFrame& frame, std::int64_t id) {
             return frame.seq < id;
           });
-      if (it == state.reordered.end() || it->seq != seq)
-        state.reordered.insert(it, ReorderedFrame{seq, unframe(message)});
+      if (it == state.reordered.end() || it->seq != seq) {
+        Message held = take_frame();
+        unframe_into(held, message);
+        state.reordered.insert(it, ReorderedFrame{seq, std::move(held)});
+      }
     }
     // seq <= received: duplicate — fall through and re-ack.
   }
-  if (deliver) deliver_in_order(ctx, peer_state(peer), std::move(original));
+  if (deliver) deliver_in_order(ctx, peer_state(peer), unframe_scratch_);
   ctx.send(peer, make_ack(ctx.self(), peer, peer_state(peer).received));
 }
 
@@ -644,6 +698,12 @@ void ReliableAsyncProgram::handle_ack(AsyncContext& ctx,
                        : sample;
     }
     state.loss_hat *= 0.75;
+    // Reclaim the acked frames' buffers before the erase destroys the
+    // husks; pending is seq-ascending, so the acked prefix is contiguous.
+    for (PendingFrame& frame : state.pending) {
+      if (frame.seq > cumulative) break;
+      recycle_frame(std::move(frame.frame));
+    }
     std::erase_if(state.pending, [cumulative](const PendingFrame& frame) {
       return frame.seq <= cumulative;
     });
@@ -651,8 +711,7 @@ void ReliableAsyncProgram::handle_ack(AsyncContext& ctx,
   heard(ctx, state);  // any valid ack proves the peer is alive and hearing us
 }
 
-void ReliableAsyncProgram::on_message(AsyncContext& ctx,
-                                      const Message& message) {
+void ReliableAsyncProgram::on_message(AsyncContext& ctx, Message& message) {
   if (message.tag == kReliableAckTag) {
     FDLSP_REQUIRE(message.data.size() == kAckWords, "reliable ack malformed");
     if (checksum_ok(message.from, ctx.self(), message))
@@ -678,8 +737,9 @@ void ReliableAsyncProgram::on_message(AsyncContext& ctx,
 void ReliableAsyncProgram::on_timer(AsyncContext& ctx, std::int64_t cookie) {
   if (cookie >= 0) {
     // Inner-program timer: forward untouched (cookies < 0 are ours).
-    const AsyncSendSink sink = [this, &ctx](NodeId to, Message message) {
-      capture_send(ctx, to, std::move(message));
+    const AsyncSendSink sink = [this, &ctx](NodeId to,
+                                            const Message& message) {
+      capture_send(ctx, to, message);
     };
     AsyncContext inner_ctx = ctx.reframed(&sink);
     inner_->on_timer(inner_ctx, cookie);
@@ -700,7 +760,7 @@ void ReliableAsyncProgram::on_timer(AsyncContext& ctx, std::int64_t cookie) {
       return;
     }
     for (const PendingFrame& frame : state.pending)
-      ctx.send(peer, frame.frame);
+      ctx.send_copy(peer, frame.frame);
     stats_.retransmits += state.pending.size();
     arm_timer(ctx, state, kRetransmitPeriod);
     return;
@@ -744,7 +804,7 @@ void ReliableAsyncProgram::on_timer(AsyncContext& ctx, std::int64_t cookie) {
   }
   for (PendingFrame& frame : state.pending) {
     frame.retransmitted = true;
-    ctx.send(peer, frame.frame);
+    ctx.send_copy(peer, frame.frame);
   }
   stats_.retransmits += state.pending.size();
   const double rto = retransmit_interval(ctx, state);

@@ -215,7 +215,7 @@ class ReliableAsyncProgram final : public AsyncProgram {
   }
 
   void on_start(AsyncContext& ctx) override;
-  void on_message(AsyncContext& ctx, const Message& message) override;
+  void on_message(AsyncContext& ctx, Message& message) override;
   void on_timer(AsyncContext& ctx, std::int64_t cookie) override;
   bool finished() const override;
 
@@ -247,14 +247,16 @@ class ReliableAsyncProgram final : public AsyncProgram {
   };
 
   PeerState& peer_state(NodeId peer);
-  void capture_send(AsyncContext& ctx, NodeId to, Message message);
+  void capture_send(AsyncContext& ctx, NodeId to, const Message& message);
   void handle_frame(AsyncContext& ctx, const Message& message);
   void handle_ack(AsyncContext& ctx, const Message& message);
   void heard(AsyncContext& ctx, PeerState& state);
   void arm_timer(AsyncContext& ctx, PeerState& state, double delay);
   double retransmit_interval(const AsyncContext& ctx, const PeerState& state);
   void deliver_in_order(AsyncContext& ctx, PeerState& state,
-                        Message original);
+                        Message& original);
+  Message take_frame();
+  void recycle_frame(Message&& frame);
 
   std::unique_ptr<AsyncProgram> inner_;
   TransportTuning tuning_;
@@ -263,6 +265,14 @@ class ReliableAsyncProgram final : public AsyncProgram {
   std::size_t probe_budget_;      // kAdaptive: heartbeats before kDead
   std::vector<PeerState> peers_;  // sorted by peer id
   std::vector<NodeId> ever_suspected_;  // sorted, deduplicated
+  /// Retired frame buffers, recycled into new frames: once every channel has
+  /// seen its largest frame, framing allocates nothing (the buffers just
+  /// circulate between the pool and the per-peer pending lists).
+  std::vector<Message> frame_pool_;
+  /// Reused for every in-order unframe; its spilled capacity survives
+  /// between deliveries. Safe to share across peers: dispatch is serial and
+  /// the inner handler finishes with the message before the next frame.
+  Message unframe_scratch_;
   TransportStats stats_;
 };
 

@@ -12,6 +12,10 @@ namespace fdlsp {
 // fdlsp-lint: hot — per-message steady-state path, no allocator traffic
 void SyncContext::send(NodeId to, Message message) {
   message.from = self_;
+  if (capture_ != nullptr) {
+    (*capture_)(to, message);
+    return;
+  }
   if (sink_ != nullptr) {
     (*sink_)(to, std::move(message));
     return;
@@ -32,6 +36,10 @@ void SyncContext::send(NodeId to, Message message) {
 // fdlsp-lint: hot — per-message steady-state path, no allocator traffic
 void SyncContext::send_trusted(NodeId to, Message message) {
   message.from = self_;
+  if (capture_ != nullptr) {
+    (*capture_)(to, message);
+    return;
+  }
   if (sink_ != nullptr) {
     (*sink_)(to, std::move(message));
     return;
@@ -45,6 +53,13 @@ void SyncContext::send_trusted(NodeId to, Message message) {
 
 // fdlsp-lint: hot — per-message steady-state path, no allocator traffic
 void SyncContext::send_trusted_copy(NodeId to, const Message& message) {
+  if (capture_ != nullptr) {
+    // The capture sink borrows: no temporary, no ownership transfer — the
+    // zero-alloc twin of the owning-sink branch below. The sink knows the
+    // sending node; `from` stays whatever the caller's scratch holds.
+    (*capture_)(to, message);
+    return;
+  }
   if (sink_ != nullptr) {
     // Sinks take ownership; materialize the copy they expect (the reliable
     // wrapper's framing path, never the zero-alloc hot path).
@@ -369,7 +384,7 @@ SyncMetrics SyncEngine::run(std::size_t max_rounds) {
     for (std::size_t i = plan_.lo(s); i < hi; ++i) {
       const NodeId v = static_cast<NodeId>(i);
       if (finished[v] != 0 && inbox_count_[v] == 0) continue;
-      SyncContext ctx(*this, v, graph_.neighbors(v), round_no, phase_no);
+      SyncContext ctx(this, v, graph_.neighbors(v), round_no, phase_no);
       ctx.lanes_ = lanes;
       ctx.plan_ = plan_;
       ctx.shard_ = s;
@@ -516,7 +531,7 @@ SyncMetrics SyncEngine::run(std::size_t max_rounds) {
             trace_->on_deliver(message.from, v);
           trace_->on_local_step(v);
         }
-        SyncContext ctx(*this, v, graph_.neighbors(v), metrics.rounds, phase);
+        SyncContext ctx(this, v, graph_.neighbors(v), metrics.rounds, phase);
         current_node_ = v;
         set_->on_round(v, ctx, inbox);
         current_node_ = kNoNode;

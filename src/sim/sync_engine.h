@@ -52,6 +52,15 @@ class ThreadPool;
 /// Capture target for a reframed context's sends (see SyncContext::reframed).
 using SyncSendSink = std::function<void(NodeId to, Message message)>;
 
+/// Non-owning capture target (see SyncContext::external): the sink borrows
+/// the message for the duration of the call — it must copy what it keeps —
+/// and the message's `from` field is unspecified (the capturing layer knows
+/// which node it drives). This is the zero-alloc twin of SyncSendSink: a
+/// spilled payload is never materialized into a temporary per receiver, so
+/// a capture layer with recycled buffers (sim/synchronizer.h) adds no
+/// allocator traffic to a program's steady state.
+using SyncCaptureSink = std::function<void(NodeId to, const Message& message)>;
+
 /// One send buffered by a parallel-round shard, merged in canonical order
 /// after the shard barrier (engine internal).
 struct SyncBufferedSend {
@@ -181,12 +190,28 @@ class SyncContext {
     return copy;
   }
 
+  /// A detached context for harness layers that drive SyncPrograms outside
+  /// a SyncEngine (the round synchronizer, sim/synchronizer.h): there is no
+  /// engine behind it — send()/broadcast() feed `capture`, which must be
+  /// non-null and outlive the context. Unlike the owning SyncSendSink seam,
+  /// the capture sink borrows each message (see SyncCaptureSink), so the
+  /// hot path stays allocation-free.
+  static SyncContext external(NodeId self,
+                              std::span<const NeighborEntry> neighbors,
+                              std::size_t round, std::size_t phase,
+                              const SyncCaptureSink* capture) {
+    FDLSP_REQUIRE(capture != nullptr, "external contexts need a capture sink");
+    SyncContext ctx(nullptr, self, neighbors, round, phase);
+    ctx.capture_ = capture;
+    return ctx;
+  }
+
  private:
   friend class SyncEngine;
-  SyncContext(SyncEngine& engine, NodeId self,
+  SyncContext(SyncEngine* engine, NodeId self,
               std::span<const NeighborEntry> neighbors, std::size_t round,
               std::size_t phase)
-      : engine_(&engine),
+      : engine_(engine),
         self_(self),
         neighbors_(neighbors),
         round_(round),
@@ -209,6 +234,8 @@ class SyncContext {
   std::size_t round_;
   std::size_t phase_;
   const SyncSendSink* sink_ = nullptr;  // non-null: capture instead of send
+  // Non-null: borrow-capture instead of send (external contexts only).
+  const SyncCaptureSink* capture_ = nullptr;
   // Non-null on parallel rounds: the executing shard's row of per-
   // destination-shard send lanes. Sends are buffered in
   // lanes_[plan_.shard_of(to)] for the post-barrier merge instead of

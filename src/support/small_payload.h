@@ -66,8 +66,22 @@ class SmallPayload {
   /// buffers circulate between slots instead of being freed and
   /// reallocated — the steady state allocates nothing. The moved-from
   /// object is still valid-but-unspecified, exactly as std::vector's.
+  ///
+  /// One refinement on the plain swap: an inline source never takes a
+  /// spilled destination's buffer. The source is usually a dying temporary
+  /// (a two-word ack posted into a recycled slab slot), and a swap would
+  /// ship the slot's hard-won capacity to the grave with it — the next
+  /// large payload into that slot would have to reallocate.
   SmallPayload& operator=(SmallPayload&& other) noexcept {
-    if (this != &other) swap(other);
+    if (this == &other) return *this;
+    if (other.heap_ == nullptr && heap_ != nullptr) {
+      // Spilled capacity is always > kInlineCapacity, so the copy fits.
+      std::copy(other.inline_, other.inline_ + other.size_, heap_);
+      size_ = other.size_;
+      other.size_ = 0;
+      return *this;
+    }
+    swap(other);
     return *this;
   }
 
@@ -123,7 +137,10 @@ class SmallPayload {
   /// Swaps contents and capacities with `other`; never allocates.
   void swap(SmallPayload& other) noexcept {
     if (heap_ == nullptr && other.heap_ == nullptr) {
-      for (std::size_t i = 0; i < kInlineCapacity; ++i)
+      // Words past both sizes are dead storage; swapping only the live
+      // prefix keeps the engines' one-word control frames cheap.
+      const std::size_t live = size_ > other.size_ ? size_ : other.size_;
+      for (std::size_t i = 0; i < live; ++i)
         std::swap(inline_[i], other.inline_[i]);
       std::swap(size_, other.size_);
       return;

@@ -35,7 +35,7 @@ class FloodProgram : public AsyncProgram {
   void on_start(AsyncContext& ctx) override {
     ctx.broadcast(Message{kNoNode, 1, {static_cast<std::int64_t>(ctx.self())}});
   }
-  void on_message(AsyncContext& ctx, const Message& message) override {
+  void on_message(AsyncContext& ctx, Message& message) override {
     ++received_;
     if (message.tag == 1)
       ctx.broadcast(Message{kNoNode, 2, {message.data[0]}});

@@ -24,7 +24,7 @@ class RelayProgram final : public AsyncProgram {
     }
   }
 
-  void on_message(AsyncContext& ctx, const Message& message) override {
+  void on_message(AsyncContext& ctx, Message& message) override {
     received_ = true;
     hops_ = message.data[0];
     if (self_ + 1 < n_) {
@@ -84,14 +84,14 @@ class BurstSender final : public AsyncProgram {
       ctx.send(1, std::move(message));
     }
   }
-  void on_message(AsyncContext&, const Message&) override {}
+  void on_message(AsyncContext&, Message&) override {}
   bool finished() const override { return true; }
 };
 
 class OrderChecker final : public AsyncProgram {
  public:
   void on_start(AsyncContext&) override {}
-  void on_message(AsyncContext&, const Message& message) override {
+  void on_message(AsyncContext&, Message& message) override {
     in_order_ &= (message.data[0] == expected_);
     ++expected_;
   }
@@ -122,14 +122,14 @@ class IllegalAsyncSender final : public AsyncProgram {
     message.tag = 1;
     ctx.send(2, std::move(message));  // not a neighbor on a path
   }
-  void on_message(AsyncContext&, const Message&) override {}
+  void on_message(AsyncContext&, Message&) override {}
   bool finished() const override { return true; }
 };
 
 class SilentProgram final : public AsyncProgram {
  public:
   void on_start(AsyncContext&) override {}
-  void on_message(AsyncContext&, const Message&) override {}
+  void on_message(AsyncContext&, Message&) override {}
   bool finished() const override { return true; }
 };
 

@@ -1,0 +1,191 @@
+// Sharded-async determinism property suite.
+//
+// The sharded AsyncEngine's contract is byte-identity: for every shard
+// count, delivery order — and therefore every metric, schedule, and fault
+// stream — matches the serial engine exactly, because the global sequence
+// counter is assigned at post time and the tournament over shard heads pops
+// in `(time, sequence)` order, the same total order the serial calendar
+// queue uses. This suite pins that contract where it matters: across all
+// six scenario families × all three delay models × shard counts {2, 4, 8},
+// plus a correlated fault plan behind the reliable wrapper (where the fault
+// seam forces the serial path — attaching faults must never change results
+// no matter what shard count was requested).
+//
+// Equality is asserted on everything run_dist_mis_async reports: the
+// schedule (raw slot assignment), the synchronous-projection metrics, and
+// the engine's own AsyncMetrics including fifo_ok, completion_time (exact
+// double equality — same event order means same arithmetic), and the fault
+// counters. The suite rides the TSan preset like every proptest.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "algos/dist_mis.h"
+#include "sim/async_engine.h"
+#include "sim/delay.h"
+#include "sim/fault.h"
+#include "verify/scenario.h"
+
+namespace fdlsp {
+namespace {
+
+constexpr std::size_t kShardCounts[] = {2, 4, 8};
+constexpr DelayModel kDelayModels[] = {
+    DelayModel::kUnit, DelayModel::kUniformRandom, DelayModel::kAdversarial};
+
+struct AsyncRun {
+  ScheduleResult result;
+  AsyncMetrics metrics;
+};
+
+AsyncRun run_async(const Graph& graph, DelayModel model, std::size_t shards,
+                   const FaultSpec* faults, bool reliable) {
+  AsyncRun run;
+  AsyncDistMisOptions options;
+  options.variant = DistMisVariant::kGbg;
+  options.seed = 42;
+  options.delay_model = model;
+  options.delay_seed = 7;
+  options.shards = shards;
+  options.faults = faults;
+  options.reliable = reliable;
+  options.engine_metrics = &run.metrics;
+  run.result = run_dist_mis_async(graph, options);
+  return run;
+}
+
+/// Asserts the full byte-equality contract between a serial run and a
+/// sharded run of the same scenario.
+void expect_identical(const AsyncRun& serial, const AsyncRun& sharded,
+                      const std::string& label) {
+  // Schedule: identical slot assignment, not merely feasible.
+  EXPECT_EQ(serial.result.coloring.raw(), sharded.result.coloring.raw())
+      << label;
+  EXPECT_EQ(serial.result.num_slots, sharded.result.num_slots) << label;
+  // Synchronous-projection metrics.
+  EXPECT_EQ(serial.result.rounds, sharded.result.rounds) << label;
+  EXPECT_EQ(serial.result.messages, sharded.result.messages) << label;
+  EXPECT_EQ(serial.result.completed, sharded.result.completed) << label;
+  // Engine metrics: same event order means the same arithmetic, so even
+  // the floating-point completion time must agree to the last bit.
+  EXPECT_EQ(serial.metrics.messages, sharded.metrics.messages) << label;
+  EXPECT_EQ(serial.metrics.timer_events, sharded.metrics.timer_events)
+      << label;
+  EXPECT_EQ(serial.metrics.completion_time, sharded.metrics.completion_time)
+      << label;
+  EXPECT_EQ(serial.metrics.completed, sharded.metrics.completed) << label;
+  EXPECT_EQ(serial.metrics.fifo_ok, sharded.metrics.fifo_ok) << label;
+  EXPECT_EQ(serial.metrics.stall_diagnosis, sharded.metrics.stall_diagnosis)
+      << label;
+  // Fault streams consume per-channel randomness in delivery order, so the
+  // counters are sensitive to any ordering divergence.
+  EXPECT_EQ(serial.metrics.faults.dropped, sharded.metrics.faults.dropped)
+      << label;
+  EXPECT_EQ(serial.metrics.faults.duplicated,
+            sharded.metrics.faults.duplicated)
+      << label;
+  EXPECT_EQ(serial.metrics.faults.corrupted, sharded.metrics.faults.corrupted)
+      << label;
+  EXPECT_EQ(serial.metrics.faults.burst_dropped,
+            sharded.metrics.faults.burst_dropped)
+      << label;
+  EXPECT_EQ(serial.metrics.faults.region_drops,
+            sharded.metrics.faults.region_drops)
+      << label;
+  EXPECT_EQ(serial.metrics.faults.link_down_drops,
+            sharded.metrics.faults.link_down_drops)
+      << label;
+}
+
+Scenario family_scenario(GraphFamily family) {
+  Scenario scenario;
+  scenario.family = family;
+  scenario.n = 16;
+  scenario.density = 0.5;
+  scenario.seed = 0xa5c0 + static_cast<std::uint64_t>(family);
+  return scenario;
+}
+
+TEST(AsyncSharded, SerialEqualsShardedAcrossFamiliesAndDelayModels) {
+  for (const GraphFamily family : kAllFamilies) {
+    const Graph graph = materialize(family_scenario(family));
+    for (const DelayModel model : kDelayModels) {
+      const AsyncRun serial =
+          run_async(graph, model, /*shards=*/0, nullptr, /*reliable=*/false);
+      ASSERT_TRUE(serial.metrics.completed)
+          << family_name(family) << "/" << delay_model_name(model);
+      ASSERT_TRUE(serial.metrics.fifo_ok);
+      for (const std::size_t shards : kShardCounts) {
+        const AsyncRun sharded =
+            run_async(graph, model, shards, nullptr, /*reliable=*/false);
+        expect_identical(serial, sharded,
+                         family_name(family) + "/" +
+                             delay_model_name(model) + "/shards=" +
+                             std::to_string(shards));
+      }
+    }
+  }
+}
+
+TEST(AsyncSharded, SerialEqualsShardedUnderReliableWrapper) {
+  // The reliable wrapper multiplies event volume (frames, acks, retransmit
+  // timers) and exercises the timer wheel heavily; shard counts must still
+  // be invisible.
+  for (const GraphFamily family : kAllFamilies) {
+    const Graph graph = materialize(family_scenario(family));
+    const AsyncRun serial = run_async(graph, DelayModel::kUniformRandom,
+                                      /*shards=*/0, nullptr,
+                                      /*reliable=*/true);
+    ASSERT_TRUE(serial.metrics.completed) << family_name(family);
+    for (const std::size_t shards : kShardCounts) {
+      const AsyncRun sharded = run_async(graph, DelayModel::kUniformRandom,
+                                         shards, nullptr, /*reliable=*/true);
+      expect_identical(serial, sharded,
+                       family_name(family) + "/reliable/shards=" +
+                           std::to_string(shards));
+    }
+  }
+}
+
+TEST(AsyncSharded, SerialEqualsShardedUnderCorrelatedFaults) {
+  // A correlated fault plan — Gilbert–Elliott burst loss plus hashed region
+  // outages plus link-down windows — attached to the engine forces the
+  // serial path (the fault stream consumes per-channel randomness in global
+  // delivery order), so any requested shard count must reproduce the serial
+  // run bit for bit, fault counters included. Lossy plans require the
+  // reliable wrapper on the synchronizer path.
+  FaultSpec spec;
+  spec.seed = 9;
+  spec.burst_rate = 0.15;
+  spec.burst_recover = 0.5;
+  spec.region_count = 1;
+  spec.link_down_fraction = 0.2;
+  for (const GraphFamily family : kAllFamilies) {
+    const Graph graph = materialize(family_scenario(family));
+    for (const DelayModel model : kDelayModels) {
+      const AsyncRun serial =
+          run_async(graph, model, /*shards=*/0, &spec, /*reliable=*/true);
+      ASSERT_TRUE(serial.metrics.completed)
+          << family_name(family) << "/" << delay_model_name(model);
+      ASSERT_TRUE(serial.metrics.fifo_ok);
+      EXPECT_GT(serial.metrics.faults.burst_dropped +
+                    serial.metrics.faults.region_drops +
+                    serial.metrics.faults.link_down_drops,
+                0u)
+          << "fault plan never fired — the scenario does not test recovery";
+      for (const std::size_t shards : kShardCounts) {
+        const AsyncRun sharded =
+            run_async(graph, model, shards, &spec, /*reliable=*/true);
+        expect_identical(serial, sharded,
+                         family_name(family) + "/" +
+                             delay_model_name(model) + "/faulted/shards=" +
+                             std::to_string(shards));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fdlsp

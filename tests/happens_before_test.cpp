@@ -185,7 +185,7 @@ class PeekProgram final : public AsyncProgram {
     }
   }
 
-  void on_message(AsyncContext&, const Message& message) override {
+  void on_message(AsyncContext&, Message& message) override {
     for (NodeId w = 0; w < n_; ++w) {
       if (w == self_ || w == message.from) continue;
       (void)engine_->program(w);  // the injected causality violation

@@ -4,13 +4,19 @@
 // spec is the replay contract the harnesses hand to the user — parse must
 // invert format exactly, and malformed strings must fail loudly instead of
 // silently replaying a different scenario.
+//
+// The replay tool's engine-path flag (--shards=, examples/replay) rides the
+// same contract: the flag it echoes into repro lines must parse back to the
+// same shard count through the CLI layer the tool uses.
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "sim/fault.h"
 #include "soak/event.h"
 #include "support/check.h"
+#include "support/cli.h"
 
 namespace fdlsp {
 namespace {
@@ -162,6 +168,30 @@ TEST(SoakSpecGrammar, MalformedEntriesAreRejected) {
   EXPECT_THROW(parse_soak_spec("radius=wide"), contract_error); // bad double
   EXPECT_THROW(parse_soak_spec("zzz=1"), contract_error);       // unknown key
   EXPECT_THROW(parse_soak_spec("skip=1.x.3"), contract_error);  // bad index
+}
+
+/// Parses an argv-style flag list through the CLI layer examples/replay
+/// uses and returns the shard count it would replay with.
+std::size_t parse_shards_flag(const std::vector<std::string>& flags) {
+  std::vector<const char*> argv = {"replay"};
+  for (const std::string& flag : flags) argv.push_back(flag.c_str());
+  const CliArgs args(static_cast<int>(argv.size()), argv.data());
+  return static_cast<std::size_t>(args.get_int("shards", 0));
+}
+
+TEST(ReplayShardsFlag, EchoedFlagRoundTripsThroughCli) {
+  // replay echoes "--shards=N" into the repro lines it prints; pasting that
+  // line back must select the same engine shard count.
+  for (const std::size_t shards : {1u, 2u, 4u, 8u, 17u}) {
+    const std::string flag = "--shards=" + std::to_string(shards);
+    EXPECT_EQ(parse_shards_flag({flag}), shards) << flag;
+  }
+  // Absent flag = serial path, matching replay's default, and the flag
+  // composes with the spec grammars on a full repro line.
+  EXPECT_EQ(parse_shards_flag({}), 0u);
+  EXPECT_EQ(parse_shards_flag({"--soak=seed=7,n=200,events=5000",
+                               "--faults=drop=0.1", "--shards=4"}),
+            4u);
 }
 
 }  // namespace
